@@ -1,0 +1,111 @@
+// Command mtlbexp regenerates the paper's tables and figures.
+//
+//	mtlbexp -exp fig3                 # Figure 3 at paper scale
+//	mtlbexp -exp fig4 -scale small    # Figure 4 quickly
+//	mtlbexp -exp all                  # everything
+//	mtlbexp -exp fig3 -csv            # machine-readable output
+//
+// Experiments: fig2, fig3, fig4, init, tlbtime, reach, swap, spcount,
+// ablation-allocator, ablation-check, ablation-fill, ablation-refbits,
+// ext-promotion, ext-stream, ext-recolor, ext-multiprog, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"shadowtlb/internal/exp"
+	"shadowtlb/internal/stats"
+)
+
+func main() {
+	var (
+		name  = flag.String("exp", "all", "experiment id (see doc comment)")
+		scale = flag.String("scale", "paper", "workload scale: paper or small")
+		csv   = flag.Bool("csv", false, "emit CSV instead of text tables")
+	)
+	flag.Parse()
+
+	var s exp.Scale
+	switch *scale {
+	case "paper":
+		s = exp.Paper
+	case "small":
+		s = exp.Small
+	default:
+		fmt.Fprintf(os.Stderr, "mtlbexp: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	emit := func(tables ...*stats.Table) {
+		for _, t := range tables {
+			if *csv {
+				fmt.Print(t.CSV())
+			} else {
+				fmt.Println(t.String())
+			}
+		}
+	}
+
+	runOne := func(id string) bool {
+		switch id {
+		case "fig2":
+			emit(exp.Fig2().Table)
+		case "fig3":
+			emit(exp.Fig3(s).Table)
+		case "fig4":
+			r := exp.Fig4(s)
+			emit(r.TableA, r.TableB)
+		case "init":
+			emit(exp.InitCosts().Table)
+		case "tlbtime":
+			emit(exp.TLBTime(s).Table)
+		case "reach":
+			emit(exp.Reach(s).Table)
+		case "swap":
+			emit(exp.Swap().Table)
+		case "spcount":
+			emit(exp.SPCount().Table)
+		case "ablation-allocator":
+			emit(exp.AblationAllocator(s).Table)
+		case "ablation-check":
+			emit(exp.AblationCheck(s).Table)
+		case "ablation-fill":
+			emit(exp.AblationFill(s).Table)
+		case "ablation-refbits":
+			emit(exp.AblationRefBits().Table)
+		case "ext-promotion":
+			emit(exp.Promotion().Table)
+		case "ext-stream":
+			emit(exp.Stream(s).Table)
+		case "ext-recolor":
+			emit(exp.Recolor().Table)
+		case "ext-multiprog":
+			emit(exp.Multiprog().Table)
+		case "ablation-dram":
+			emit(exp.AblationDRAM(s).Table)
+		default:
+			return false
+		}
+		return true
+	}
+
+	if *name == "all" {
+		for _, id := range []string{
+			"fig2", "fig3", "fig4", "init", "tlbtime", "reach", "swap",
+			"spcount", "ablation-allocator", "ablation-check",
+			"ablation-fill", "ablation-refbits",
+			"ablation-dram",
+			"ext-promotion", "ext-stream", "ext-recolor", "ext-multiprog",
+		} {
+			fmt.Printf("==== %s ====\n", id)
+			runOne(id)
+		}
+		return
+	}
+	if !runOne(*name) {
+		fmt.Fprintf(os.Stderr, "mtlbexp: unknown experiment %q\n", *name)
+		os.Exit(2)
+	}
+}

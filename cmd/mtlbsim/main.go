@@ -1,0 +1,166 @@
+// Command mtlbsim runs one workload on one simulated machine
+// configuration and prints the measurements.
+//
+// Examples:
+//
+//	mtlbsim -workload em3d -tlb 128                 # baseline, no MTLB
+//	mtlbsim -workload em3d -tlb 64 -mtlb 128        # paper's default MTLB
+//	mtlbsim -workload radix -size paper -mtlb 128 -ways 2
+//	mtlbsim -workload random -mtlb 512 -ways 512    # fully associative
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/core"
+	"shadowtlb/internal/mem"
+	"shadowtlb/internal/sim"
+	"shadowtlb/internal/vm"
+	"shadowtlb/internal/workload"
+	"shadowtlb/internal/workload/compress"
+	"shadowtlb/internal/workload/em3d"
+	"shadowtlb/internal/workload/gcc"
+	"shadowtlb/internal/workload/radix"
+	"shadowtlb/internal/workload/vortex"
+)
+
+func main() {
+	var (
+		name    = flag.String("workload", "em3d", "workload: compress, vortex, radix, em3d, gcc, random, stride, chase")
+		size    = flag.String("size", "paper", "workload size: paper or small")
+		tlbSize = flag.Int("tlb", 96, "CPU TLB entries")
+		mtlbN   = flag.Int("mtlb", 0, "MTLB entries (0 = no MTLB)")
+		ways    = flag.Int("ways", 2, "MTLB associativity")
+		buddy   = flag.Bool("buddy", false, "use the buddy shadow allocator")
+		nocheck = flag.Bool("nocheck", false, "hide the MMC shadow-check cycle")
+		seq     = flag.Bool("seqalloc", false, "sequential (unfragmented) frame allocation")
+		dram    = flag.Uint64("dram", 256, "installed DRAM in MB")
+		streams = flag.Int("streams", 0, "MMC stream buffers (0 = off)")
+		promote = flag.Bool("promote", false, "enable online superpage promotion")
+		frames  = flag.Uint64("frames", 0, "cap user frames (0 = all; small values force paging)")
+		banks   = flag.Int("banks", 0, "DRAM banks for open-row timing (0 = flat latency)")
+	)
+	flag.Parse()
+
+	cfg := sim.Default()
+	cfg.DRAMBytes = *dram * arch.MB
+	cfg = cfg.WithTLB(*tlbSize)
+	if *mtlbN > 0 {
+		w := *ways
+		if w > *mtlbN {
+			w = *mtlbN
+		}
+		cfg = cfg.WithMTLB(core.MTLBConfig{Entries: *mtlbN, Ways: w})
+	}
+	cfg.UseBuddy = *buddy
+	cfg.NoCheckCycle = *nocheck
+	cfg.StreamBuffers = *streams
+	cfg.MaxUserFrames = *frames
+	cfg.DRAMBanks = *banks
+	if *seq {
+		cfg.AllocOrder = mem.Sequential
+	}
+
+	w, err := makeWorkload(*name, *size)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	s := sim.New(cfg)
+	if *promote {
+		if !s.VM.HasShadow() {
+			fmt.Fprintln(os.Stderr, "mtlbsim: -promote requires -mtlb")
+			os.Exit(2)
+		}
+		s.VM.EnablePromotion(vm.DefaultPromotePolicy())
+	}
+	res := s.Run(w)
+	printResult(res)
+	if *promote {
+		fmt.Printf("promotions   %d (online policy)\n", s.VM.PromotionsMade())
+	}
+	if s.VM.Reclaims > 0 {
+		fmt.Printf("paging       %d reclaims, %d swap-outs, %d swap-ins\n",
+			s.VM.Reclaims, s.VM.SwapOuts, s.VM.SwapIns)
+	}
+}
+
+func makeWorkload(name, size string) (workload.Workload, error) {
+	paper := size == "paper"
+	if size != "paper" && size != "small" {
+		return nil, fmt.Errorf("mtlbsim: unknown size %q", size)
+	}
+	switch name {
+	case "compress":
+		if paper {
+			return compress.New(compress.PaperConfig()), nil
+		}
+		return compress.New(compress.SmallConfig()), nil
+	case "vortex":
+		if paper {
+			return vortex.New(vortex.PaperConfig()), nil
+		}
+		return vortex.New(vortex.SmallConfig()), nil
+	case "radix":
+		if paper {
+			return radix.New(radix.PaperConfig()), nil
+		}
+		return radix.New(radix.SmallConfig()), nil
+	case "em3d":
+		if paper {
+			return em3d.New(em3d.PaperConfig()), nil
+		}
+		return em3d.New(em3d.SmallConfig()), nil
+	case "gcc":
+		if paper {
+			return gcc.New(gcc.PaperConfig()), nil
+		}
+		return gcc.New(gcc.SmallConfig()), nil
+	case "random":
+		n := 2_000_000
+		if !paper {
+			n = 100_000
+		}
+		return &workload.RandomAccess{Bytes: 8 * arch.MB, Accesses: n, WriteFrac: 30, Remapped: true, StepPer: 2}, nil
+	case "stride":
+		p := 20
+		if !paper {
+			p = 3
+		}
+		return &workload.StrideAccess{Bytes: 4 * arch.MB, Stride: 32, Passes: p, Remapped: true}, nil
+	case "chase":
+		h := 2_000_000
+		if !paper {
+			h = 100_000
+		}
+		return &workload.PointerChase{Nodes: 100_000, Hops: h, Remapped: true}, nil
+	default:
+		return nil, fmt.Errorf("mtlbsim: unknown workload %q", name)
+	}
+}
+
+func printResult(r sim.Result) {
+	fmt.Printf("workload   %s\n", r.Workload)
+	fmt.Printf("config     %s\n", r.Label)
+	fmt.Printf("cycles     %d (%.2f ms at 240 MHz)\n",
+		r.TotalCycles(), float64(r.TotalCycles())/240e3)
+	b := r.Breakdown
+	tot := float64(b.Total())
+	fmt.Printf("  user     %12d (%5.1f%%)\n", b.User, 100*float64(b.User)/tot)
+	fmt.Printf("  tlbmiss  %12d (%5.1f%%)\n", b.TLBMiss, 100*float64(b.TLBMiss)/tot)
+	fmt.Printf("  memory   %12d (%5.1f%%)\n", b.Memory, 100*float64(b.Memory)/tot)
+	fmt.Printf("  kernel   %12d (%5.1f%%)\n", b.Kernel, 100*float64(b.Kernel)/tot)
+	fmt.Printf("instructions %d\n", r.Instructions)
+	fmt.Printf("tlb misses   %d (hit rate %.4f)\n", r.TLBMisses, r.TLBHitRate)
+	fmt.Printf("cache hits   %.4f\n", r.CacheHitRate)
+	fmt.Printf("page faults  %d\n", r.PageFaults)
+	fmt.Printf("cache fills  %d (avg %.2f MMC cycles)\n", r.Fills, r.AvgFillMMC)
+	if r.HasMTLB {
+		fmt.Printf("mtlb         hit rate %.4f, %d fills\n", r.MTLBHitRate, r.MTLBFills)
+		fmt.Printf("superpages   %d created, %d pages remapped\n", r.SuperpagesMade, r.PagesRemapped)
+	}
+}

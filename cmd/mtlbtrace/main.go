@@ -1,0 +1,152 @@
+// Command mtlbtrace records, inspects and replays memory-reference
+// traces, enabling trace-driven simulation alongside the execution-
+// driven mode.
+//
+//	mtlbtrace -record -workload radix -size small -o radix.trc
+//	mtlbtrace -dump radix.trc | head
+//	mtlbtrace -replay radix.trc -tlb 64 -mtlb 128
+//
+// A trace captured once replays bit-identically on any machine
+// configuration, so configuration comparisons see exactly the same
+// reference stream.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"shadowtlb/internal/core"
+	"shadowtlb/internal/exp"
+	"shadowtlb/internal/sim"
+	"shadowtlb/internal/trace"
+	"shadowtlb/internal/workload"
+)
+
+func main() {
+	var (
+		record   = flag.Bool("record", false, "record a workload's trace")
+		dump     = flag.String("dump", "", "print a trace file's records")
+		replay   = flag.String("replay", "", "replay a trace file")
+		wname    = flag.String("workload", "radix", "workload to record")
+		size     = flag.String("size", "small", "workload size: paper or small")
+		out      = flag.String("o", "out.trc", "output trace file")
+		tlbSize  = flag.Int("tlb", 96, "CPU TLB entries for record/replay")
+		mtlbN    = flag.Int("mtlb", 0, "MTLB entries (0 = no MTLB)")
+		ways     = flag.Int("ways", 2, "MTLB associativity")
+		sbrkSup  = flag.Bool("sbrksp", false, "replay with superpage sbrk semantics")
+		maxPrint = flag.Int("n", 20, "records to print with -dump")
+	)
+	flag.Parse()
+
+	cfg := sim.Default().WithTLB(*tlbSize)
+	if *mtlbN > 0 {
+		cfg = cfg.WithMTLB(core.MTLBConfig{Entries: *mtlbN, Ways: *ways})
+	}
+
+	switch {
+	case *record:
+		scale := exp.Small
+		if *size == "paper" {
+			scale = exp.Paper
+		}
+		w, err := exp.MakeWorkload(*wname, scale)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tw, err := trace.NewWriter(f)
+		if err != nil {
+			fatal(err)
+		}
+		s := sim.New(cfg)
+		res := s.Run(&recordedWorkload{inner: w, w: tw})
+		if err := tw.Flush(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recorded %d records from %s (%d cycles) to %s\n",
+			tw.Records(), w.Name(), res.TotalCycles(), *out)
+
+	case *dump != "":
+		f, err := os.Open(*dump)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		recs, err := trace.ReadAll(f)
+		if err != nil {
+			fatal(err)
+		}
+		counts := map[trace.Kind]int{}
+		for i, r := range recs {
+			counts[r.Kind]++
+			if i < *maxPrint {
+				fmt.Printf("%8d  %s\n", i, formatRecord(r))
+			}
+		}
+		fmt.Printf("... %d records total: %d loads, %d stores, %d steps, %d sbrk, %d remap, %d alloc\n",
+			len(recs), counts[trace.KindLoad], counts[trace.KindStore],
+			counts[trace.KindStep], counts[trace.KindSbrk], counts[trace.KindRemap],
+			counts[trace.KindAllocRegion]+counts[trace.KindAllocAligned])
+
+	case *replay != "":
+		f, err := os.Open(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		recs, err := trace.ReadAll(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		res := sim.RunOn(cfg, &trace.Replay{Records: recs, UseSbrkSuperpages: *sbrkSup})
+		fmt.Printf("replayed %d records on %s: %d cycles, tlb-miss time %.1f%%\n",
+			len(recs), res.Label, res.TotalCycles(), 100*res.TLBFraction())
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// recordedWorkload wraps a workload so its Env is the trace recorder.
+type recordedWorkload struct {
+	inner workload.Workload
+	w     *trace.Writer
+}
+
+func (r *recordedWorkload) Name() string         { return r.inner.Name() }
+func (r *recordedWorkload) SbrkSuperpages() bool { return r.inner.SbrkSuperpages() }
+func (r *recordedWorkload) Run(env workload.Env) {
+	r.inner.Run(&trace.Recorder{Env: env, W: r.w})
+}
+
+func formatRecord(r trace.Record) string {
+	switch r.Kind {
+	case trace.KindLoad:
+		return fmt.Sprintf("load  %d bytes @ 0x%08x", r.Size, r.A)
+	case trace.KindStore:
+		return fmt.Sprintf("store %d bytes @ 0x%08x", r.Size, r.A)
+	case trace.KindStep:
+		return fmt.Sprintf("step  %d instructions", r.A)
+	case trace.KindSbrk:
+		return fmt.Sprintf("sbrk  %d bytes", r.A)
+	case trace.KindRemap:
+		return fmt.Sprintf("remap 0x%08x + %d bytes", r.A, r.B)
+	case trace.KindAllocRegion:
+		return fmt.Sprintf("alloc %d bytes", r.A)
+	case trace.KindAllocAligned:
+		return fmt.Sprintf("alloc %d bytes (align %d, offset %d)", r.A, r.B>>32, r.B&0xFFFFFFFF)
+	default:
+		return fmt.Sprintf("unknown kind %d", r.Kind)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mtlbtrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,46 @@
+// Multiprog time-slices two TLB-hostile processes on one machine whose
+// unified TLB has no address-space identifiers, so every context switch
+// flushes it. It shows the MTLB's multiprogramming dividend: the
+// switched-in process refills its TLB with a few superpage entries
+// instead of hundreds of 4 KB entries, and the MTLB itself — indexed by
+// physical shadow addresses — keeps its contents across the switch.
+//
+//	go run ./examples/multiprog
+package main
+
+import (
+	"fmt"
+
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/core"
+	"shadowtlb/internal/sim"
+	"shadowtlb/internal/workload"
+)
+
+func main() {
+	mk := func() []workload.Workload {
+		return []workload.Workload{
+			&workload.RandomAccess{Bytes: 512 * arch.KB, Accesses: 200_000, Remapped: true, StepPer: 2},
+			&workload.RandomAccess{Bytes: 512 * arch.KB, Accesses: 200_000, Remapped: true, StepPer: 2},
+		}
+	}
+	const quantum = 50_000 // CPU cycles per time slice
+
+	fmt.Println("two 512 KB random-access processes, 50k-cycle quantum, 64-entry TLB")
+	fmt.Println()
+
+	base := sim.NewMulti(sim.Default().WithTLB(64), mk(), quantum)
+	baseTotal := base.Run()
+	fmt.Println("conventional machine:")
+	fmt.Print(base)
+
+	mtlb := sim.NewMulti(sim.Default().WithTLB(64).WithMTLB(core.DefaultMTLBConfig()), mk(), quantum)
+	mtlbTotal := mtlb.Run()
+	fmt.Println("\nwith the MTLB:")
+	fmt.Print(mtlb)
+
+	fmt.Printf("\ntotal: %d vs %d cycles — %.2fx faster with the MTLB\n",
+		baseTotal, mtlbTotal, float64(baseTotal)/float64(mtlbTotal))
+	fmt.Println("(each process's working set reloads into the flushed TLB as ~2")
+	fmt.Println(" superpage entries instead of ~128 base-page entries per switch)")
+}

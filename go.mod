@@ -1,0 +1,3 @@
+module shadowtlb
+
+go 1.22

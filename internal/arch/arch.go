@@ -1,0 +1,218 @@
+// Package arch defines the address-space primitives shared by every layer
+// of the simulator: virtual and physical address types, the base page size,
+// the legal superpage sizes, and alignment arithmetic.
+//
+// The modelled machine follows the paper's assumptions (Swanson, Stoller &
+// Carter, ISCA 1998): a processor exporting 32 physical address bits, a
+// 4 KB base page, and power-of-4 superpages from 16 KB up to 16 MB, as on
+// the HP PA-RISC 2.0 and MIPS R10000.
+package arch
+
+import "fmt"
+
+// VAddr is a virtual address as seen by application code.
+type VAddr uint64
+
+// PAddr is a "physical" address as emitted by the processor MMU. It may be
+// a real DRAM address or a shadow address that the memory controller
+// retranslates (see internal/core).
+type PAddr uint64
+
+// Fundamental sizes. The base page is 4 KB as in the paper; cache lines
+// are 32 bytes (HP PA8000-like L1).
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift // 4 KB base page
+	PageMask  = PageSize - 1
+
+	LineShift = 5
+	LineSize  = 1 << LineShift // 32-byte cache line
+	LineMask  = LineSize - 1
+)
+
+// KB, MB and GB are convenience byte multipliers.
+const (
+	KB = 1 << 10
+	MB = 1 << 20
+	GB = 1 << 30
+)
+
+// PageSizeClass enumerates the legal (super)page sizes: powers of 4 from
+// the 4 KB base page to 16 MB, matching the R10000/PA-RISC 2.0 encoding.
+type PageSizeClass int
+
+// The legal page size classes.
+const (
+	Page4K PageSizeClass = iota
+	Page16K
+	Page64K
+	Page256K
+	Page1M
+	Page4M
+	Page16M
+	numPageClasses
+)
+
+// NumPageClasses is the number of legal page size classes.
+const NumPageClasses = int(numPageClasses)
+
+// Bytes returns the size in bytes of the page class.
+func (c PageSizeClass) Bytes() uint64 {
+	return PageSize << (2 * uint(c))
+}
+
+// Shift returns log2 of the page class size.
+func (c PageSizeClass) Shift() uint {
+	return PageShift + 2*uint(c)
+}
+
+// Mask returns the offset mask (size-1) for the page class.
+func (c PageSizeClass) Mask() uint64 {
+	return c.Bytes() - 1
+}
+
+// BasePages returns how many 4 KB base pages the class spans.
+func (c PageSizeClass) BasePages() int {
+	return 1 << (2 * uint(c))
+}
+
+// Valid reports whether c is a legal page size class.
+func (c PageSizeClass) Valid() bool {
+	return c >= Page4K && c < numPageClasses
+}
+
+// String renders the class as a human-readable size, e.g. "64KB".
+func (c PageSizeClass) String() string {
+	if !c.Valid() {
+		return fmt.Sprintf("PageSizeClass(%d)", int(c))
+	}
+	b := c.Bytes()
+	if b >= MB {
+		return fmt.Sprintf("%dMB", b/MB)
+	}
+	return fmt.Sprintf("%dKB", b/KB)
+}
+
+// ClassForBytes returns the smallest page class whose size is >= n, and
+// false if n exceeds the largest superpage.
+func ClassForBytes(n uint64) (PageSizeClass, bool) {
+	for c := Page4K; c < numPageClasses; c++ {
+		if c.Bytes() >= n {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// ClassFitting returns the largest page class whose size is <= n, and false
+// if n is smaller than the base page.
+func ClassFitting(n uint64) (PageSizeClass, bool) {
+	var best PageSizeClass
+	found := false
+	for c := Page4K; c < numPageClasses; c++ {
+		if c.Bytes() <= n {
+			best, found = c, true
+		}
+	}
+	return best, found
+}
+
+// PageNum returns the base (4 KB) virtual page number of a.
+func (a VAddr) PageNum() uint64 { return uint64(a) >> PageShift }
+
+// PageOff returns the offset of a within its base page.
+func (a VAddr) PageOff() uint64 { return uint64(a) & PageMask }
+
+// PageBase returns the address of the first byte of a's base page.
+func (a VAddr) PageBase() VAddr { return a &^ VAddr(PageMask) }
+
+// LineBase returns the address of the first byte of a's cache line.
+func (a VAddr) LineBase() VAddr { return a &^ VAddr(LineMask) }
+
+// AlignUp rounds a up to the next multiple of align (a power of two).
+func (a VAddr) AlignUp(align uint64) VAddr {
+	return VAddr((uint64(a) + align - 1) &^ (align - 1))
+}
+
+// AlignDown rounds a down to a multiple of align (a power of two).
+func (a VAddr) AlignDown(align uint64) VAddr {
+	return VAddr(uint64(a) &^ (align - 1))
+}
+
+// IsAligned reports whether a is a multiple of align (a power of two).
+func (a VAddr) IsAligned(align uint64) bool { return uint64(a)&(align-1) == 0 }
+
+// String formats the address in the 0x%08x style used by the paper.
+func (a VAddr) String() string { return fmt.Sprintf("0x%08x", uint64(a)) }
+
+// FrameNum returns the base (4 KB) physical frame number of p.
+func (p PAddr) FrameNum() uint64 { return uint64(p) >> PageShift }
+
+// PageOff returns the offset of p within its base frame.
+func (p PAddr) PageOff() uint64 { return uint64(p) & PageMask }
+
+// PageBase returns the address of the first byte of p's frame.
+func (p PAddr) PageBase() PAddr { return p &^ PAddr(PageMask) }
+
+// LineBase returns the address of the first byte of p's cache line.
+func (p PAddr) LineBase() PAddr { return p &^ PAddr(LineMask) }
+
+// AlignUp rounds p up to the next multiple of align (a power of two).
+func (p PAddr) AlignUp(align uint64) PAddr {
+	return PAddr((uint64(p) + align - 1) &^ (align - 1))
+}
+
+// IsAligned reports whether p is a multiple of align (a power of two).
+func (p PAddr) IsAligned(align uint64) bool { return uint64(p)&(align-1) == 0 }
+
+// String formats the address in the 0x%08x style used by the paper.
+func (p PAddr) String() string { return fmt.Sprintf("0x%08x", uint64(p)) }
+
+// FrameToPAddr converts a 4 KB frame number to its physical address.
+func FrameToPAddr(frame uint64) PAddr { return PAddr(frame << PageShift) }
+
+// PageToVAddr converts a 4 KB virtual page number to its virtual address.
+func PageToVAddr(page uint64) VAddr { return VAddr(page << PageShift) }
+
+// AccessKind distinguishes reads from writes throughout the memory system.
+type AccessKind int
+
+// Access kinds. Instruction fetches are distinguished so the micro-ITLB
+// and the (perfect) instruction cache can treat them specially.
+const (
+	Read AccessKind = iota
+	Write
+	IFetch
+)
+
+// String names the access kind.
+func (k AccessKind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case IFetch:
+		return "ifetch"
+	default:
+		return fmt.Sprintf("AccessKind(%d)", int(k))
+	}
+}
+
+// Privilege marks an access as user- or kernel-mode, for supervisor-only
+// protection checks in the TLB.
+type Privilege int
+
+// Privilege levels.
+const (
+	User Privilege = iota
+	Kernel
+)
+
+// String names the privilege level.
+func (p Privilege) String() string {
+	if p == Kernel {
+		return "kernel"
+	}
+	return "user"
+}

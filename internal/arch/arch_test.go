@@ -1,0 +1,177 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPageSizeClassBytes(t *testing.T) {
+	want := map[PageSizeClass]uint64{
+		Page4K:   4 * KB,
+		Page16K:  16 * KB,
+		Page64K:  64 * KB,
+		Page256K: 256 * KB,
+		Page1M:   1 * MB,
+		Page4M:   4 * MB,
+		Page16M:  16 * MB,
+	}
+	for c, b := range want {
+		if got := c.Bytes(); got != b {
+			t.Errorf("%v.Bytes() = %d, want %d", c, got, b)
+		}
+		if got := uint64(1) << c.Shift(); got != b {
+			t.Errorf("%v.Shift() gives size %d, want %d", c, got, b)
+		}
+		if got := c.Mask(); got != b-1 {
+			t.Errorf("%v.Mask() = %#x, want %#x", c, got, b-1)
+		}
+		if got := uint64(c.BasePages()) * PageSize; got != b {
+			t.Errorf("%v.BasePages()*PageSize = %d, want %d", c, got, b)
+		}
+	}
+}
+
+func TestPageSizeClassString(t *testing.T) {
+	cases := map[PageSizeClass]string{
+		Page4K:  "4KB",
+		Page16K: "16KB",
+		Page1M:  "1MB",
+		Page16M: "16MB",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(c), got, want)
+		}
+	}
+	if got := PageSizeClass(99).String(); got != "PageSizeClass(99)" {
+		t.Errorf("invalid class String() = %q", got)
+	}
+}
+
+func TestClassForBytes(t *testing.T) {
+	cases := []struct {
+		n    uint64
+		want PageSizeClass
+		ok   bool
+	}{
+		{1, Page4K, true},
+		{4 * KB, Page4K, true},
+		{4*KB + 1, Page16K, true},
+		{16 * KB, Page16K, true},
+		{5 * MB, Page16M, true},
+		{16 * MB, Page16M, true},
+		{16*MB + 1, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := ClassForBytes(c.n)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("ClassForBytes(%d) = %v,%v want %v,%v", c.n, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestClassFitting(t *testing.T) {
+	cases := []struct {
+		n    uint64
+		want PageSizeClass
+		ok   bool
+	}{
+		{4*KB - 1, 0, false},
+		{4 * KB, Page4K, true},
+		{63 * KB, Page16K, true},
+		{64 * KB, Page64K, true},
+		{100 * MB, Page16M, true},
+	}
+	for _, c := range cases {
+		got, ok := ClassFitting(c.n)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("ClassFitting(%d) = %v,%v want %v,%v", c.n, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestVAddrHelpers(t *testing.T) {
+	a := VAddr(0x00004080)
+	if a.PageNum() != 4 {
+		t.Errorf("PageNum = %d, want 4", a.PageNum())
+	}
+	if a.PageOff() != 0x80 {
+		t.Errorf("PageOff = %#x, want 0x80", a.PageOff())
+	}
+	if a.PageBase() != 0x4000 {
+		t.Errorf("PageBase = %v", a.PageBase())
+	}
+	if a.LineBase() != 0x4080 {
+		t.Errorf("LineBase = %v", a.LineBase())
+	}
+	if got := VAddr(0x4001).AlignUp(16 * KB); got != 0x8000 {
+		t.Errorf("AlignUp = %v, want 0x8000", got)
+	}
+	if got := VAddr(0x7fff).AlignDown(16 * KB); got != 0x4000 {
+		t.Errorf("AlignDown = %v, want 0x4000", got)
+	}
+	if !VAddr(0x8000).IsAligned(16 * KB) {
+		t.Error("0x8000 should be 16KB aligned")
+	}
+	if VAddr(0x8000).IsAligned(64 * KB) {
+		t.Error("0x8000 should not be 64KB aligned")
+	}
+}
+
+func TestPAddrHelpers(t *testing.T) {
+	// The paper's example: shadow 0x80240080 within frame 0x80240.
+	p := PAddr(0x80240080)
+	if p.FrameNum() != 0x80240 {
+		t.Errorf("FrameNum = %#x, want 0x80240", p.FrameNum())
+	}
+	if p.PageOff() != 0x80 {
+		t.Errorf("PageOff = %#x", p.PageOff())
+	}
+	if FrameToPAddr(0x80240) != 0x80240000 {
+		t.Errorf("FrameToPAddr = %v", FrameToPAddr(0x80240))
+	}
+	if p.String() != "0x80240080" {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestAlignRoundTripProperty(t *testing.T) {
+	f := func(raw uint32, classRaw uint8) bool {
+		c := PageSizeClass(int(classRaw) % NumPageClasses)
+		a := VAddr(raw)
+		up := a.AlignUp(c.Bytes())
+		down := a.AlignDown(c.Bytes())
+		if !up.IsAligned(c.Bytes()) || !down.IsAligned(c.Bytes()) {
+			return false
+		}
+		if down > a || up < a {
+			return false
+		}
+		return uint64(up)-uint64(down) == 0 || uint64(up)-uint64(down) == c.Bytes()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageVAddrRoundTripProperty(t *testing.T) {
+	f := func(page uint32) bool {
+		v := PageToVAddr(uint64(page))
+		return v.PageNum() == uint64(page) && v.PageOff() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindAndPrivilegeStrings(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" || IFetch.String() != "ifetch" {
+		t.Error("AccessKind strings wrong")
+	}
+	if User.String() != "user" || Kernel.String() != "kernel" {
+		t.Error("Privilege strings wrong")
+	}
+	if AccessKind(9).String() != "AccessKind(9)" {
+		t.Error("unknown AccessKind string wrong")
+	}
+}

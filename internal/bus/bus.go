@@ -1,0 +1,74 @@
+// Package bus models the processor-memory interconnect: a split-
+// transaction bus in the style of HP's Runway (Bryg et al., 1996) clocked
+// at half the CPU frequency (120 MHz vs 240 MHz in the paper's simulated
+// system).
+//
+// With a single processor there is no contention to arbitrate, so the
+// model is a cost function plus occupancy accounting: each transaction
+// occupies the bus for an address phase and, for transactions that move a
+// cache line, a data phase. The memory controller (internal/mmc) adds its
+// own processing and DRAM cycles on top.
+package bus
+
+import "fmt"
+
+// Config describes the bus geometry and clocking.
+type Config struct {
+	// CPUCyclesPerBusCycle converts bus cycles to CPU cycles; the paper's
+	// 240 MHz CPU on a 120 MHz bus gives 2.
+	CPUCyclesPerBusCycle int
+	// AddrCycles is the bus cycles consumed by a transaction's
+	// request/address phase.
+	AddrCycles int
+	// DataCyclesPerLine is the bus cycles to move one 32-byte cache line
+	// (Runway moves 64 bits per cycle: 4 cycles per line).
+	DataCyclesPerLine int
+}
+
+// DefaultConfig returns the Runway-like parameters used throughout the
+// paper reproduction.
+func DefaultConfig() Config {
+	return Config{CPUCyclesPerBusCycle: 2, AddrCycles: 1, DataCyclesPerLine: 4}
+}
+
+// Bus accounts for transactions and occupancy.
+type Bus struct {
+	cfg Config
+
+	Transactions uint64
+	BusyBusCycle uint64
+}
+
+// New builds a bus; it panics on non-positive parameters.
+func New(cfg Config) *Bus {
+	if cfg.CPUCyclesPerBusCycle <= 0 || cfg.AddrCycles < 0 || cfg.DataCyclesPerLine < 0 {
+		panic(fmt.Sprintf("bus: bad config %+v", cfg))
+	}
+	return &Bus{cfg: cfg}
+}
+
+// Config returns the bus configuration.
+func (b *Bus) Config() Config { return b.cfg }
+
+// AddressOnly accounts a transaction with no data phase (an ownership
+// upgrade request) and returns its cost in bus cycles.
+func (b *Bus) AddressOnly() int {
+	b.Transactions++
+	c := b.cfg.AddrCycles
+	b.BusyBusCycle += uint64(c)
+	return c
+}
+
+// LineTransfer accounts a transaction that moves one cache line (a fill
+// or a write-back) and returns its cost in bus cycles.
+func (b *Bus) LineTransfer() int {
+	b.Transactions++
+	c := b.cfg.AddrCycles + b.cfg.DataCyclesPerLine
+	b.BusyBusCycle += uint64(c)
+	return c
+}
+
+// ToCPU converts bus cycles to CPU cycles.
+func (b *Bus) ToCPU(busCycles int) int {
+	return busCycles * b.cfg.CPUCyclesPerBusCycle
+}

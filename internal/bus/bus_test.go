@@ -1,0 +1,50 @@
+package bus
+
+import "testing"
+
+func TestDefaultConfig(t *testing.T) {
+	b := New(DefaultConfig())
+	if b.Config().CPUCyclesPerBusCycle != 2 {
+		t.Errorf("CPU ratio = %d, want 2 (240 MHz / 120 MHz)", b.Config().CPUCyclesPerBusCycle)
+	}
+}
+
+func TestLineTransferCost(t *testing.T) {
+	b := New(DefaultConfig())
+	c := b.LineTransfer()
+	if c != 5 { // 1 addr + 4 data cycles for a 32-byte line on 64-bit bus
+		t.Errorf("LineTransfer = %d bus cycles, want 5", c)
+	}
+	if b.ToCPU(c) != 10 {
+		t.Errorf("ToCPU(%d) = %d, want 10", c, b.ToCPU(c))
+	}
+}
+
+func TestAddressOnlyCost(t *testing.T) {
+	b := New(DefaultConfig())
+	if c := b.AddressOnly(); c != 1 {
+		t.Errorf("AddressOnly = %d, want 1", c)
+	}
+}
+
+func TestOccupancyAccounting(t *testing.T) {
+	b := New(DefaultConfig())
+	b.LineTransfer()
+	b.LineTransfer()
+	b.AddressOnly()
+	if b.Transactions != 3 {
+		t.Errorf("Transactions = %d", b.Transactions)
+	}
+	if b.BusyBusCycle != 11 {
+		t.Errorf("BusyBusCycle = %d, want 11", b.BusyBusCycle)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(Config{CPUCyclesPerBusCycle: 0})
+}

@@ -1,0 +1,298 @@
+// Package cache models the data cache of the simulated machine: by
+// default a 512 KB direct-mapped, virtually indexed / physically tagged,
+// write-back, write-allocate cache with 32-byte lines, as used with the
+// HP PA8000 (paper §3.2).
+//
+// The cache is a timing model: simulated data always lives in DRAM
+// (internal/mem) and is functionally up to date; what the cache tracks is
+// which lines would be resident and dirty, and which bus transactions
+// (shared fills, exclusive fills, upgrades, write-backs) each access
+// generates. This split keeps workloads simple while making the events
+// seen by the memory controller — the only thing the MTLB reacts to —
+// exactly the events a real write-back cache would produce.
+package cache
+
+import (
+	"fmt"
+
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/stats"
+)
+
+// lineState is the coherence-ish state of a resident line.
+type lineState uint8
+
+const (
+	invalid  lineState = iota
+	shared             // clean: filled by a read
+	modified           // dirty: filled exclusively or written since fill
+)
+
+type line struct {
+	state lineState
+	vbase uint64 // virtual address of first byte (index + flush-by-VA)
+	pbase uint64 // physical address of first byte (tag + write-back target)
+}
+
+// EventKind enumerates the bus/MMC transactions an access can generate.
+type EventKind int
+
+const (
+	// FillShared is a cache fill for a read miss.
+	FillShared EventKind = iota
+	// FillExclusive is a cache fill for a write miss (paper §2.5: the
+	// MTLB sets the base page's dirty bit on these).
+	FillExclusive
+	// Upgrade is a write hit on a shared line: ownership is requested
+	// without a data transfer. The MTLB also marks dirty on these.
+	Upgrade
+	// WriteBack is a dirty line leaving the cache (eviction or flush).
+	WriteBack
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case FillShared:
+		return "fill-shared"
+	case FillExclusive:
+		return "fill-exclusive"
+	case Upgrade:
+		return "upgrade"
+	case WriteBack:
+		return "write-back"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one bus transaction produced by the cache.
+type Event struct {
+	Kind EventKind
+	// PAddr is the physical line address the transaction targets. For
+	// shadow-mapped pages this is a shadow address — exactly what the
+	// paper relies on: shadow addresses "appear as physical tags on
+	// cache lines, and ... on the memory bus when cache misses occur".
+	PAddr arch.PAddr
+}
+
+// Result reports what an access did. Events has at most two entries
+// (write-back of the victim, then the fill for the new line).
+type Result struct {
+	Hit    bool
+	Events []Event
+}
+
+// Config sizes the cache.
+type Config struct {
+	Size     uint64 // total bytes
+	LineSize uint64 // bytes per line
+	Ways     int    // associativity; 1 = direct mapped
+	// PhysIndexed selects physical indexing (PIPT) instead of the
+	// default virtual indexing (VIPT). Physical indexing makes cache
+	// conflicts depend on frame placement — the prerequisite for the
+	// paper's §6 no-copy page recoloring extension, where shadow
+	// addresses are chosen to spread hot pages across cache colors.
+	PhysIndexed bool
+}
+
+// DefaultConfig returns the paper's 512 KB direct-mapped configuration.
+func DefaultConfig() Config {
+	return Config{Size: 512 * arch.KB, LineSize: arch.LineSize, Ways: 1}
+}
+
+// Cache is the data-cache timing model.
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	numSets  uint64
+	lineMask uint64
+
+	Stats      stats.HitMiss
+	WriteBacks uint64
+	Upgrades   uint64
+}
+
+// New builds a cache; it panics on degenerate geometry.
+func New(cfg Config) *Cache {
+	if cfg.LineSize == 0 || cfg.Size == 0 || cfg.Ways <= 0 ||
+		cfg.Size%(cfg.LineSize*uint64(cfg.Ways)) != 0 {
+		panic(fmt.Sprintf("cache: bad geometry %+v", cfg))
+	}
+	numSets := cfg.Size / cfg.LineSize / uint64(cfg.Ways)
+	sets := make([][]line, numSets)
+	for i := range sets {
+		sets[i] = make([]line, cfg.Ways)
+	}
+	return &Cache{cfg: cfg, sets: sets, numSets: numSets, lineMask: cfg.LineSize - 1}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// index computes the set index: from the virtual address for the
+// default VIPT organization, from the physical for PIPT.
+func (c *Cache) index(va, pa uint64) uint64 {
+	a := va
+	if c.cfg.PhysIndexed {
+		a = pa
+	}
+	return (a / c.cfg.LineSize) % c.numSets
+}
+
+// Colors returns the number of page colors: the sets one way spans,
+// divided into pages. Recoloring places hot pages in distinct colors.
+func (c *Cache) Colors() uint64 {
+	perWay := c.cfg.Size / uint64(c.cfg.Ways)
+	if perWay <= arch.PageSize {
+		return 1
+	}
+	return perWay / arch.PageSize
+}
+
+// ColorOf returns the cache color of the page holding physical address
+// pa (meaningful for PIPT caches).
+func (c *Cache) ColorOf(pa arch.PAddr) uint64 {
+	return pa.FrameNum() % c.Colors()
+}
+
+// Access simulates one load or store. va is the virtual address, pa the
+// (possibly shadow) physical address already produced by the CPU TLB.
+// kind must be Read or Write; instruction fetches never reach the data
+// cache (the instruction cache is perfect).
+func (c *Cache) Access(va arch.VAddr, pa arch.PAddr, kind arch.AccessKind) Result {
+	vline := uint64(va) &^ c.lineMask
+	pline := uint64(pa) &^ c.lineMask
+	set := c.sets[c.index(uint64(va), uint64(pa))]
+
+	for i := range set {
+		l := &set[i]
+		if l.state != invalid && l.pbase == pline {
+			c.Stats.Hit()
+			if kind == arch.Write && l.state == shared {
+				l.state = modified
+				c.Upgrades++
+				return Result{Hit: true, Events: []Event{{Kind: Upgrade, PAddr: arch.PAddr(pline)}}}
+			}
+			return Result{Hit: true}
+		}
+	}
+
+	c.Stats.Miss()
+	var events []Event
+
+	// Choose a victim: an invalid way if any, else way 0 rotated by a
+	// simple round-robin on the set index (direct-mapped caches have a
+	// single way, so this only matters for associative ablations).
+	victim := -1
+	for i := range set {
+		if set[i].state == invalid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		victim = int(c.index(uint64(va), uint64(pa))) % len(set)
+	}
+	v := &set[victim]
+	if v.state == modified {
+		c.WriteBacks++
+		events = append(events, Event{Kind: WriteBack, PAddr: arch.PAddr(v.pbase)})
+	}
+
+	fill := FillShared
+	st := shared
+	if kind == arch.Write {
+		fill = FillExclusive
+		st = modified
+	}
+	events = append(events, Event{Kind: fill, PAddr: arch.PAddr(pline)})
+	*v = line{state: st, vbase: vline, pbase: pline}
+	return Result{Hit: false, Events: events}
+}
+
+// Present reports whether the line holding pa is resident (any state).
+func (c *Cache) Present(va arch.VAddr, pa arch.PAddr) bool {
+	pline := uint64(pa) &^ c.lineMask
+	set := c.sets[c.index(uint64(va), uint64(pa))]
+	for i := range set {
+		if set[i].state != invalid && set[i].pbase == pline {
+			return true
+		}
+	}
+	return false
+}
+
+// FlushPage flushes and invalidates every line of the 4 KB page mapped
+// at virtual vbase whose lines are tagged with the physical page pbase
+// (the address the cache tags carry: a real frame for conventional
+// mappings, a shadow address for shadow-backed ones). It returns the
+// write-back events for dirty lines and the number of lines inspected
+// (the OS charges flush cost per line). Only the sets the page can map
+// to are visited.
+func (c *Cache) FlushPage(vbase arch.VAddr, pbase arch.PAddr) (events []Event, inspected int) {
+	if uint64(vbase)&arch.PageMask != 0 || uint64(pbase)&arch.PageMask != 0 {
+		panic(fmt.Sprintf("cache: FlushPage of unaligned %v/%v", vbase, pbase))
+	}
+	linesPerPage := arch.PageSize / c.cfg.LineSize
+	for i := uint64(0); i < linesPerPage; i++ {
+		va := uint64(vbase) + i*c.cfg.LineSize
+		pline := uint64(pbase) + i*c.cfg.LineSize
+		set := c.sets[c.index(va, pline)]
+		for w := range set {
+			l := &set[w]
+			if l.state != invalid && l.pbase == pline {
+				if l.state == modified {
+					c.WriteBacks++
+					events = append(events, Event{Kind: WriteBack, PAddr: arch.PAddr(l.pbase)})
+				}
+				l.state = invalid
+			}
+		}
+		inspected++
+	}
+	return events, inspected
+}
+
+// FlushAll writes back every dirty line and invalidates the cache,
+// returning the write-back events.
+func (c *Cache) FlushAll() []Event {
+	var events []Event
+	for _, set := range c.sets {
+		for w := range set {
+			l := &set[w]
+			if l.state == modified {
+				c.WriteBacks++
+				events = append(events, Event{Kind: WriteBack, PAddr: arch.PAddr(l.pbase)})
+			}
+			l.state = invalid
+		}
+	}
+	return events
+}
+
+// ResidentLines returns the number of valid lines (tests/diagnostics).
+func (c *Cache) ResidentLines() int {
+	n := 0
+	for _, set := range c.sets {
+		for w := range set {
+			if set[w].state != invalid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// DirtyLines returns the number of modified lines.
+func (c *Cache) DirtyLines() int {
+	n := 0
+	for _, set := range c.sets {
+		for w := range set {
+			if set[w].state == modified {
+				n++
+			}
+		}
+	}
+	return n
+}

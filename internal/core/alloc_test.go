@@ -1,0 +1,272 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"shadowtlb/internal/arch"
+)
+
+func TestDefaultPartitionMatchesFigure2(t *testing.T) {
+	specs := DefaultPartition()
+	want := map[arch.PageSizeClass]struct {
+		count  int
+		extent uint64
+	}{
+		arch.Page16K:  {1024, 16 * arch.MB},
+		arch.Page64K:  {256, 16 * arch.MB},
+		arch.Page256K: {128, 32 * arch.MB},
+		arch.Page1M:   {64, 64 * arch.MB},
+		arch.Page4M:   {32, 128 * arch.MB},
+		arch.Page16M:  {16, 256 * arch.MB},
+	}
+	if len(specs) != len(want) {
+		t.Fatalf("%d specs, want %d", len(specs), len(want))
+	}
+	for _, s := range specs {
+		w, ok := want[s.Class]
+		if !ok {
+			t.Errorf("unexpected class %v", s.Class)
+			continue
+		}
+		if s.Count != w.count {
+			t.Errorf("%v count = %d, want %d", s.Class, s.Count, w.count)
+		}
+		if uint64(s.Count)*s.Class.Bytes() != w.extent {
+			t.Errorf("%v extent = %d, want %d", s.Class,
+				uint64(s.Count)*s.Class.Bytes(), w.extent)
+		}
+	}
+	if PartitionExtent(specs) != 512*arch.MB {
+		t.Errorf("total extent = %d, want 512MB", PartitionExtent(specs))
+	}
+}
+
+func TestBucketAllocBasic(t *testing.T) {
+	b := NewBucketAlloc(DefaultShadowSpace(), DefaultPartition())
+	if b.FreeCount(arch.Page16K) != 1024 {
+		t.Fatalf("free 16KB = %d", b.FreeCount(arch.Page16K))
+	}
+	pa, err := b.Alloc(arch.Page16K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pa.IsAligned(16 * arch.KB) {
+		t.Errorf("region %v not 16KB aligned", pa)
+	}
+	if !DefaultShadowSpace().Contains(pa) {
+		t.Errorf("region %v outside shadow space", pa)
+	}
+	if b.FreeCount(arch.Page16K) != 1023 || b.LiveCount() != 1 {
+		t.Error("counters wrong after alloc")
+	}
+	b.Free(pa, arch.Page16K)
+	if b.FreeCount(arch.Page16K) != 1024 || b.LiveCount() != 0 {
+		t.Error("counters wrong after free")
+	}
+}
+
+func TestBucketAllocAlignmentAllClasses(t *testing.T) {
+	b := NewBucketAlloc(DefaultShadowSpace(), DefaultPartition())
+	for _, s := range DefaultPartition() {
+		pa, err := b.Alloc(s.Class)
+		if err != nil {
+			t.Fatalf("%v: %v", s.Class, err)
+		}
+		if !pa.IsAligned(s.Class.Bytes()) {
+			t.Errorf("%v region %v misaligned", s.Class, pa)
+		}
+	}
+}
+
+func TestBucketAllocExhaustion(t *testing.T) {
+	space := ShadowSpace{Base: 0x80000000, Size: 1 * arch.MB}
+	b := NewBucketAlloc(space, []BucketSpec{{arch.Page16K, 2}})
+	if _, err := b.Alloc(arch.Page16K); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Alloc(arch.Page16K); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Alloc(arch.Page16K); err != ErrShadowExhausted {
+		t.Errorf("expected exhaustion, got %v", err)
+	}
+	if b.Failed != 1 {
+		t.Errorf("Failed = %d", b.Failed)
+	}
+	// A different (unpartitioned) class is also exhausted.
+	if _, err := b.Alloc(arch.Page64K); err != ErrShadowExhausted {
+		t.Errorf("expected exhaustion for 64KB, got %v", err)
+	}
+}
+
+func TestBucketAllocRegionsDisjoint(t *testing.T) {
+	b := NewBucketAlloc(DefaultShadowSpace(), DefaultPartition())
+	type region struct{ lo, hi arch.PAddr }
+	var regions []region
+	for _, s := range DefaultPartition() {
+		for i := 0; i < s.Count; i++ {
+			pa, err := b.Alloc(s.Class)
+			if err != nil {
+				t.Fatalf("%v #%d: %v", s.Class, i, err)
+			}
+			regions = append(regions, region{pa, pa + arch.PAddr(s.Class.Bytes())})
+		}
+	}
+	// All 1520 regions must be pairwise disjoint. Sort-free check via
+	// interval endpoints in a map of page indexes would be huge; instead
+	// verify no two regions overlap by checking starts against a set.
+	seen := make(map[arch.PAddr]bool)
+	for _, r := range regions {
+		for pa := r.lo; pa < r.hi; pa += arch.PAddr(16 * arch.KB) {
+			if seen[pa] {
+				t.Fatalf("overlap at %v", pa)
+			}
+			seen[pa] = true
+		}
+	}
+}
+
+func TestBucketAllocBadFreePanics(t *testing.T) {
+	b := NewBucketAlloc(DefaultShadowSpace(), DefaultPartition())
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on bogus free")
+		}
+	}()
+	b.Free(0x80000000, arch.Page16K)
+}
+
+func TestBucketAllocRejectsBasePageClass(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for 4KB bucket")
+		}
+	}()
+	NewBucketAlloc(DefaultShadowSpace(), []BucketSpec{{arch.Page4K, 1}})
+}
+
+func TestBucketAllocOverflowPanics(t *testing.T) {
+	space := ShadowSpace{Base: 0x80000000, Size: 1 * arch.MB}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for oversized partition")
+		}
+	}()
+	NewBucketAlloc(space, []BucketSpec{{arch.Page16M, 1}})
+}
+
+func TestBuddyAllocSplitAndMerge(t *testing.T) {
+	space := ShadowSpace{Base: 0x80000000, Size: 16 * arch.MB}
+	b := NewBuddyAlloc(space)
+	// One 16MB block: allocating 16KB forces splits down the ladder.
+	pa, err := b.Alloc(arch.Page16K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa != 0x80000000 {
+		t.Errorf("first region = %v", pa)
+	}
+	if b.Splits != 5 {
+		t.Errorf("Splits = %d, want 5 (16M->4M->1M->256K->64K->16K)", b.Splits)
+	}
+	if _, err := b.Alloc(arch.Page16M); err != ErrShadowExhausted {
+		t.Errorf("16MB should be exhausted while split, got %v", err)
+	}
+	b.Free(pa, arch.Page16K)
+	if b.Merges != 5 {
+		t.Errorf("Merges = %d, want 5", b.Merges)
+	}
+	if _, err := b.Alloc(arch.Page16M); err != nil {
+		t.Errorf("16MB should be whole again: %v", err)
+	}
+}
+
+func TestBuddyAllocNoClassStarvation(t *testing.T) {
+	// The bucket allocator's weakness: exhausting one class. Buddy keeps
+	// serving as long as any space remains.
+	space := ShadowSpace{Base: 0x80000000, Size: 32 * arch.MB}
+	b := NewBuddyAlloc(space)
+	var got []arch.PAddr
+	for i := 0; i < 2048; i++ { // 2048 * 16KB = 32MB exactly
+		pa, err := b.Alloc(arch.Page16K)
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		if !pa.IsAligned(16 * arch.KB) {
+			t.Fatalf("misaligned %v", pa)
+		}
+		got = append(got, pa)
+	}
+	if _, err := b.Alloc(arch.Page16K); err != ErrShadowExhausted {
+		t.Errorf("space should be exhausted, got %v", err)
+	}
+	for _, pa := range got {
+		b.Free(pa, arch.Page16K)
+	}
+	if b.LiveCount() != 0 {
+		t.Errorf("LiveCount = %d", b.LiveCount())
+	}
+	if _, err := b.Alloc(arch.Page16M); err != nil {
+		t.Errorf("all 16MB blocks should have recombined: %v", err)
+	}
+}
+
+func TestBuddyFreeCountCountsSplittable(t *testing.T) {
+	space := ShadowSpace{Base: 0x80000000, Size: 16 * arch.MB}
+	b := NewBuddyAlloc(space)
+	if got := b.FreeCount(arch.Page16K); got != 1024 {
+		t.Errorf("FreeCount(16K) = %d, want 1024", got)
+	}
+	if got := b.FreeCount(arch.Page16M); got != 1 {
+		t.Errorf("FreeCount(16M) = %d, want 1", got)
+	}
+}
+
+func TestBuddyAlignmentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewBuddyAlloc(ShadowSpace{Base: 0x80001000, Size: 16 * arch.MB})
+}
+
+// Property: interleaved buddy alloc/free maintains the invariant that
+// total free bytes + live bytes equals the space size.
+func TestBuddyConservationProperty(t *testing.T) {
+	space := ShadowSpace{Base: 0x80000000, Size: 16 * arch.MB}
+	f := func(ops []uint8) bool {
+		b := NewBuddyAlloc(space)
+		type live struct {
+			pa    arch.PAddr
+			class arch.PageSizeClass
+		}
+		var allocated []live
+		for _, op := range ops {
+			class := arch.PageSizeClass(op%5) + arch.Page16K
+			if op&0x80 == 0 || len(allocated) == 0 {
+				pa, err := b.Alloc(class)
+				if err == nil {
+					allocated = append(allocated, live{pa, class})
+				}
+			} else {
+				i := int(op) % len(allocated)
+				b.Free(allocated[i].pa, allocated[i].class)
+				allocated = append(allocated[:i], allocated[i+1:]...)
+			}
+			var liveBytes uint64
+			for _, l := range allocated {
+				liveBytes += l.class.Bytes()
+			}
+			freeBytes := uint64(b.FreeCount(arch.Page16K)) * (16 * arch.KB)
+			if liveBytes+freeBytes != space.Size {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

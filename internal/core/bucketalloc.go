@@ -1,0 +1,146 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"shadowtlb/internal/arch"
+)
+
+// ErrShadowExhausted is returned when no free shadow region of the
+// requested size class remains.
+var ErrShadowExhausted = errors.New("core: shadow region bucket exhausted")
+
+// ShadowAllocator hands out size-aligned regions of shadow address space
+// for superpages. Two implementations exist: the paper's static bucket
+// partitioning (BucketAlloc, §2.4) and the buddy-system variant the
+// paper suggests as future work (BuddyAlloc).
+type ShadowAllocator interface {
+	// Alloc returns a class-aligned shadow region of the given class.
+	Alloc(class arch.PageSizeClass) (arch.PAddr, error)
+	// Free returns a region previously allocated at the given class.
+	Free(pa arch.PAddr, class arch.PageSizeClass)
+	// FreeCount reports how many regions of the class could currently
+	// be allocated.
+	FreeCount(class arch.PageSizeClass) int
+}
+
+// BucketSpec is one row of the partition: how many regions of a class to
+// carve out.
+type BucketSpec struct {
+	Class arch.PageSizeClass
+	Count int
+}
+
+// DefaultPartition reproduces the paper's Figure 2 partitioning of a
+// 512 MB shadow space:
+//
+//	16KB x1024 (16MB), 64KB x256 (16MB), 256KB x128 (32MB),
+//	1MB x64 (64MB), 4MB x32 (128MB), 16MB x16 (256MB).
+func DefaultPartition() []BucketSpec {
+	return []BucketSpec{
+		{arch.Page16K, 1024},
+		{arch.Page64K, 256},
+		{arch.Page256K, 128},
+		{arch.Page1M, 64},
+		{arch.Page4M, 32},
+		{arch.Page16M, 16},
+	}
+}
+
+// PartitionExtent returns the total bytes a partition spans.
+func PartitionExtent(specs []BucketSpec) uint64 {
+	var total uint64
+	for _, s := range specs {
+		total += uint64(s.Count) * s.Class.Bytes()
+	}
+	return total
+}
+
+// BucketAlloc preallocates shadow space "into buckets of regions of legal
+// superpage sizes, in much the same way that malloc() manages regions of
+// heap memory" (§2.4). Allocation pops any free region of the right
+// size; there is no splitting or coalescing — simplicity is the point,
+// and the large shadow space tolerates the fragmentation.
+type BucketAlloc struct {
+	space   ShadowSpace
+	free    [arch.NumPageClasses][]arch.PAddr
+	origin  map[arch.PAddr]arch.PageSizeClass // live regions, for Free validation
+	Allocs  uint64
+	Frees   uint64
+	Failed  uint64 // allocation failures (bucket empty)
+	MaxLive int
+}
+
+// NewBucketAlloc lays the partition out contiguously from space.Base.
+// It panics if the partition does not fit in the space, if a region
+// would be misaligned, or if a spec repeats a class.
+func NewBucketAlloc(space ShadowSpace, specs []BucketSpec) *BucketAlloc {
+	if PartitionExtent(specs) > space.Size {
+		panic(fmt.Sprintf("core: partition extent %d exceeds shadow space %d",
+			PartitionExtent(specs), space.Size))
+	}
+	b := &BucketAlloc{space: space, origin: make(map[arch.PAddr]arch.PageSizeClass)}
+	seen := [arch.NumPageClasses]bool{}
+	next := space.Base
+	for _, s := range specs {
+		if !s.Class.Valid() || s.Class == arch.Page4K {
+			panic(fmt.Sprintf("core: bucket class %v is not a superpage class", s.Class))
+		}
+		if seen[s.Class] {
+			panic(fmt.Sprintf("core: duplicate bucket class %v", s.Class))
+		}
+		seen[s.Class] = true
+		next = next.AlignUp(s.Class.Bytes())
+		for i := 0; i < s.Count; i++ {
+			b.free[s.Class] = append(b.free[s.Class], next)
+			next += arch.PAddr(s.Class.Bytes())
+		}
+	}
+	if uint64(next-space.Base) > space.Size {
+		panic("core: partition overflows shadow space after alignment")
+	}
+	return b
+}
+
+// Alloc pops a free region of the class. Unlike a buddy system it never
+// splits a larger region; running out of a size class is a real
+// possibility the paper acknowledges ("it is possible to run out of a
+// particular sized region"), and callers fall back to smaller classes.
+func (b *BucketAlloc) Alloc(class arch.PageSizeClass) (arch.PAddr, error) {
+	l := b.free[class]
+	if len(l) == 0 {
+		b.Failed++
+		return 0, ErrShadowExhausted
+	}
+	pa := l[len(l)-1]
+	b.free[class] = l[:len(l)-1]
+	b.origin[pa] = class
+	b.Allocs++
+	if len(b.origin) > b.MaxLive {
+		b.MaxLive = len(b.origin)
+	}
+	return pa, nil
+}
+
+// Free returns a region to its bucket. It panics on a bad address or
+// class: that is OS bookkeeping corruption, not a runtime condition.
+func (b *BucketAlloc) Free(pa arch.PAddr, class arch.PageSizeClass) {
+	c, ok := b.origin[pa]
+	if !ok || c != class {
+		panic(fmt.Sprintf("core: bad shadow free of %v as %v", pa, class))
+	}
+	delete(b.origin, pa)
+	b.free[class] = append(b.free[class], pa)
+	b.Frees++
+}
+
+// FreeCount reports the free regions remaining in the class's bucket.
+func (b *BucketAlloc) FreeCount(class arch.PageSizeClass) int {
+	return len(b.free[class])
+}
+
+// LiveCount reports currently allocated regions.
+func (b *BucketAlloc) LiveCount() int { return len(b.origin) }
+
+var _ ShadowAllocator = (*BucketAlloc)(nil)

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+
+	"shadowtlb/internal/arch"
+)
+
+// BuddyAlloc is the splitting/recombining shadow-space allocator the
+// paper proposes as a refinement: "a buddy-system that splits and
+// recombines superpages, as is used in most efficient malloc()
+// implementations" (§2.4). Compared with BucketAlloc it cannot run out
+// of one size class while another has space, at the cost of extra
+// bookkeeping. BenchmarkAblationAllocator compares the two.
+//
+// The buddy order ladder is the superpage ladder itself: each class is
+// 4x the previous, so splitting one region of class c yields four
+// regions of class c-1.
+type BuddyAlloc struct {
+	space ShadowSpace
+	free  [arch.NumPageClasses]map[arch.PAddr]bool
+	live  map[arch.PAddr]arch.PageSizeClass
+
+	Allocs, Frees, Splits, Merges, Failed uint64
+}
+
+// NewBuddyAlloc carves the space into maximal 16 MB regions. The space
+// base must be 16 MB aligned and the size a multiple of 16 MB so every
+// region has well-defined buddies.
+func NewBuddyAlloc(space ShadowSpace) *BuddyAlloc {
+	top := arch.Page16M
+	if !space.Base.IsAligned(top.Bytes()) || space.Size%top.Bytes() != 0 {
+		panic(fmt.Sprintf("core: buddy space [%v,+%d) not %v aligned", space.Base, space.Size, top))
+	}
+	b := &BuddyAlloc{space: space, live: make(map[arch.PAddr]arch.PageSizeClass)}
+	for c := range b.free {
+		b.free[c] = make(map[arch.PAddr]bool)
+	}
+	for off := uint64(0); off < space.Size; off += top.Bytes() {
+		b.free[top][space.Base+arch.PAddr(off)] = true
+	}
+	return b
+}
+
+// Alloc returns a class-aligned region, splitting a larger free region
+// if the class's own free list is empty.
+func (b *BuddyAlloc) Alloc(class arch.PageSizeClass) (arch.PAddr, error) {
+	if !class.Valid() || class == arch.Page4K {
+		panic(fmt.Sprintf("core: buddy alloc of non-superpage class %v", class))
+	}
+	pa, ok := b.take(class)
+	if !ok {
+		b.Failed++
+		return 0, ErrShadowExhausted
+	}
+	b.live[pa] = class
+	b.Allocs++
+	return pa, nil
+}
+
+// take finds a free region of class, recursively splitting the next
+// class up when needed.
+func (b *BuddyAlloc) take(class arch.PageSizeClass) (arch.PAddr, bool) {
+	if len(b.free[class]) > 0 {
+		pa := minKey(b.free[class])
+		delete(b.free[class], pa)
+		return pa, true
+	}
+	if class >= arch.Page16M {
+		return 0, false
+	}
+	parent, ok := b.take(class + 1)
+	if !ok {
+		return 0, false
+	}
+	b.Splits++
+	// Split the parent into four children; return the first, free the rest.
+	sz := class.Bytes()
+	for i := uint64(1); i < 4; i++ {
+		b.free[class][parent+arch.PAddr(i*sz)] = true
+	}
+	return parent, true
+}
+
+// Free returns a region and eagerly recombines complete quads back into
+// the parent class.
+func (b *BuddyAlloc) Free(pa arch.PAddr, class arch.PageSizeClass) {
+	c, ok := b.live[pa]
+	if !ok || c != class {
+		panic(fmt.Sprintf("core: bad buddy free of %v as %v", pa, class))
+	}
+	delete(b.live, pa)
+	b.Frees++
+	b.release(pa, class)
+}
+
+func (b *BuddyAlloc) release(pa arch.PAddr, class arch.PageSizeClass) {
+	if class < arch.Page16M {
+		parentSize := (class + 1).Bytes()
+		parent := arch.PAddr(uint64(pa) &^ (parentSize - 1))
+		sz := class.Bytes()
+		allFree := true
+		for i := uint64(0); i < 4; i++ {
+			sib := parent + arch.PAddr(i*sz)
+			if sib != pa && !b.free[class][sib] {
+				allFree = false
+				break
+			}
+		}
+		if allFree {
+			for i := uint64(0); i < 4; i++ {
+				delete(b.free[class], parent+arch.PAddr(i*sz))
+			}
+			b.Merges++
+			b.release(parent, class+1)
+			return
+		}
+	}
+	b.free[class][pa] = true
+}
+
+// FreeCount reports how many regions of the class could be allocated
+// right now, counting splittable larger regions.
+func (b *BuddyAlloc) FreeCount(class arch.PageSizeClass) int {
+	n := 0
+	for c := class; c < arch.PageSizeClass(arch.NumPageClasses); c++ {
+		mult := 1 << (2 * uint(c-class))
+		n += len(b.free[c]) * mult
+	}
+	return n
+}
+
+// LiveCount reports currently allocated regions.
+func (b *BuddyAlloc) LiveCount() int { return len(b.live) }
+
+// minKey returns the smallest key, keeping allocation deterministic.
+func minKey(m map[arch.PAddr]bool) arch.PAddr {
+	first := true
+	var min arch.PAddr
+	for k := range m {
+		if first || k < min {
+			min, first = k, false
+		}
+	}
+	return min
+}
+
+var _ ShadowAllocator = (*BuddyAlloc)(nil)

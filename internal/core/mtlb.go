@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/stats"
+	"shadowtlb/internal/tlb"
+)
+
+// MTLBConfig sizes the memory-controller TLB.
+type MTLBConfig struct {
+	Entries int
+	Ways    int // Ways == Entries gives a fully associative MTLB
+}
+
+// DefaultMTLBConfig is the paper's default evaluation configuration:
+// 128 entries, 2-way set associative, NRU replacement (§3.4).
+func DefaultMTLBConfig() MTLBConfig { return MTLBConfig{Entries: 128, Ways: 2} }
+
+// MTLB is the memory-controller TLB: a single-ported, single-page-size
+// translation cache over the shadow-to-physical table (§2.2). It is
+// deliberately simpler than a processor TLB — it supports only the 4 KB
+// base page size and modest associativity — because MMC timing is less
+// aggressive than CPU timing.
+type MTLB struct {
+	cfg   MTLBConfig
+	cache *tlb.TLB
+	table *ShadowTable
+
+	// Stats counts translation lookups in the MTLB cache.
+	Stats stats.HitMiss
+	// Fills counts hardware fills from the in-DRAM table.
+	Fills uint64
+	// Faults counts accesses to invalid entries.
+	Faults uint64
+}
+
+// NewMTLB builds an MTLB over the given shadow table.
+func NewMTLB(cfg MTLBConfig, table *ShadowTable) *MTLB {
+	if cfg.Entries <= 0 || cfg.Ways <= 0 {
+		panic(fmt.Sprintf("core: bad MTLB config %+v", cfg))
+	}
+	return &MTLB{
+		cfg:   cfg,
+		cache: tlb.New(tlb.SetAssociative(cfg.Entries, cfg.Ways)),
+		table: table,
+	}
+}
+
+// Config returns the MTLB geometry.
+func (m *MTLB) Config() MTLBConfig { return m.cfg }
+
+// Table returns the backing shadow table.
+func (m *MTLB) Table() *ShadowTable { return m.table }
+
+// Space returns the shadow address space.
+func (m *MTLB) Space() ShadowSpace { return m.table.Space() }
+
+// Translation reports how a shadow address was translated, with the
+// information the MMC timing model needs.
+type Translation struct {
+	Real arch.PAddr // real physical address
+	Hit  bool       // true if the MTLB cache had the mapping
+	// FillAddr is the table entry address the hardware fill engine read
+	// on a miss (a DRAM access the MMC charges); zero on a hit.
+	FillAddr arch.PAddr
+}
+
+// Translate maps the shadow address pa to a real physical address,
+// exactly as the MMC does for a cache fill or write-back: look up the
+// MTLB cache; on a miss, run the hardware fill sequence (read the 4-byte
+// entry at tableBase + 4*pageIndex); check the valid bit; and update the
+// per-base-page referenced (and, for exclusive fills, upgrades and
+// write-backs, dirty) bits.
+//
+// setDirty should be true for cache events that imply modification:
+// exclusive fills, ownership upgrades and write-backs (§2.5).
+//
+// If the entry is invalid, Translate marks it faulted in the table and
+// returns a *ShadowFault — the simulator's stand-in for the MMC
+// returning bad parity to force a precise-ish exception (§4).
+func (m *MTLB) Translate(pa arch.PAddr, setDirty bool) (Translation, error) {
+	pageBase := uint64(pa.PageBase())
+	var tr Translation
+
+	if e := m.cache.Lookup(pageBase); e != nil {
+		m.Stats.Hit()
+		tr.Hit = true
+		tr.Real = arch.PAddr(e.Translate(uint64(pa)))
+	} else {
+		m.Stats.Miss()
+		m.Fills++
+		tr.FillAddr = m.table.EntryAddr(pa)
+		ent := m.table.Get(pa)
+		if !ent.Valid {
+			m.Faults++
+			m.table.Update(pa, func(t *TableEntry) { t.Fault = true })
+			return tr, &ShadowFault{Shadow: pa}
+		}
+		m.cache.Insert(tlb.Entry{
+			Class:  arch.Page4K,
+			Tag:    pageBase,
+			Target: uint64(arch.FrameToPAddr(ent.PFN)),
+		})
+		tr.Real = arch.FrameToPAddr(ent.PFN) | arch.PAddr(pa.PageOff())
+	}
+
+	// Maintain referenced/dirty bits in the table. The paper's simulated
+	// MTLB defers writing these back and reports the timing effect as
+	// negligible (§3.4); we keep the architectural state current and
+	// charge no cycles, matching that assumption.
+	m.table.Update(pa, func(t *TableEntry) {
+		t.Ref = true
+		if setDirty {
+			t.Dirty = true
+		}
+	})
+	return tr, nil
+}
+
+// Purge drops any cached translation for the shadow page containing pa.
+// The OS issues this through the MMC control-register interface whenever
+// it changes a shadow mapping (§2.4).
+func (m *MTLB) Purge(pa arch.PAddr) bool {
+	return m.cache.Purge(uint64(pa.PageBase()))
+}
+
+// PurgeAll empties the MTLB cache.
+func (m *MTLB) PurgeAll() { m.cache.PurgeAll() }
+
+// CachedEntries returns the number of valid cached translations.
+func (m *MTLB) CachedEntries() int { return m.cache.ValidCount() }

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/mem"
+)
+
+func testMTLB(t *testing.T, cfg MTLBConfig) *MTLB {
+	t.Helper()
+	dram := mem.NewDRAM(16 * arch.MB)
+	space := ShadowSpace{Base: 0x80000000, Size: 8 * arch.MB}
+	return NewMTLB(cfg, NewShadowTable(space, 0x100000, dram))
+}
+
+func TestMTLBMissThenHit(t *testing.T) {
+	m := testMTLB(t, DefaultMTLBConfig())
+	sh := arch.PAddr(0x80240000)
+	m.Table().Set(sh, TableEntry{PFN: 0x138, Valid: true})
+
+	tr, err := m.Translate(sh|0x80, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Hit {
+		t.Error("first translation should miss the MTLB cache")
+	}
+	if tr.FillAddr != m.Table().EntryAddr(sh) {
+		t.Errorf("FillAddr = %v, want %v", tr.FillAddr, m.Table().EntryAddr(sh))
+	}
+	if tr.Real != 0x138080 {
+		t.Errorf("Real = %v, want 0x138080", tr.Real)
+	}
+
+	tr, err = m.Translate(sh|0xFC0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Hit || tr.Real != 0x138FC0 {
+		t.Errorf("second translation: %+v", tr)
+	}
+	if m.Stats.Hits != 1 || m.Stats.Misses != 1 || m.Fills != 1 {
+		t.Errorf("stats: %v fills=%d", m.Stats, m.Fills)
+	}
+}
+
+func TestMTLBRefDirtyBits(t *testing.T) {
+	m := testMTLB(t, DefaultMTLBConfig())
+	sh := arch.PAddr(0x80001000)
+	m.Table().Set(sh, TableEntry{PFN: 7, Valid: true})
+
+	if _, err := m.Translate(sh, false); err != nil {
+		t.Fatal(err)
+	}
+	e := m.Table().Get(sh)
+	if !e.Ref || e.Dirty {
+		t.Errorf("after shared fill: %+v, want Ref only", e)
+	}
+	if _, err := m.Translate(sh, true); err != nil {
+		t.Fatal(err)
+	}
+	e = m.Table().Get(sh)
+	if !e.Ref || !e.Dirty {
+		t.Errorf("after exclusive access: %+v, want Ref+Dirty", e)
+	}
+}
+
+func TestMTLBFaultOnInvalid(t *testing.T) {
+	m := testMTLB(t, DefaultMTLBConfig())
+	sh := arch.PAddr(0x80005000)
+	_, err := m.Translate(sh, false)
+	var sf *ShadowFault
+	if !errors.As(err, &sf) || sf.Shadow != sh {
+		t.Fatalf("expected ShadowFault at %v, got %v", sh, err)
+	}
+	if m.Faults != 1 {
+		t.Errorf("Faults = %d", m.Faults)
+	}
+	// The fault bit must be written back so the OS can distinguish a
+	// shadow page fault from a real parity error (§4).
+	if !m.Table().Get(sh).Fault {
+		t.Error("Fault bit not set in table")
+	}
+}
+
+func TestMTLBPurge(t *testing.T) {
+	m := testMTLB(t, DefaultMTLBConfig())
+	sh := arch.PAddr(0x80002000)
+	m.Table().Set(sh, TableEntry{PFN: 3, Valid: true})
+	m.Translate(sh, false)
+	if m.CachedEntries() != 1 {
+		t.Fatalf("CachedEntries = %d", m.CachedEntries())
+	}
+	// Remap the shadow page to a new frame; without a purge the stale
+	// cached translation would win.
+	m.Table().Set(sh, TableEntry{PFN: 9, Valid: true})
+	if !m.Purge(sh | 0x123) {
+		t.Fatal("Purge should drop the cached entry")
+	}
+	tr, err := m.Translate(sh, false)
+	if err != nil || tr.Real != arch.PAddr(9<<arch.PageShift) {
+		t.Errorf("post-purge translate = %+v, %v", tr, err)
+	}
+	m.PurgeAll()
+	if m.CachedEntries() != 0 {
+		t.Error("PurgeAll left entries")
+	}
+}
+
+func TestMTLBEvictionRefill(t *testing.T) {
+	// 4-entry direct-mapped MTLB: pages 4 sets apart collide.
+	m := testMTLB(t, MTLBConfig{Entries: 4, Ways: 1})
+	for i := uint64(0); i < 8; i++ {
+		sh := arch.PAddr(0x80000000 + i*arch.PageSize)
+		m.Table().Set(sh, TableEntry{PFN: i + 1, Valid: true})
+	}
+	// Touch pages 0 and 4 (same set in a 4-set MTLB): second evicts first.
+	m.Translate(0x80000000, false)
+	m.Translate(0x80004000, false)
+	tr, _ := m.Translate(0x80000000, false)
+	if tr.Hit {
+		t.Error("page 0 should have been evicted by page 4")
+	}
+	if tr.Real != arch.PAddr(1<<arch.PageShift) {
+		t.Errorf("refill translated wrong: %v", tr.Real)
+	}
+	if m.Fills != 3 {
+		t.Errorf("Fills = %d, want 3", m.Fills)
+	}
+}
+
+func TestMTLBFullyAssociative(t *testing.T) {
+	m := testMTLB(t, MTLBConfig{Entries: 4, Ways: 4})
+	for i := uint64(0); i < 4; i++ {
+		sh := arch.PAddr(0x80000000 + i*arch.PageSize)
+		m.Table().Set(sh, TableEntry{PFN: i + 1, Valid: true})
+		m.Translate(sh, false)
+	}
+	// All four fit regardless of indexing.
+	for i := uint64(0); i < 4; i++ {
+		tr, err := m.Translate(arch.PAddr(0x80000000+i*arch.PageSize), false)
+		if err != nil || !tr.Hit {
+			t.Errorf("page %d should hit: %+v %v", i, tr, err)
+		}
+	}
+}
+
+func TestMTLBBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	testMTLB(t, MTLBConfig{Entries: 0, Ways: 1})
+}
+
+func TestDefaultMTLBConfig(t *testing.T) {
+	cfg := DefaultMTLBConfig()
+	if cfg.Entries != 128 || cfg.Ways != 2 {
+		t.Errorf("default = %+v, want 128-entry 2-way (paper §3.4)", cfg)
+	}
+}

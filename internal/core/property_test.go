@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/mem"
+)
+
+// Model-based test: the MTLB is a cache over the shadow table, so any
+// interleaving of table updates (with purges, as the OS must issue) and
+// translations must agree exactly with translating through the table
+// directly.
+func TestMTLBAgreesWithTableProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		dram := mem.NewDRAM(16 * arch.MB)
+		space := ShadowSpace{Base: 0x80000000, Size: 1 * arch.MB} // 256 pages
+		table := NewShadowTable(space, 0x100000, dram)
+		mtlb := NewMTLB(MTLBConfig{Entries: 8, Ways: 2}, table)
+
+		for _, op := range ops {
+			page := uint64(op) % space.Pages()
+			spa := space.PageAddr(page)
+			switch (op >> 8) % 3 {
+			case 0: // OS maps the page to a new frame (and purges)
+				table.Set(spa, TableEntry{PFN: uint64(op)%1024 + 1, Valid: true})
+				mtlb.Purge(spa)
+			case 1: // OS unmaps the page (and purges)
+				table.Set(spa, TableEntry{})
+				mtlb.Purge(spa)
+			case 2: // hardware translates
+				want, werr := table.Translate(spa | 0x40)
+				got, gerr := mtlb.Translate(spa|0x40, false)
+				if (werr == nil) != (gerr == nil) {
+					return false
+				}
+				if werr == nil && got.Real != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ref/dirty bits are monotone under translation traffic — a
+// translate never clears bits, and dirty implies the page was translated
+// with setDirty at least once since the OS last cleared it.
+func TestRefDirtyMonotoneProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		dram := mem.NewDRAM(16 * arch.MB)
+		space := ShadowSpace{Base: 0x80000000, Size: 256 * arch.KB} // 64 pages
+		table := NewShadowTable(space, 0x100000, dram)
+		mtlb := NewMTLB(MTLBConfig{Entries: 4, Ways: 1}, table)
+		for p := uint64(0); p < space.Pages(); p++ {
+			table.Set(space.PageAddr(p), TableEntry{PFN: p + 1, Valid: true})
+		}
+		dirtied := map[uint64]bool{}
+		for _, op := range ops {
+			page := uint64(op) % space.Pages()
+			spa := space.PageAddr(page)
+			setDirty := op&0x80 != 0
+			if _, err := mtlb.Translate(spa, setDirty); err != nil {
+				return false
+			}
+			if setDirty {
+				dirtied[page] = true
+			}
+			e := table.Get(spa)
+			if !e.Ref {
+				return false // translation must set Ref
+			}
+			if e.Dirty != dirtied[page] {
+				return false // Dirty iff some dirtying access happened
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the bucket allocator never hands out overlapping regions,
+// across any alloc/free interleaving.
+func TestBucketAllocDisjointProperty(t *testing.T) {
+	space := ShadowSpace{Base: 0x80000000, Size: 16 * arch.MB}
+	specs := []BucketSpec{
+		{arch.Page16K, 64},
+		{arch.Page64K, 16},
+		{arch.Page256K, 8},
+		{arch.Page1M, 4},
+		{arch.Page4M, 2},
+	}
+	f := func(ops []uint8) bool {
+		b := NewBucketAlloc(space, specs)
+		type live struct {
+			pa    arch.PAddr
+			class arch.PageSizeClass
+		}
+		var allocated []live
+		for _, op := range ops {
+			if op&1 == 0 || len(allocated) == 0 {
+				class := arch.PageSizeClass(op%5) + arch.Page16K
+				pa, err := b.Alloc(class)
+				if err != nil {
+					continue
+				}
+				// Check disjointness against every live region.
+				lo, hi := pa, pa+arch.PAddr(class.Bytes())
+				for _, l := range allocated {
+					llo, lhi := l.pa, l.pa+arch.PAddr(l.class.Bytes())
+					if lo < lhi && llo < hi {
+						return false
+					}
+				}
+				if !space.Contains(pa) || !space.Contains(hi-1) {
+					return false
+				}
+				allocated = append(allocated, live{pa, class})
+			} else {
+				i := int(op) % len(allocated)
+				b.Free(allocated[i].pa, allocated[i].class)
+				allocated = append(allocated[:i], allocated[i+1:]...)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

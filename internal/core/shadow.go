@@ -1,0 +1,200 @@
+// Package core implements the paper's contribution: shadow memory and the
+// memory-controller TLB (MTLB).
+//
+// Shadow memory reuses physical addresses that are not backed by DRAM.
+// The OS maps virtual superpages to *contiguous shadow* address ranges;
+// the memory controller retranslates every shadow cache-fill and
+// write-back to discontiguous real 4 KB frames using a dense, flat
+// shadow-to-physical table held in DRAM and cached by the MTLB. The MTLB
+// also maintains per-base-page referenced and dirty bits, letting the OS
+// page a superpage in and out 4 KB at a time (paper §2).
+package core
+
+import (
+	"fmt"
+
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/mem"
+)
+
+// ShadowSpace describes the range of physical addresses the memory
+// controller treats as shadow addresses. The paper's running example
+// places 512 MB of shadow space at 0x8000_0000-0xa000_0000 on a machine
+// whose installed DRAM ends below it (§2.2).
+type ShadowSpace struct {
+	Base arch.PAddr
+	Size uint64
+}
+
+// DefaultShadowSpace returns the paper's 512 MB region at 0x80000000.
+func DefaultShadowSpace() ShadowSpace {
+	return ShadowSpace{Base: 0x80000000, Size: 512 * arch.MB}
+}
+
+// Contains reports whether pa is a shadow address. This is the check the
+// MMC performs on every operation; in the simulated timing it costs one
+// MMC cycle (charged by internal/mmc), matching the paper's conservative
+// assumption.
+func (s ShadowSpace) Contains(pa arch.PAddr) bool {
+	return pa >= s.Base && uint64(pa-s.Base) < s.Size
+}
+
+// Pages returns the number of 4 KB shadow pages in the space.
+func (s ShadowSpace) Pages() uint64 { return s.Size / arch.PageSize }
+
+// PageIndex returns the shadow page index of pa within the space. It
+// panics if pa is not a shadow address: callers must check Contains
+// first, as the MMC hardware does.
+func (s ShadowSpace) PageIndex(pa arch.PAddr) uint64 {
+	if !s.Contains(pa) {
+		panic(fmt.Sprintf("core: %v is not in shadow space [%v,+%dMB)", pa, s.Base, s.Size/arch.MB))
+	}
+	return uint64(pa-s.Base) >> arch.PageShift
+}
+
+// PageAddr returns the shadow address of page index idx.
+func (s ShadowSpace) PageAddr(idx uint64) arch.PAddr {
+	return s.Base + arch.PAddr(idx<<arch.PageShift)
+}
+
+// TableEntry is one 4-byte entry of the shadow-to-physical table: a
+// 24-bit real page frame number (enough to map 64 GB) plus validity,
+// page-fault, reference and modification bits, "with room left over for
+// future expansion" (§2.2).
+type TableEntry struct {
+	PFN   uint64 // real 4 KB frame number, 24 bits
+	Valid bool   // backing frame is present in memory
+	Fault bool   // set when an access to an invalid entry faulted
+	Ref   bool   // base page referenced (MMC saw a cache fill)
+	Dirty bool   // base page dirtied (exclusive fill/upgrade/write-back)
+}
+
+// Entry bit layout within the packed 32-bit word.
+const (
+	pfnMask  = 0x00FFFFFF
+	validBit = 1 << 24
+	faultBit = 1 << 25
+	refBit   = 1 << 26
+	dirtyBit = 1 << 27
+)
+
+// EntryBytes is the size of a packed table entry: 4 bytes, so a 512 MB
+// shadow space needs a 512 KB table (0.1% overhead, §2.2).
+const EntryBytes = 4
+
+// Pack encodes the entry into its 32-bit table representation.
+func (e TableEntry) Pack() uint32 {
+	v := uint32(e.PFN & pfnMask)
+	if e.Valid {
+		v |= validBit
+	}
+	if e.Fault {
+		v |= faultBit
+	}
+	if e.Ref {
+		v |= refBit
+	}
+	if e.Dirty {
+		v |= dirtyBit
+	}
+	return v
+}
+
+// UnpackEntry decodes a 32-bit table word.
+func UnpackEntry(v uint32) TableEntry {
+	return TableEntry{
+		PFN:   uint64(v & pfnMask),
+		Valid: v&validBit != 0,
+		Fault: v&faultBit != 0,
+		Ref:   v&refBit != 0,
+		Dirty: v&dirtyBit != 0,
+	}
+}
+
+// ShadowTable is the dense, flat shadow-to-physical translation table,
+// indexed by shadow page offset and stored in real DRAM at a base address
+// configured by the OS (§2.2). The MTLB's hardware fill engine reads
+// 4-byte entries from it; the OS reads and writes entries through the
+// MMC's control-register interface.
+type ShadowTable struct {
+	space ShadowSpace
+	base  arch.PAddr
+	dram  *mem.DRAM
+}
+
+// NewShadowTable creates the table for space with storage at base. The
+// paper's example puts the table at physical 0x0 with shadow space at
+// 0x80000000. The table region must lie in installed DRAM and must not
+// itself be shadow space.
+func NewShadowTable(space ShadowSpace, base arch.PAddr, dram *mem.DRAM) *ShadowTable {
+	bytes := space.Pages() * EntryBytes
+	if !dram.Contains(base) || !dram.Contains(base+arch.PAddr(bytes-1)) {
+		panic(fmt.Sprintf("core: shadow table [%v,+%d) outside installed DRAM", base, bytes))
+	}
+	if space.Contains(base) || space.Contains(base+arch.PAddr(bytes-1)) {
+		panic("core: shadow table cannot live in shadow space")
+	}
+	return &ShadowTable{space: space, base: base, dram: dram}
+}
+
+// Space returns the shadow space the table translates.
+func (t *ShadowTable) Space() ShadowSpace { return t.space }
+
+// Bytes returns the table's DRAM footprint.
+func (t *ShadowTable) Bytes() uint64 { return t.space.Pages() * EntryBytes }
+
+// EntryAddr returns the physical address of the entry for shadow address
+// pa: the MTLB fill engine "would left shift the shadow page index two
+// bits ... and add the resulting value to the base physical address of
+// the MMC page table" (§2.2).
+func (t *ShadowTable) EntryAddr(pa arch.PAddr) arch.PAddr {
+	return t.base + arch.PAddr(t.space.PageIndex(pa)*EntryBytes)
+}
+
+// Get reads the entry for shadow address pa.
+func (t *ShadowTable) Get(pa arch.PAddr) TableEntry {
+	return UnpackEntry(t.dram.ReadU32(t.EntryAddr(pa)))
+}
+
+// Set writes the entry for shadow address pa. This models the OS
+// initializing mappings "via uncached writes by the kernel to a special
+// MMC control register" (§2.4); the cost of that uncached write is
+// charged by the VM layer.
+func (t *ShadowTable) Set(pa arch.PAddr, e TableEntry) {
+	t.dram.WriteU32(t.EntryAddr(pa), e.Pack())
+}
+
+// Update applies fn to the entry for pa and writes it back.
+func (t *ShadowTable) Update(pa arch.PAddr, fn func(*TableEntry)) TableEntry {
+	e := t.Get(pa)
+	fn(&e)
+	t.Set(pa, e)
+	return e
+}
+
+// Translate functionally maps a shadow address to its real physical
+// address, with no timing or bit side effects. The simulator uses this on
+// the functional data path; the timed path goes through the MTLB.
+func (t *ShadowTable) Translate(pa arch.PAddr) (arch.PAddr, error) {
+	e := t.Get(pa)
+	if !e.Valid {
+		return 0, &ShadowFault{Shadow: pa}
+	}
+	return arch.FrameToPAddr(e.PFN) | arch.PAddr(pa.PageOff()), nil
+}
+
+// ShadowFault reports an access to a shadow page whose backing frame is
+// not present. Existing processors cannot take a precise fault after the
+// CPU TLB check succeeds, so the paper proposes the MMC "return data
+// with bad parity", making the faulting load take a memory-parity-error
+// trap; the OS then reads the table entry, sees the Fault bit, and
+// treats it as a page fault (§4). The error type carries what that
+// recovery path needs.
+type ShadowFault struct {
+	Shadow arch.PAddr
+}
+
+// Error describes the fault.
+func (f *ShadowFault) Error() string {
+	return fmt.Sprintf("core: shadow page fault at %v (signalled as parity error)", f.Shadow)
+}

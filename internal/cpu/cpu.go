@@ -1,0 +1,340 @@
+// Package cpu models the processor of the simulated machine: a
+// single-issue 240 MHz CPU with a unified, fully associative, NRU-
+// replaced I/D TLB, a single-entry micro-ITLB, a perfect instruction
+// cache, and the paper's 512 KB data cache behind a Runway-class bus
+// (paper §3.2).
+//
+// The CPU is execution-driven: workloads are real Go code whose loads
+// and stores are issued through this package, so every data reference
+// traverses TLB -> cache -> bus -> MMC/MTLB -> DRAM with full timing,
+// and the data itself lives in simulated memory.
+//
+// Cycle accounting follows the paper's reporting: user execution
+// (instructions and cache hits), TLB miss handling (the software
+// handler, including its own memory stalls), memory stalls (cache fills
+// and upgrades), and other kernel time (page faults, syscalls, remap,
+// timer).
+package cpu
+
+import (
+	"fmt"
+
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/cache"
+	"shadowtlb/internal/core"
+	"shadowtlb/internal/kernel"
+	"shadowtlb/internal/mmc"
+	"shadowtlb/internal/stats"
+	"shadowtlb/internal/tlb"
+	"shadowtlb/internal/vm"
+)
+
+// Config sizes the processor.
+type Config struct {
+	// TLBEntries is the unified TLB size (paper: 64, 96, 128, 256).
+	TLBEntries int
+	// TextPages models the program's instruction footprint: ifetches
+	// rotate across this many pages of the text segment.
+	TextPages int
+	// IFetchPeriod is the mean number of instructions between
+	// cross-page instruction fetches (micro-ITLB misses). Straight-line
+	// code within a page never leaves the micro-ITLB.
+	IFetchPeriod int
+}
+
+// DefaultConfig returns a 96-entry TLB (the paper's normalization base)
+// with a modest text footprint.
+func DefaultConfig() Config {
+	return Config{TLBEntries: 96, TextPages: 12, IFetchPeriod: 120}
+}
+
+// Category labels a cycle charge.
+type Category int
+
+// Cycle categories.
+const (
+	User Category = iota
+	TLBMiss
+	Memory
+	KernelTime
+)
+
+// CPU is the processor model. It implements the workload execution
+// environment: Load, Store, Step, Sbrk, Remap, AllocRegion.
+type CPU struct {
+	cfg   Config
+	TLB   *tlb.TLB
+	ITLB  *tlb.MicroITLB
+	VM    *vm.VM
+	Cache *cache.Cache
+	MMC   *mmc.MMC
+	K     *kernel.Kernel
+
+	Breakdown    stats.Breakdown
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+
+	// Quantum/OnQuantum support preemptive multiprogramming: when a
+	// scheduling quantum of cycles has been charged, OnQuantum is
+	// invoked (between instructions) so a scheduler can switch
+	// processes. Zero Quantum disables preemption.
+	Quantum   stats.Cycles
+	OnQuantum func()
+
+	sinceIFetch int
+	textPage    int
+	sliceUsed   stats.Cycles
+	inKernel    bool
+}
+
+// New wires a CPU to the machine. The TLB, ITLB, cache, MMC and kernel
+// must be the same instances the VM was built with.
+func New(cfg Config, v *vm.VM) *CPU {
+	if cfg.TLBEntries <= 0 || cfg.TextPages <= 0 || cfg.IFetchPeriod <= 0 {
+		panic(fmt.Sprintf("cpu: bad config %+v", cfg))
+	}
+	return &CPU{
+		cfg:   cfg,
+		TLB:   v.CPUTLB,
+		ITLB:  v.ITLB,
+		VM:    v,
+		Cache: v.Cache,
+		MMC:   v.MMC,
+		K:     v.Kernel,
+	}
+}
+
+// Config returns the processor configuration.
+func (c *CPU) Config() Config { return c.cfg }
+
+// Charge adds cycles to the given category, advancing the kernel timer.
+func (c *CPU) Charge(n stats.Cycles, cat Category) {
+	switch cat {
+	case User:
+		c.Breakdown.User += n
+	case TLBMiss:
+		c.Breakdown.TLBMiss += n
+	case Memory:
+		c.Breakdown.Memory += n
+	case KernelTime:
+		c.Breakdown.Kernel += n
+	}
+	c.Breakdown.Kernel += c.K.Advance(n)
+	c.sliceUsed += n
+}
+
+// maybePreempt fires the scheduler callback at an instruction boundary
+// once the quantum is exhausted. It must not run inside a memory access
+// or trap handler, so callers invoke it only from safe points.
+func (c *CPU) maybePreempt() {
+	if c.Quantum > 0 && c.OnQuantum != nil && c.sliceUsed >= c.Quantum {
+		c.sliceUsed = 0
+		c.OnQuantum()
+	}
+}
+
+// SwitchVM performs a context switch to another process's address
+// space: the unified TLB and micro-ITLB have no address-space tags, so
+// both are flushed (wired kernel entries survive), and the dispatch
+// cost is charged as kernel time.
+func (c *CPU) SwitchVM(v *vm.VM) {
+	if v.CPUTLB != c.TLB || v.Cache != c.Cache || v.MMC != c.MMC || v.Kernel != c.K {
+		panic("cpu: SwitchVM across different hardware")
+	}
+	c.VM = v
+	c.TLB.PurgeAll()
+	c.ITLB.Purge()
+	c.Charge(stats.Cycles(c.K.Costs.ContextSwitch), KernelTime)
+}
+
+// Cycles returns total elapsed CPU cycles.
+func (c *CPU) Cycles() stats.Cycles { return c.Breakdown.Total() }
+
+// instr accounts n executed instructions (one cycle each, single issue)
+// and simulates the instruction-fetch side: every IFetchPeriod
+// instructions control transfers to another text page, missing the
+// micro-ITLB and consulting the main TLB.
+func (c *CPU) instr(n int) {
+	c.Instructions += uint64(n)
+	c.Charge(stats.Cycles(n), User)
+	c.sinceIFetch += n
+	for c.sinceIFetch >= c.cfg.IFetchPeriod {
+		c.sinceIFetch -= c.cfg.IFetchPeriod
+		c.ifetch()
+	}
+}
+
+// ifetch simulates one cross-page instruction fetch.
+func (c *CPU) ifetch() {
+	c.textPage++
+	if c.textPage >= c.cfg.TextPages {
+		c.textPage = 0
+	}
+	va := vm.TextBase + arch.VAddr(c.textPage*arch.PageSize)
+	if _, ok := c.ITLB.Lookup(uint64(va)); ok {
+		return
+	}
+	e := c.TLB.Lookup(uint64(va))
+	if e == nil {
+		res, err := c.VM.HandleTLBMiss(va, arch.Read)
+		if err != nil {
+			panic(fmt.Sprintf("cpu: ifetch TLB miss at %v: %v", va, err))
+		}
+		c.Charge(res.HandlerCycles, TLBMiss)
+		c.Charge(res.FaultCycles+res.PromoteCycles, KernelTime)
+		c.TLB.Insert(res.Entry)
+		e = c.TLB.Probe(uint64(va))
+	}
+	c.ITLB.Refill(tlb.Entry{Class: e.Class, Tag: e.Tag, Target: e.Target})
+}
+
+// translate produces the (possibly shadow) physical address for va,
+// running the software miss handler when the TLB misses.
+func (c *CPU) translate(va arch.VAddr, kind arch.AccessKind) arch.PAddr {
+	if e := c.TLB.Lookup(uint64(va)); e != nil {
+		return arch.PAddr(e.Translate(uint64(va)))
+	}
+	res, err := c.VM.HandleTLBMiss(va, kind)
+	if err != nil {
+		panic(fmt.Sprintf("cpu: TLB miss at %v: %v", va, err))
+	}
+	c.Charge(res.HandlerCycles, TLBMiss)
+	c.Charge(res.FaultCycles+res.PromoteCycles, KernelTime)
+	c.TLB.Insert(res.Entry)
+	return arch.PAddr(res.Entry.Translate(uint64(va)))
+}
+
+// access runs the full timed path for one data reference and returns
+// the real physical address for the functional access.
+func (c *CPU) access(va arch.VAddr, size int, kind arch.AccessKind) arch.PAddr {
+	if size <= 0 || size > 8 {
+		panic(fmt.Sprintf("cpu: access size %d", size))
+	}
+	if va.PageOff()+uint64(size) > arch.PageSize {
+		panic(fmt.Sprintf("cpu: access at %v size %d crosses a page boundary", va, size))
+	}
+	c.maybePreempt()
+	c.instr(1)
+
+	for attempt := 0; ; attempt++ {
+		pa := c.translate(va, kind)
+		res := c.Cache.Access(va, pa, kind)
+		faulted := false
+		for _, ev := range res.Events {
+			r, err := c.MMC.HandleEvent(ev)
+			if err != nil {
+				sf, ok := err.(*core.ShadowFault)
+				if !ok {
+					panic(fmt.Sprintf("cpu: access at %v: %v", va, err))
+				}
+				// The MMC signalled bad parity; the OS services the
+				// shadow page fault and the instruction is retried (§4).
+				fc, ferr := c.VM.HandleShadowFault(sf)
+				c.Charge(fc, KernelTime)
+				if ferr != nil {
+					panic(fmt.Sprintf("cpu: shadow fault at %v: %v", va, ferr))
+				}
+				faulted = true
+				break
+			}
+			c.Charge(stats.Cycles(r.StallCPU), Memory)
+		}
+		if !faulted {
+			real, err := c.VM.TranslateData(pa)
+			if err != nil {
+				panic(fmt.Sprintf("cpu: functional translate of %v: %v", pa, err))
+			}
+			return real
+		}
+		if attempt >= 2 {
+			panic(fmt.Sprintf("cpu: access at %v keeps faulting", va))
+		}
+	}
+}
+
+// Load issues one load instruction of the given size (1, 2, 4 or 8
+// bytes) and returns the little-endian value read.
+func (c *CPU) Load(va arch.VAddr, size int) uint64 {
+	c.Loads++
+	real := c.access(va, size, arch.Read)
+	switch size {
+	case 8:
+		return c.VM.Dram.ReadU64(real)
+	case 4:
+		return uint64(c.VM.Dram.ReadU32(real))
+	default:
+		var buf [8]byte
+		c.VM.Dram.Read(real, buf[:size])
+		v := uint64(0)
+		for i := size - 1; i >= 0; i-- {
+			v = v<<8 | uint64(buf[i])
+		}
+		return v
+	}
+}
+
+// Store issues one store instruction of the given size.
+func (c *CPU) Store(va arch.VAddr, size int, val uint64) {
+	c.Stores++
+	real := c.access(va, size, arch.Write)
+	switch size {
+	case 8:
+		c.VM.Dram.WriteU64(real, val)
+	case 4:
+		c.VM.Dram.WriteU32(real, uint32(val))
+	default:
+		var buf [8]byte
+		for i := 0; i < size; i++ {
+			buf[i] = byte(val >> (8 * i))
+		}
+		c.VM.Dram.Write(real, buf[:size])
+	}
+}
+
+// Step accounts n non-memory instructions (ALU, branches).
+func (c *CPU) Step(n int) {
+	if n > 0 {
+		c.maybePreempt()
+		c.instr(n)
+	}
+}
+
+// Sbrk extends the heap, charging kernel time, and returns the
+// allocation base.
+func (c *CPU) Sbrk(n uint64) arch.VAddr {
+	base, cycles, err := c.VM.Sbrk(n)
+	if err != nil {
+		panic(fmt.Sprintf("cpu: sbrk(%d): %v", n, err))
+	}
+	c.Charge(cycles, KernelTime)
+	return base
+}
+
+// Remap converts [base, base+size) to shadow-backed superpages via the
+// remap() system call, charging kernel time. On systems without an MTLB
+// it reports false and charges nothing, letting workloads run unchanged
+// on baseline configurations.
+func (c *CPU) Remap(base arch.VAddr, size uint64) bool {
+	if !c.VM.HasShadow() {
+		return false
+	}
+	res, err := c.VM.Remap(base, size)
+	c.Charge(res.Total(), KernelTime)
+	if err != nil {
+		panic(fmt.Sprintf("cpu: remap(%v, %d): %v", base, size, err))
+	}
+	return true
+}
+
+// AllocRegion reserves a named virtual region and returns its base.
+func (c *CPU) AllocRegion(name string, size uint64) arch.VAddr {
+	return c.VM.AllocRegion(name, size).Base
+}
+
+// AllocAligned reserves a named region whose base is congruent to offset
+// modulo align, reproducing segment alignments that determine superpage
+// counts (paper §3.1).
+func (c *CPU) AllocAligned(name string, size, align, offset uint64) arch.VAddr {
+	return c.VM.AllocRegionAligned(name, size, align, offset).Base
+}

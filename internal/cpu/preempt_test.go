@@ -1,0 +1,96 @@
+package cpu
+
+import (
+	"testing"
+
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/bus"
+	"shadowtlb/internal/cache"
+	"shadowtlb/internal/kernel"
+	"shadowtlb/internal/mem"
+	"shadowtlb/internal/mmc"
+	"shadowtlb/internal/ptable"
+	"shadowtlb/internal/tlb"
+	"shadowtlb/internal/vm"
+)
+
+func TestQuantumFiresOnQuantum(t *testing.T) {
+	c := testCPU(t, false, 64)
+	fired := 0
+	c.Quantum = 1000
+	c.OnQuantum = func() { fired++ }
+	for i := 0; i < 10; i++ {
+		c.Step(500)
+	}
+	// 5000 cycles at a 1000-cycle quantum: ~5 firings (charges beyond
+	// Step's instructions shift the boundary slightly).
+	if fired < 4 || fired > 6 {
+		t.Errorf("OnQuantum fired %d times for 5000 cycles at quantum 1000", fired)
+	}
+}
+
+func TestZeroQuantumNeverFires(t *testing.T) {
+	c := testCPU(t, false, 64)
+	c.OnQuantum = func() { t.Fatal("fired without a quantum") }
+	c.Step(1_000_000)
+}
+
+func TestSwitchVMFlushesTLB(t *testing.T) {
+	c := testCPU(t, true, 64)
+	base := c.AllocRegion("data", 64*arch.KB)
+	for i := 0; i < 8; i++ {
+		c.Load(base+arch.VAddr(i*arch.PageSize), 8)
+	}
+	if c.TLB.ValidCount() == 0 {
+		t.Fatal("setup: TLB empty")
+	}
+
+	// A second address space on the same hardware.
+	v2 := vm.New(vm.Deps{
+		Dram: c.VM.Dram, Frames: c.VM.Frames,
+		HPT: ptable.New(0x1C0000, 4096),
+		MMC: c.MMC, Cache: c.Cache, CPUTLB: c.TLB, ITLB: c.ITLB,
+		Kernel:      c.K,
+		ShadowAlloc: c.VM.ShadowAlloc, STable: c.VM.STable,
+	})
+	kernelBefore := c.Breakdown.Kernel
+	c.SwitchVM(v2)
+	if c.TLB.ValidCount() != 0 {
+		t.Errorf("TLB holds %d entries after switch (no ASIDs: must flush)", c.TLB.ValidCount())
+	}
+	if c.VM != v2 {
+		t.Error("VM not switched")
+	}
+	if c.Breakdown.Kernel-kernelBefore < 2000 {
+		t.Error("context switch cost not charged")
+	}
+
+	// The new process uses the same virtual addresses independently.
+	base2 := c.AllocRegion("data", 16*arch.KB)
+	c.Store(base2, 8, 0x5EC0DD)
+	if got := c.Load(base2, 8); got != 0x5EC0DD {
+		t.Errorf("second address space read back %#x", got)
+	}
+}
+
+func TestSwitchVMAcrossHardwarePanics(t *testing.T) {
+	c := testCPU(t, false, 64)
+	// A VM on entirely different hardware must be rejected.
+	dram := mem.NewDRAM(64 * arch.MB)
+	frames := mem.NewFrameAlloc(2*arch.MB/arch.PageSize, 1024, mem.Sequential)
+	other := vm.New(vm.Deps{
+		Dram: dram, Frames: frames,
+		HPT:    ptable.New(0x180000, 4096),
+		MMC:    mmc.New(mmc.Config{Timing: mmc.DefaultTiming()}, bus.New(bus.DefaultConfig()), nil),
+		Cache:  cache.New(cache.DefaultConfig()),
+		CPUTLB: tlb.New(tlb.FullyAssociative(64)),
+		ITLB:   &tlb.MicroITLB{},
+		Kernel: kernel.New(kernel.DefaultCosts()),
+	})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	c.SwitchVM(other)
+}

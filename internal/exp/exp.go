@@ -1,0 +1,98 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation (§3) on the simulated machine: Figure 2 (shadow-space
+// partitioning), Figure 3 (normalized runtimes with and without an MTLB
+// for three CPU TLB sizes), Figure 4 (em3d's sensitivity to MTLB size
+// and associativity, and average cache-fill time), the §3.3
+// initialization-cost accounting, and the §3.4 TLB-time observations —
+// plus the ablation studies DESIGN.md calls out.
+//
+// Each experiment returns a text table whose rows mirror the paper's
+// series, along with the raw values benches and tests assert against.
+package exp
+
+import (
+	"fmt"
+
+	"shadowtlb/internal/core"
+	"shadowtlb/internal/sim"
+	"shadowtlb/internal/workload"
+	"shadowtlb/internal/workload/compress"
+	"shadowtlb/internal/workload/em3d"
+	"shadowtlb/internal/workload/gcc"
+	"shadowtlb/internal/workload/radix"
+	"shadowtlb/internal/workload/vortex"
+)
+
+// Scale selects workload sizing: Paper reproduces §3.1's run parameters;
+// Small is a fast configuration for tests and -short benches.
+type Scale int
+
+// Scales.
+const (
+	Small Scale = iota
+	Paper
+)
+
+// String names the scale.
+func (s Scale) String() string {
+	if s == Paper {
+		return "paper"
+	}
+	return "small"
+}
+
+// Workloads returns fresh instances of the five benchmark programs at
+// the given scale, in the paper's reporting order.
+func Workloads(s Scale) []workload.Workload {
+	if s == Paper {
+		return []workload.Workload{
+			compress.New(compress.PaperConfig()),
+			vortex.New(vortex.PaperConfig()),
+			radix.New(radix.PaperConfig()),
+			em3d.New(em3d.PaperConfig()),
+			gcc.New(gcc.PaperConfig()),
+		}
+	}
+	return []workload.Workload{
+		compress.New(compress.SmallConfig()),
+		vortex.New(vortex.SmallConfig()),
+		radix.New(radix.SmallConfig()),
+		em3d.New(em3d.SmallConfig()),
+		gcc.New(gcc.SmallConfig()),
+	}
+}
+
+// MakeWorkload builds one named workload at the given scale.
+func MakeWorkload(name string, s Scale) (workload.Workload, error) {
+	for _, w := range Workloads(s) {
+		if w.Name() == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("exp: unknown workload %q", name)
+}
+
+// baseConfig is the machine every experiment starts from.
+func baseConfig() sim.Config {
+	return sim.Default()
+}
+
+// withMTLB fits the paper's default 128-entry 2-way MTLB.
+func withMTLB(c sim.Config) sim.Config {
+	return c.WithMTLB(core.DefaultMTLBConfig())
+}
+
+// run executes one fresh workload instance on one fresh system.
+func run(cfg sim.Config, name string, s Scale) sim.Result {
+	w, err := MakeWorkload(name, s)
+	if err != nil {
+		panic(err)
+	}
+	return sim.RunOn(cfg, w)
+}
+
+// pct formats a ratio as a percentage string.
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+// mcycles formats cycles in millions.
+func mcycles(c uint64) string { return fmt.Sprintf("%.2fM", float64(c)/1e6) }

@@ -1,0 +1,66 @@
+package exp
+
+import (
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/core"
+	"shadowtlb/internal/stats"
+)
+
+// Fig2Result reproduces Figure 2: the example static partitioning of a
+// 512 MB pseudo-physical (shadow) address space into buckets of legal
+// superpage sizes.
+type Fig2Result struct {
+	Table *stats.Table
+	// TotalExtent must equal 512 MB.
+	TotalExtent uint64
+	// Regions is the total region count across buckets.
+	Regions int
+}
+
+// Fig2 renders the default partition and verifies it against the live
+// bucket allocator (every region allocable, aligned, and disjoint is
+// asserted by the allocator's own tests; here we verify counts/extents).
+func Fig2() Fig2Result {
+	specs := core.DefaultPartition()
+	t := stats.NewTable("Figure 2: partitioning of the 512 MB pseudo-physical address space",
+		"superpage size", "count", "address space extent")
+	res := Fig2Result{Table: t}
+	for _, s := range specs {
+		extent := uint64(s.Count) * s.Class.Bytes()
+		t.AddRowf(s.Class.String(), s.Count, sizeStr(extent))
+		res.TotalExtent += extent
+		res.Regions += s.Count
+	}
+	t.AddRowf("total", res.Regions, sizeStr(res.TotalExtent))
+
+	// Cross-check against a live allocator.
+	alloc := core.NewBucketAlloc(core.DefaultShadowSpace(), specs)
+	for _, s := range specs {
+		if alloc.FreeCount(s.Class) != s.Count {
+			panic("exp: Figure 2 partition disagrees with allocator")
+		}
+	}
+	return res
+}
+
+// sizeStr renders a byte count the way the paper's Figure 2 does.
+func sizeStr(b uint64) string {
+	if b >= arch.MB {
+		return itoa(b/arch.MB) + "MB"
+	}
+	return itoa(b/arch.KB) + "KB"
+}
+
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

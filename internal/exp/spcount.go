@@ -1,0 +1,88 @@
+package exp
+
+import (
+	"fmt"
+
+	"shadowtlb/internal/sim"
+	"shadowtlb/internal/stats"
+	"shadowtlb/internal/workload/compress"
+)
+
+// SPCountResult verifies the §3.1 superpage counts: compress95's four
+// regions map to 10, 13, 7 and 13 superpages; radix's 8,437,760-byte
+// space to 14; em3d's 1120 pages to 16.
+type SPCountResult struct {
+	Table *stats.Table
+	// Counts maps "program/region" to the measured superpage count.
+	Counts map[string]int
+	// AllMatch is true when every measured count equals the paper's.
+	AllMatch bool
+}
+
+// paperCounts are the counts §3.1 reports.
+var paperCounts = map[string]int{
+	"compress/tables": 10,
+	"compress/orig":   13,
+	"compress/comp":   7,
+	"compress/decomp": 13,
+	"radix/space":     14,
+	"em3d/space":      16,
+}
+
+// SPCount measures the counts by running compress (small input: region
+// sizes and alignments are the paper's regardless of input length) and
+// by remapping radix's and em3d's exact spaces.
+func SPCount() SPCountResult {
+	res := SPCountResult{Counts: make(map[string]int), AllMatch: true}
+
+	// compress: run at small scale; regions are full-size.
+	s := sim.New(withMTLB(baseConfig()))
+	s.Run(compress.New(compress.SmallConfig()))
+	for region, key := range map[string]string{
+		"tables": "compress/tables", "orig": "compress/orig",
+		"comp": "compress/comp", "decomp": "compress/decomp",
+	} {
+		r := s.VM.FindRegion(region)
+		if r == nil {
+			panic("exp: compress region missing: " + region)
+		}
+		res.Counts[key] = len(r.Superpages)
+	}
+
+	// radix and em3d: remap the paper-size spaces directly (running the
+	// full 1M-key sort isn't needed to count superpages).
+	for _, probe := range []struct {
+		key    string
+		size   uint64
+		align  uint64
+		offset uint64
+	}{
+		{"radix/space", 8437760, 4 << 20, 64 << 10},
+		{"em3d/space", 1120 * 4096, 4 << 20, 16 << 10},
+	} {
+		s := sim.New(withMTLB(baseConfig()))
+		r := s.VM.AllocRegionAligned(probe.key, probe.size, probe.align, probe.offset)
+		rr, err := s.VM.Remap(r.Base, r.Size)
+		if err != nil {
+			panic(err)
+		}
+		res.Counts[probe.key] = rr.Superpages
+	}
+
+	t := stats.NewTable("Superpage counts per region (paper §3.1)",
+		"region", "measured", "paper", "match")
+	for _, key := range []string{
+		"compress/tables", "compress/orig", "compress/comp", "compress/decomp",
+		"radix/space", "em3d/space",
+	} {
+		got, want := res.Counts[key], paperCounts[key]
+		match := "yes"
+		if got != want {
+			match = "NO"
+			res.AllMatch = false
+		}
+		t.AddRow(key, fmt.Sprint(got), fmt.Sprint(want), match)
+	}
+	res.Table = t
+	return res
+}

@@ -1,0 +1,78 @@
+package kernel
+
+import (
+	"testing"
+
+	"shadowtlb/internal/stats"
+)
+
+func TestLifecycleAccounting(t *testing.T) {
+	k := New(DefaultCosts())
+	if c := k.Boot(); c != stats.Cycles(k.Costs.Boot) {
+		t.Errorf("Boot = %d", c)
+	}
+	if c := k.StartProcess(); c != stats.Cycles(k.Costs.ForkExec) {
+		t.Errorf("StartProcess = %d", c)
+	}
+	if c := k.ExitProcess(); c != stats.Cycles(k.Costs.Exit) {
+		t.Errorf("ExitProcess = %d", c)
+	}
+	if k.ProcCycles != stats.Cycles(k.Costs.ForkExec+k.Costs.Exit) {
+		t.Errorf("ProcCycles = %d", k.ProcCycles)
+	}
+}
+
+func TestSyscallCounting(t *testing.T) {
+	k := New(DefaultCosts())
+	k.SyscallEntry()
+	k.SyscallEntry()
+	if k.Syscalls != 2 {
+		t.Errorf("Syscalls = %d", k.Syscalls)
+	}
+}
+
+func TestTimerFires(t *testing.T) {
+	c := DefaultCosts()
+	c.TimerPeriod = 1000
+	c.TimerHandler = 50
+	k := New(c)
+	if got := k.Advance(999); got != 0 {
+		t.Errorf("early tick: %d", got)
+	}
+	if got := k.Advance(1); got != 50 {
+		t.Errorf("tick cost = %d, want 50", got)
+	}
+	// A long span fires multiple ticks.
+	if got := k.Advance(3500); got != 150 {
+		t.Errorf("3 ticks cost = %d, want 150", got)
+	}
+	if k.TimerTicks != 4 {
+		t.Errorf("TimerTicks = %d", k.TimerTicks)
+	}
+}
+
+func TestTimerDisabled(t *testing.T) {
+	c := DefaultCosts()
+	c.TimerPeriod = 0
+	k := New(c)
+	if got := k.Advance(1_000_000_000); got != 0 {
+		t.Errorf("disabled timer charged %d", got)
+	}
+}
+
+func TestDefaultCostsSanity(t *testing.T) {
+	c := DefaultCosts()
+	// The paper's flush cost: ~1400 cycles per 4 KB page = 128 lines.
+	// Our per-line loop cost alone must stay below that (write-backs
+	// supply the remainder).
+	if c.FlushPerLine*128 > 1400 {
+		t.Errorf("flush loop cost %d exceeds paper's 1400/page", c.FlushPerLine*128)
+	}
+	// Remapping must be far cheaper than copying (§3.3: 1400 vs 11400).
+	if c.PageCopy <= c.FlushPerLine*128+c.RemapPerPage {
+		t.Error("copying should cost much more than remapping")
+	}
+	if c.PageCopy != 11400 {
+		t.Errorf("PageCopy = %d, paper reports 11400", c.PageCopy)
+	}
+}

@@ -1,0 +1,110 @@
+package mem
+
+import (
+	"errors"
+	"fmt"
+
+	"shadowtlb/internal/arch"
+)
+
+// ErrOutOfMemory is returned when no free frame remains.
+var ErrOutOfMemory = errors.New("mem: out of physical frames")
+
+// AllocOrder controls the order in which the frame allocator hands out
+// free frames. The paper's whole point is that after a system has been up
+// for a while, free frames are scattered; Scatter reproduces that so
+// superpages genuinely map discontiguous real memory.
+type AllocOrder int
+
+const (
+	// Sequential hands out frames in ascending order (a freshly booted
+	// machine). Contiguity-dependent baselines get their best case.
+	Sequential AllocOrder = iota
+	// Scatter hands out frames in a deterministic pseudo-random order,
+	// modelling long-uptime fragmentation.
+	Scatter
+	// Reverse hands out frames in descending order.
+	Reverse
+)
+
+// FrameAlloc allocates 4 KB physical frames from a fixed pool.
+// The zero value is not usable; call NewFrameAlloc.
+type FrameAlloc struct {
+	free  []uint64 // stack of free frame numbers; allocation pops the tail
+	inUse map[uint64]bool
+	total uint64
+}
+
+// NewFrameAlloc builds an allocator over frames [start, start+count) in
+// the given hand-out order. start lets the kernel reserve low memory
+// (e.g. for the MMC's shadow page table) outside the allocator.
+func NewFrameAlloc(start, count uint64, order AllocOrder) *FrameAlloc {
+	free := make([]uint64, count)
+	switch order {
+	case Sequential:
+		// Pop from the tail, so store descending for ascending hand-out.
+		for i := uint64(0); i < count; i++ {
+			free[count-1-i] = start + i
+		}
+	case Reverse:
+		for i := uint64(0); i < count; i++ {
+			free[i] = start + i
+		}
+	case Scatter:
+		for i := uint64(0); i < count; i++ {
+			free[i] = start + i
+		}
+		// Deterministic Fisher-Yates with an xorshift generator, so runs
+		// are reproducible without seeding from the environment.
+		s := uint64(0x9E3779B97F4A7C15)
+		for i := count - 1; i > 0; i-- {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			j := s % (i + 1)
+			free[i], free[j] = free[j], free[i]
+		}
+	default:
+		panic(fmt.Sprintf("mem: unknown AllocOrder %d", order))
+	}
+	return &FrameAlloc{free: free, inUse: make(map[uint64]bool), total: count}
+}
+
+// Alloc returns a free frame number, or ErrOutOfMemory.
+func (a *FrameAlloc) Alloc() (uint64, error) {
+	if len(a.free) == 0 {
+		return 0, ErrOutOfMemory
+	}
+	f := a.free[len(a.free)-1]
+	a.free = a.free[:len(a.free)-1]
+	a.inUse[f] = true
+	return f, nil
+}
+
+// AllocPAddr allocates a frame and returns its physical address.
+func (a *FrameAlloc) AllocPAddr() (arch.PAddr, error) {
+	f, err := a.Alloc()
+	if err != nil {
+		return 0, err
+	}
+	return arch.FrameToPAddr(f), nil
+}
+
+// Free returns a frame to the pool. Freeing a frame that is not in use
+// panics: it indicates VM bookkeeping corruption.
+func (a *FrameAlloc) Free(frame uint64) {
+	if !a.inUse[frame] {
+		panic(fmt.Sprintf("mem: double free of frame %#x", frame))
+	}
+	delete(a.inUse, frame)
+	a.free = append(a.free, frame)
+}
+
+// InUse reports whether the frame is currently allocated.
+func (a *FrameAlloc) InUse(frame uint64) bool { return a.inUse[frame] }
+
+// FreeCount returns the number of unallocated frames.
+func (a *FrameAlloc) FreeCount() uint64 { return uint64(len(a.free)) }
+
+// Total returns the number of frames managed by the allocator.
+func (a *FrameAlloc) Total() uint64 { return a.total }

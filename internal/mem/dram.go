@@ -1,0 +1,117 @@
+// Package mem models the machine's installed DRAM: a sparse byte store
+// addressed by real physical address, plus the physical frame allocator the
+// OS uses. Timing is not modelled here — the memory controller
+// (internal/mmc) charges DRAM latency; this package is pure state.
+package mem
+
+import (
+	"fmt"
+
+	"shadowtlb/internal/arch"
+)
+
+// DRAM is the installed physical memory. Storage is allocated lazily, one
+// 4 KB frame at a time, so simulating a 1 GB machine costs only the pages
+// actually touched.
+type DRAM struct {
+	size   uint64 // installed bytes; addresses >= size are not backed
+	frames map[uint64][]byte
+}
+
+// NewDRAM returns a DRAM of the given installed size in bytes. Size must
+// be a multiple of the base page size.
+func NewDRAM(size uint64) *DRAM {
+	if size%arch.PageSize != 0 {
+		panic(fmt.Sprintf("mem: DRAM size %d not page aligned", size))
+	}
+	return &DRAM{size: size, frames: make(map[uint64][]byte)}
+}
+
+// Size returns the installed DRAM size in bytes.
+func (d *DRAM) Size() uint64 { return d.size }
+
+// Frames returns the number of installed 4 KB frames.
+func (d *DRAM) Frames() uint64 { return d.size / arch.PageSize }
+
+// Contains reports whether p falls inside installed DRAM. Addresses
+// outside installed DRAM are candidates for shadow space.
+func (d *DRAM) Contains(p arch.PAddr) bool { return uint64(p) < d.size }
+
+// frame returns the backing slice for p's frame, allocating it on first
+// touch. Panics if p is outside installed memory: the memory controller
+// must have resolved shadow addresses before storage is accessed.
+func (d *DRAM) frame(p arch.PAddr) []byte {
+	if !d.Contains(p) {
+		panic(fmt.Sprintf("mem: access to non-DRAM physical address %v (installed %d MB)",
+			p, d.size/arch.MB))
+	}
+	fn := p.FrameNum()
+	f := d.frames[fn]
+	if f == nil {
+		f = make([]byte, arch.PageSize)
+		d.frames[fn] = f
+	}
+	return f
+}
+
+// Read copies len(buf) bytes starting at physical address p into buf,
+// crossing frame boundaries as needed.
+func (d *DRAM) Read(p arch.PAddr, buf []byte) {
+	for len(buf) > 0 {
+		f := d.frame(p)
+		off := p.PageOff()
+		n := copy(buf, f[off:])
+		buf = buf[n:]
+		p += arch.PAddr(n)
+	}
+}
+
+// Write copies buf into physical memory starting at address p, crossing
+// frame boundaries as needed.
+func (d *DRAM) Write(p arch.PAddr, buf []byte) {
+	for len(buf) > 0 {
+		f := d.frame(p)
+		off := p.PageOff()
+		n := copy(f[off:], buf)
+		buf = buf[n:]
+		p += arch.PAddr(n)
+	}
+}
+
+// ReadU32 reads a little-endian 32-bit word at p (used by the MTLB's
+// hardware fill engine to load 4-byte mapping entries).
+func (d *DRAM) ReadU32(p arch.PAddr) uint32 {
+	var b [4]byte
+	d.Read(p, b[:])
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// WriteU32 writes a little-endian 32-bit word at p.
+func (d *DRAM) WriteU32(p arch.PAddr, v uint32) {
+	b := [4]byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
+	d.Write(p, b[:])
+}
+
+// ReadU64 reads a little-endian 64-bit word at p.
+func (d *DRAM) ReadU64(p arch.PAddr) uint64 {
+	var b [8]byte
+	d.Read(p, b[:])
+	v := uint64(0)
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+// WriteU64 writes a little-endian 64-bit word at p.
+func (d *DRAM) WriteU64(p arch.PAddr, v uint64) {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	d.Write(p, b[:])
+}
+
+// TouchedFrames returns how many distinct frames have been written or read
+// (i.e. materialized); useful for memory-footprint assertions in tests.
+func (d *DRAM) TouchedFrames() int { return len(d.frames) }

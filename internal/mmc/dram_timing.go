@@ -1,0 +1,84 @@
+package mmc
+
+import (
+	"fmt"
+
+	"shadowtlb/internal/arch"
+)
+
+// Banked DRAM timing. The paper's base model charges a flat DRAM access
+// per line fill; real controllers of the era (including HP's J-class
+// MMC) exploited page-mode DRAM: an access to the currently open row of
+// a bank is several times faster than one that must close and re-open a
+// row. This opt-in refinement models that: the physical address space
+// is interleaved across banks at row granularity, each bank remembers
+// its open row, and fills pay the row-hit or row-miss latency
+// accordingly.
+//
+// It composes with the MTLB in an interesting way: the MTLB's own fill
+// reads (to the flat table, a distinct row) disturb open rows, and
+// shadow-backed superpages keep *shadow* addresses sequential while the
+// underlying frames — hence banks and rows — are scattered, so stream
+// locality at the bus does not guarantee row locality at the DRAM.
+
+// rowShift: 2 KB DRAM rows.
+const rowShift = 11
+
+// dramBanks tracks per-bank open rows.
+type dramBanks struct {
+	open []uint64 // open row id per bank; ^0 = closed
+
+	RowHits   uint64
+	RowMisses uint64
+}
+
+// newDRAMBanks builds n banks (0 disables the model).
+func newDRAMBanks(n int) *dramBanks {
+	if n < 0 {
+		panic(fmt.Sprintf("mmc: negative bank count %d", n))
+	}
+	open := make([]uint64, n)
+	for i := range open {
+		open[i] = ^uint64(0)
+	}
+	return &dramBanks{open: open}
+}
+
+// enabled reports whether banking is modelled.
+func (d *dramBanks) enabled() bool { return len(d.open) > 0 }
+
+// access returns whether pa hits its bank's open row, opening it if not.
+func (d *dramBanks) access(pa arch.PAddr) bool {
+	row := uint64(pa) >> rowShift
+	bank := row % uint64(len(d.open))
+	rowID := row / uint64(len(d.open))
+	if d.open[bank] == rowID {
+		d.RowHits++
+		return true
+	}
+	d.open[bank] = rowID
+	d.RowMisses++
+	return false
+}
+
+// fillCycles returns the DRAM portion of a line fill at real address pa
+// under the banked model, or the flat cost when disabled.
+func (m *MMC) fillCycles(real arch.PAddr) int {
+	if !m.banks.enabled() {
+		return m.cfg.Timing.FillDRAM
+	}
+	if m.banks.access(real) {
+		return m.cfg.Timing.RowHitDRAM
+	}
+	return m.cfg.Timing.RowMissDRAM
+}
+
+// RowHitRate reports the fraction of banked DRAM accesses that hit an
+// open row (zero when banking is disabled).
+func (m *MMC) RowHitRate() float64 {
+	t := m.banks.RowHits + m.banks.RowMisses
+	if t == 0 {
+		return 0
+	}
+	return float64(m.banks.RowHits) / float64(t)
+}

@@ -1,0 +1,118 @@
+package mmc
+
+import (
+	"testing"
+
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/bus"
+	"shadowtlb/internal/cache"
+	"shadowtlb/internal/core"
+	"shadowtlb/internal/mem"
+)
+
+func bankedMMC(t *testing.T, banks int) *MMC {
+	t.Helper()
+	return New(Config{Timing: DefaultTiming(), DRAMBanks: banks},
+		bus.New(bus.DefaultConfig()), nil)
+}
+
+func TestBankedSequentialFillsHitRow(t *testing.T) {
+	m := bankedMMC(t, 4)
+	// Sequential lines within one 2 KB row: first opens, rest hit.
+	var first, second int
+	for i := 0; i < 8; i++ {
+		res, err := m.HandleEvent(cache.Event{
+			Kind:  cache.FillShared,
+			PAddr: arch.PAddr(0x10000 + i*arch.LineSize),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch i {
+		case 0:
+			first = res.StallCPU
+		case 1:
+			second = res.StallCPU
+		}
+	}
+	if m.banks.RowMisses != 1 || m.banks.RowHits != 7 {
+		t.Errorf("rows: %d misses, %d hits", m.banks.RowMisses, m.banks.RowHits)
+	}
+	// Row miss pays 16, hit pays 7: 9 MMC cycles = 18 CPU cheaper.
+	if first-second != 18 {
+		t.Errorf("row hit saved %d CPU cycles, want 18", first-second)
+	}
+}
+
+func TestBankedInterleavingAcrossBanks(t *testing.T) {
+	m := bankedMMC(t, 4)
+	// Adjacent rows land in different banks, so two interleaved row
+	// streams coexist without thrashing.
+	for i := 0; i < 4; i++ {
+		m.HandleEvent(cache.Event{Kind: cache.FillShared, PAddr: arch.PAddr(0x0000 + i*arch.LineSize)})
+		m.HandleEvent(cache.Event{Kind: cache.FillShared, PAddr: arch.PAddr(0x0800 + i*arch.LineSize)})
+	}
+	if m.banks.RowMisses != 2 {
+		t.Errorf("RowMisses = %d, want 2 (one per stream)", m.banks.RowMisses)
+	}
+	if m.RowHitRate() < 0.7 {
+		t.Errorf("RowHitRate = %v", m.RowHitRate())
+	}
+}
+
+func TestBankedSameBankConflict(t *testing.T) {
+	m := bankedMMC(t, 4)
+	// Rows 0 and 4 share bank 0: alternating between them never hits.
+	for i := 0; i < 3; i++ {
+		m.HandleEvent(cache.Event{Kind: cache.FillShared, PAddr: 0x0000})
+		m.HandleEvent(cache.Event{Kind: cache.FillShared, PAddr: 0x2000})
+	}
+	if m.banks.RowHits != 0 {
+		t.Errorf("RowHits = %d, want 0 under bank conflict", m.banks.RowHits)
+	}
+}
+
+func TestBankingDisabledUsesFlatLatency(t *testing.T) {
+	m := bankedMMC(t, 0)
+	res, err := m.HandleEvent(cache.Event{Kind: cache.FillShared, PAddr: 0x1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StallCPU != 38 { // the calibrated flat-latency fill
+		t.Errorf("StallCPU = %d, want 38", res.StallCPU)
+	}
+	if m.RowHitRate() != 0 {
+		t.Error("disabled banking should record nothing")
+	}
+}
+
+func TestMTLBFillDisturbsOpenRow(t *testing.T) {
+	b := bus.New(bus.DefaultConfig())
+	dram := mem.NewDRAM(16 * arch.MB)
+	space := core.ShadowSpace{Base: 0x80000000, Size: 8 * arch.MB}
+	table := core.NewShadowTable(space, 0x100000, dram)
+	mt := core.NewMTLB(core.DefaultMTLBConfig(), table)
+	m := New(Config{Timing: DefaultTiming(), DRAMBanks: 1}, b, mt)
+
+	// Warm a data row in the single bank...
+	m.HandleEvent(cache.Event{Kind: cache.FillShared, PAddr: 0x4000})
+	// ...then a shadow fill whose table read opens the table's row.
+	sh := arch.PAddr(0x80000000)
+	table.Set(sh, core.TableEntry{PFN: 0x10, Valid: true})
+	m.HandleEvent(cache.Event{Kind: cache.FillShared, PAddr: sh})
+	// Returning to the original data row must now miss again.
+	before := m.banks.RowMisses
+	m.HandleEvent(cache.Event{Kind: cache.FillShared, PAddr: 0x4020})
+	if m.banks.RowMisses != before+1 {
+		t.Error("MTLB table read should have displaced the open row")
+	}
+}
+
+func TestNegativeBanksPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	newDRAMBanks(-1)
+}

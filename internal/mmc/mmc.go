@@ -1,0 +1,237 @@
+// Package mmc models the main memory controller: the paper's stand-in is
+// HP's J-class workstation controller (Hotchkiss et al., 1996) on a
+// 120 MHz Runway bus. The MMC receives cache fills, ownership upgrades
+// and write-backs from the processor, performs DRAM accesses, and — when
+// an MTLB is fitted — checks every address against the shadow region and
+// retranslates shadow addresses through the MTLB (paper §2.2).
+//
+// Timing model. All MMC work is counted in 120 MHz MMC cycles and
+// converted to 240 MHz CPU cycles (x2) for the processor's stall
+// accounting:
+//
+//   - a cache fill stalls the CPU for bus transfer + MMC overhead + DRAM
+//     access (+ MTLB penalties when fitted);
+//   - an upgrade stalls the CPU for the address-only bus transaction +
+//     MMC overhead (+ shadow check);
+//   - a write-back occupies the bus (charged to the CPU) but its DRAM
+//     write drains from a victim buffer off the critical path; its MTLB
+//     work (dirty-bit maintenance, possible MTLB fill) still happens and
+//     is tracked as MMC occupancy.
+//
+// When the MTLB is fitted, every operation pays one extra MMC cycle for
+// the shadow/real determination and MTLB lookup — the paper's
+// "conservative estimate" (§2.2); the ablation switch NoCheckCycle
+// models their "most recent design work", which hides the check.
+package mmc
+
+import (
+	"fmt"
+
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/bus"
+	"shadowtlb/internal/cache"
+	"shadowtlb/internal/core"
+)
+
+// Timing holds the MMC cost parameters, in MMC (120 MHz) cycles.
+type Timing struct {
+	Overhead      int // fixed MMC processing per operation
+	FillDRAM      int // DRAM access for a 32-byte line read
+	WriteBackDRAM int // DRAM access for a line write (occupancy only)
+	ShadowCheck   int // added to every op when an MTLB is fitted
+	MTLBFillDRAM  int // DRAM access for a 4-byte shadow-table entry read
+	ControlOp     int // one uncached control-register write from the OS
+	StreamHitDRAM int // line delivery from a stream buffer instead of DRAM
+	RowHitDRAM    int // banked model: fill from an open DRAM row
+	RowMissDRAM   int // banked model: fill that must open a row
+}
+
+// DefaultTiming returns the calibrated defaults. FillDRAM+Overhead=14 MMC
+// cycles (~28 CPU cycles, a late-90s DRAM latency with the row open or
+// predicted); MTLBFillDRAM is a full random-address DRAM access — the
+// 4-byte table read hits a closed row and cannot be pipelined behind the
+// line fill it blocks (~215 ns at 120 MHz).
+func DefaultTiming() Timing {
+	return Timing{
+		Overhead:      2,
+		FillDRAM:      12,
+		WriteBackDRAM: 8,
+		ShadowCheck:   1,
+		MTLBFillDRAM:  16,
+		ControlOp:     6,
+		StreamHitDRAM: 2,
+		RowHitDRAM:    7,
+		RowMissDRAM:   16,
+	}
+}
+
+// Config assembles an MMC.
+type Config struct {
+	Timing Timing
+	// NoCheckCycle suppresses the per-operation shadow-check cycle,
+	// modelling the check running in parallel with bus interface work
+	// (paper §2.2 "most recent design work"). Ablation only.
+	NoCheckCycle bool
+	// StreamBuffers enables the §6 MMC prefetch extension with the
+	// given number of stream buffers (0 = disabled).
+	StreamBuffers int
+	// DRAMBanks enables the banked open-row DRAM timing model with the
+	// given bank count (0 = the paper's flat DRAM latency).
+	DRAMBanks int
+}
+
+// MMC is the memory controller.
+type MMC struct {
+	cfg     Config
+	bus     *bus.Bus
+	mtlb    *core.MTLB // nil when no MTLB is fitted
+	streams *streamSet
+	banks   *dramBanks
+
+	// Fill statistics, the basis of Figure 4(B).
+	Fills        uint64
+	FillMMCTotal uint64 // MMC cycles across all fills (excluding bus)
+	WriteBacks   uint64
+	Upgrades     uint64
+	ControlOps   uint64
+	BusyMMC      uint64 // total MMC occupancy including off-path work
+}
+
+// New builds an MMC. mtlb may be nil for the conventional baseline.
+func New(cfg Config, b *bus.Bus, mtlb *core.MTLB) *MMC {
+	if b == nil {
+		panic("mmc: nil bus")
+	}
+	return &MMC{
+		cfg: cfg, bus: b, mtlb: mtlb,
+		streams: newStreamSet(cfg.StreamBuffers),
+		banks:   newDRAMBanks(cfg.DRAMBanks),
+	}
+}
+
+// HasMTLB reports whether an MTLB is fitted.
+func (m *MMC) HasMTLB() bool { return m.mtlb != nil }
+
+// MTLB returns the fitted MTLB, or nil.
+func (m *MMC) MTLB() *core.MTLB { return m.mtlb }
+
+// Timing returns the timing parameters in use.
+func (m *MMC) Timing() Timing { return m.cfg.Timing }
+
+// checkCycles returns the per-operation shadow-check cost.
+func (m *MMC) checkCycles() int {
+	if m.mtlb == nil || m.cfg.NoCheckCycle {
+		return 0
+	}
+	return m.cfg.Timing.ShadowCheck
+}
+
+// translate runs the MTLB path for a (possibly shadow) address. It
+// returns the MMC cycles spent on MTLB work and the real address.
+func (m *MMC) translate(pa arch.PAddr, dirty bool) (int, arch.PAddr, error) {
+	if m.mtlb == nil || !m.mtlb.Space().Contains(pa) {
+		return 0, pa, nil
+	}
+	tr, err := m.mtlb.Translate(pa, dirty)
+	if err != nil {
+		return 0, 0, err
+	}
+	if tr.Hit {
+		// Single-cycle translate, folded into the check cycle.
+		return 0, tr.Real, nil
+	}
+	if m.banks.enabled() {
+		// The table read opens the table's row, displacing whatever
+		// the bank held.
+		m.banks.access(tr.FillAddr)
+	}
+	return m.cfg.Timing.MTLBFillDRAM, tr.Real, nil
+}
+
+// Result reports the outcome of one cache event at the MMC.
+type Result struct {
+	// StallCPU is the CPU cycles the processor stalls for this event.
+	StallCPU int
+	// Real is the real physical address after any shadow translation.
+	Real arch.PAddr
+}
+
+// HandleEvent processes one cache event. A *core.ShadowFault error means
+// the event touched an invalid shadow page; the caller delivers it to
+// the OS as a (parity-signalled) page fault.
+func (m *MMC) HandleEvent(ev cache.Event) (Result, error) {
+	t := m.cfg.Timing
+	switch ev.Kind {
+	case cache.FillShared, cache.FillExclusive:
+		dirty := ev.Kind == cache.FillExclusive
+		mtlbMMC, real, err := m.translate(ev.PAddr, dirty)
+		if err != nil {
+			return Result{}, err
+		}
+		m.Fills++
+		fillDRAM := m.fillCycles(real)
+		if m.streams.lookup(ev.PAddr) {
+			// The line was prefetched by a stream buffer; the demand
+			// fill is served at buffer latency while the background
+			// prefetch of the next line occupies the DRAM side.
+			fillDRAM = t.StreamHitDRAM
+			m.BusyMMC += uint64(t.FillDRAM)
+		}
+		mmcCycles := t.Overhead + fillDRAM + m.checkCycles() + mtlbMMC
+		m.FillMMCTotal += uint64(mmcCycles)
+		m.BusyMMC += uint64(mmcCycles)
+		stall := m.bus.ToCPU(m.bus.LineTransfer() + mmcCycles)
+		return Result{StallCPU: stall, Real: real}, nil
+
+	case cache.Upgrade:
+		mtlbMMC, real, err := m.translate(ev.PAddr, true)
+		if err != nil {
+			return Result{}, err
+		}
+		m.Upgrades++
+		mmcCycles := t.Overhead + m.checkCycles() + mtlbMMC
+		m.BusyMMC += uint64(mmcCycles)
+		stall := m.bus.ToCPU(m.bus.AddressOnly() + mmcCycles)
+		return Result{StallCPU: stall, Real: real}, nil
+
+	case cache.WriteBack:
+		// Write-back failures cannot happen: the OS flushes dirty data
+		// before unmapping (§4), so a fault here is simulator misuse.
+		mtlbMMC, real, err := m.translate(ev.PAddr, true)
+		if err != nil {
+			panic(fmt.Sprintf("mmc: write-back to invalid shadow page %v: %v", ev.PAddr, err))
+		}
+		m.WriteBacks++
+		mmcCycles := t.Overhead + t.WriteBackDRAM + m.checkCycles() + mtlbMMC
+		m.BusyMMC += uint64(mmcCycles)
+		// The CPU pays only the bus transfer; the DRAM write drains
+		// from the victim buffer.
+		stall := m.bus.ToCPU(m.bus.LineTransfer())
+		return Result{StallCPU: stall, Real: real}, nil
+
+	default:
+		panic(fmt.Sprintf("mmc: unknown event kind %v", ev.Kind))
+	}
+}
+
+// ControlWrite models one uncached write to an MMC control register —
+// how the OS initializes shadow mappings, purges MTLB entries, and sets
+// the table base (paper §2.4). It returns the CPU cycles the write costs.
+func (m *MMC) ControlWrite() int {
+	m.ControlOps++
+	mmcCycles := m.cfg.Timing.ControlOp
+	m.BusyMMC += uint64(mmcCycles)
+	return m.bus.ToCPU(m.bus.AddressOnly() + mmcCycles)
+}
+
+// StreamHits reports demand fills served from a stream buffer.
+func (m *MMC) StreamHits() uint64 { return m.streams.Hits }
+
+// AvgFillMMCCycles returns the average MMC cycles per cache fill
+// (excluding bus transfer) — the quantity plotted in Figure 4(B).
+func (m *MMC) AvgFillMMCCycles() float64 {
+	if m.Fills == 0 {
+		return 0
+	}
+	return float64(m.FillMMCTotal) / float64(m.Fills)
+}

@@ -1,0 +1,214 @@
+package mmc
+
+import (
+	"errors"
+	"testing"
+
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/bus"
+	"shadowtlb/internal/cache"
+	"shadowtlb/internal/core"
+	"shadowtlb/internal/mem"
+)
+
+func testSetup(t *testing.T, withMTLB bool) (*MMC, *core.MTLB) {
+	t.Helper()
+	b := bus.New(bus.DefaultConfig())
+	var mt *core.MTLB
+	if withMTLB {
+		dram := mem.NewDRAM(16 * arch.MB)
+		space := core.ShadowSpace{Base: 0x80000000, Size: 8 * arch.MB}
+		mt = core.NewMTLB(core.DefaultMTLBConfig(), core.NewShadowTable(space, 0x100000, dram))
+	}
+	return New(Config{Timing: DefaultTiming()}, b, mt), mt
+}
+
+func TestFillNoMTLB(t *testing.T) {
+	m, _ := testSetup(t, false)
+	res, err := m.HandleEvent(cache.Event{Kind: cache.FillShared, PAddr: 0x1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bus: 5 bus cycles; MMC: 2+12=14 MMC cycles; total (5+14)*2 = 38 CPU.
+	if res.StallCPU != 38 {
+		t.Errorf("StallCPU = %d, want 38", res.StallCPU)
+	}
+	if res.Real != 0x1000 {
+		t.Errorf("Real = %v", res.Real)
+	}
+	if m.AvgFillMMCCycles() != 14 {
+		t.Errorf("AvgFillMMCCycles = %v, want 14", m.AvgFillMMCCycles())
+	}
+}
+
+func TestFillRealAddressWithMTLBPaysCheckCycle(t *testing.T) {
+	m, _ := testSetup(t, true)
+	res, err := m.HandleEvent(cache.Event{Kind: cache.FillShared, PAddr: 0x1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One extra MMC cycle vs the 38-cycle baseline: +2 CPU cycles.
+	if res.StallCPU != 40 {
+		t.Errorf("StallCPU = %d, want 40", res.StallCPU)
+	}
+	if m.AvgFillMMCCycles() != 15 {
+		t.Errorf("AvgFillMMCCycles = %v, want 15", m.AvgFillMMCCycles())
+	}
+}
+
+func TestFillShadowMissThenHit(t *testing.T) {
+	m, mt := testSetup(t, true)
+	sh := arch.PAddr(0x80240000)
+	mt.Table().Set(sh, core.TableEntry{PFN: 0x138, Valid: true})
+
+	// Miss: 14 base + 1 check + 16 MTLB fill = 31 MMC; (5+31)*2 = 72 CPU.
+	res, err := m.HandleEvent(cache.Event{Kind: cache.FillShared, PAddr: sh | 0x80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StallCPU != 72 {
+		t.Errorf("miss StallCPU = %d, want 72", res.StallCPU)
+	}
+	if res.Real != 0x138080 {
+		t.Errorf("Real = %v, want 0x138080", res.Real)
+	}
+
+	// Hit: 14 base + 1 check = 15 MMC; (5+15)*2 = 40 CPU.
+	res, err = m.HandleEvent(cache.Event{Kind: cache.FillShared, PAddr: sh | 0x40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StallCPU != 40 {
+		t.Errorf("hit StallCPU = %d, want 40", res.StallCPU)
+	}
+}
+
+func TestNoCheckCycleAblation(t *testing.T) {
+	b := bus.New(bus.DefaultConfig())
+	dram := mem.NewDRAM(16 * arch.MB)
+	space := core.ShadowSpace{Base: 0x80000000, Size: 8 * arch.MB}
+	mt := core.NewMTLB(core.DefaultMTLBConfig(), core.NewShadowTable(space, 0x100000, dram))
+	m := New(Config{Timing: DefaultTiming(), NoCheckCycle: true}, b, mt)
+	res, err := m.HandleEvent(cache.Event{Kind: cache.FillShared, PAddr: 0x1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StallCPU != 38 {
+		t.Errorf("StallCPU = %d, want 38 (check hidden)", res.StallCPU)
+	}
+}
+
+func TestExclusiveFillSetsDirty(t *testing.T) {
+	m, mt := testSetup(t, true)
+	sh := arch.PAddr(0x80001000)
+	mt.Table().Set(sh, core.TableEntry{PFN: 7, Valid: true})
+	if _, err := m.HandleEvent(cache.Event{Kind: cache.FillExclusive, PAddr: sh}); err != nil {
+		t.Fatal(err)
+	}
+	e := mt.Table().Get(sh)
+	if !e.Ref || !e.Dirty {
+		t.Errorf("entry after exclusive fill: %+v", e)
+	}
+}
+
+func TestSharedFillSetsRefOnly(t *testing.T) {
+	m, mt := testSetup(t, true)
+	sh := arch.PAddr(0x80001000)
+	mt.Table().Set(sh, core.TableEntry{PFN: 7, Valid: true})
+	m.HandleEvent(cache.Event{Kind: cache.FillShared, PAddr: sh})
+	e := mt.Table().Get(sh)
+	if !e.Ref || e.Dirty {
+		t.Errorf("entry after shared fill: %+v", e)
+	}
+}
+
+func TestUpgradeCost(t *testing.T) {
+	m, _ := testSetup(t, false)
+	res, err := m.HandleEvent(cache.Event{Kind: cache.Upgrade, PAddr: 0x1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bus addr-only 1 + MMC overhead 2 = 3; x2 = 6 CPU cycles.
+	if res.StallCPU != 6 {
+		t.Errorf("StallCPU = %d, want 6", res.StallCPU)
+	}
+	if m.Upgrades != 1 {
+		t.Errorf("Upgrades = %d", m.Upgrades)
+	}
+}
+
+func TestWriteBackOffCriticalPath(t *testing.T) {
+	m, mt := testSetup(t, true)
+	sh := arch.PAddr(0x80002000)
+	mt.Table().Set(sh, core.TableEntry{PFN: 3, Valid: true})
+	res, err := m.HandleEvent(cache.Event{Kind: cache.WriteBack, PAddr: sh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CPU pays only the bus line transfer: 5 bus cycles x2 = 10.
+	if res.StallCPU != 10 {
+		t.Errorf("StallCPU = %d, want 10", res.StallCPU)
+	}
+	// Dirty bit is still maintained.
+	if e := mt.Table().Get(sh); !e.Dirty {
+		t.Error("write-back should set dirty bit")
+	}
+	if m.WriteBacks != 1 {
+		t.Errorf("WriteBacks = %d", m.WriteBacks)
+	}
+	// MMC occupancy includes the DRAM write even though CPU didn't wait.
+	if m.BusyMMC == 0 {
+		t.Error("BusyMMC should account write-back work")
+	}
+}
+
+func TestShadowFaultPropagates(t *testing.T) {
+	m, _ := testSetup(t, true)
+	_, err := m.HandleEvent(cache.Event{Kind: cache.FillShared, PAddr: 0x80005000})
+	var sf *core.ShadowFault
+	if !errors.As(err, &sf) {
+		t.Fatalf("expected ShadowFault, got %v", err)
+	}
+}
+
+func TestWriteBackFaultPanics(t *testing.T) {
+	m, _ := testSetup(t, true)
+	defer func() {
+		if recover() == nil {
+			t.Error("write-back to invalid shadow page must panic (cannot happen per §4)")
+		}
+	}()
+	m.HandleEvent(cache.Event{Kind: cache.WriteBack, PAddr: 0x80005000})
+}
+
+func TestControlWrite(t *testing.T) {
+	m, _ := testSetup(t, true)
+	c := m.ControlWrite()
+	// bus 1 + MMC 6 = 7; x2 = 14 CPU cycles.
+	if c != 14 {
+		t.Errorf("ControlWrite = %d, want 14", c)
+	}
+	if m.ControlOps != 1 {
+		t.Errorf("ControlOps = %d", m.ControlOps)
+	}
+}
+
+func TestNilBusPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(Config{Timing: DefaultTiming()}, nil, nil)
+}
+
+func TestHasMTLB(t *testing.T) {
+	m, mt := testSetup(t, true)
+	if !m.HasMTLB() || m.MTLB() != mt {
+		t.Error("HasMTLB/MTLB accessors wrong")
+	}
+	m2, _ := testSetup(t, false)
+	if m2.HasMTLB() {
+		t.Error("baseline should have no MTLB")
+	}
+}

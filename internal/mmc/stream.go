@@ -1,0 +1,81 @@
+package mmc
+
+import (
+	"fmt"
+
+	"shadowtlb/internal/arch"
+)
+
+// Stream buffers are the paper's §6 future-work extension: "we are
+// currently exploring ways to use shadow memory to implement ... MMC-
+// provided stream buffers" (Jouppi-style prefetch buffers at the memory
+// controller). The controller watches fill addresses; when fills march
+// sequentially, it prefetches the next line into a small buffer so the
+// following fill is served at buffer latency instead of DRAM latency.
+//
+// Shadow memory is what makes this effective for user data: a superpage
+// is contiguous in shadow space even though its real frames are
+// scattered, so streams cross base-page boundaries without breaking —
+// the same property that lets the MTLB map them with one walk.
+type stream struct {
+	next  arch.PAddr // line address the buffer holds/prefetched
+	valid bool
+	lru   uint64
+}
+
+// streamSet is the MMC's prefetch unit.
+type streamSet struct {
+	bufs []stream
+	tick uint64
+
+	Hits       uint64
+	Allocs     uint64
+	Prefetches uint64
+}
+
+// newStreamSet builds n buffers; n == 0 disables prefetching.
+func newStreamSet(n int) *streamSet {
+	if n < 0 {
+		panic(fmt.Sprintf("mmc: negative stream buffer count %d", n))
+	}
+	return &streamSet{bufs: make([]stream, n)}
+}
+
+// enabled reports whether any buffers exist.
+func (s *streamSet) enabled() bool { return len(s.bufs) > 0 }
+
+// lookup checks whether line pa was prefetched. On a hit the stream
+// advances (the next line is prefetched); on a miss a buffer is
+// allocated to the new stream, LRU first.
+func (s *streamSet) lookup(pa arch.PAddr) bool {
+	if !s.enabled() {
+		return false
+	}
+	s.tick++
+	line := pa.LineBase()
+	for i := range s.bufs {
+		b := &s.bufs[i]
+		if b.valid && b.next == line {
+			s.Hits++
+			s.Prefetches++
+			b.next = line + arch.LineSize
+			b.lru = s.tick
+			return true
+		}
+	}
+	// Miss: steal the LRU buffer and start a stream at the next line.
+	victim := 0
+	for i := range s.bufs {
+		if !s.bufs[i].valid {
+			victim = i
+			break
+		}
+		if s.bufs[i].lru < s.bufs[victim].lru {
+			victim = i
+		}
+	}
+	s.bufs[victim] = stream{next: line + arch.LineSize, valid: true, lru: s.tick}
+	s.Allocs++
+	s.Prefetches++
+	return false
+}

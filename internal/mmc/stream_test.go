@@ -1,0 +1,124 @@
+package mmc
+
+import (
+	"testing"
+
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/bus"
+	"shadowtlb/internal/cache"
+)
+
+func streamMMC(t *testing.T, buffers int) *MMC {
+	t.Helper()
+	return New(Config{Timing: DefaultTiming(), StreamBuffers: buffers},
+		bus.New(bus.DefaultConfig()), nil)
+}
+
+func TestStreamSequentialFillsHit(t *testing.T) {
+	m := streamMMC(t, 4)
+	// First fill of a stream misses; subsequent sequential fills hit.
+	var first, second int
+	for i := 0; i < 8; i++ {
+		res, err := m.HandleEvent(cache.Event{
+			Kind:  cache.FillShared,
+			PAddr: arch.PAddr(0x10000 + i*arch.LineSize),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = res.StallCPU
+		}
+		if i == 1 {
+			second = res.StallCPU
+		}
+	}
+	if m.StreamHits() != 7 {
+		t.Errorf("StreamHits = %d, want 7", m.StreamHits())
+	}
+	// A stream hit replaces FillDRAM (12) with StreamHitDRAM (2):
+	// 20 MMC cycles cheaper... (12-2)=10 MMC = 20 CPU cycles.
+	if first-second != 20 {
+		t.Errorf("stream hit saved %d CPU cycles, want 20", first-second)
+	}
+}
+
+func TestStreamMultipleConcurrentStreams(t *testing.T) {
+	m := streamMMC(t, 4)
+	// Interleave three streams; all should be tracked.
+	for i := 0; i < 6; i++ {
+		for s := 0; s < 3; s++ {
+			base := arch.PAddr(0x100000 * (s + 1))
+			if _, err := m.HandleEvent(cache.Event{
+				Kind:  cache.FillShared,
+				PAddr: base + arch.PAddr(i*arch.LineSize),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// 3 streams x 5 sequential hits each.
+	if m.StreamHits() != 15 {
+		t.Errorf("StreamHits = %d, want 15", m.StreamHits())
+	}
+}
+
+func TestStreamThrashingWhenTooManyStreams(t *testing.T) {
+	m := streamMMC(t, 2)
+	// 4 interleaved streams over 2 buffers: LRU churn, no hits.
+	for i := 0; i < 4; i++ {
+		for s := 0; s < 4; s++ {
+			base := arch.PAddr(0x100000 * (s + 1))
+			m.HandleEvent(cache.Event{
+				Kind:  cache.FillShared,
+				PAddr: base + arch.PAddr(i*arch.LineSize),
+			})
+		}
+	}
+	if m.StreamHits() != 0 {
+		t.Errorf("StreamHits = %d, want 0 under thrash", m.StreamHits())
+	}
+}
+
+func TestStreamRandomFillsNoHits(t *testing.T) {
+	m := streamMMC(t, 4)
+	addrs := []arch.PAddr{0x1000, 0x9000, 0x3000, 0x20000, 0x50000, 0x2000}
+	for _, a := range addrs {
+		m.HandleEvent(cache.Event{Kind: cache.FillShared, PAddr: a})
+	}
+	if m.StreamHits() != 0 {
+		t.Errorf("StreamHits = %d on random fills", m.StreamHits())
+	}
+}
+
+func TestStreamDisabled(t *testing.T) {
+	m := streamMMC(t, 0)
+	for i := 0; i < 4; i++ {
+		m.HandleEvent(cache.Event{Kind: cache.FillShared, PAddr: arch.PAddr(i * arch.LineSize)})
+	}
+	if m.StreamHits() != 0 {
+		t.Errorf("disabled stream buffers recorded hits")
+	}
+}
+
+func TestStreamNegativeCountPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	newStreamSet(-1)
+}
+
+func TestStreamWriteBacksDoNotTrain(t *testing.T) {
+	m := streamMMC(t, 4)
+	// Only fills consult the stream buffers; write-backs must not.
+	for i := 0; i < 4; i++ {
+		// Fill with write to make lines dirty in a real system; here we
+		// just issue write-backs directly.
+		m.HandleEvent(cache.Event{Kind: cache.WriteBack, PAddr: arch.PAddr(0x4000 + i*arch.LineSize)})
+	}
+	if m.StreamHits() != 0 {
+		t.Errorf("write-backs trained the stream buffers")
+	}
+}

@@ -1,0 +1,249 @@
+// Package ptable implements the hashed page table used by the simulated
+// OS to service processor-TLB misses, following the "hashed page table
+// model commonly used on HP PA-RISC architectures" (Huck & Hays, ISCA'93;
+// paper §3.2): 16K entries of 16 bytes each, probed by a software trap
+// handler.
+//
+// The table is the authoritative virtual-mapping store. Lookups return
+// both the mapping and the list of physical addresses the software
+// handler would touch while probing, so the simulator can charge those
+// probes to the data cache — reproducing the paper's observation that
+// "page tables must compete with program data for cache space".
+package ptable
+
+import (
+	"errors"
+	"fmt"
+
+	"shadowtlb/internal/arch"
+)
+
+// PTE is one page-table entry: a mapping from a class-aligned virtual
+// base to a class-aligned "physical" (possibly shadow) base.
+type PTE struct {
+	VBase      arch.VAddr
+	Class      arch.PageSizeClass
+	Target     arch.PAddr
+	ReadOnly   bool
+	Supervisor bool
+	// Referenced and Dirty are the OS-software bits for conventionally
+	// mapped pages. For shadow-backed superpages the per-base-page bits
+	// live in the MMC's shadow table instead (paper §2.5).
+	Referenced bool
+	Dirty      bool
+}
+
+// Covers reports whether the entry maps addr.
+func (p *PTE) Covers(addr arch.VAddr) bool {
+	return uint64(addr)&^p.Class.Mask() == uint64(p.VBase)
+}
+
+// Translate maps addr through the entry.
+func (p *PTE) Translate(addr arch.VAddr) arch.PAddr {
+	return p.Target | arch.PAddr(uint64(addr)&p.Class.Mask())
+}
+
+// Table geometry, from the paper: 16K entries, 16 bytes each (256 KB).
+const (
+	DefaultEntries = 16 * 1024
+	EntryBytes     = 16
+)
+
+// ErrFull is returned when the table cannot accommodate another entry.
+var ErrFull = errors.New("ptable: hashed page table full")
+
+type slotState uint8
+
+const (
+	empty slotState = iota
+	used
+	tombstone
+)
+
+type slot struct {
+	state slotState
+	pte   PTE
+}
+
+// Table is the hashed page table with open addressing and linear probing.
+type Table struct {
+	base    arch.PAddr // physical address of slot 0
+	slots   []slot
+	live    int
+	dead    int // tombstones
+	Probes  uint64
+	Lookups uint64
+}
+
+// New builds a table of n entries whose storage starts at physical
+// address base (the handler's probe addresses are derived from it).
+func New(base arch.PAddr, n int) *Table {
+	if n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("ptable: entry count %d must be a power of two", n))
+	}
+	return &Table{base: base, slots: make([]slot, n)}
+}
+
+// NewDefault builds the paper's 16K-entry table at base.
+func NewDefault(base arch.PAddr) *Table { return New(base, DefaultEntries) }
+
+// Bytes returns the table's storage footprint.
+func (t *Table) Bytes() uint64 { return uint64(len(t.slots)) * EntryBytes }
+
+// Live returns the number of live entries.
+func (t *Table) Live() int { return t.live }
+
+// SlotAddr returns the physical address of slot i, the address the
+// software handler loads when probing it.
+func (t *Table) SlotAddr(i int) arch.PAddr {
+	return t.base + arch.PAddr(i*EntryBytes)
+}
+
+// hash mixes a class-aligned virtual base into a slot index. The real
+// PA-RISC hash folds space and page number; we fold the page number bits.
+func (t *Table) hash(vbase arch.VAddr, class arch.PageSizeClass) int {
+	h := uint64(vbase) >> class.Shift()
+	h ^= uint64(class) * 0x9E3779B9
+	h *= 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	return int(h & uint64(len(t.slots)-1))
+}
+
+// Insert adds or replaces the mapping for pte's range. Alignment is
+// enforced: the entry's bases must be multiples of its class size.
+func (t *Table) Insert(pte PTE) error {
+	if uint64(pte.VBase)&pte.Class.Mask() != 0 || uint64(pte.Target)&pte.Class.Mask() != 0 {
+		panic(fmt.Sprintf("ptable: unaligned %v PTE %v -> %v", pte.Class, pte.VBase, pte.Target))
+	}
+	h := t.hash(pte.VBase, pte.Class)
+	firstFree := -1
+	for i := 0; i < len(t.slots); i++ {
+		idx := (h + i) & (len(t.slots) - 1)
+		s := &t.slots[idx]
+		switch s.state {
+		case used:
+			if s.pte.VBase == pte.VBase && s.pte.Class == pte.Class {
+				s.pte = pte // replace in place
+				return nil
+			}
+		case tombstone:
+			if firstFree < 0 {
+				firstFree = idx
+			}
+		case empty:
+			if firstFree < 0 {
+				firstFree = idx
+			}
+			if t.slots[firstFree].state == tombstone {
+				t.dead--
+			}
+			t.slots[firstFree] = slot{state: used, pte: pte}
+			t.live++
+			return nil
+		}
+	}
+	if firstFree >= 0 {
+		if t.slots[firstFree].state == tombstone {
+			t.dead--
+		}
+		t.slots[firstFree] = slot{state: used, pte: pte}
+		t.live++
+		return nil
+	}
+	return ErrFull
+}
+
+// lookupClass probes for a mapping of exactly the given class covering
+// addr, appending each probed slot's address to probes.
+func (t *Table) lookupClass(addr arch.VAddr, class arch.PageSizeClass, probes []arch.PAddr) (*PTE, []arch.PAddr) {
+	vbase := arch.VAddr(uint64(addr) &^ class.Mask())
+	h := t.hash(vbase, class)
+	for i := 0; i < len(t.slots); i++ {
+		idx := (h + i) & (len(t.slots) - 1)
+		s := &t.slots[idx]
+		probes = append(probes, t.SlotAddr(idx))
+		t.Probes++
+		switch s.state {
+		case empty:
+			return nil, probes
+		case used:
+			if s.pte.VBase == vbase && s.pte.Class == class {
+				return &s.pte, probes
+			}
+		}
+		// tombstone or mismatch: keep probing
+	}
+	return nil, probes
+}
+
+// Lookup finds the mapping covering addr, trying each page-size class
+// from the base page upward, as the paper's software handler must when
+// the faulting page size is unknown. It returns the entry (nil if
+// unmapped) and the physical addresses of every table slot probed, in
+// order, for the caller to replay against the cache.
+func (t *Table) Lookup(addr arch.VAddr) (*PTE, []arch.PAddr) {
+	t.Lookups++
+	var probes []arch.PAddr
+	for c := arch.Page4K; c < arch.PageSizeClass(arch.NumPageClasses); c++ {
+		var pte *PTE
+		pte, probes = t.lookupClass(addr, c, probes)
+		if pte != nil {
+			return pte, probes
+		}
+	}
+	return nil, probes
+}
+
+// LookupFast is a functional lookup that does not accumulate probe
+// addresses or statistics — used on non-timed paths (e.g. functional data
+// access while the timed translation is served by the TLB).
+func (t *Table) LookupFast(addr arch.VAddr) *PTE {
+	for c := arch.Page4K; c < arch.PageSizeClass(arch.NumPageClasses); c++ {
+		vbase := arch.VAddr(uint64(addr) &^ c.Mask())
+		h := t.hash(vbase, c)
+		for i := 0; i < len(t.slots); i++ {
+			idx := (h + i) & (len(t.slots) - 1)
+			s := &t.slots[idx]
+			if s.state == empty {
+				break
+			}
+			if s.state == used && s.pte.VBase == vbase && s.pte.Class == c {
+				return &s.pte
+			}
+		}
+	}
+	return nil
+}
+
+// Remove deletes the mapping with the given base and class, reporting
+// whether it existed.
+func (t *Table) Remove(vbase arch.VAddr, class arch.PageSizeClass) bool {
+	h := t.hash(vbase, class)
+	for i := 0; i < len(t.slots); i++ {
+		idx := (h + i) & (len(t.slots) - 1)
+		s := &t.slots[idx]
+		switch s.state {
+		case empty:
+			return false
+		case used:
+			if s.pte.VBase == vbase && s.pte.Class == class {
+				s.state = tombstone
+				s.pte = PTE{}
+				t.live--
+				t.dead++
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Walk calls fn for every live entry; fn may mutate the entry in place
+// (used by the paging daemon to scan/clear reference bits).
+func (t *Table) Walk(fn func(*PTE)) {
+	for i := range t.slots {
+		if t.slots[i].state == used {
+			fn(&t.slots[i].pte)
+		}
+	}
+}

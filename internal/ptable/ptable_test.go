@@ -1,0 +1,232 @@
+package ptable
+
+import (
+	"testing"
+	"testing/quick"
+
+	"shadowtlb/internal/arch"
+)
+
+func TestInsertLookup(t *testing.T) {
+	tb := New(0x100000, 1024)
+	pte := PTE{VBase: 0x4000, Class: arch.Page4K, Target: 0x40004000}
+	if err := tb.Insert(pte); err != nil {
+		t.Fatal(err)
+	}
+	got, probes := tb.Lookup(0x4abc)
+	if got == nil || got.Target != 0x40004000 {
+		t.Fatalf("Lookup = %+v", got)
+	}
+	if len(probes) == 0 {
+		t.Fatal("expected probe addresses")
+	}
+	if got.Translate(0x4abc) != 0x40004abc {
+		t.Errorf("Translate = %v", got.Translate(0x4abc))
+	}
+	if tb.Live() != 1 {
+		t.Errorf("Live = %d", tb.Live())
+	}
+}
+
+func TestLookupMiss(t *testing.T) {
+	tb := New(0x100000, 1024)
+	got, probes := tb.Lookup(0x9000)
+	if got != nil {
+		t.Fatal("expected miss")
+	}
+	// A full miss probes every page-size class at least once.
+	if len(probes) < arch.NumPageClasses {
+		t.Errorf("miss probed %d slots, want >= %d", len(probes), arch.NumPageClasses)
+	}
+}
+
+func TestSuperpageLookup(t *testing.T) {
+	tb := New(0x100000, 1024)
+	tb.Insert(PTE{VBase: 0x01000000, Class: arch.Page16M, Target: 0x80000000})
+	got, _ := tb.Lookup(0x01abcdef)
+	if got == nil || got.Class != arch.Page16M {
+		t.Fatalf("superpage lookup failed: %+v", got)
+	}
+	if got.Translate(0x01abcdef) != 0x80abcdef {
+		t.Errorf("Translate = %v", got.Translate(0x01abcdef))
+	}
+	if pte, _ := tb.Lookup(0x02000000); pte != nil {
+		t.Error("address outside superpage should miss")
+	}
+}
+
+func TestReplaceInPlace(t *testing.T) {
+	tb := New(0x100000, 64)
+	tb.Insert(PTE{VBase: 0x4000, Class: arch.Page4K, Target: 0x1000})
+	tb.Insert(PTE{VBase: 0x4000, Class: arch.Page4K, Target: 0x2000})
+	if tb.Live() != 1 {
+		t.Errorf("Live = %d after replace", tb.Live())
+	}
+	got, _ := tb.Lookup(0x4000)
+	if got.Target != 0x2000 {
+		t.Errorf("Target = %v", got.Target)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	tb := New(0x100000, 64)
+	tb.Insert(PTE{VBase: 0x4000, Class: arch.Page4K, Target: 0x1000})
+	if !tb.Remove(0x4000, arch.Page4K) {
+		t.Fatal("Remove should succeed")
+	}
+	if tb.Remove(0x4000, arch.Page4K) {
+		t.Fatal("second Remove should fail")
+	}
+	if got, _ := tb.Lookup(0x4000); got != nil {
+		t.Error("removed entry still found")
+	}
+	if tb.Live() != 0 {
+		t.Errorf("Live = %d", tb.Live())
+	}
+}
+
+func TestTombstoneProbeContinuation(t *testing.T) {
+	// Force a collision chain, remove the middle entry, and check the
+	// later entry remains findable past the tombstone.
+	tb := New(0x100000, 8)
+	var inserted []arch.VAddr
+	// Insert until we find three entries with colliding home slots.
+	home := -1
+	for p := uint64(0); p < 4096 && len(inserted) < 3; p++ {
+		v := arch.VAddr(p << arch.PageShift)
+		h := tb.hash(v, arch.Page4K)
+		if home == -1 {
+			home = h
+		}
+		if h == home {
+			tb.Insert(PTE{VBase: v, Class: arch.Page4K, Target: arch.PAddr(p << arch.PageShift)})
+			inserted = append(inserted, v)
+		}
+	}
+	if len(inserted) < 3 {
+		t.Skip("could not construct collision chain with this hash")
+	}
+	tb.Remove(inserted[1], arch.Page4K)
+	if got, _ := tb.Lookup(inserted[2]); got == nil {
+		t.Error("entry after tombstone not found")
+	}
+	// Reinsertion should reuse the tombstone.
+	live := tb.Live()
+	tb.Insert(PTE{VBase: inserted[1], Class: arch.Page4K, Target: 0})
+	if tb.Live() != live+1 {
+		t.Errorf("Live = %d, want %d", tb.Live(), live+1)
+	}
+}
+
+func TestTableFull(t *testing.T) {
+	tb := New(0x100000, 8)
+	var err error
+	for p := uint64(0); p < 9; p++ {
+		err = tb.Insert(PTE{VBase: arch.VAddr(p << arch.PageShift), Class: arch.Page4K})
+	}
+	if err != ErrFull {
+		t.Errorf("expected ErrFull, got %v", err)
+	}
+}
+
+func TestSlotAddr(t *testing.T) {
+	tb := NewDefault(0x00000000)
+	if tb.SlotAddr(0) != 0 || tb.SlotAddr(3) != 48 {
+		t.Errorf("SlotAddr wrong: %v %v", tb.SlotAddr(0), tb.SlotAddr(3))
+	}
+	if tb.Bytes() != 256*arch.KB {
+		t.Errorf("Bytes = %d, want 256KB", tb.Bytes())
+	}
+}
+
+func TestUnalignedInsertPanics(t *testing.T) {
+	tb := New(0, 8)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	tb.Insert(PTE{VBase: 0x1000, Class: arch.Page16K, Target: 0})
+}
+
+func TestBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(0, 100)
+}
+
+func TestWalk(t *testing.T) {
+	tb := New(0x100000, 64)
+	for p := uint64(1); p <= 5; p++ {
+		tb.Insert(PTE{VBase: arch.VAddr(p << arch.PageShift), Class: arch.Page4K})
+	}
+	n := 0
+	tb.Walk(func(p *PTE) { p.Referenced = true; n++ })
+	if n != 5 {
+		t.Errorf("Walk visited %d, want 5", n)
+	}
+	got, _ := tb.Lookup(0x1000)
+	if !got.Referenced {
+		t.Error("Walk mutation not visible")
+	}
+}
+
+func TestLookupFastMatchesLookup(t *testing.T) {
+	tb := New(0x100000, 1024)
+	tb.Insert(PTE{VBase: 0x4000, Class: arch.Page4K, Target: 0xa000})
+	tb.Insert(PTE{VBase: 0x10000, Class: arch.Page64K, Target: 0x80000000})
+	for _, a := range []arch.VAddr{0x4000, 0x4fff, 0x10000, 0x1ffff, 0x99000} {
+		slow, _ := tb.Lookup(a)
+		fast := tb.LookupFast(a)
+		if (slow == nil) != (fast == nil) {
+			t.Errorf("Lookup/LookupFast disagree at %v", a)
+		}
+		if slow != nil && fast != nil && slow.Target != fast.Target {
+			t.Errorf("targets disagree at %v", a)
+		}
+	}
+	if tb.Lookups != 5 {
+		t.Errorf("Lookups = %d (LookupFast must not count)", tb.Lookups)
+	}
+}
+
+// Property: after inserting a set of distinct pages, every one is found
+// and translates correctly; removing them all empties the table.
+func TestInsertRemoveProperty(t *testing.T) {
+	f := func(pages []uint16) bool {
+		tb := New(0x100000, 4096)
+		uniq := map[uint16]bool{}
+		for _, p := range pages {
+			if uniq[p] {
+				continue
+			}
+			uniq[p] = true
+			v := arch.VAddr(uint64(p) << arch.PageShift)
+			if err := tb.Insert(PTE{VBase: v, Class: arch.Page4K, Target: arch.PAddr(uint64(p)<<arch.PageShift) + 0x40000000}); err != nil {
+				return false
+			}
+		}
+		if tb.Live() != len(uniq) {
+			return false
+		}
+		for p := range uniq {
+			v := arch.VAddr(uint64(p) << arch.PageShift)
+			pte := tb.LookupFast(v + 7)
+			if pte == nil || pte.Translate(v+7) != arch.PAddr(uint64(v))+0x40000007 {
+				return false
+			}
+		}
+		for p := range uniq {
+			if !tb.Remove(arch.VAddr(uint64(p)<<arch.PageShift), arch.Page4K) {
+				return false
+			}
+		}
+		return tb.Live() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

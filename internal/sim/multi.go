@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"fmt"
+
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/core"
+	"shadowtlb/internal/cpu"
+	"shadowtlb/internal/kernel"
+	"shadowtlb/internal/mem"
+	"shadowtlb/internal/mmc"
+	"shadowtlb/internal/ptable"
+	"shadowtlb/internal/stats"
+	"shadowtlb/internal/vm"
+	"shadowtlb/internal/workload"
+)
+
+// Multiprogramming. The paper motivates the MTLB with commercial
+// workloads, which are inherently multiprogrammed; this file adds a
+// round-robin scheduler so several processes share the machine.
+//
+// The processor TLB has no address-space identifiers (like the paper's
+// PA-RISC model with a flushed unified TLB), so every context switch
+// flushes it and the micro-ITLB: the incoming process must re-fault its
+// working set into the TLB. This is where superpages shine twice over —
+// a process whose working set is mapped by a handful of superpage
+// entries refills its TLB in a few misses instead of hundreds, and the
+// MTLB itself is indexed by *physical* (shadow) addresses, so its
+// contents remain valid across switches.
+//
+// Scheduling is deterministic: each process runs in a goroutine that is
+// resumed and suspended through unbuffered channels, with exactly one
+// runnable goroutine at any time.
+
+// Proc is one scheduled process.
+type Proc struct {
+	Workload workload.Workload
+	VM       *vm.VM
+
+	// Cycles is the machine time charged while this process was
+	// scheduled (including its kernel work).
+	Cycles stats.Cycles
+	// TLBMissCycles is the portion spent in TLB miss handling.
+	TLBMissCycles stats.Cycles
+	// Switches counts times the process was scheduled in.
+	Switches uint64
+
+	resume chan struct{}
+	yield  chan struct{}
+	done   bool
+}
+
+// MultiSystem is a machine shared by several processes: one set of
+// hardware (cache, TLB, bus, MMC/MTLB, DRAM, frame pool, shadow space)
+// and per-process address spaces (VM + hashed page table).
+type MultiSystem struct {
+	Cfg     Config
+	Quantum stats.Cycles
+
+	Dram   *mem.DRAM
+	Frames *mem.FrameAlloc
+	CPU    *cpu.CPU
+	MMC    *mmc.MMC
+	Kernel *kernel.Kernel
+	Procs  []*Proc
+}
+
+// NewMulti assembles the shared machine and one address space per
+// workload. quantum is the scheduling quantum in CPU cycles.
+func NewMulti(cfg Config, workloads []workload.Workload, quantum stats.Cycles) *MultiSystem {
+	if len(workloads) == 0 {
+		panic("sim: no workloads")
+	}
+	if quantum <= 0 {
+		panic("sim: non-positive quantum")
+	}
+	// Build the shared hardware exactly as New does, but with one HPT
+	// and VM per process.
+	base := New(cfg) // proc 0 uses the standard assembly
+	ms := &MultiSystem{
+		Cfg: cfg, Quantum: quantum,
+		Dram: base.Dram, Frames: base.Frames, CPU: base.CPU,
+		MMC: base.MMC, Kernel: base.Kernel,
+	}
+	ms.Procs = append(ms.Procs, &Proc{
+		Workload: workloads[0], VM: base.VM,
+		resume: make(chan struct{}), yield: make(chan struct{}),
+	})
+
+	for i, w := range workloads[1:] {
+		// Each further process gets its own hashed page table in a
+		// distinct kernel region, and its own VM over the shared
+		// hardware.
+		hptBase := HPTBase + arch.PAddr((i+1))*arch.PAddr(cfg.HPTEntries*ptable.EntryBytes)
+		if !ms.Dram.Contains(hptBase + arch.PAddr(cfg.HPTEntries*ptable.EntryBytes)) {
+			panic("sim: too many processes for the kernel reserve")
+		}
+		var stable *core.ShadowTable
+		var shadowAlloc core.ShadowAllocator
+		if base.MTLB != nil {
+			stable = base.MTLB.Table()
+			shadowAlloc = base.VM.ShadowAlloc
+		}
+		v := vm.New(vm.Deps{
+			Dram: ms.Dram, Frames: ms.Frames,
+			HPT: ptable.New(hptBase, cfg.HPTEntries),
+			MMC: ms.MMC, Cache: base.Cache, CPUTLB: base.CPUTLB,
+			ITLB: base.ITLB, Kernel: ms.Kernel,
+			ShadowAlloc: shadowAlloc, STable: stable,
+		})
+		ms.Procs = append(ms.Procs, &Proc{
+			Workload: w, VM: v,
+			resume: make(chan struct{}), yield: make(chan struct{}),
+		})
+	}
+	return ms
+}
+
+// Run executes all processes to completion under round-robin scheduling
+// and returns total machine cycles.
+func (ms *MultiSystem) Run() stats.Cycles {
+	c := ms.CPU
+	c.Charge(ms.Kernel.Boot(), cpu.KernelTime)
+	c.Quantum = ms.Quantum
+
+	// Launch each process body, parked until first scheduled.
+	for _, p := range ms.Procs {
+		p := p
+		go func() {
+			<-p.resume
+			c.Charge(ms.Kernel.StartProcess(), cpu.KernelTime)
+			if p.Workload.SbrkSuperpages() && p.VM.HasShadow() {
+				sc := p.VM.SbrkConfigNow()
+				sc.Superpages = true
+				p.VM.ConfigureSbrk(sc)
+			}
+			p.Workload.Run(c)
+			c.Charge(ms.Kernel.ExitProcess(), cpu.KernelTime)
+			p.done = true
+			p.yield <- struct{}{}
+		}()
+	}
+
+	// The scheduler: strict round robin over unfinished processes.
+	// OnQuantum suspends the running goroutine and hands control back
+	// here; exactly one goroutine runs at a time, so the simulation
+	// stays deterministic.
+	var current *Proc
+	c.OnQuantum = func() {
+		// Capture the running proc: the scheduler reassigns `current`
+		// between our yield send and the next resume, and we must wait
+		// on our own channel.
+		me := current
+		me.yield <- struct{}{}
+		<-me.resume
+	}
+
+	remaining := len(ms.Procs)
+	idx := 0
+	for remaining > 0 {
+		p := ms.Procs[idx%len(ms.Procs)]
+		idx++
+		if p.done {
+			continue
+		}
+		// Dispatch p: context switch if the CPU was running another
+		// address space. The switch cost is attributed to the incoming
+		// process, as its slice pays for being dispatched.
+		before := c.Breakdown
+		if current != p {
+			if current != nil || c.VM != p.VM {
+				c.SwitchVM(p.VM)
+			}
+			p.Switches++
+		}
+		current = p
+		p.resume <- struct{}{}
+		<-p.yield
+		delta := c.Breakdown
+		p.Cycles += delta.Total() - before.Total()
+		p.TLBMissCycles += delta.TLBMiss - before.TLBMiss
+
+		if p.done {
+			remaining--
+		}
+	}
+	c.OnQuantum = nil
+	c.Quantum = 0
+	return c.Breakdown.Total()
+}
+
+// String summarizes per-process accounting.
+func (ms *MultiSystem) String() string {
+	s := ""
+	for i, p := range ms.Procs {
+		s += fmt.Sprintf("proc %d (%s): %d cycles, %d switches, tlb-miss %d\n",
+			i, p.Workload.Name(), p.Cycles, p.Switches, p.TLBMissCycles)
+	}
+	return s
+}

@@ -1,0 +1,281 @@
+// Package sim assembles the complete simulated machine — CPU, TLBs,
+// cache, bus, memory controller with optional MTLB, DRAM, and the OS —
+// and runs workloads on it, producing the measurements the paper's
+// evaluation reports (§3.2).
+//
+// The simulated system models the paper's environment: a single-issue
+// 240 MHz processor with a fully associative unified TLB and a perfect
+// instruction cache; a 512 KB direct-mapped VIPT write-back data cache
+// with 32-byte lines; a 120 MHz Runway-class bus; an HP-J-class memory
+// controller, optionally fitted with an MTLB over a 512 MB shadow
+// space; and a BSD-like microkernel whose boot, process lifecycle,
+// timer, TLB miss handling and paging costs are all included in
+// reported runtimes.
+package sim
+
+import (
+	"fmt"
+
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/bus"
+	"shadowtlb/internal/cache"
+	"shadowtlb/internal/core"
+	"shadowtlb/internal/cpu"
+	"shadowtlb/internal/kernel"
+	"shadowtlb/internal/mem"
+	"shadowtlb/internal/mmc"
+	"shadowtlb/internal/ptable"
+	"shadowtlb/internal/stats"
+	"shadowtlb/internal/tlb"
+	"shadowtlb/internal/vm"
+	"shadowtlb/internal/workload"
+)
+
+// Physical memory map of the simulated machine. The kernel reserves low
+// memory for its own structures; user frames are allocated above.
+const (
+	// ShadowTableBase is where the MMC's flat shadow-to-physical table
+	// lives (512 KB for the default 512 MB shadow space).
+	ShadowTableBase arch.PAddr = 0x00100000
+	// HPTBase is where the hashed page table lives (256 KB).
+	HPTBase arch.PAddr = 0x00200000
+	// UserFrameBase is the first frame available to the allocator.
+	UserFrameBase uint64 = 8 * arch.MB
+)
+
+// Config describes one machine configuration — a point in the paper's
+// evaluation space.
+type Config struct {
+	// Label names the configuration in reports.
+	Label string
+
+	// DRAMBytes is installed memory; must end below the shadow space.
+	DRAMBytes uint64
+	// AllocOrder controls physical frame fragmentation (Scatter models
+	// a long-running system; the paper's mechanism exists because free
+	// memory is discontiguous).
+	AllocOrder mem.AllocOrder
+	// MaxUserFrames caps the frames available to the OS (0 = all of
+	// DRAM beyond the kernel reserve). Small values create memory
+	// pressure that exercises the page-out daemon.
+	MaxUserFrames uint64
+
+	// CPUTLBEntries sizes the processor TLB (paper: 64, 96, 128, 256).
+	CPUTLBEntries int
+	// TextPages and IFetchPeriod shape instruction-side TLB pressure.
+	TextPages    int
+	IFetchPeriod int
+
+	// MTLB enables the memory-controller TLB when non-nil.
+	MTLB *core.MTLBConfig
+	// ShadowSpace is the shadow region (default: 512 MB at 0x80000000).
+	ShadowSpace core.ShadowSpace
+	// Partition is the bucket partition (default: the paper's Figure 2).
+	Partition []core.BucketSpec
+	// UseBuddy switches the shadow allocator to the buddy system
+	// (the paper's future-work variant; ablation).
+	UseBuddy bool
+	// NoCheckCycle hides the per-operation MMC shadow check (ablation).
+	NoCheckCycle bool
+	// StreamBuffers enables the MMC prefetch extension (§6 future
+	// work) with the given number of stream buffers.
+	StreamBuffers int
+	// DRAMBanks enables banked open-row DRAM timing (0 = flat latency).
+	DRAMBanks int
+
+	// Cache, Bus, MMCTiming and Costs parameterize the substrate.
+	Cache     cache.Config
+	Bus       bus.Config
+	MMCTiming mmc.Timing
+	Costs     kernel.Costs
+	// HPTEntries sizes the hashed page table (default 16K, §3.2).
+	HPTEntries int
+}
+
+// Default returns the paper's base system: 96-entry CPU TLB, no MTLB.
+func Default() Config {
+	return Config{
+		Label:         "base-96",
+		DRAMBytes:     256 * arch.MB,
+		AllocOrder:    mem.Scatter,
+		CPUTLBEntries: 96,
+		TextPages:     12,
+		IFetchPeriod:  120,
+		ShadowSpace:   core.DefaultShadowSpace(),
+		Cache:         cache.DefaultConfig(),
+		Bus:           bus.DefaultConfig(),
+		MMCTiming:     mmc.DefaultTiming(),
+		Costs:         kernel.DefaultCosts(),
+		HPTEntries:    ptable.DefaultEntries,
+	}
+}
+
+// WithTLB returns the config with a different CPU TLB size.
+func (c Config) WithTLB(entries int) Config {
+	c.CPUTLBEntries = entries
+	c.Label = fmt.Sprintf("tlb%d", entries)
+	if c.MTLB != nil {
+		c.Label += fmt.Sprintf("+mtlb%d/%dw", c.MTLB.Entries, c.MTLB.Ways)
+	}
+	return c
+}
+
+// WithMTLB returns the config with an MTLB fitted.
+func (c Config) WithMTLB(m core.MTLBConfig) Config {
+	c.MTLB = &m
+	c.Label = fmt.Sprintf("tlb%d+mtlb%d/%dw", c.CPUTLBEntries, m.Entries, m.Ways)
+	return c
+}
+
+// System is an assembled machine.
+type System struct {
+	Cfg    Config
+	Dram   *mem.DRAM
+	Frames *mem.FrameAlloc
+	Bus    *bus.Bus
+	Cache  *cache.Cache
+	CPUTLB *tlb.TLB
+	ITLB   *tlb.MicroITLB
+	HPT    *ptable.Table
+	MTLB   *core.MTLB
+	MMC    *mmc.MMC
+	Kernel *kernel.Kernel
+	VM     *vm.VM
+	CPU    *cpu.CPU
+}
+
+// New assembles a machine from the configuration.
+func New(cfg Config) *System {
+	if cfg.DRAMBytes == 0 {
+		panic("sim: zero DRAM")
+	}
+	if uint64(cfg.ShadowSpace.Base) < cfg.DRAMBytes {
+		panic(fmt.Sprintf("sim: shadow space at %v overlaps %d MB of DRAM",
+			cfg.ShadowSpace.Base, cfg.DRAMBytes/arch.MB))
+	}
+	s := &System{Cfg: cfg}
+	s.Dram = mem.NewDRAM(cfg.DRAMBytes)
+	userFrames := (cfg.DRAMBytes - UserFrameBase) / arch.PageSize
+	if cfg.MaxUserFrames > 0 && cfg.MaxUserFrames < userFrames {
+		userFrames = cfg.MaxUserFrames
+	}
+	s.Frames = mem.NewFrameAlloc(UserFrameBase/arch.PageSize, userFrames, cfg.AllocOrder)
+	s.Bus = bus.New(cfg.Bus)
+	s.Cache = cache.New(cfg.Cache)
+	s.CPUTLB = tlb.New(tlb.FullyAssociative(cfg.CPUTLBEntries))
+	s.ITLB = &tlb.MicroITLB{}
+	s.HPT = ptable.New(HPTBase, cfg.HPTEntries)
+	s.Kernel = kernel.New(cfg.Costs)
+
+	var stable *core.ShadowTable
+	var shadowAlloc core.ShadowAllocator
+	if cfg.MTLB != nil {
+		stable = core.NewShadowTable(cfg.ShadowSpace, ShadowTableBase, s.Dram)
+		s.MTLB = core.NewMTLB(*cfg.MTLB, stable)
+		if cfg.UseBuddy {
+			shadowAlloc = core.NewBuddyAlloc(cfg.ShadowSpace)
+		} else {
+			part := cfg.Partition
+			if part == nil {
+				part = core.DefaultPartition()
+			}
+			shadowAlloc = core.NewBucketAlloc(cfg.ShadowSpace, part)
+		}
+	}
+	s.MMC = mmc.New(mmc.Config{
+		Timing:        cfg.MMCTiming,
+		NoCheckCycle:  cfg.NoCheckCycle,
+		StreamBuffers: cfg.StreamBuffers,
+		DRAMBanks:     cfg.DRAMBanks,
+	}, s.Bus, s.MTLB)
+	s.VM = vm.New(vm.Deps{
+		Dram: s.Dram, Frames: s.Frames, HPT: s.HPT, MMC: s.MMC,
+		Cache: s.Cache, CPUTLB: s.CPUTLB, ITLB: s.ITLB, Kernel: s.Kernel,
+		ShadowAlloc: shadowAlloc, STable: stable,
+	})
+	s.CPU = cpu.New(cpu.Config{
+		TLBEntries:   cfg.CPUTLBEntries,
+		TextPages:    cfg.TextPages,
+		IFetchPeriod: cfg.IFetchPeriod,
+	}, s.VM)
+	return s
+}
+
+// Result is the measurement set of one run — the quantities the paper's
+// figures are built from.
+type Result struct {
+	Label     string
+	Workload  string
+	Breakdown stats.Breakdown
+
+	Instructions uint64
+	TLBMisses    uint64
+	TLBHitRate   float64
+	CacheHitRate float64
+	PageFaults   uint64
+
+	// MTLB-side measurements (zero without an MTLB).
+	HasMTLB         bool
+	MTLBHitRate     float64
+	MTLBFills       uint64
+	SuperpagesMade  uint64
+	PagesRemapped   uint64
+	AvgFillMMC      float64 // Figure 4(B): MMC cycles per cache fill
+	Fills           uint64
+	StreamHits      uint64
+	CPUTLBReachPeak uint64
+}
+
+// TotalCycles returns the run's total simulated CPU cycles.
+func (r Result) TotalCycles() stats.Cycles { return r.Breakdown.Total() }
+
+// TLBFraction returns the fraction of runtime in TLB miss handling.
+func (r Result) TLBFraction() float64 { return r.Breakdown.TLBFraction() }
+
+// Run boots the system, executes the workload as a process, and collects
+// the result. Runtimes include kernel initialization, process startup
+// and exit, as in the paper ("complete simulation times from
+// initialization of the BSD-based (micro)kernel ... through completion
+// of process exit()", §3.2).
+func (s *System) Run(w workload.Workload) Result {
+	s.CPU.Charge(s.Kernel.Boot(), cpu.KernelTime)
+	s.CPU.Charge(s.Kernel.StartProcess(), cpu.KernelTime)
+
+	if w.SbrkSuperpages() && s.VM.HasShadow() {
+		cfg := s.VM.SbrkConfigNow()
+		cfg.Superpages = true
+		s.VM.ConfigureSbrk(cfg)
+	}
+
+	w.Run(s.CPU)
+
+	s.CPU.Charge(s.Kernel.ExitProcess(), cpu.KernelTime)
+
+	res := Result{
+		Label:        s.Cfg.Label,
+		Workload:     w.Name(),
+		Breakdown:    s.CPU.Breakdown,
+		Instructions: s.CPU.Instructions,
+		TLBMisses:    s.VM.TLBMisses,
+		TLBHitRate:   s.CPUTLB.Stats.Rate(),
+		CacheHitRate: s.Cache.Stats.Rate(),
+		PageFaults:   s.VM.PageFaults,
+		Fills:        s.MMC.Fills,
+		StreamHits:   s.MMC.StreamHits(),
+		AvgFillMMC:   s.MMC.AvgFillMMCCycles(),
+	}
+	if s.MTLB != nil {
+		res.HasMTLB = true
+		res.MTLBHitRate = s.MTLB.Stats.Rate()
+		res.MTLBFills = s.MTLB.Fills
+		res.SuperpagesMade = s.VM.SuperpagesMade
+		res.PagesRemapped = s.VM.PagesRemapped
+	}
+	res.CPUTLBReachPeak = s.CPUTLB.Reach()
+	return res
+}
+
+// RunOn is a convenience: assemble a fresh system and run the workload.
+func RunOn(cfg Config, w workload.Workload) Result {
+	return New(cfg).Run(w)
+}

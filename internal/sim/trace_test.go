@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"shadowtlb/internal/trace"
+	"shadowtlb/internal/workload"
+	"shadowtlb/internal/workload/radix"
+)
+
+// Recording a workload and replaying its trace on an identical machine
+// must reproduce the cycle count exactly — the trace-driven and
+// execution-driven modes are interchangeable.
+func TestTraceReplayIsCycleExact(t *testing.T) {
+	cfg := smallMTLB().WithTLB(64)
+
+	var buf bytes.Buffer
+	tw, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := radix.New(radix.SmallConfig())
+	rec := &recordingWorkload{inner: orig, w: tw}
+	recorded := RunOn(cfg, rec)
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := trace.ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("empty trace")
+	}
+	replayed := RunOn(cfg, &trace.Replay{Records: recs})
+
+	if replayed.TotalCycles() != recorded.TotalCycles() {
+		t.Errorf("replay cycles %d != recorded %d",
+			replayed.TotalCycles(), recorded.TotalCycles())
+	}
+	if replayed.TLBMisses != recorded.TLBMisses {
+		t.Errorf("replay TLB misses %d != recorded %d",
+			replayed.TLBMisses, recorded.TLBMisses)
+	}
+	if replayed.Fills != recorded.Fills {
+		t.Errorf("replay fills %d != recorded %d", replayed.Fills, recorded.Fills)
+	}
+}
+
+// Replaying the same trace on a different configuration still works and
+// produces that configuration's timing.
+func TestTraceReplayAcrossConfigs(t *testing.T) {
+	var buf bytes.Buffer
+	tw, _ := trace.NewWriter(&buf)
+	RunOn(smallMTLB().WithTLB(64),
+		&recordingWorkload{inner: radix.New(radix.SmallConfig()), w: tw})
+	tw.Flush()
+	recs, err := trace.ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := RunOn(small().WithTLB(64), &trace.Replay{Records: recs})
+	mtlb := RunOn(smallMTLB().WithTLB(64), &trace.Replay{Records: recs})
+	if base.TotalCycles() == mtlb.TotalCycles() {
+		t.Error("different configurations should time differently")
+	}
+	if base.SuperpagesMade != 0 || mtlb.SuperpagesMade == 0 {
+		t.Error("remap records should apply only on the MTLB system")
+	}
+}
+
+// recordingWorkload wraps a workload with the trace recorder.
+type recordingWorkload struct {
+	inner workload.Workload
+	w     *trace.Writer
+}
+
+func (r *recordingWorkload) Name() string         { return r.inner.Name() }
+func (r *recordingWorkload) SbrkSuperpages() bool { return r.inner.SbrkSuperpages() }
+func (r *recordingWorkload) Run(env workload.Env) {
+	r.inner.Run(&trace.Recorder{Env: env, W: r.w})
+}

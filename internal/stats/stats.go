@@ -1,0 +1,112 @@
+// Package stats collects and renders the measurements the simulator
+// produces: cycle breakdowns, hit/miss counters, and the text tables used
+// to regenerate the paper's figures.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Cycles counts simulated CPU cycles.
+type Cycles uint64
+
+// Breakdown attributes total runtime to the categories the paper reports:
+// user execution, TLB miss handling, memory (cache-miss) stall, and kernel
+// execution outside of TLB handling.
+type Breakdown struct {
+	User    Cycles // user-mode instruction execution and cache hits
+	TLBMiss Cycles // software TLB miss handler, including its memory stalls
+	Memory  Cycles // cache-fill and write-back stall cycles outside the handler
+	Kernel  Cycles // other kernel time: syscalls, remap, paging
+}
+
+// Total returns the sum of all categories.
+func (b Breakdown) Total() Cycles { return b.User + b.TLBMiss + b.Memory + b.Kernel }
+
+// Add accumulates o into b.
+func (b *Breakdown) Add(o Breakdown) {
+	b.User += o.User
+	b.TLBMiss += o.TLBMiss
+	b.Memory += o.Memory
+	b.Kernel += o.Kernel
+}
+
+// TLBFraction returns the fraction of total runtime spent handling TLB
+// misses, the headline metric of the paper's Figure 3.
+func (b Breakdown) TLBFraction() float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(b.TLBMiss) / float64(t)
+}
+
+// String summarizes the breakdown.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("total=%d user=%d tlb=%d(%.1f%%) mem=%d kernel=%d",
+		b.Total(), b.User, b.TLBMiss, 100*b.TLBFraction(), b.Memory, b.Kernel)
+}
+
+// HitMiss is a hit/miss counter pair used by TLBs and caches.
+type HitMiss struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// Accesses returns hits+misses.
+func (h HitMiss) Accesses() uint64 { return h.Hits + h.Misses }
+
+// Rate returns the hit rate in [0,1]; 0 if there were no accesses.
+func (h HitMiss) Rate() float64 {
+	a := h.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(h.Hits) / float64(a)
+}
+
+// Hit records a hit.
+func (h *HitMiss) Hit() { h.Hits++ }
+
+// Miss records a miss.
+func (h *HitMiss) Miss() { h.Misses++ }
+
+// String renders the counters with the hit rate.
+func (h HitMiss) String() string {
+	return fmt.Sprintf("%d/%d (%.2f%% hit)", h.Hits, h.Accesses(), 100*h.Rate())
+}
+
+// Set is a named counter collection for ad-hoc event counting.
+type Set struct {
+	counts map[string]uint64
+}
+
+// NewSet returns an empty counter set.
+func NewSet() *Set { return &Set{counts: make(map[string]uint64)} }
+
+// Inc adds n to the named counter.
+func (s *Set) Inc(name string, n uint64) { s.counts[name] += n }
+
+// Get returns the named counter's value.
+func (s *Set) Get(name string) uint64 { return s.counts[name] }
+
+// Names returns the counter names in sorted order.
+func (s *Set) Names() []string {
+	names := make([]string, 0, len(s.counts))
+	for n := range s.counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders all counters, one per line, sorted by name.
+func (s *Set) String() string {
+	var sb strings.Builder
+	for _, n := range s.Names() {
+		fmt.Fprintf(&sb, "%s=%d\n", n, s.counts[n])
+	}
+	return sb.String()
+}

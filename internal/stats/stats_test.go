@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBreakdownTotalAndFraction(t *testing.T) {
+	b := Breakdown{User: 60, TLBMiss: 25, Memory: 10, Kernel: 5}
+	if b.Total() != 100 {
+		t.Fatalf("Total = %d, want 100", b.Total())
+	}
+	if got := b.TLBFraction(); got != 0.25 {
+		t.Errorf("TLBFraction = %v, want 0.25", got)
+	}
+	var zero Breakdown
+	if zero.TLBFraction() != 0 {
+		t.Error("zero breakdown should have 0 TLB fraction")
+	}
+}
+
+func TestBreakdownAdd(t *testing.T) {
+	a := Breakdown{User: 1, TLBMiss: 2, Memory: 3, Kernel: 4}
+	a.Add(Breakdown{User: 10, TLBMiss: 20, Memory: 30, Kernel: 40})
+	want := Breakdown{User: 11, TLBMiss: 22, Memory: 33, Kernel: 44}
+	if a != want {
+		t.Errorf("Add gave %+v, want %+v", a, want)
+	}
+}
+
+func TestBreakdownAddCommutesProperty(t *testing.T) {
+	f := func(u1, t1, m1, k1, u2, t2, m2, k2 uint32) bool {
+		a := Breakdown{Cycles(u1), Cycles(t1), Cycles(m1), Cycles(k1)}
+		b := Breakdown{Cycles(u2), Cycles(t2), Cycles(m2), Cycles(k2)}
+		x, y := a, b
+		x.Add(b)
+		y.Add(a)
+		return x == y && x.Total() == a.Total()+b.Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHitMiss(t *testing.T) {
+	var h HitMiss
+	if h.Rate() != 0 {
+		t.Error("empty HitMiss rate should be 0")
+	}
+	for i := 0; i < 3; i++ {
+		h.Hit()
+	}
+	h.Miss()
+	if h.Accesses() != 4 {
+		t.Errorf("Accesses = %d", h.Accesses())
+	}
+	if h.Rate() != 0.75 {
+		t.Errorf("Rate = %v", h.Rate())
+	}
+	if !strings.Contains(h.String(), "75.00%") {
+		t.Errorf("String = %q", h.String())
+	}
+}
+
+func TestSet(t *testing.T) {
+	s := NewSet()
+	s.Inc("b", 2)
+	s.Inc("a", 1)
+	s.Inc("b", 3)
+	if s.Get("b") != 5 || s.Get("a") != 1 || s.Get("zzz") != 0 {
+		t.Errorf("counter values wrong: %v", s)
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names = %v", names)
+	}
+	if got := s.String(); got != "a=1\nb=5\n" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Title", "name", "value")
+	tb.AddRow("radix", "1.00")
+	tb.AddRowf("em3d", 0.5)
+	tb.AddRow("onlyname")
+	out := tb.String()
+	if !strings.Contains(out, "Title") || !strings.Contains(out, "radix") {
+		t.Errorf("table output missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "0.500") {
+		t.Errorf("AddRowf float formatting missing:\n%s", out)
+	}
+	if tb.NumRows() != 3 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + rule + 3 rows
+	if len(lines) != 6 {
+		t.Errorf("expected 6 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("x,y", "plain")
+	csv := tb.CSV()
+	if !strings.Contains(csv, "\"x,y\"") {
+		t.Errorf("CSV should quote commas: %q", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Errorf("CSV header wrong: %q", csv)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if Bar(0.5, 10) != "#####" {
+		t.Errorf("Bar(0.5,10) = %q", Bar(0.5, 10))
+	}
+	if Bar(-1, 10) != "" {
+		t.Errorf("Bar(-1,10) = %q", Bar(-1, 10))
+	}
+	if Bar(2, 10) != "##########" {
+		t.Errorf("Bar(2,10) = %q", Bar(2, 10))
+	}
+}

@@ -1,0 +1,45 @@
+package tlb
+
+import (
+	"shadowtlb/internal/stats"
+)
+
+// MicroITLB is the single-entry instruction TLB holding the most recent
+// instruction translation (paper §3.2). Hits bypass the main TLB
+// entirely, so sequential code imposes almost no main-TLB pressure.
+type MicroITLB struct {
+	entry Entry
+	Stats stats.HitMiss
+}
+
+// Lookup translates an instruction fetch address if the single entry
+// covers it.
+func (m *MicroITLB) Lookup(addr uint64) (uint64, bool) {
+	if m.entry.covers(addr) {
+		m.Stats.Hit()
+		return m.entry.Translate(addr), true
+	}
+	m.Stats.Miss()
+	return 0, false
+}
+
+// Refill replaces the single entry after the main TLB (or miss handler)
+// supplied a translation.
+func (m *MicroITLB) Refill(e Entry) {
+	e.Valid = true
+	m.entry = e
+}
+
+// Purge invalidates the entry.
+func (m *MicroITLB) Purge() { m.entry = Entry{} }
+
+// PurgeIfOverlaps invalidates the entry when it overlaps [base, base+size).
+func (m *MicroITLB) PurgeIfOverlaps(base, size uint64) {
+	if !m.entry.Valid {
+		return
+	}
+	lo, hi := m.entry.Tag, m.entry.Tag+m.entry.Class.Bytes()
+	if lo < base+size && base < hi {
+		m.entry = Entry{}
+	}
+}

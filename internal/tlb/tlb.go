@@ -1,0 +1,334 @@
+// Package tlb implements a generic set-associative translation lookaside
+// buffer with not-recently-used (NRU) replacement and variable page sizes
+// (superpages). Two instances appear in the simulated machine:
+//
+//   - the processor's unified I/D TLB: fully associative, single cycle,
+//     superpage-capable, NRU-replaced, sizes 64-256 entries (paper §3.2);
+//   - the memory-controller TLB (MTLB): set-associative (2-way by
+//     default), single base page size, NRU-replaced (paper §2.2, §3.4).
+//
+// The TLB is address-space agnostic: it maps one 64-bit address space onto
+// another. The CPU instance maps virtual to "physical" (possibly shadow)
+// addresses; the MTLB instance maps shadow physical to real physical.
+//
+// The implementation is tuned for simulation throughput: hits on the most
+// recently used entry short-circuit the associative scan, and NRU aging
+// is maintained with per-set counters so the common case is O(1).
+package tlb
+
+import (
+	"fmt"
+
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/stats"
+)
+
+// Entry is one TLB mapping. Tag and Target are byte addresses aligned to
+// the mapping's page-class size; a mapping of class c covers
+// [Tag, Tag+c.Bytes()).
+type Entry struct {
+	Valid  bool
+	Wired  bool // never replaced (the paper's kernel block TLB entry)
+	Class  arch.PageSizeClass
+	Tag    uint64 // source-space base address, class-aligned
+	Target uint64 // destination-space base address, class-aligned
+
+	// Protection bits, held only in the processor TLB (paper §2.1):
+	// identical for every base page under a superpage.
+	ReadOnly   bool
+	Supervisor bool
+
+	nru bool // NRU referenced bit
+}
+
+// Translate applies the mapping to an address that hits this entry.
+func (e *Entry) Translate(addr uint64) uint64 {
+	return e.Target | (addr & e.Class.Mask())
+}
+
+// covers reports whether addr falls in this entry's mapped range.
+func (e *Entry) covers(addr uint64) bool {
+	return e.Valid && addr&^e.Class.Mask() == e.Tag
+}
+
+// Config sizes a TLB.
+type Config struct {
+	Entries int // total entries; must be a multiple of Ways
+	Ways    int // associativity; Ways == Entries means fully associative
+	// UniformClass forces a single page size. Required whenever the TLB
+	// has more than one set, because set indexing needs a fixed page
+	// shift. The MTLB uses Page4K (paper §2.2 reason 3).
+	UniformClass arch.PageSizeClass
+	Uniform      bool
+}
+
+// FullyAssociative builds the processor-TLB configuration.
+func FullyAssociative(entries int) Config {
+	return Config{Entries: entries, Ways: entries}
+}
+
+// SetAssociative builds an MTLB-style configuration: ways-way associative
+// over a single 4 KB page size.
+func SetAssociative(entries, ways int) Config {
+	return Config{Entries: entries, Ways: ways, Uniform: true, UniformClass: arch.Page4K}
+}
+
+// set is one associative set with NRU bookkeeping counters.
+type set struct {
+	entries []Entry
+	valid   int // valid entries
+	nruSet  int // valid entries with the NRU bit set
+}
+
+// TLB is a set-associative translation cache with NRU replacement.
+type TLB struct {
+	cfg     Config
+	sets    []set
+	lastHit *Entry // MRU short-circuit; cleared on any mutation
+	Stats   stats.HitMiss
+}
+
+// New builds a TLB. It panics on malformed configurations (non-divisible
+// ways, multi-set without a uniform page size) because those are
+// programming errors, not runtime conditions.
+func New(cfg Config) *TLB {
+	if cfg.Entries <= 0 || cfg.Ways <= 0 || cfg.Entries%cfg.Ways != 0 {
+		panic(fmt.Sprintf("tlb: bad geometry %d entries / %d ways", cfg.Entries, cfg.Ways))
+	}
+	numSets := cfg.Entries / cfg.Ways
+	if numSets > 1 && !cfg.Uniform {
+		panic("tlb: multi-set TLB requires a uniform page class for indexing")
+	}
+	sets := make([]set, numSets)
+	for i := range sets {
+		sets[i].entries = make([]Entry, cfg.Ways)
+	}
+	return &TLB{cfg: cfg, sets: sets}
+}
+
+// Entries returns the total entry count.
+func (t *TLB) Entries() int { return t.cfg.Entries }
+
+// Ways returns the associativity.
+func (t *TLB) Ways() int { return t.cfg.Ways }
+
+// Sets returns the number of sets.
+func (t *TLB) Sets() int { return len(t.sets) }
+
+// setFor returns the set an address maps to. Fully associative TLBs
+// always use set 0.
+func (t *TLB) setFor(addr uint64) *set {
+	if len(t.sets) == 1 {
+		return &t.sets[0]
+	}
+	idx := (addr >> t.cfg.UniformClass.Shift()) % uint64(len(t.sets))
+	return &t.sets[idx]
+}
+
+// Lookup finds the entry covering addr. On a hit it marks the entry
+// recently used and returns it; on a miss it returns nil. Stats are
+// updated. Lookup does not check protection; callers decide how to treat
+// ReadOnly/Supervisor because fault semantics differ between the CPU TLB
+// and the MTLB.
+func (t *TLB) Lookup(addr uint64) *Entry {
+	if t.lastHit != nil && t.lastHit.covers(addr) {
+		t.Stats.Hit()
+		t.touch(t.setFor(addr), t.lastHit)
+		return t.lastHit
+	}
+	s := t.setFor(addr)
+	for i := range s.entries {
+		e := &s.entries[i]
+		if e.covers(addr) {
+			t.Stats.Hit()
+			t.touch(s, e)
+			t.lastHit = e
+			return e
+		}
+	}
+	t.Stats.Miss()
+	return nil
+}
+
+// Probe is like Lookup but does not update stats or NRU state; used by
+// tests and by the OS model to inspect TLB contents non-destructively.
+func (t *TLB) Probe(addr uint64) *Entry {
+	s := t.setFor(addr)
+	for i := range s.entries {
+		if s.entries[i].covers(addr) {
+			return &s.entries[i]
+		}
+	}
+	return nil
+}
+
+// touch sets the NRU bit, ageing the set (clearing every other bit) when
+// all valid entries would otherwise be marked.
+func (t *TLB) touch(s *set, hit *Entry) {
+	if hit.nru {
+		return
+	}
+	hit.nru = true
+	s.nruSet++
+	if s.nruSet == s.valid {
+		t.age(s, hit)
+	}
+}
+
+// age clears the NRU bits of every valid entry except keep.
+func (t *TLB) age(s *set, keep *Entry) {
+	for i := range s.entries {
+		e := &s.entries[i]
+		if e.Valid && e != keep {
+			e.nru = false
+		}
+	}
+	s.nruSet = 1
+	if keep == nil || !keep.Valid {
+		s.nruSet = 0
+	}
+}
+
+// Insert installs a mapping, evicting an NRU victim if the set is full.
+// It returns the evicted entry (Valid=false in the return if nothing
+// valid was displaced). Pre-existing entries covering the same range are
+// overwritten in place, which models TLB designs that "automatically
+// discard pre-existing mappings for the same virtual range" (paper §2.3).
+func (t *TLB) Insert(e Entry) Entry {
+	if t.cfg.Uniform && e.Class != t.cfg.UniformClass {
+		panic(fmt.Sprintf("tlb: inserting %v entry into uniform %v TLB", e.Class, t.cfg.UniformClass))
+	}
+	if e.Tag&e.Class.Mask() != 0 || e.Target&e.Class.Mask() != 0 {
+		panic(fmt.Sprintf("tlb: unaligned %v mapping %#x -> %#x", e.Class, e.Tag, e.Target))
+	}
+	e.Valid = true
+	e.nru = false // installEntry's touch sets it
+	t.lastHit = nil
+	s := t.setFor(e.Tag)
+
+	// Replace an existing mapping for the same range.
+	for i := range s.entries {
+		if s.entries[i].covers(e.Tag) {
+			old := s.entries[i]
+			if old.nru {
+				s.nruSet--
+			}
+			s.entries[i] = e
+			t.touch(s, &s.entries[i])
+			return old
+		}
+	}
+	// Free slot.
+	for i := range s.entries {
+		if !s.entries[i].Valid {
+			s.entries[i] = e
+			s.valid++
+			t.touch(s, &s.entries[i])
+			return Entry{}
+		}
+	}
+	// NRU victim: first non-wired entry with a clear referenced bit;
+	// if none, age the set and retry.
+	victim := -1
+	for pass := 0; pass < 2 && victim < 0; pass++ {
+		for i := range s.entries {
+			if !s.entries[i].Wired && !s.entries[i].nru {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			t.age(s, nil)
+		}
+	}
+	if victim < 0 {
+		panic("tlb: set entirely wired; cannot insert")
+	}
+	old := s.entries[victim]
+	if old.nru {
+		s.nruSet--
+	}
+	s.entries[victim] = e
+	t.touch(s, &s.entries[victim])
+	return old
+}
+
+// purgeAt invalidates entry i of set s, maintaining counters.
+func (t *TLB) purgeAt(s *set, i int) {
+	if s.entries[i].nru {
+		s.nruSet--
+	}
+	s.entries[i] = Entry{}
+	s.valid--
+	t.lastHit = nil
+}
+
+// Purge invalidates any entry covering addr and reports whether one was
+// found (the paper's per-mapping TLB shootdown).
+func (t *TLB) Purge(addr uint64) bool {
+	s := t.setFor(addr)
+	for i := range s.entries {
+		if s.entries[i].covers(addr) {
+			t.purgeAt(s, i)
+			return true
+		}
+	}
+	return false
+}
+
+// PurgeAll invalidates every non-wired entry.
+func (t *TLB) PurgeAll() {
+	for si := range t.sets {
+		s := &t.sets[si]
+		for i := range s.entries {
+			if s.entries[i].Valid && !s.entries[i].Wired {
+				t.purgeAt(s, i)
+			}
+		}
+	}
+}
+
+// PurgeRange invalidates all non-wired entries overlapping [base,
+// base+size) and returns how many were dropped. Used when the OS remaps a
+// virtual region onto shadow superpages.
+func (t *TLB) PurgeRange(base, size uint64) int {
+	n := 0
+	for si := range t.sets {
+		s := &t.sets[si]
+		for i := range s.entries {
+			e := &s.entries[i]
+			if !e.Valid || e.Wired {
+				continue
+			}
+			lo, hi := e.Tag, e.Tag+e.Class.Bytes()
+			if lo < base+size && base < hi {
+				t.purgeAt(s, i)
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ValidCount returns the number of valid entries.
+func (t *TLB) ValidCount() int {
+	n := 0
+	for i := range t.sets {
+		n += t.sets[i].valid
+	}
+	return n
+}
+
+// Reach returns the total bytes currently mapped by valid entries — the
+// paper's headline metric.
+func (t *TLB) Reach() uint64 {
+	var r uint64
+	for si := range t.sets {
+		for i := range t.sets[si].entries {
+			if t.sets[si].entries[i].Valid {
+				r += t.sets[si].entries[i].Class.Bytes()
+			}
+		}
+	}
+	return r
+}

@@ -1,0 +1,255 @@
+// Package trace records and replays memory-reference traces. Recording
+// wraps a workload's execution environment and logs every load, store,
+// instruction batch and memory-management call; replaying turns a saved
+// trace back into a workload that can run on any machine configuration.
+//
+// Trace-driven simulation complements the execution-driven mode: a trace
+// captured once can be replayed bit-identically against many
+// configurations, which is how the paper-era methodology compared TLB
+// designs. The format is a fixed-width binary record stream
+// (encoding/binary, little endian) with a magic header.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/workload"
+)
+
+// Kind identifies a trace record type.
+type Kind uint8
+
+// Record kinds.
+const (
+	KindLoad Kind = iota
+	KindStore
+	KindStep
+	KindSbrk
+	KindRemap
+	KindAllocRegion
+	KindAllocAligned
+)
+
+// Record is one trace event. Field use by kind:
+//
+//	Load/Store:   A = address, Size = access size
+//	Step:         A = instruction count
+//	Sbrk:         A = byte count
+//	Remap:        A = base, B = size
+//	AllocRegion:  A = size
+//	AllocAligned: A = size, B = align<<32 | offset (both < 4 GB)
+type Record struct {
+	Kind Kind
+	Size uint8
+	A, B uint64
+}
+
+// Magic identifies trace files.
+const Magic = uint32(0x4D544C42) // "MTLB"
+
+const recordBytes = 1 + 1 + 8 + 8
+
+// Writer serializes records.
+type Writer struct {
+	w   *bufio.Writer
+	n   int
+	err error
+}
+
+// NewWriter writes a trace to w, emitting the header immediately.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if err := binary.Write(bw, binary.LittleEndian, Magic); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one record.
+func (w *Writer) Write(r Record) {
+	if w.err != nil {
+		return
+	}
+	var buf [recordBytes]byte
+	buf[0] = byte(r.Kind)
+	buf[1] = r.Size
+	binary.LittleEndian.PutUint64(buf[2:], r.A)
+	binary.LittleEndian.PutUint64(buf[10:], r.B)
+	if _, err := w.w.Write(buf[:]); err != nil {
+		w.err = err
+		return
+	}
+	w.n++
+}
+
+// Records returns how many records were written.
+func (w *Writer) Records() int { return w.n }
+
+// Flush completes the trace, returning any deferred write error.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// Reader deserializes records.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader validates the header and returns a record reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var magic uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if magic != Magic {
+		return nil, errors.New("trace: bad magic; not a trace file")
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next returns the next record, or io.EOF at the end of the trace.
+func (r *Reader) Next() (Record, error) {
+	var buf [recordBytes]byte
+	if _, err := io.ReadFull(r.r, buf[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return Record{}, errors.New("trace: truncated record")
+		}
+		return Record{}, err
+	}
+	return Record{
+		Kind: Kind(buf[0]),
+		Size: buf[1],
+		A:    binary.LittleEndian.Uint64(buf[2:]),
+		B:    binary.LittleEndian.Uint64(buf[10:]),
+	}, nil
+}
+
+// ReadAll slurps a whole trace.
+func ReadAll(r io.Reader) ([]Record, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var recs []Record
+	for {
+		rec, err := tr.Next()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// Recorder wraps an execution environment, recording everything the
+// workload does while passing it through.
+type Recorder struct {
+	Env workload.Env
+	W   *Writer
+}
+
+var _ workload.Env = (*Recorder)(nil)
+
+// Load records and forwards a load.
+func (r *Recorder) Load(va arch.VAddr, size int) uint64 {
+	r.W.Write(Record{Kind: KindLoad, Size: uint8(size), A: uint64(va)})
+	return r.Env.Load(va, size)
+}
+
+// Store records and forwards a store. Values are not recorded: replay
+// timing is value-independent, and stores replay with a placeholder.
+func (r *Recorder) Store(va arch.VAddr, size int, val uint64) {
+	r.W.Write(Record{Kind: KindStore, Size: uint8(size), A: uint64(va)})
+	r.Env.Store(va, size, val)
+}
+
+// Step records and forwards an instruction batch.
+func (r *Recorder) Step(n int) {
+	if n <= 0 {
+		return
+	}
+	r.W.Write(Record{Kind: KindStep, A: uint64(n)})
+	r.Env.Step(n)
+}
+
+// Sbrk records and forwards a heap extension.
+func (r *Recorder) Sbrk(n uint64) arch.VAddr {
+	r.W.Write(Record{Kind: KindSbrk, A: n})
+	return r.Env.Sbrk(n)
+}
+
+// Remap records and forwards a superpage request.
+func (r *Recorder) Remap(base arch.VAddr, size uint64) bool {
+	r.W.Write(Record{Kind: KindRemap, A: uint64(base), B: size})
+	return r.Env.Remap(base, size)
+}
+
+// AllocRegion records and forwards a region reservation.
+func (r *Recorder) AllocRegion(name string, size uint64) arch.VAddr {
+	r.W.Write(Record{Kind: KindAllocRegion, A: size})
+	return r.Env.AllocRegion(name, size)
+}
+
+// AllocAligned records and forwards an aligned reservation.
+func (r *Recorder) AllocAligned(name string, size, align, offset uint64) arch.VAddr {
+	r.W.Write(Record{Kind: KindAllocAligned, A: size, B: align<<32 | offset})
+	return r.Env.AllocAligned(name, size, align, offset)
+}
+
+// Replay is a workload that re-executes a recorded trace. Replay is
+// valid because region layout is deterministic: the Nth allocation in
+// the trace lands at the same virtual base it had when recorded.
+type Replay struct {
+	Records []Record
+	// UseSbrkSuperpages mirrors the recorded workload's sbrk mode.
+	UseSbrkSuperpages bool
+
+	regions int
+}
+
+var _ workload.Workload = (*Replay)(nil)
+
+// Name identifies the workload.
+func (p *Replay) Name() string { return "trace-replay" }
+
+// SbrkSuperpages reports the recorded workload's sbrk mode.
+func (p *Replay) SbrkSuperpages() bool { return p.UseSbrkSuperpages }
+
+// Run re-executes the trace.
+func (p *Replay) Run(env workload.Env) {
+	p.regions = 0
+	for _, rec := range p.Records {
+		switch rec.Kind {
+		case KindLoad:
+			env.Load(arch.VAddr(rec.A), int(rec.Size))
+		case KindStore:
+			env.Store(arch.VAddr(rec.A), int(rec.Size), 0xD15EA5E)
+		case KindStep:
+			env.Step(int(rec.A))
+		case KindSbrk:
+			env.Sbrk(rec.A)
+		case KindRemap:
+			env.Remap(arch.VAddr(rec.A), rec.B)
+		case KindAllocRegion:
+			p.regions++
+			env.AllocRegion(fmt.Sprintf("traced%d", p.regions), rec.A)
+		case KindAllocAligned:
+			p.regions++
+			env.AllocAligned(fmt.Sprintf("traced%d", p.regions),
+				rec.A, rec.B>>32, rec.B&0xFFFFFFFF)
+		default:
+			panic(fmt.Sprintf("trace: unknown record kind %d", rec.Kind))
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/workload"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Kind: KindLoad, Size: 8, A: 0x40000000},
+		{Kind: KindStore, Size: 4, A: 0x40000123},
+		{Kind: KindStep, A: 100},
+		{Kind: KindRemap, A: 0x40000000, B: 0x10000},
+		{Kind: KindAllocAligned, A: 557056, B: (256 << 10 << 32) | (16 << 10)},
+	}
+	for _, r := range recs {
+		w.Write(r)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Records() != len(recs) {
+		t.Errorf("Records = %d", w.Records())
+	}
+
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records", len(got))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d: %+v != %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("nope nope"))); err == nil {
+		t.Error("expected error for bad magic")
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(Record{Kind: KindLoad, Size: 8, A: 1})
+	w.Flush()
+	raw := buf.Bytes()[:buf.Len()-3] // chop the last record
+
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil || err == io.EOF {
+		t.Errorf("expected truncation error, got %v", err)
+	}
+}
+
+func TestRecordRoundTripProperty(t *testing.T) {
+	f := func(kind uint8, size uint8, a, b uint64) bool {
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf)
+		rec := Record{Kind: Kind(kind % 7), Size: size, A: a, B: b}
+		w.Write(rec)
+		if w.Flush() != nil {
+			return false
+		}
+		got, err := ReadAll(&buf)
+		return err == nil && len(got) == 1 && got[0] == rec
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// fakeEnv is a minimal Env that logs calls for recorder verification.
+type fakeEnv struct {
+	calls []string
+	next  arch.VAddr
+}
+
+func (f *fakeEnv) Load(va arch.VAddr, size int) uint64 { f.calls = append(f.calls, "load"); return 7 }
+func (f *fakeEnv) Store(va arch.VAddr, size int, v uint64) {
+	f.calls = append(f.calls, "store")
+}
+func (f *fakeEnv) Step(n int)               { f.calls = append(f.calls, "step") }
+func (f *fakeEnv) Sbrk(n uint64) arch.VAddr { f.calls = append(f.calls, "sbrk"); return 0x10000000 }
+func (f *fakeEnv) Remap(arch.VAddr, uint64) bool {
+	f.calls = append(f.calls, "remap")
+	return true
+}
+func (f *fakeEnv) AllocRegion(name string, size uint64) arch.VAddr {
+	f.calls = append(f.calls, "alloc")
+	f.next += 0x100000
+	return f.next
+}
+func (f *fakeEnv) AllocAligned(name string, size, align, off uint64) arch.VAddr {
+	f.calls = append(f.calls, "allocaligned")
+	f.next += 0x100000
+	return f.next
+}
+
+func TestRecorderCapturesAndForwards(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	env := &fakeEnv{}
+	rec := &Recorder{Env: env, W: w}
+
+	base := rec.AllocRegion("x", 4096)
+	rec.Store(base, 8, 42)
+	if got := rec.Load(base, 8); got != 7 {
+		t.Errorf("Load forwarded wrong: %d", got)
+	}
+	rec.Step(10)
+	rec.Step(0) // not recorded
+	rec.Sbrk(64)
+	rec.Remap(base, 4096)
+	rec.AllocAligned("y", 100, 1<<20, 1<<14)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(env.calls) != 7 {
+		t.Errorf("forwarded %d calls: %v", len(env.calls), env.calls)
+	}
+	recs, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKinds := []Kind{KindAllocRegion, KindStore, KindLoad, KindStep, KindSbrk, KindRemap, KindAllocAligned}
+	if len(recs) != len(wantKinds) {
+		t.Fatalf("recorded %d records", len(recs))
+	}
+	for i, k := range wantKinds {
+		if recs[i].Kind != k {
+			t.Errorf("record %d kind = %d, want %d", i, recs[i].Kind, k)
+		}
+	}
+	// AllocAligned packs align and offset.
+	last := recs[len(recs)-1]
+	if last.B>>32 != 1<<20 || last.B&0xFFFFFFFF != 1<<14 {
+		t.Errorf("AllocAligned packing wrong: %#x", last.B)
+	}
+}
+
+func TestReplayDrivesEnv(t *testing.T) {
+	recs := []Record{
+		{Kind: KindAllocRegion, A: 8192},
+		{Kind: KindStore, Size: 8, A: 0x100000 + 0x100000},
+		{Kind: KindLoad, Size: 8, A: 0x100000 + 0x100000},
+		{Kind: KindStep, A: 5},
+		{Kind: KindRemap, A: 0x200000, B: 8192},
+	}
+	env := &fakeEnv{}
+	p := &Replay{Records: recs}
+	if p.Name() != "trace-replay" || p.SbrkSuperpages() {
+		t.Error("replay metadata wrong")
+	}
+	p.Run(env)
+	want := []string{"alloc", "store", "load", "step", "remap"}
+	if len(env.calls) != len(want) {
+		t.Fatalf("calls = %v", env.calls)
+	}
+	for i, c := range want {
+		if env.calls[i] != c {
+			t.Errorf("call %d = %s, want %s", i, env.calls[i], c)
+		}
+	}
+}
+
+var _ workload.Env = (*fakeEnv)(nil)

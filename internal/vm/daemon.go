@@ -1,0 +1,139 @@
+package vm
+
+import (
+	"fmt"
+
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/mem"
+	"shadowtlb/internal/stats"
+)
+
+// The page-out daemon. When physical frames run out, the OS reclaims
+// memory from shadow-backed superpages using a CLOCK second-chance scan
+// over the MTLB's per-base-page reference bits (§2.5): superpages whose
+// pages show no references since the last scan are paged out at page
+// grain — dirty base pages to disk, clean ones dropped. This is the
+// capability conventional superpages lack entirely: they must come out
+// of memory whole.
+
+// clockPos remembers the daemon's position between scans.
+type clockPos struct {
+	region int
+	sp     int
+}
+
+// ReclaimFrames frees at least target frames by paging out cold
+// superpages, returning the kernel cycles spent. It fails only when no
+// shadow-backed memory remains to reclaim.
+func (v *VM) ReclaimFrames(target uint64) (stats.Cycles, error) {
+	if !v.HasShadow() {
+		return 0, ErrNoMTLB
+	}
+	var cycles stats.Cycles
+	freed := uint64(0)
+	// Two sweeps: the first clears reference bits (second chance), the
+	// second evicts whatever is still unreferenced; a third forces
+	// eviction regardless, so reclaim cannot loop forever.
+	for sweep := 0; sweep < 3 && freed < target; sweep++ {
+		force := sweep == 2
+		n := v.superpageCount()
+		for i := 0; i < n && freed < target; i++ {
+			r, sp, ok := v.clockNext()
+			if !ok {
+				break
+			}
+			_ = r
+			// Resident pages only.
+			resident := v.residentPages(sp)
+			if resident == 0 {
+				continue
+			}
+			refs, c, err := v.ClearRefBits(sp)
+			cycles += c
+			if err != nil {
+				return cycles, err
+			}
+			if refs > 0 && !force && sweep == 0 {
+				continue // recently used: second chance
+			}
+			res, err := v.SwapOutSuperpage(sp, PageGrain)
+			cycles += res.Cycles
+			if err != nil {
+				return cycles, err
+			}
+			freed += uint64(res.PagesExamined)
+			v.Reclaims++
+		}
+	}
+	if freed == 0 {
+		return cycles, fmt.Errorf("vm: out of memory: nothing reclaimable (target %d frames)", target)
+	}
+	return cycles, nil
+}
+
+// superpageCount returns the total superpages across regions.
+func (v *VM) superpageCount() int {
+	n := 0
+	for _, r := range v.regions {
+		n += len(r.Superpages)
+	}
+	return n
+}
+
+// clockNext advances the clock hand to the next superpage.
+func (v *VM) clockNext() (*Region, Superpage, bool) {
+	if v.superpageCount() == 0 {
+		return nil, Superpage{}, false
+	}
+	for tries := 0; tries < len(v.regions)+1; tries++ {
+		if v.clock.region >= len(v.regions) {
+			v.clock.region = 0
+			v.clock.sp = 0
+		}
+		r := v.regions[v.clock.region]
+		if v.clock.sp < len(r.Superpages) {
+			sp := r.Superpages[v.clock.sp]
+			v.clock.sp++
+			return r, sp, true
+		}
+		v.clock.region++
+		v.clock.sp = 0
+	}
+	return nil, Superpage{}, false
+}
+
+// residentPages counts the superpage's base pages currently in memory.
+func (v *VM) residentPages(sp Superpage) int {
+	n := 0
+	for i := 0; i < sp.Class.BasePages(); i++ {
+		if v.STable.Get(sp.Shadow + arch.PAddr(i*arch.PageSize)).Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// allocFrameReclaiming allocates a frame, invoking the page-out daemon
+// on memory pressure. The returned cycles cover any reclaim work.
+func (v *VM) allocFrameReclaiming() (uint64, stats.Cycles, error) {
+	frame, err := v.Frames.Alloc()
+	if err == nil {
+		return frame, 0, nil
+	}
+	if err != mem.ErrOutOfMemory {
+		return 0, 0, err
+	}
+	cycles, rerr := v.ReclaimFrames(reclaimBatch)
+	if rerr != nil {
+		return 0, cycles, fmt.Errorf("vm: %w (reclaim: %v)", err, rerr)
+	}
+	frame, err = v.Frames.Alloc()
+	if err != nil {
+		return 0, cycles, err
+	}
+	return frame, cycles, nil
+}
+
+// reclaimBatch is how many frames a reclaim pass tries to free at once,
+// amortizing the scan over multiple future faults.
+const reclaimBatch = 64

@@ -1,0 +1,199 @@
+package vm
+
+import (
+	"testing"
+
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/bus"
+	"shadowtlb/internal/cache"
+	"shadowtlb/internal/core"
+	"shadowtlb/internal/kernel"
+	"shadowtlb/internal/mem"
+	"shadowtlb/internal/mmc"
+	"shadowtlb/internal/ptable"
+	"shadowtlb/internal/tlb"
+)
+
+// tightVM builds a machine with very little usable memory so reclaim
+// triggers quickly: userFrames 4 KB frames beyond the kernel reserve.
+func tightVM(t *testing.T, userFrames uint64) *VM {
+	t.Helper()
+	dram := mem.NewDRAM(64 * arch.MB)
+	frames := mem.NewFrameAlloc(2*arch.MB/arch.PageSize, userFrames, mem.Scatter)
+	hpt := ptable.New(0x180000, 4096)
+	b := bus.New(bus.DefaultConfig())
+	space := core.ShadowSpace{Base: 0x80000000, Size: 64 * arch.MB}
+	stable := core.NewShadowTable(space, 0x100000, dram)
+	mt := core.NewMTLB(core.DefaultMTLBConfig(), stable)
+	alloc := core.NewBucketAlloc(space, []core.BucketSpec{
+		{Class: arch.Page16K, Count: 256},
+		{Class: arch.Page64K, Count: 64},
+	})
+	m := mmc.New(mmc.Config{Timing: mmc.DefaultTiming()}, b, mt)
+	return New(Deps{
+		Dram: dram, Frames: frames, HPT: hpt, MMC: m,
+		Cache:       cache.New(cache.DefaultConfig()),
+		CPUTLB:      tlb.New(tlb.FullyAssociative(64)),
+		ITLB:        &tlb.MicroITLB{},
+		Kernel:      kernel.New(kernel.DefaultCosts()),
+		ShadowAlloc: alloc, STable: stable,
+	})
+}
+
+// fault pages a shadow page in via the fault path, as the MMC would.
+func fault(t *testing.T, v *VM, spa arch.PAddr) {
+	t.Helper()
+	_, err := v.MMC.MTLB().Translate(spa, false)
+	sf, ok := err.(*core.ShadowFault)
+	if !ok {
+		t.Fatalf("expected fault at %v, got %v", spa, err)
+	}
+	if _, ferr := v.HandleShadowFault(sf); ferr != nil {
+		t.Fatalf("fault service: %v", ferr)
+	}
+}
+
+func TestReclaimUnderMemoryPressure(t *testing.T) {
+	// 40 user frames vs a 48-page working set across three 64 KB
+	// superpages: sweeping them round-robin forces the daemon to page
+	// the cold superpage out to serve the hot one, every round.
+	v := tightVM(t, 40)
+	var sps []Superpage
+	for i := 0; i < 3; i++ {
+		r := v.AllocRegionAligned("sp", 64*arch.KB, 64*arch.KB, 0)
+		if _, err := v.Remap(r.Base, r.Size); err != nil {
+			t.Fatal(err)
+		}
+		sps = append(sps, r.Superpages[0])
+	}
+	for round := 0; round < 3; round++ {
+		for _, sp := range sps {
+			for i := 0; i < 16; i++ {
+				spa := sp.Shadow + arch.PAddr(i*arch.PageSize)
+				if !v.STable.Get(spa).Valid {
+					fault(t, v, spa)
+				}
+			}
+		}
+	}
+	if v.Reclaims == 0 {
+		t.Error("daemon never reclaimed despite pressure")
+	}
+	if v.SwapOuts == 0 {
+		t.Error("no pages were swapped out")
+	}
+	// The system never held more pages than it has frames.
+	if v.Frames.FreeCount() > 40 {
+		t.Error("frame accounting corrupt")
+	}
+}
+
+func TestReclaimPreservesData(t *testing.T) {
+	v := tightVM(t, 40)
+	r := v.AllocRegion("data", 64*arch.KB)
+	if _, err := v.EnsureMapped(r.Base, r.Size); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Remap(r.Base, r.Size); err != nil {
+		t.Fatal(err)
+	}
+	sp := r.Superpages[0]
+
+	// Write identifiable data to every page through the timed path
+	// (so dirty bits are set) and functionally.
+	for i := 0; i < 16; i++ {
+		va := r.Base + arch.VAddr(i*arch.PageSize)
+		pte := v.HPT.LookupFast(va)
+		res := v.Cache.Access(va, pte.Translate(va), arch.Write)
+		for _, ev := range res.Events {
+			if _, err := v.MMC.HandleEvent(ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+		real, err := v.TranslateData(pte.Translate(va))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v.Dram.WriteU64(real, uint64(i)+0xABC)
+	}
+
+	// Force a reclaim pass: the daemon clears reference bits on the
+	// first sweep and evicts the unreferenced superpage on the second.
+	if _, err := v.ReclaimFrames(16); err != nil {
+		t.Fatal(err)
+	}
+	if v.Reclaims == 0 {
+		t.Fatal("reclaim never ran")
+	}
+	if v.residentPages(sp) != 0 {
+		t.Fatalf("superpage still has %d resident pages", v.residentPages(sp))
+	}
+
+	// Fault the superpage's pages back and verify contents.
+	for i := 0; i < 16; i++ {
+		spa := sp.Shadow + arch.PAddr(i*arch.PageSize)
+		if !v.STable.Get(spa).Valid {
+			fault(t, v, spa)
+		}
+		real, err := v.TranslateData(spa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := v.Dram.ReadU64(real); got != uint64(i)+0xABC {
+			t.Fatalf("page %d data = %#x after reclaim round trip", i, got)
+		}
+	}
+}
+
+func TestReclaimFailsWithNothingToEvict(t *testing.T) {
+	v := tightVM(t, 8)
+	// Consume all frames with conventional (non-reclaimable) pages.
+	var err error
+	for p := 0; p < 20; p++ {
+		_, err = v.MapPage(arch.VAddr(0x70000000) + arch.VAddr(p*arch.PageSize))
+		if err != nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Fatal("expected out-of-memory with no superpages to reclaim")
+	}
+}
+
+func TestReclaimRequiresShadow(t *testing.T) {
+	v := testVM(t, false)
+	if _, err := v.ReclaimFrames(1); err != ErrNoMTLB {
+		t.Errorf("expected ErrNoMTLB, got %v", err)
+	}
+}
+
+func TestClockHandCyclesThroughSuperpages(t *testing.T) {
+	v := tightVM(t, 200)
+	for i := 0; i < 3; i++ {
+		// Regions must be 16 KB aligned to yield a superpage each.
+		r := v.AllocRegionAligned("r", 16*arch.KB, 16*arch.KB, 0)
+		v.EnsureMapped(r.Base, r.Size)
+		if _, err := v.Remap(r.Base, r.Size); err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Superpages) != 1 {
+			t.Fatalf("region %d: %d superpages", i, len(r.Superpages))
+		}
+	}
+	seen := map[arch.PAddr]int{}
+	for i := 0; i < 6; i++ {
+		_, sp, ok := v.clockNext()
+		if !ok {
+			t.Fatal("clock found nothing")
+		}
+		seen[sp.Shadow]++
+	}
+	if len(seen) != 3 {
+		t.Errorf("clock visited %d distinct superpages, want 3", len(seen))
+	}
+	for shadow, n := range seen {
+		if n != 2 {
+			t.Errorf("superpage %v visited %d times, want 2", shadow, n)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package vm
+
+import (
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/stats"
+)
+
+// PromotePolicy configures online superpage promotion — the adaptation
+// of Romer et al.'s dynamic promotion (paper §5) to shadow memory. The
+// paper notes that "a similar mechanism would be useful in the kernel of
+// a machine exploiting shadow memory, although the specific parameters
+// would need to be tweaked to reflect the reduced cost of exploiting
+// superpages in our design": with no page copying, promotion pays only
+// the remap cost (~1.5k cycles/page) instead of ~11.4k cycles/page.
+type PromotePolicy struct {
+	// Enabled turns the policy on; when set, explicit Remap requests
+	// from the program are also honoured (they simply pre-empt the
+	// policy), but the policy promotes un-remapped regions on its own.
+	Enabled bool
+	// MissCost is the estimated CPU cycles per software TLB miss the
+	// policy uses for its cost/benefit accounting.
+	MissCost int
+	// PromoteFactor scales the break-even threshold: a region is
+	// promoted once its accumulated estimated miss cost exceeds
+	// PromoteFactor x its estimated remap cost. Romer's competitive
+	// policies use a factor around 1 (promote once the misses would
+	// have paid for the promotion).
+	PromoteFactor float64
+}
+
+// DefaultPromotePolicy returns a break-even policy.
+func DefaultPromotePolicy() PromotePolicy {
+	return PromotePolicy{Enabled: true, MissCost: 60, PromoteFactor: 1.0}
+}
+
+// promoteState is the per-region bookkeeping.
+type promoteState struct {
+	misses   uint64
+	promoted bool
+}
+
+// EnablePromotion installs the policy. It must be called before the
+// workload runs.
+func (v *VM) EnablePromotion(p PromotePolicy) {
+	if !v.HasShadow() {
+		panic("vm: promotion requires shadow memory")
+	}
+	v.promotePolicy = p
+	v.promoteState = make(map[*Region]*promoteState)
+}
+
+// PromotionsMade reports how many regions the policy promoted.
+func (v *VM) PromotionsMade() uint64 { return v.promotions }
+
+// estimatedRemapCost approximates what promoting the region will cost:
+// the per-page flush-plus-bookkeeping cost over its pages.
+func (v *VM) estimatedRemapCost(r *Region) uint64 {
+	perPage := uint64(v.Kernel.Costs.FlushPerLine*(arch.PageSize/arch.LineSize) +
+		v.Kernel.Costs.RemapPerPage)
+	pages := (r.Size + arch.PageSize - 1) / arch.PageSize
+	return perPage * pages
+}
+
+// notePromotionMiss records a TLB miss against va's region and promotes
+// the region when the policy's break-even point is reached. It returns
+// the cycles spent promoting (zero almost always).
+func (v *VM) notePromotionMiss(va arch.VAddr) stats.Cycles {
+	if !v.promotePolicy.Enabled {
+		return 0
+	}
+	r := v.regionContaining(va)
+	if r == nil {
+		return 0
+	}
+	st := v.promoteState[r]
+	if st == nil {
+		st = &promoteState{}
+		v.promoteState[r] = st
+	}
+	if st.promoted {
+		return 0
+	}
+	st.misses++
+	accrued := float64(st.misses) * float64(v.promotePolicy.MissCost)
+	if accrued < v.promotePolicy.PromoteFactor*float64(v.estimatedRemapCost(r)) {
+		return 0
+	}
+	st.promoted = true
+	res, err := v.Remap(r.Base, r.Size)
+	if err != nil {
+		// Shadow space exhausted: leave the region on base pages and
+		// stop trying.
+		return res.Total()
+	}
+	v.promotions++
+	return res.Total()
+}

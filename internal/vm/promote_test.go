@@ -1,0 +1,103 @@
+package vm
+
+import (
+	"testing"
+
+	"shadowtlb/internal/arch"
+)
+
+func TestPromotionTriggersAtBreakEven(t *testing.T) {
+	v := testVM(t, true)
+	v.EnablePromotion(PromotePolicy{Enabled: true, MissCost: 1000, PromoteFactor: 1.0})
+	r := v.AllocRegion("hot", 64*arch.KB)
+	if _, err := v.EnsureMapped(r.Base, r.Size); err != nil {
+		t.Fatal(err)
+	}
+	// Estimated remap cost for 16 pages at default costs:
+	// (10*128 + 145) * 16 = 22,800 cycles; at MissCost 1000 the
+	// break-even is 23 misses.
+	want := int(v.estimatedRemapCost(r)/1000) + 1
+	for i := 0; i < want-1; i++ {
+		if _, err := v.HandleTLBMiss(r.Base+arch.VAddr((i%16)*arch.PageSize), arch.Read); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v.PromotionsMade() != 0 {
+		t.Fatalf("promoted after %d misses, too early", want-1)
+	}
+	res, err := v.HandleTLBMiss(r.Base, arch.Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.PromotionsMade() != 1 {
+		t.Fatal("promotion did not trigger at break-even")
+	}
+	if res.PromoteCycles == 0 {
+		t.Error("promotion cycles not charged")
+	}
+	// The triggering miss itself resolves to a superpage mapping.
+	if res.Entry.Class == arch.Page4K {
+		t.Errorf("post-promotion entry class = %v", res.Entry.Class)
+	}
+	if len(r.Superpages) == 0 {
+		t.Error("region has no superpages after promotion")
+	}
+}
+
+func TestPromotionOnlyOnce(t *testing.T) {
+	v := testVM(t, true)
+	v.EnablePromotion(PromotePolicy{Enabled: true, MissCost: 1 << 30, PromoteFactor: 1.0})
+	r := v.AllocRegion("hot", 16*arch.KB)
+	v.EnsureMapped(r.Base, r.Size)
+	for i := 0; i < 10; i++ {
+		if _, err := v.HandleTLBMiss(r.Base, arch.Read); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v.PromotionsMade() != 1 {
+		t.Errorf("PromotionsMade = %d, want 1", v.PromotionsMade())
+	}
+}
+
+func TestExplicitRemapPreemptsPromotion(t *testing.T) {
+	v := testVM(t, true)
+	v.EnablePromotion(PromotePolicy{Enabled: true, MissCost: 1 << 30, PromoteFactor: 1.0})
+	r := v.AllocRegion("explicit", 16*arch.KB)
+	v.EnsureMapped(r.Base, r.Size)
+	if _, err := v.Remap(r.Base, r.Size); err != nil {
+		t.Fatal(err)
+	}
+	// Misses on the now-superpaged region must not re-promote.
+	for i := 0; i < 5; i++ {
+		if _, err := v.HandleTLBMiss(r.Base+8, arch.Read); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v.PromotionsMade() != 0 {
+		t.Errorf("policy promoted an explicitly remapped region")
+	}
+}
+
+func TestPromotionDisabledByDefault(t *testing.T) {
+	v := testVM(t, true)
+	r := v.AllocRegion("cold", 16*arch.KB)
+	v.EnsureMapped(r.Base, r.Size)
+	for i := 0; i < 1000; i++ {
+		if _, err := v.HandleTLBMiss(r.Base, arch.Read); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v.SuperpagesMade != 0 {
+		t.Error("promotion happened without a policy")
+	}
+}
+
+func TestPromotionRequiresShadow(t *testing.T) {
+	v := testVM(t, false)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	v.EnablePromotion(DefaultPromotePolicy())
+}

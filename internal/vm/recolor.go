@@ -1,0 +1,123 @@
+package vm
+
+import (
+	"fmt"
+
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/core"
+	"shadowtlb/internal/ptable"
+	"shadowtlb/internal/stats"
+)
+
+// No-copy page recoloring is the paper's other named future use of
+// shadow memory (§6): "we are currently exploring ways to use shadow
+// memory to implement no-copy page recoloring" (after Bershad et al.,
+// ASPLOS'94). On a physically indexed cache, two hot pages whose frames
+// share a cache color conflict-miss against each other; the classic fix
+// copies one page into a frame of a different color. With shadow
+// memory, the OS instead maps the page at a shadow address of the
+// desired color and leaves the data where it is — the MMC retranslates.
+//
+// Recolored pages are ordinary 4 KB shadow-backed mappings; they share
+// all the MTLB machinery (fills, ref/dirty bits, faults) with shadow
+// superpages.
+
+// CacheColors returns the number of page colors of the system's cache.
+func (v *VM) CacheColors() uint64 { return v.Cache.Colors() }
+
+// ShadowColorOf returns the cache color a shadow (or real) address maps
+// to on a physically indexed cache.
+func (v *VM) ShadowColorOf(pa arch.PAddr) uint64 { return v.Cache.ColorOf(pa) }
+
+// recolorRefill grows the 4 KB shadow-page pool by carving up one large
+// shadow region; a 4 MB region covers every color of a 512 KB cache 8x.
+func (v *VM) recolorRefill() error {
+	region, err := v.ShadowAlloc.Alloc(arch.Page4M)
+	if err != nil {
+		// Fall back to smaller regions when the big bucket is dry.
+		for c := arch.Page1M; c >= arch.Page16K; c-- {
+			if region, err = v.ShadowAlloc.Alloc(c); err == nil {
+				for off := uint64(0); off < c.Bytes(); off += arch.PageSize {
+					spa := region + arch.PAddr(off)
+					color := v.Cache.ColorOf(spa)
+					v.recolorPool[color] = append(v.recolorPool[color], spa)
+				}
+				return nil
+			}
+		}
+		return fmt.Errorf("vm: recolor pool refill: %w", err)
+	}
+	for off := uint64(0); off < arch.Page4M.Bytes(); off += arch.PageSize {
+		spa := region + arch.PAddr(off)
+		color := v.Cache.ColorOf(spa)
+		v.recolorPool[color] = append(v.recolorPool[color], spa)
+	}
+	return nil
+}
+
+// RecolorPage remaps the conventionally mapped 4 KB page at va to a
+// shadow address of the requested cache color, without copying. It
+// returns the kernel cycles consumed.
+func (v *VM) RecolorPage(va arch.VAddr, color uint64) (stats.Cycles, error) {
+	if !v.HasShadow() {
+		return 0, ErrNoMTLB
+	}
+	if color >= v.Cache.Colors() {
+		return 0, fmt.Errorf("vm: color %d out of range (cache has %d)", color, v.Cache.Colors())
+	}
+	vbase := va.PageBase()
+	pte := v.HPT.LookupFast(vbase)
+	if pte == nil {
+		return 0, fmt.Errorf("vm: recolor of unmapped page %v", vbase)
+	}
+	if pte.Class != arch.Page4K {
+		return 0, fmt.Errorf("vm: recolor of %v page %v (4 KB only)", pte.Class, vbase)
+	}
+	if v.STable.Space().Contains(pte.Target) {
+		return 0, fmt.Errorf("vm: page %v is already shadow-mapped", vbase)
+	}
+
+	var cycles stats.Cycles
+	if v.recolorPool == nil {
+		v.recolorPool = make(map[uint64][]arch.PAddr)
+	}
+	if len(v.recolorPool[color]) == 0 {
+		if err := v.recolorRefill(); err != nil {
+			return cycles, err
+		}
+		if len(v.recolorPool[color]) == 0 {
+			return cycles, fmt.Errorf("vm: no shadow page of color %d available", color)
+		}
+	}
+	pool := v.recolorPool[color]
+	spa := pool[len(pool)-1]
+	v.recolorPool[color] = pool[:len(pool)-1]
+
+	// Point the shadow entry at the page's current frame — the data
+	// never moves.
+	v.STable.Set(spa, core.TableEntry{PFN: pte.Target.FrameNum(), Valid: true})
+	cycles += stats.Cycles(v.MMC.ControlWrite())
+	if v.MMC.MTLB().Purge(spa) {
+		cycles += stats.Cycles(v.MMC.ControlWrite())
+	}
+
+	// Flush the page's old-tagged lines and switch the mapping.
+	events, inspected := v.Cache.FlushPage(vbase, pte.Target)
+	cycles += stats.Cycles(inspected * v.Kernel.Costs.FlushPerLine)
+	for _, ev := range events {
+		r, err := v.MMC.HandleEvent(ev)
+		if err != nil {
+			panic(fmt.Sprintf("vm: recolor flush fault: %v", err))
+		}
+		cycles += stats.Cycles(r.StallCPU)
+	}
+	v.HPT.Remove(vbase, arch.Page4K)
+	if err := v.HPT.Insert(ptable.PTE{VBase: vbase, Class: arch.Page4K, Target: spa}); err != nil {
+		return cycles, err
+	}
+	v.CPUTLB.Purge(uint64(vbase))
+	v.ITLB.PurgeIfOverlaps(uint64(vbase), arch.PageSize)
+	cycles += stats.Cycles(v.Kernel.Costs.RemapPerPage)
+	v.Recolored++
+	return cycles, nil
+}

@@ -1,0 +1,195 @@
+package vm
+
+import (
+	"testing"
+
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/bus"
+	"shadowtlb/internal/cache"
+	"shadowtlb/internal/core"
+	"shadowtlb/internal/kernel"
+	"shadowtlb/internal/mem"
+	"shadowtlb/internal/mmc"
+	"shadowtlb/internal/ptable"
+	"shadowtlb/internal/tlb"
+)
+
+// piptVM builds a machine with a physically indexed cache, the
+// configuration recoloring targets.
+func piptVM(t *testing.T) *VM {
+	t.Helper()
+	dram := mem.NewDRAM(64 * arch.MB)
+	frames := mem.NewFrameAlloc(2*arch.MB/arch.PageSize, (64*arch.MB-2*arch.MB)/arch.PageSize, mem.Scatter)
+	hpt := ptable.New(0x180000, 4096)
+	b := bus.New(bus.DefaultConfig())
+	space := core.ShadowSpace{Base: 0x80000000, Size: 64 * arch.MB}
+	stable := core.NewShadowTable(space, 0x100000, dram)
+	mt := core.NewMTLB(core.DefaultMTLBConfig(), stable)
+	alloc := core.NewBucketAlloc(space, []core.BucketSpec{
+		{Class: arch.Page16K, Count: 64},
+		{Class: arch.Page4M, Count: 4},
+	})
+	m := mmc.New(mmc.Config{Timing: mmc.DefaultTiming()}, b, mt)
+	c := cache.DefaultConfig()
+	c.PhysIndexed = true
+	return New(Deps{
+		Dram: dram, Frames: frames, HPT: hpt, MMC: m,
+		Cache:       cache.New(c),
+		CPUTLB:      tlb.New(tlb.FullyAssociative(64)),
+		ITLB:        &tlb.MicroITLB{},
+		Kernel:      kernel.New(kernel.DefaultCosts()),
+		ShadowAlloc: alloc, STable: stable,
+	})
+}
+
+func TestRecolorMovesPageToRequestedColor(t *testing.T) {
+	v := piptVM(t)
+	r := v.AllocRegion("hot", 16*arch.KB)
+	if _, err := v.EnsureMapped(r.Base, r.Size); err != nil {
+		t.Fatal(err)
+	}
+	wantColor := uint64(42)
+	cycles, err := v.RecolorPage(r.Base, wantColor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles == 0 {
+		t.Error("recoloring should cost cycles")
+	}
+	pte := v.HPT.LookupFast(r.Base)
+	if !v.STable.Space().Contains(pte.Target) {
+		t.Fatal("page not shadow-mapped after recolor")
+	}
+	if got := v.Cache.ColorOf(pte.Target); got != wantColor {
+		t.Errorf("color = %d, want %d", got, wantColor)
+	}
+	if v.Recolored != 1 {
+		t.Errorf("Recolored = %d", v.Recolored)
+	}
+}
+
+func TestRecolorPreservesData(t *testing.T) {
+	v := piptVM(t)
+	r := v.AllocRegion("data", 16*arch.KB)
+	v.EnsureMapped(r.Base, r.Size)
+	// Copy the frame address: the PTE pointer itself is invalidated by
+	// the recolor's remove/insert.
+	origFrame := v.HPT.LookupFast(r.Base).Target
+	v.Dram.Write(origFrame, []byte("no copy happened"))
+
+	if _, err := v.RecolorPage(r.Base, 7); err != nil {
+		t.Fatal(err)
+	}
+	pte2 := v.HPT.LookupFast(r.Base)
+	real, err := v.TranslateData(pte2.Translate(r.Base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if real != origFrame {
+		t.Errorf("data moved: %v != %v", real, origFrame)
+	}
+	buf := make([]byte, 16)
+	v.Dram.Read(real, buf)
+	if string(buf) != "no copy happened" {
+		t.Errorf("data = %q", buf)
+	}
+}
+
+func TestRecolorEliminatesConflicts(t *testing.T) {
+	v := piptVM(t)
+	// Two pages forced to the same color via recoloring, then separated.
+	r := v.AllocRegion("pair", 8*arch.KB)
+	v.EnsureMapped(r.Base, r.Size)
+	a, b := r.Base, r.Base+arch.PageSize
+	if _, err := v.RecolorPage(a, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.RecolorPage(b, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	touch := func(va arch.VAddr) bool {
+		pte := v.HPT.LookupFast(va)
+		res := v.Cache.Access(va, pte.Translate(va), arch.Read)
+		for _, ev := range res.Events {
+			if _, err := v.MMC.HandleEvent(ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return res.Hit
+	}
+	// Same color on a direct-mapped PIPT cache: same line offset in the
+	// two pages conflicts — alternate touches always miss.
+	misses := 0
+	for i := 0; i < 10; i++ {
+		if !touch(a) {
+			misses++
+		}
+		if !touch(b) {
+			misses++
+		}
+	}
+	if misses < 19 { // first two are cold; the rest conflict
+		t.Fatalf("expected conflict thrash at same color, misses = %d", misses)
+	}
+
+	// The conflicting pages are now shadow-mapped, so RecolorPage
+	// rejects them; verify the targeted error, then show the same
+	// experiment with distinct colors conflict-free using fresh pages.
+	if _, err := v.RecolorPage(a, 9); err == nil {
+		t.Fatal("re-recoloring a shadow page should be rejected")
+	}
+
+	r2 := v.AllocRegion("pair2", 8*arch.KB)
+	v.EnsureMapped(r2.Base, r2.Size)
+	c, d := r2.Base, r2.Base+arch.PageSize
+	v.RecolorPage(c, 5)
+	v.RecolorPage(d, 6)
+	touch(c)
+	touch(d)
+	hits := 0
+	for i := 0; i < 10; i++ {
+		if touch(c) {
+			hits++
+		}
+		if touch(d) {
+			hits++
+		}
+	}
+	if hits != 20 {
+		t.Errorf("distinct colors should never conflict: hits = %d", hits)
+	}
+}
+
+func TestRecolorErrors(t *testing.T) {
+	v := piptVM(t)
+	if _, err := v.RecolorPage(0x40000000, 0); err == nil {
+		t.Error("unmapped page should fail")
+	}
+	if _, err := v.RecolorPage(0x40000000, 1<<20); err == nil {
+		t.Error("out-of-range color should fail")
+	}
+	// Superpage pages cannot be recolored.
+	r := v.AllocRegion("sp", 16*arch.KB)
+	v.EnsureMapped(r.Base, r.Size)
+	if _, err := v.Remap(r.Base, r.Size); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.RecolorPage(r.Base, 0); err == nil {
+		t.Error("superpage page should fail")
+	}
+}
+
+func TestRecolorWithoutShadowFails(t *testing.T) {
+	v := testVM(t, false)
+	if _, err := v.RecolorPage(0x40000000, 0); err != ErrNoMTLB {
+		t.Errorf("expected ErrNoMTLB, got %v", err)
+	}
+}
+
+func TestCacheColors(t *testing.T) {
+	v := piptVM(t)
+	if got := v.CacheColors(); got != 128 {
+		t.Errorf("Colors = %d, want 128 (512KB direct-mapped / 4KB)", got)
+	}
+}

@@ -1,0 +1,201 @@
+package vm
+
+import (
+	"fmt"
+
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/core"
+	"shadowtlb/internal/ptable"
+	"shadowtlb/internal/stats"
+)
+
+// RemapResult reports what a remap() call did and what it cost,
+// separated the way the paper reports em3d's initialization (§3.3):
+// cache-flush cycles vs everything else.
+type RemapResult struct {
+	Superpages    int
+	PagesRemapped int
+	BySize        map[arch.PageSizeClass]int
+	FlushCycles   stats.Cycles
+	OtherCycles   stats.Cycles
+	// SkippedHead/SkippedTail are bytes at the region edges left on
+	// 4 KB pages because they fall outside superpage alignment ("any
+	// small region skipped over is not remapped", §2.4).
+	SkippedHead uint64
+	SkippedTail uint64
+}
+
+// Total returns all cycles the remap consumed.
+func (r RemapResult) Total() stats.Cycles { return r.FlushCycles + r.OtherCycles }
+
+// Remap implements the remap() system call: it converts [base, base+size)
+// from conventional 4 KB mappings to shadow-backed superpages (§2.3-2.4).
+//
+// The walk starts at the smallest superpage-aligned address at or above
+// base and creates maximally-sized superpages: at each step the largest
+// page-size class is chosen such that the current address is aligned to
+// it, it fits in the remaining range, and the shadow allocator has a
+// region of that class (falling back to smaller classes when a bucket is
+// exhausted). For each superpage the OS:
+//
+//  1. allocates a contiguous shadow region;
+//  2. demand-maps any base page not yet present (the paper's programs
+//     remap regions that were already zero-filled);
+//  3. writes one MMC shadow-table mapping per base page via uncached
+//     control-register writes;
+//  4. flushes every line of each base page from the cache (consistency:
+//     the lines are tagged with the old real addresses);
+//  5. replaces the 4 KB PTEs with one superpage PTE targeting the
+//     shadow region and shoots down stale TLB entries.
+func (v *VM) Remap(base arch.VAddr, size uint64) (RemapResult, error) {
+	res := RemapResult{BySize: make(map[arch.PageSizeClass]int)}
+	if !v.HasShadow() {
+		return res, ErrNoMTLB
+	}
+	res.OtherCycles += v.Kernel.SyscallEntry()
+
+	// An explicit remap pre-empts the online promotion policy for the
+	// region, so the policy never re-remaps it.
+	if v.promoteState != nil {
+		if r := v.regionContaining(base); r != nil {
+			st := v.promoteState[r]
+			if st == nil {
+				st = &promoteState{}
+				v.promoteState[r] = st
+			}
+			st.promoted = true
+		}
+	}
+
+	end := base + arch.VAddr(size)
+	addr := base.AlignUp(arch.Page16K.Bytes())
+	res.SkippedHead = uint64(addr - base)
+	if addr >= end {
+		res.SkippedHead = size
+		return res, nil
+	}
+
+	for addr+arch.VAddr(arch.Page16K.Bytes()) <= end {
+		class, ok := v.chooseClass(addr, uint64(end-addr))
+		if !ok {
+			// Shadow space exhausted even at 16 KB: leave the rest on
+			// base pages.
+			break
+		}
+		spCycles, err := v.makeSuperpage(addr, class, &res)
+		res.OtherCycles += spCycles
+		if err != nil {
+			return res, err
+		}
+		addr += arch.VAddr(class.Bytes())
+	}
+	res.SkippedTail = uint64(end - addr)
+	return res, nil
+}
+
+// chooseClass picks the largest usable page-size class at addr given the
+// remaining length, requiring shadow availability.
+func (v *VM) chooseClass(addr arch.VAddr, remaining uint64) (arch.PageSizeClass, bool) {
+	for c := arch.Page16M; c >= arch.Page16K; c-- {
+		if !addr.IsAligned(c.Bytes()) || c.Bytes() > remaining {
+			continue
+		}
+		if v.ShadowAlloc.FreeCount(c) > 0 {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// makeSuperpage builds one shadow-backed superpage at vbase. Flush
+// cycles are accumulated into res.FlushCycles; the returned cycles are
+// the non-flush overhead.
+func (v *VM) makeSuperpage(vbase arch.VAddr, class arch.PageSizeClass, res *RemapResult) (stats.Cycles, error) {
+	var other stats.Cycles
+	shadow, err := v.ShadowAlloc.Alloc(class)
+	if err != nil {
+		return other, fmt.Errorf("vm: superpage at %v: %w", vbase, err)
+	}
+
+	basePages := class.BasePages()
+	for i := 0; i < basePages; i++ {
+		pva := vbase + arch.VAddr(i*arch.PageSize)
+		spa := shadow + arch.PAddr(i*arch.PageSize)
+
+		pte := v.HPT.LookupFast(pva)
+		if pte != nil && pte.Class != arch.Page4K {
+			return other, fmt.Errorf("vm: %v already part of a %v superpage", pva, pte.Class)
+		}
+
+		if pte == nil {
+			// Absent page: the backing frame "need not even be present
+			// in physical memory as long as the MMC can generate a
+			// precise fault" (§2.1). Install an invalid shadow entry;
+			// the first access takes a shadow fault and is zero-filled
+			// then, exactly like ordinary demand paging. Nothing is
+			// cached for this page, so no flush is needed.
+			v.STable.Set(spa, core.TableEntry{})
+		} else {
+			// Present page: point the shadow entry at its current real
+			// frame and flush its (old-physical-tagged) lines.
+			v.STable.Set(spa, core.TableEntry{PFN: pte.Target.FrameNum(), Valid: true})
+
+			events, inspected := v.Cache.FlushPage(pva, pte.Target)
+			res.FlushCycles += stats.Cycles(inspected * v.Kernel.Costs.FlushPerLine)
+			for _, ev := range events {
+				r, err := v.MMC.HandleEvent(ev)
+				if err != nil {
+					panic(fmt.Sprintf("vm: flush write-back fault: %v", err))
+				}
+				res.FlushCycles += stats.Cycles(r.StallCPU)
+			}
+
+			// Retire the old 4 KB mapping.
+			v.HPT.Remove(pva, arch.Page4K)
+		}
+
+		// One uncached control write per entry (§2.4), plus one to
+		// purge any stale MTLB entry for the recycled shadow page.
+		other += stats.Cycles(v.MMC.ControlWrite())
+		if v.MMC.MTLB().Purge(spa) {
+			other += stats.Cycles(v.MMC.ControlWrite())
+		}
+
+		other += stats.Cycles(v.Kernel.Costs.RemapPerPage)
+		res.PagesRemapped++
+		v.PagesRemapped++
+	}
+
+	// One superpage PTE replaces the basePages 4 KB PTEs.
+	err = v.HPT.Insert(ptable.PTE{
+		VBase:  vbase,
+		Class:  class,
+		Target: arch.PAddr(shadow),
+	})
+	if err != nil {
+		return other, err
+	}
+
+	// Shoot down stale processor TLB entries for the whole range.
+	v.CPUTLB.PurgeRange(uint64(vbase), class.Bytes())
+	v.ITLB.PurgeIfOverlaps(uint64(vbase), class.Bytes())
+
+	sp := Superpage{VBase: vbase, Class: class, Shadow: shadow}
+	if r := v.regionContaining(vbase); r != nil {
+		r.Superpages = append(r.Superpages, sp)
+	}
+	v.SuperpagesMade++
+	res.Superpages++
+	res.BySize[class]++
+	return other, nil
+}
+
+// regionContaining returns the region covering va, or nil.
+func (v *VM) regionContaining(va arch.VAddr) *Region {
+	for _, r := range v.regions {
+		if va >= r.Base && uint64(va-r.Base) < r.Size {
+			return r
+		}
+	}
+	return nil
+}

@@ -1,0 +1,205 @@
+package vm
+
+import (
+	"fmt"
+
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/core"
+	"shadowtlb/internal/stats"
+)
+
+// SwapGranularity selects how much of a shadow-backed superpage the OS
+// writes to disk when paging it out.
+type SwapGranularity int
+
+const (
+	// PageGrain writes only the base pages whose MTLB dirty bit is set
+	// — possible precisely because the MTLB keeps per-base-page dirty
+	// bits (paper §2.5).
+	PageGrain SwapGranularity = iota
+	// SuperpageGrain writes every base page, as a conventional
+	// superpage implementation must (it has only one dirty bit for the
+	// whole superpage).
+	SuperpageGrain
+)
+
+// String names the granularity.
+func (g SwapGranularity) String() string {
+	if g == PageGrain {
+		return "page-grain"
+	}
+	return "superpage-grain"
+}
+
+// SwapResult reports the work a swap-out performed.
+type SwapResult struct {
+	PagesExamined int
+	PagesWritten  int // disk page writes (dirty data)
+	PagesDropped  int // clean pages freed without IO
+	Cycles        stats.Cycles
+}
+
+// SwapOutSuperpage pages out one shadow-backed superpage. All of its
+// base pages are unmapped from real memory (their frames freed), but the
+// processor-TLB superpage mapping and the virtual layout are untouched:
+// only the MMC's shadow-table entries become invalid, so the next access
+// takes a shadow fault and pages back in 4 KB at a time (§2.5, §4).
+//
+// With PageGrain, only base pages whose MTLB dirty bit is set are
+// written to disk; with SuperpageGrain every base page is written, as a
+// conventional superpage system must.
+func (v *VM) SwapOutSuperpage(sp Superpage, g SwapGranularity) (SwapResult, error) {
+	var res SwapResult
+	if !v.HasShadow() {
+		return res, ErrNoMTLB
+	}
+	for i := 0; i < sp.Class.BasePages(); i++ {
+		pva := sp.VBase + arch.VAddr(i*arch.PageSize)
+		spa := sp.Shadow + arch.PAddr(i*arch.PageSize)
+		ent := v.STable.Get(spa)
+		if !ent.Valid {
+			continue // already out
+		}
+		res.PagesExamined++
+
+		// Clean the page: flush its cached lines — tagged with the
+		// shadow address — before the mapping is removed (§4).
+		events, inspected := v.Cache.FlushPage(pva, spa)
+		res.Cycles += stats.Cycles(inspected * v.Kernel.Costs.FlushPerLine)
+		for _, ev := range events {
+			r, err := v.MMC.HandleEvent(ev)
+			if err != nil {
+				panic(fmt.Sprintf("vm: swap-out flush fault: %v", err))
+			}
+			res.Cycles += stats.Cycles(r.StallCPU)
+		}
+
+		// Save the page contents to the swap store (functional) and
+		// charge disk IO for pages that must be written.
+		write := g == SuperpageGrain || ent.Dirty
+		pbase := arch.FrameToPAddr(ent.PFN)
+		buf := make([]byte, arch.PageSize)
+		v.Dram.Read(pbase, buf)
+		v.swapStore[v.STable.Space().PageIndex(spa)] = buf
+		if write {
+			res.PagesWritten++
+			res.Cycles += stats.Cycles(v.Kernel.Costs.DiskPageIO)
+		} else {
+			res.PagesDropped++
+		}
+
+		// Invalidate the shadow mapping and free the frame.
+		v.STable.Set(spa, core.TableEntry{})
+		if v.MMC.MTLB().Purge(spa) {
+			res.Cycles += stats.Cycles(v.MMC.ControlWrite())
+		}
+		res.Cycles += stats.Cycles(v.MMC.ControlWrite())
+		v.Frames.Free(ent.PFN)
+		v.SwapOuts++
+	}
+	return res, nil
+}
+
+// HandleShadowFault services a shadow page fault: the MMC signalled (via
+// bad parity, §4) that an access hit an invalid shadow-table entry. The
+// OS reads the entry, confirms the Fault bit, allocates a frame, reads
+// the page back from swap, revalidates the mapping and purges the fault
+// state. The faulting access is then retried by the processor model.
+func (v *VM) HandleShadowFault(f *core.ShadowFault) (stats.Cycles, error) {
+	if !v.HasShadow() {
+		return 0, ErrNoMTLB
+	}
+	spa := f.Shadow.PageBase()
+	ent := v.STable.Get(spa)
+	if ent.Valid {
+		return 0, fmt.Errorf("vm: spurious shadow fault at %v (entry valid)", f.Shadow)
+	}
+	if !ent.Fault {
+		// A real parity error would be fatal; the Fault bit is how the
+		// OS tells them apart (§4).
+		return 0, fmt.Errorf("vm: parity error at %v is not a shadow fault", f.Shadow)
+	}
+	v.ShadowFaults++
+	cycles := stats.Cycles(v.Kernel.Costs.PageFaultService)
+
+	frame, reclaimCycles, err := v.allocFrameReclaiming()
+	cycles += reclaimCycles
+	if err != nil {
+		return cycles, fmt.Errorf("vm: shadow fault at %v: %w", f.Shadow, err)
+	}
+	idx := v.STable.Space().PageIndex(spa)
+	saved, swapped := v.swapStore[idx]
+	if swapped {
+		v.Dram.Write(arch.FrameToPAddr(frame), saved)
+		delete(v.swapStore, idx)
+		cycles += stats.Cycles(v.Kernel.Costs.DiskPageIO)
+		v.SwapIns++
+	} else {
+		// Never-touched page of a lazily backed superpage: zero-fill.
+		v.Dram.Write(arch.FrameToPAddr(frame), make([]byte, arch.PageSize))
+	}
+
+	v.STable.Set(spa, core.TableEntry{PFN: frame, Valid: true})
+	cycles += stats.Cycles(v.MMC.ControlWrite())
+
+	if !swapped {
+		// Zero the page through the cache at its user virtual address,
+		// as the kernel's zero-fill path does: the lines are tagged
+		// with the shadow address, so the program's first touches hit.
+		if vbase, ok := v.userAddrOfShadow(spa); ok {
+			for off := uint64(0); off < arch.PageSize; off += arch.LineSize {
+				cycles += stats.Cycles(v.Kernel.Costs.ZeroFillPerLine)
+				cycles += v.kernelAccessUser(vbase+arch.VAddr(off), spa+arch.PAddr(off), arch.Write)
+			}
+		} else {
+			cycles += stats.Cycles(v.Kernel.Costs.ZeroFillPerLine * (arch.PageSize / arch.LineSize))
+		}
+	}
+	return cycles, nil
+}
+
+// userAddrOfShadow finds the user virtual address mapped to the shadow
+// page at spa by searching the regions' superpage records.
+func (v *VM) userAddrOfShadow(spa arch.PAddr) (arch.VAddr, bool) {
+	for _, r := range v.regions {
+		for _, sp := range r.Superpages {
+			if spa >= sp.Shadow && uint64(spa-sp.Shadow) < sp.Class.Bytes() {
+				return sp.VBase + arch.VAddr(spa-sp.Shadow), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// ClearRefBits resets the MTLB reference bits of a superpage, as a CLOCK
+// daemon does between scans, and returns how many were set. Because the
+// MMC only sees cache fills, these bits are approximate: a page whose
+// lines all stayed in the cache shows unreferenced (§2.5).
+func (v *VM) ClearRefBits(sp Superpage) (int, stats.Cycles, error) {
+	if !v.HasShadow() {
+		return 0, 0, ErrNoMTLB
+	}
+	set := 0
+	var cycles stats.Cycles
+	for i := 0; i < sp.Class.BasePages(); i++ {
+		spa := sp.Shadow + arch.PAddr(i*arch.PageSize)
+		ent := v.STable.Get(spa)
+		if ent.Ref {
+			set++
+			v.STable.Update(spa, func(e *core.TableEntry) { e.Ref = false })
+		}
+		cycles += stats.Cycles(v.MMC.ControlWrite())
+	}
+	return set, cycles, nil
+}
+
+// DirtyPages counts base pages of the superpage with the dirty bit set.
+func (v *VM) DirtyPages(sp Superpage) int {
+	n := 0
+	for i := 0; i < sp.Class.BasePages(); i++ {
+		if v.STable.Get(sp.Shadow + arch.PAddr(i*arch.PageSize)).Dirty {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,301 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/core"
+	"shadowtlb/internal/stats"
+)
+
+// remappedRegion builds a 64KB region remapped to one 64KB superpage and
+// dirties some of it through the cache/MMC path.
+func remappedRegion(t *testing.T, v *VM) (*Region, Superpage) {
+	t.Helper()
+	r := v.AllocRegion("swap", 64*arch.KB)
+	if _, err := v.EnsureMapped(r.Base, r.Size); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Remap(r.Base, r.Size); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Superpages) != 1 || r.Superpages[0].Class != arch.Page64K {
+		t.Fatalf("setup: %+v", r.Superpages)
+	}
+	return r, r.Superpages[0]
+}
+
+// userWrite pushes a write through cache+MMC at va, as the CPU would.
+func userWrite(t *testing.T, v *VM, va arch.VAddr) {
+	t.Helper()
+	pte := v.HPT.LookupFast(va)
+	if pte == nil {
+		t.Fatalf("userWrite: %v unmapped", va)
+	}
+	res := v.Cache.Access(va, pte.Translate(va), arch.Write)
+	for _, ev := range res.Events {
+		if _, err := v.MMC.HandleEvent(ev); err != nil {
+			t.Fatalf("userWrite event: %v", err)
+		}
+	}
+}
+
+func TestDirtyBitsTrackWrites(t *testing.T) {
+	v := testVM(t, true)
+	_, sp := remappedRegion(t, v)
+	// Remap leaves zero-filled dirty state flushed; all pages start clean.
+	if n := v.DirtyPages(sp); n != 0 {
+		t.Fatalf("dirty after remap = %d, want 0", n)
+	}
+	// Write pages 2 and 7.
+	userWrite(t, v, sp.VBase+2*arch.PageSize)
+	userWrite(t, v, sp.VBase+7*arch.PageSize+64)
+	if n := v.DirtyPages(sp); n != 2 {
+		t.Errorf("dirty = %d, want 2", n)
+	}
+}
+
+func TestSwapOutPageGrainWritesOnlyDirty(t *testing.T) {
+	v := testVM(t, true)
+	_, sp := remappedRegion(t, v)
+	for i := 0; i < 4; i++ { // dirty 4 of 16 base pages
+		userWrite(t, v, sp.VBase+arch.VAddr(i*arch.PageSize))
+	}
+	res, err := v.SwapOutSuperpage(sp, PageGrain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PagesExamined != 16 || res.PagesWritten != 4 || res.PagesDropped != 12 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestSwapOutSuperpageGrainWritesAll(t *testing.T) {
+	v := testVM(t, true)
+	_, sp := remappedRegion(t, v)
+	userWrite(t, v, sp.VBase)
+	res, err := v.SwapOutSuperpage(sp, SuperpageGrain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PagesWritten != 16 {
+		t.Errorf("PagesWritten = %d, want 16 (whole superpage)", res.PagesWritten)
+	}
+}
+
+func TestSwapRoundTripPreservesData(t *testing.T) {
+	v := testVM(t, true)
+	_, sp := remappedRegion(t, v)
+
+	// Write recognizable data functionally and dirty the page.
+	va := sp.VBase + 3*arch.PageSize
+	pte := v.HPT.LookupFast(va)
+	real, err := v.TranslateData(pte.Translate(va))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Dram.Write(real, []byte("paged out and back"))
+	userWrite(t, v, va)
+
+	if _, err := v.SwapOutSuperpage(sp, PageGrain); err != nil {
+		t.Fatal(err)
+	}
+	// The shadow entry is now invalid; a functional translate faults.
+	spa := sp.Shadow + 3*arch.PageSize
+	if _, err := v.TranslateData(spa); err == nil {
+		t.Fatal("expected fault on swapped-out page")
+	}
+
+	// Simulate the MMC fault path to set the Fault bit, then page in.
+	_, terr := v.MMC.MTLB().Translate(spa, false)
+	var sf *core.ShadowFault
+	if !errors.As(terr, &sf) {
+		t.Fatalf("expected ShadowFault, got %v", terr)
+	}
+	if _, err := v.HandleShadowFault(sf); err != nil {
+		t.Fatal(err)
+	}
+
+	real2, err := v.TranslateData(spa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 18)
+	v.Dram.Read(real2, buf)
+	if string(buf) != "paged out and back" {
+		t.Errorf("data after swap round trip = %q", buf)
+	}
+	if v.SwapIns != 1 {
+		t.Errorf("SwapIns = %d", v.SwapIns)
+	}
+}
+
+func TestSwapOutFreesFrames(t *testing.T) {
+	v := testVM(t, true)
+	_, sp := remappedRegion(t, v)
+	before := v.Frames.FreeCount()
+	if _, err := v.SwapOutSuperpage(sp, PageGrain); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Frames.FreeCount(); got != before+16 {
+		t.Errorf("FreeCount = %d, want %d", got, before+16)
+	}
+}
+
+func TestShadowFaultOnCleanEntryRejected(t *testing.T) {
+	v := testVM(t, true)
+	// An invalid entry without the Fault bit looks like a real parity
+	// error and must not be treated as a page fault.
+	sf := &core.ShadowFault{Shadow: v.STable.Space().Base + 0x5000}
+	if _, err := v.HandleShadowFault(sf); err == nil {
+		t.Error("expected error for non-faulted entry")
+	}
+}
+
+func TestClearRefBits(t *testing.T) {
+	v := testVM(t, true)
+	_, sp := remappedRegion(t, v)
+	// Touch two pages through the MMC path (reads).
+	for i := 0; i < 2; i++ {
+		va := sp.VBase + arch.VAddr(i*arch.PageSize)
+		pte := v.HPT.LookupFast(va)
+		res := v.Cache.Access(va, pte.Translate(va), arch.Read)
+		for _, ev := range res.Events {
+			if _, err := v.MMC.HandleEvent(ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	set, cycles, err := v.ClearRefBits(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set != 2 {
+		t.Errorf("ref bits set = %d, want 2", set)
+	}
+	if cycles == 0 {
+		t.Error("CLOCK scan should cost cycles")
+	}
+	set2, _, _ := v.ClearRefBits(sp)
+	if set2 != 0 {
+		t.Errorf("second scan found %d, want 0", set2)
+	}
+}
+
+func TestSwapGranularityString(t *testing.T) {
+	if PageGrain.String() != "page-grain" || SuperpageGrain.String() != "superpage-grain" {
+		t.Error("granularity strings wrong")
+	}
+}
+
+func TestSwapWithoutMTLBFails(t *testing.T) {
+	v := testVM(t, false)
+	if _, err := v.SwapOutSuperpage(Superpage{}, PageGrain); err != ErrNoMTLB {
+		t.Errorf("expected ErrNoMTLB, got %v", err)
+	}
+	if _, _, err := v.ClearRefBits(Superpage{}); err != ErrNoMTLB {
+		t.Errorf("expected ErrNoMTLB, got %v", err)
+	}
+}
+
+func TestSbrkConventional(t *testing.T) {
+	v := testVM(t, false)
+	v.ConfigureSbrk(SbrkConfig{Superpages: false, InitialChunk: 64 * arch.KB, Increment: 32 * arch.KB})
+	a, _, err := v.Sbrk(100)
+	if err != nil || a != HeapBase {
+		t.Fatalf("first sbrk = %v, %v", a, err)
+	}
+	b, _, _ := v.Sbrk(100)
+	if b != HeapBase+104 { // 100 rounded to 8 bytes
+		t.Errorf("second sbrk = %v, want %v", b, HeapBase+104)
+	}
+	if v.FindRegion("heap") == nil {
+		t.Error("heap region not registered")
+	}
+}
+
+func TestSbrkSuperpagesRemapChunks(t *testing.T) {
+	v := testVM(t, true)
+	v.ConfigureSbrk(SbrkConfig{Superpages: true, InitialChunk: 128 * arch.KB, Increment: 64 * arch.KB})
+	if _, _, err := v.Sbrk(1000); err != nil {
+		t.Fatal(err)
+	}
+	// The whole 128KB initial chunk should be superpage-backed.
+	if v.SuperpagesMade == 0 {
+		t.Fatal("sbrk chunk was not remapped")
+	}
+	pte := v.HPT.LookupFast(HeapBase)
+	if pte == nil || pte.Class == arch.Page4K {
+		t.Errorf("heap PTE = %+v, want superpage", pte)
+	}
+	made := v.SuperpagesMade
+
+	// Allocations within the chunk need no further remap.
+	for i := 0; i < 50; i++ {
+		if _, _, err := v.Sbrk(1024); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v.SuperpagesMade != made {
+		t.Error("small sbrks should not create superpages")
+	}
+
+	// Crossing the chunk boundary grabs and remaps the increment.
+	if _, _, err := v.Sbrk(128 * arch.KB); err != nil {
+		t.Fatal(err)
+	}
+	if v.SuperpagesMade == made {
+		t.Error("chunk crossing should create superpages")
+	}
+	hr := v.FindRegion("heap")
+	if hr == nil || hr.Size < 128*arch.KB+64*arch.KB {
+		t.Errorf("heap region size = %+v", hr)
+	}
+}
+
+func TestSbrkLargeRequestGrowsChunk(t *testing.T) {
+	v := testVM(t, true)
+	v.ConfigureSbrk(SbrkConfig{Superpages: true, InitialChunk: 16 * arch.KB, Increment: 16 * arch.KB})
+	a, _, err := v.Sbrk(256 * arch.KB) // bigger than the chunk
+	if err != nil || a != HeapBase {
+		t.Fatalf("sbrk = %v, %v", a, err)
+	}
+	if v.HeapBrk() != HeapBase+256*arch.KB {
+		t.Errorf("brk = %v", v.HeapBrk())
+	}
+}
+
+func TestLazyZeroFillWarmsCacheUnderShadowTag(t *testing.T) {
+	// Servicing a shadow fault on a never-touched page zero-fills it
+	// through the cache at the user virtual address with shadow-tagged
+	// lines, so the program's first touches hit the cache.
+	v := testVM(t, true)
+	r := v.AllocRegion("lazy", 16*arch.KB)
+	if _, err := v.Remap(r.Base, r.Size); err != nil { // lazy backing
+		t.Fatal(err)
+	}
+	sp := r.Superpages[0]
+	_, terr := v.MMC.MTLB().Translate(sp.Shadow, false)
+	sf, ok := terr.(*core.ShadowFault)
+	if !ok {
+		t.Fatalf("expected fault, got %v", terr)
+	}
+	cycles, err := v.HandleShadowFault(sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero-fill must have charged per-line work plus its memory stalls.
+	if cycles < stats.Cycles(v.Kernel.Costs.ZeroFillPerLine*(arch.PageSize/arch.LineSize)) {
+		t.Errorf("zero-fill cycles = %d, implausibly low", cycles)
+	}
+	// The page's lines are now resident under the shadow tag.
+	if !v.Cache.Present(sp.VBase, sp.Shadow) {
+		t.Error("zero-filled line not cached under shadow tag")
+	}
+	// A user access right after the fault hits the cache.
+	res := v.Cache.Access(sp.VBase+64, sp.Shadow+64, arch.Read)
+	if !res.Hit {
+		t.Error("first user touch after zero-fill should hit the cache")
+	}
+}

@@ -1,0 +1,316 @@
+package vm
+
+import (
+	"testing"
+
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/bus"
+	"shadowtlb/internal/cache"
+	"shadowtlb/internal/core"
+	"shadowtlb/internal/kernel"
+	"shadowtlb/internal/mem"
+	"shadowtlb/internal/mmc"
+	"shadowtlb/internal/ptable"
+	"shadowtlb/internal/tlb"
+)
+
+// testVM builds a small but complete machine: 64 MB DRAM, shadow space
+// at 0x80000000 when withMTLB is set.
+func testVM(t *testing.T, withMTLB bool) *VM {
+	t.Helper()
+	dram := mem.NewDRAM(64 * arch.MB)
+	// Kernel reserve: first 2 MB (shadow table at 0x100000, HPT at 0x180000).
+	frames := mem.NewFrameAlloc(2*arch.MB/arch.PageSize, (64*arch.MB-2*arch.MB)/arch.PageSize, mem.Scatter)
+	hpt := ptable.New(0x180000, 4096)
+	b := bus.New(bus.DefaultConfig())
+
+	var mt *core.MTLB
+	var stable *core.ShadowTable
+	var alloc core.ShadowAllocator
+	if withMTLB {
+		space := core.ShadowSpace{Base: 0x80000000, Size: 64 * arch.MB}
+		stable = core.NewShadowTable(space, 0x100000, dram)
+		mt = core.NewMTLB(core.DefaultMTLBConfig(), stable)
+		alloc = core.NewBucketAlloc(space, []core.BucketSpec{
+			{Class: arch.Page16K, Count: 512}, // 8 MB
+			{Class: arch.Page64K, Count: 128}, // 8 MB
+			{Class: arch.Page256K, Count: 32}, // 8 MB
+			{Class: arch.Page1M, Count: 8},    // 8 MB
+			{Class: arch.Page4M, Count: 4},    // 16 MB
+			{Class: arch.Page16M, Count: 1},   // 16 MB
+		})
+	}
+	m := mmc.New(mmc.Config{Timing: mmc.DefaultTiming()}, b, mt)
+	return New(Deps{
+		Dram: dram, Frames: frames, HPT: hpt, MMC: m,
+		Cache:       cache.New(cache.DefaultConfig()),
+		CPUTLB:      tlb.New(tlb.FullyAssociative(64)),
+		ITLB:        &tlb.MicroITLB{},
+		Kernel:      kernel.New(kernel.DefaultCosts()),
+		ShadowAlloc: alloc, STable: stable,
+	})
+}
+
+func TestMapPageAndTLBMiss(t *testing.T) {
+	v := testVM(t, false)
+	va := arch.VAddr(RegionBase)
+	res, err := v.HandleTLBMiss(va, arch.Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FaultCycles == 0 {
+		t.Error("first touch should pay a page fault")
+	}
+	if res.HandlerCycles == 0 {
+		t.Error("handler cycles should be charged")
+	}
+	if res.Entry.Class != arch.Page4K || res.Entry.Tag != uint64(va.PageBase()) {
+		t.Errorf("entry = %+v", res.Entry)
+	}
+	if v.PageFaults != 1 || v.TLBMisses != 1 {
+		t.Errorf("faults=%d misses=%d", v.PageFaults, v.TLBMisses)
+	}
+
+	// Second miss on the same page: no fault, cheaper.
+	res2, err := v.HandleTLBMiss(va+8, arch.Write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.FaultCycles != 0 {
+		t.Error("second miss should not fault")
+	}
+	pte := v.HPT.LookupFast(va)
+	if !pte.Referenced || !pte.Dirty {
+		t.Errorf("software bits not set: %+v", pte)
+	}
+}
+
+func TestMapPageIdempotent(t *testing.T) {
+	v := testVM(t, false)
+	c1, err := v.MapPage(RegionBase)
+	if err != nil || c1 == 0 {
+		t.Fatalf("MapPage: %d, %v", c1, err)
+	}
+	c2, err := v.MapPage(RegionBase + 100)
+	if err != nil || c2 != 0 {
+		t.Fatalf("remap of mapped page should be free: %d, %v", c2, err)
+	}
+}
+
+func TestZeroFill(t *testing.T) {
+	v := testVM(t, false)
+	if _, err := v.MapPage(RegionBase); err != nil {
+		t.Fatal(err)
+	}
+	pte := v.HPT.LookupFast(RegionBase)
+	buf := make([]byte, 16)
+	v.Dram.Read(pte.Target, buf)
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("fresh page not zeroed")
+		}
+	}
+}
+
+func TestRemapWithoutMTLBFails(t *testing.T) {
+	v := testVM(t, false)
+	if _, err := v.Remap(RegionBase, 64*arch.KB); err != ErrNoMTLB {
+		t.Errorf("expected ErrNoMTLB, got %v", err)
+	}
+}
+
+func TestRemapCreatesMaximalSuperpages(t *testing.T) {
+	v := testVM(t, true)
+	r := v.AllocRegion("data", 80*arch.KB)
+	if _, err := v.EnsureMapped(r.Base, r.Size); err != nil {
+		t.Fatal(err)
+	}
+	res, err := v.Remap(r.Base, r.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RegionBase is 1GB-aligned, so 80KB remaps as 64K + 16K.
+	if res.Superpages != 2 || res.BySize[arch.Page64K] != 1 || res.BySize[arch.Page16K] != 1 {
+		t.Errorf("superpages = %+v", res)
+	}
+	if res.PagesRemapped != 20 {
+		t.Errorf("PagesRemapped = %d, want 20", res.PagesRemapped)
+	}
+	if res.SkippedHead != 0 || res.SkippedTail != 0 {
+		t.Errorf("skipped = %d/%d", res.SkippedHead, res.SkippedTail)
+	}
+	if len(r.Superpages) != 2 {
+		t.Errorf("region bookkeeping: %d superpages", len(r.Superpages))
+	}
+
+	// The HPT now serves superpage PTEs.
+	pte := v.HPT.LookupFast(r.Base + 70*arch.KB)
+	if pte == nil || pte.Class != arch.Page16K {
+		t.Errorf("PTE after remap: %+v", pte)
+	}
+	if !v.STable.Space().Contains(pte.Target) {
+		t.Errorf("PTE target %v is not a shadow address", pte.Target)
+	}
+
+	// Every shadow table entry is valid and maps a real allocated frame.
+	for _, sp := range r.Superpages {
+		for i := 0; i < sp.Class.BasePages(); i++ {
+			e := v.STable.Get(sp.Shadow + arch.PAddr(i*arch.PageSize))
+			if !e.Valid {
+				t.Fatalf("invalid shadow entry in %v", sp.Class)
+			}
+			if !v.Frames.InUse(e.PFN) {
+				t.Fatalf("shadow entry points at free frame %#x", e.PFN)
+			}
+		}
+	}
+}
+
+func TestRemapUnalignedRegionSkipsEdges(t *testing.T) {
+	v := testVM(t, true)
+	base := RegionBase + 0x1000 // 4KB past 16KB alignment
+	r := v.AllocRegionAt("odd", base, 40*arch.KB)
+	if _, err := v.EnsureMapped(r.Base, r.Size); err != nil {
+		t.Fatal(err)
+	}
+	res, err := v.Remap(r.Base, r.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SkippedHead != 12*arch.KB {
+		t.Errorf("SkippedHead = %d, want 12KB", res.SkippedHead)
+	}
+	// Remaining 28KB from the aligned start: one 16KB superpage fits,
+	// tail of 12KB is skipped.
+	if res.Superpages != 1 || res.SkippedTail != 12*arch.KB {
+		t.Errorf("res = %+v", res)
+	}
+	// The skipped pages stay on 4KB mappings.
+	if pte := v.HPT.LookupFast(base); pte == nil || pte.Class != arch.Page4K {
+		t.Errorf("head page PTE: %+v", pte)
+	}
+}
+
+func TestRemapAbsentPagesAreLazy(t *testing.T) {
+	v := testVM(t, true)
+	r := v.AllocRegion("lazy", 32*arch.KB)
+	// No EnsureMapped: the superpages are created over invalid shadow
+	// entries (§2.1) and fault in on first touch.
+	res, err := v.Remap(r.Base, r.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Superpages != 2 {
+		t.Errorf("superpages = %d", res.Superpages)
+	}
+	if v.PageFaults != 0 {
+		t.Errorf("PageFaults = %d, want 0 (lazy)", v.PageFaults)
+	}
+	if res.FlushCycles != 0 {
+		t.Errorf("FlushCycles = %d, want 0 (nothing cached)", res.FlushCycles)
+	}
+	// Every shadow entry exists but is invalid.
+	for _, sp := range r.Superpages {
+		for i := 0; i < sp.Class.BasePages(); i++ {
+			e := v.STable.Get(sp.Shadow + arch.PAddr(i*arch.PageSize))
+			if e.Valid {
+				t.Fatal("lazy entry should be invalid")
+			}
+		}
+	}
+	// First touch takes a shadow fault and zero-fills the page.
+	sp := r.Superpages[0]
+	_, terr := v.MMC.MTLB().Translate(sp.Shadow, false)
+	sf, ok := terr.(*core.ShadowFault)
+	if !ok {
+		t.Fatalf("expected ShadowFault, got %v", terr)
+	}
+	if _, err := v.HandleShadowFault(sf); err != nil {
+		t.Fatal(err)
+	}
+	if !v.STable.Get(sp.Shadow).Valid {
+		t.Error("entry should be valid after fault service")
+	}
+	if v.ShadowFaults != 1 {
+		t.Errorf("ShadowFaults = %d", v.ShadowFaults)
+	}
+}
+
+func TestRemapChargesFlushAndOther(t *testing.T) {
+	v := testVM(t, true)
+	r := v.AllocRegion("data", 64*arch.KB)
+	if _, err := v.EnsureMapped(r.Base, r.Size); err != nil {
+		t.Fatal(err)
+	}
+	res, err := v.Remap(r.Base, r.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FlushCycles == 0 || res.OtherCycles == 0 {
+		t.Errorf("cycles: flush=%d other=%d", res.FlushCycles, res.OtherCycles)
+	}
+	// Flush should dominate (paper §3.3: 1.50M of 1.66M cycles).
+	if res.FlushCycles < res.OtherCycles {
+		t.Errorf("flush (%d) should dominate other (%d)", res.FlushCycles, res.OtherCycles)
+	}
+}
+
+func TestRemapFallsBackWhenBucketExhausted(t *testing.T) {
+	v := testVM(t, true)
+	// 2 x 16KB available only after larger buckets drained; easiest:
+	// drain the 64KB bucket and remap 64KB -> falls back to 4x16KB.
+	for v.ShadowAlloc.FreeCount(arch.Page64K) > 0 {
+		if _, err := v.ShadowAlloc.Alloc(arch.Page64K); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := v.AllocRegion("fb", 64*arch.KB)
+	v.EnsureMapped(r.Base, r.Size)
+	res, err := v.Remap(r.Base, r.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BySize[arch.Page16K] != 4 || res.Superpages != 4 {
+		t.Errorf("fallback result: %+v", res)
+	}
+}
+
+func TestRemapPurgesStaleTLBEntries(t *testing.T) {
+	v := testVM(t, true)
+	r := v.AllocRegion("data", 16*arch.KB)
+	v.EnsureMapped(r.Base, r.Size)
+	// Simulate the CPU having a stale 4KB TLB entry.
+	res, _ := v.HandleTLBMiss(r.Base, arch.Read)
+	v.CPUTLB.Insert(res.Entry)
+	if v.CPUTLB.Probe(uint64(r.Base)) == nil {
+		t.Fatal("setup: entry not in TLB")
+	}
+	if _, err := v.Remap(r.Base, r.Size); err != nil {
+		t.Fatal(err)
+	}
+	if v.CPUTLB.Probe(uint64(r.Base)) != nil {
+		t.Error("stale TLB entry survived remap")
+	}
+}
+
+func TestTranslateData(t *testing.T) {
+	v := testVM(t, true)
+	r := v.AllocRegion("data", 16*arch.KB)
+	v.EnsureMapped(r.Base, r.Size)
+	if _, err := v.Remap(r.Base, r.Size); err != nil {
+		t.Fatal(err)
+	}
+	pte := v.HPT.LookupFast(r.Base)
+	real, err := v.TranslateData(pte.Translate(r.Base + 123))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Dram.Contains(real) {
+		t.Errorf("translated address %v outside DRAM", real)
+	}
+	// Non-shadow addresses pass through.
+	got, err := v.TranslateData(0x1234)
+	if err != nil || got != 0x1234 {
+		t.Errorf("pass-through = %v, %v", got, err)
+	}
+}

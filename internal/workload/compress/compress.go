@@ -1,0 +1,288 @@
+// Package compress reimplements the memory behaviour of SPECint95
+// compress95: LZW compression and decompression whose working set is
+// dominated by a hash table and code table of ~440 KB combined, accessed
+// "in a relatively random manner" (paper §3.1).
+//
+// As in the paper's instrumented version, four regions are remapped to
+// shadow superpages: one region holding the hash table, the code table
+// and the intervening data structures (557,056 bytes -> 10 superpages),
+// and the three 999,424-byte buffers holding the original, compressed
+// and uncompressed versions of the "file" (13, 7 and 13 superpages
+// respectively — equal lengths, different alignments).
+package compress
+
+import (
+	"fmt"
+
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/workload"
+)
+
+// Table geometry from compress(1): a 69001-entry open hash table with
+// 16-bit codes.
+const (
+	hsize     = 69001
+	hshift    = 6       // compress(1) hash shift for 69001
+	maxCode   = 1 << 16 // code space
+	clearCode = 256
+	firstCode = 257
+	tableLen  = 557056 // paper: hash + code tables + intervening data
+	bufLen    = 999424 // paper: each of the three buffers
+)
+
+// Offsets of the classic compress arrays within the table region. The
+// decompressor overlays its prefix/suffix tables on the same storage,
+// exactly as compress(1) does.
+const (
+	htabOff    = 0                    // compress: 69001 x 4-byte fcodes
+	codetabOff = hsize * 4            // compress: 69001 x 2-byte codes
+	prefixOff  = codetabOff           // decompress: 65536 x 2-byte prefix codes
+	suffixOff  = htabOff              // decompress: 65536 x 1-byte suffixes
+	stackOff   = codetabOff + hsize*2 // decompress: decode stack
+)
+
+// Config sizes a run.
+type Config struct {
+	Chars  int // input length in bytes
+	Cycles int // compress/decompress cycles
+}
+
+// PaperConfig reproduces §3.1: 1,000,000 characters, 2 cycles (the paper
+// reduced SPEC's 25 cycles to limit simulation time).
+func PaperConfig() Config { return Config{Chars: 1_000_000, Cycles: 2} }
+
+// SmallConfig is a fast configuration for tests.
+func SmallConfig() Config { return Config{Chars: 30_000, Cycles: 1} }
+
+// Compress is the workload.
+type Compress struct {
+	Cfg Config
+
+	// CompressedLen reports the number of output codes of the last
+	// cycle, for sanity assertions.
+	CompressedLen int
+
+	tables, orig, comp, decomp arch.VAddr
+}
+
+// New returns a compress95 workload.
+func New(cfg Config) *Compress { return &Compress{Cfg: cfg} }
+
+// Name identifies the workload.
+func (c *Compress) Name() string { return "compress" }
+
+// SbrkSuperpages is false: compress remaps its regions explicitly.
+func (c *Compress) SbrkSuperpages() bool { return false }
+
+// Run executes the benchmark.
+func (c *Compress) Run(env workload.Env) {
+	if c.Cfg.Chars < 16 {
+		panic("compress: input too small")
+	}
+	// The paper's four remapped regions, at alignments chosen to
+	// reproduce its superpage counts exactly (10, 13, 7, 13).
+	c.tables = env.AllocAligned("tables", tableLen, 256*arch.KB, 16*arch.KB)
+	c.orig = env.AllocAligned("orig", bufLen, 256*arch.KB, 32*arch.KB)
+	c.comp = env.AllocAligned("comp", bufLen, 256*arch.KB, 0)
+	c.decomp = env.AllocAligned("decomp", bufLen, 256*arch.KB, 32*arch.KB)
+	env.Remap(c.tables, tableLen)
+	env.Remap(c.orig, bufLen)
+	env.Remap(c.comp, bufLen)
+	env.Remap(c.decomp, bufLen)
+
+	c.generateInput(env)
+
+	for cycle := 0; cycle < c.Cfg.Cycles; cycle++ {
+		n := c.compress(env)
+		c.CompressedLen = n
+		c.decompress(env, n)
+		c.verify(env)
+	}
+}
+
+// generateInput writes Chars bytes of word-structured text (all bytes
+// non-zero) into the orig buffer.
+func (c *Compress) generateInput(env workload.Env) {
+	r := workload.NewRNG(42)
+	dict := make([][]byte, 256)
+	for i := range dict {
+		w := make([]byte, 3+r.Intn(6))
+		for j := range w {
+			w[j] = byte('a' + r.Intn(26))
+		}
+		dict[i] = w
+	}
+	var chunk uint64
+	nch := 0
+	pos := 0
+	emit := func(b byte) {
+		chunk |= uint64(b) << (8 * nch)
+		nch++
+		if nch == 8 {
+			env.Store(c.orig+arch.VAddr(pos), 8, chunk)
+			env.Step(4)
+			pos += 8
+			chunk, nch = 0, 0
+		}
+	}
+	for pos+nch < c.Cfg.Chars {
+		for _, b := range dict[r.Intn(256)] {
+			if pos+nch >= c.Cfg.Chars {
+				break
+			}
+			emit(b)
+		}
+		if pos+nch < c.Cfg.Chars {
+			emit(' ')
+		}
+	}
+	for nch != 0 { // flush the final partial chunk with padding
+		emit('.')
+	}
+}
+
+// clearHash re-initializes the hash table — 69001 4-byte stores sweeping
+// the table region, as compress(1)'s cl_hash does.
+func (c *Compress) clearHash(env workload.Env) {
+	for i := 0; i < hsize; i++ {
+		env.Store(c.tables+arch.VAddr(htabOff+i*4), 4, 0)
+	}
+	env.Step(hsize / 4)
+}
+
+// compress LZW-encodes the input, writing 2-byte codes to the comp
+// buffer, and returns the code count. The probe sequence is compress(1)'s
+// double hash, which scatters accesses across the 270 KB hash table.
+func (c *Compress) compress(env workload.Env) int {
+	c.clearHash(env)
+	nextCode := firstCode
+	out := 0
+	putCode := func(code int) {
+		env.Store(c.comp+arch.VAddr(out*2), 2, uint64(code))
+		out++
+	}
+
+	ent := int(env.Load(c.orig, 1))
+	for pos := 1; pos < c.Cfg.Chars; pos++ {
+		ch := int(env.Load(c.orig+arch.VAddr(pos), 1))
+		fcode := (ch << 16) | ent
+		h := (ch << hshift) ^ ent
+		env.Step(6)
+
+		for {
+			probe := uint64(env.Load(c.tables+arch.VAddr(htabOff+h*4), 4))
+			env.Step(2)
+			if probe == uint64(fcode) {
+				ent = int(env.Load(c.tables+arch.VAddr(codetabOff+h*2), 2))
+				break
+			}
+			if probe == 0 { // free slot: new string
+				putCode(ent)
+				if nextCode < maxCode {
+					env.Store(c.tables+arch.VAddr(codetabOff+h*2), 2, uint64(nextCode))
+					env.Store(c.tables+arch.VAddr(htabOff+h*4), 4, uint64(fcode))
+					nextCode++
+				} else { // table full: emit CLEAR and reset
+					putCode(clearCode)
+					c.clearHash(env)
+					nextCode = firstCode
+				}
+				ent = ch
+				break
+			}
+			// Secondary probe (compress(1): disp = hsize - h).
+			disp := hsize - h
+			if h == 0 {
+				disp = 1
+			}
+			h -= disp
+			if h < 0 {
+				h += hsize
+			}
+			env.Step(3)
+		}
+	}
+	putCode(ent)
+	if out*2 > bufLen {
+		panic("compress: output overflowed buffer")
+	}
+	return out
+}
+
+// decompress decodes n codes from the comp buffer into the decomp
+// buffer, using prefix/suffix tables overlaid on the table region and a
+// decode stack, as compress(1) does.
+func (c *Compress) decompress(env workload.Env, n int) {
+	nextCode := firstCode
+	pos := 0
+	putByte := func(b uint64) {
+		env.Store(c.decomp+arch.VAddr(pos), 1, b)
+		pos++
+	}
+
+	getCode := func(i int) int {
+		return int(env.Load(c.comp+arch.VAddr(i*2), 2))
+	}
+
+	oldCode := getCode(0)
+	finChar := uint64(oldCode)
+	putByte(finChar)
+
+	for i := 1; i < n; i++ {
+		code := getCode(i)
+		env.Step(4)
+		if code == clearCode {
+			nextCode = firstCode
+			if i+1 < n {
+				i++
+				oldCode = getCode(i)
+				finChar = uint64(oldCode)
+				putByte(finChar)
+			}
+			continue
+		}
+		inCode := code
+		sp := 0
+		push := func(b uint64) {
+			env.Store(c.tables+arch.VAddr(stackOff+sp), 1, b)
+			sp++
+		}
+		if code >= nextCode { // KwKwK case
+			push(finChar)
+			code = oldCode
+		}
+		for code >= 256 {
+			push(env.Load(c.tables+arch.VAddr(suffixOff+code), 1))
+			code = int(env.Load(c.tables+arch.VAddr(prefixOff+code*2), 2))
+			env.Step(3)
+		}
+		finChar = uint64(code)
+		push(finChar)
+		for sp > 0 {
+			sp--
+			putByte(env.Load(c.tables+arch.VAddr(stackOff+sp), 1))
+		}
+		if nextCode < maxCode {
+			env.Store(c.tables+arch.VAddr(prefixOff+nextCode*2), 2, uint64(oldCode))
+			env.Store(c.tables+arch.VAddr(suffixOff+nextCode), 1, finChar)
+			nextCode++
+		}
+		oldCode = inCode
+	}
+	if pos != c.Cfg.Chars {
+		panic(fmt.Sprintf("compress: decompressed %d bytes, want %d", pos, c.Cfg.Chars))
+	}
+}
+
+// verify compares orig and decomp word by word.
+func (c *Compress) verify(env workload.Env) {
+	words := c.Cfg.Chars / 8
+	for i := 0; i < words; i++ {
+		a := env.Load(c.orig+arch.VAddr(i*8), 8)
+		b := env.Load(c.decomp+arch.VAddr(i*8), 8)
+		env.Step(2)
+		if a != b {
+			panic(fmt.Sprintf("compress: verify mismatch at word %d: %#x != %#x", i, a, b))
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package compress
+
+import (
+	"testing"
+
+	"shadowtlb/internal/workload"
+)
+
+// The workload panics on any verification mismatch, so completing a Run
+// proves the LZW round trip.
+
+func TestRoundTripSmall(t *testing.T) {
+	w := New(SmallConfig())
+	w.Run(workload.NewMemEnv())
+	if w.CompressedLen == 0 {
+		t.Fatal("no output produced")
+	}
+}
+
+func TestCompressionRatioIsRealistic(t *testing.T) {
+	w := New(Config{Chars: 60_000, Cycles: 1})
+	w.Run(workload.NewMemEnv())
+	// Word-structured text should LZW-compress well: the 2-byte code
+	// stream must be well below half the input length in codes.
+	codes := w.CompressedLen
+	if codes >= w.Cfg.Chars/2 {
+		t.Errorf("compressed to %d codes for %d chars — no compression", codes, w.Cfg.Chars)
+	}
+	if codes < w.Cfg.Chars/20 {
+		t.Errorf("compressed to %d codes — implausibly good", codes)
+	}
+}
+
+func TestMultipleCycles(t *testing.T) {
+	w := New(Config{Chars: 20_000, Cycles: 3})
+	w.Run(workload.NewMemEnv())
+}
+
+func TestTableOverflowTriggersClear(t *testing.T) {
+	// Enough input to exhaust the 16-bit code space at least once:
+	// random-ish text generates a new code every few characters.
+	if testing.Short() {
+		t.Skip("long input")
+	}
+	w := New(Config{Chars: 400_000, Cycles: 1})
+	env := workload.NewMemEnv()
+	w.Run(env) // must round-trip across a CLEAR
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	w1 := New(SmallConfig())
+	w1.Run(workload.NewMemEnv())
+	w2 := New(SmallConfig())
+	w2.Run(workload.NewMemEnv())
+	if w1.CompressedLen != w2.CompressedLen {
+		t.Errorf("non-deterministic: %d vs %d codes", w1.CompressedLen, w2.CompressedLen)
+	}
+}
+
+func TestTinyInputPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(Config{Chars: 4, Cycles: 1}).Run(workload.NewMemEnv())
+}
+
+func TestRegionsMatchPaperSizes(t *testing.T) {
+	env := workload.NewMemEnv()
+	New(SmallConfig()).Run(env)
+	if env.Regions != 4 {
+		t.Errorf("regions = %d, want 4 (tables + 3 buffers)", env.Regions)
+	}
+	if env.Remaps != 4 {
+		t.Errorf("remaps = %d, want 4 (paper §3.1)", env.Remaps)
+	}
+}

@@ -1,0 +1,164 @@
+// Package em3d reimplements the em3d kernel (the message-passing version
+// of Chandra, Larus & Rogers run on one processor, paper §3.1): three-
+// dimensional electromagnetic wave propagation over a bipartite graph of
+// E-field and H-field nodes with random interconnections.
+//
+// The paper's run models 6000 nodes over 4.5 MB of dynamically allocated
+// space remapped with 16 superpages; the explicit remap covers 1120
+// pages of initialized dynamic memory (§3.3). Each node is a heap record
+// holding its value and its neighbour pointer/weight list, so neighbour
+// dereferences scatter across the whole space; a locality window models
+// the spatial structure of the electromagnetic grid (far-field coupling
+// decays), giving em3d its signature profile: the worst cache behaviour
+// of the five programs (~84% hit rate) and TLB miss time that is still
+// significant at 128 TLB entries (§3.4-3.5).
+package em3d
+
+import (
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/workload"
+)
+
+// PaperSpaceBytes is the dynamic space of the paper's run: 1120 4 KB
+// pages = 4,587,520 bytes (~4.5 MB), remapped as 16 superpages.
+const PaperSpaceBytes = 1120 * arch.PageSize
+
+// Config sizes a run.
+type Config struct {
+	Nodes  int // nodes per side of the bipartite graph (paper: 3000+3000)
+	Degree int // neighbours per node
+	Window int // neighbour locality window (± nodes); 0 = whole graph
+	Iters  int // time steps
+}
+
+// PaperConfig reproduces §3.1: 6000 nodes total; the degree is chosen so
+// the node records fill the paper's 4.5 MB dynamic space (4,560,000 of
+// 4,587,520 bytes at 760 bytes per node).
+func PaperConfig() Config { return Config{Nodes: 3000, Degree: 47, Window: 160, Iters: 12} }
+
+// SmallConfig is a fast configuration for tests.
+func SmallConfig() Config { return Config{Nodes: 200, Degree: 8, Window: 50, Iters: 3} }
+
+// Em3d is the workload.
+type Em3d struct {
+	Cfg Config
+
+	// SpaceBytes reports the dynamically allocated region size.
+	SpaceBytes uint64
+	// Checksum is a value-dependent result for regression checks.
+	Checksum uint64
+}
+
+// New returns an em3d workload.
+func New(cfg Config) *Em3d { return &Em3d{Cfg: cfg} }
+
+// Name identifies the workload.
+func (e *Em3d) Name() string { return "em3d" }
+
+// SbrkSuperpages is false: em3d remaps its space explicitly after
+// initialization (§3.3).
+func (e *Em3d) SbrkSuperpages() bool { return false }
+
+// Node record layout: the value followed by the neighbour list, as the
+// original program's per-node heap allocations lay out.
+//
+//	offset 0:             value (8 bytes)
+//	offset 8 + 16*j:      pointer to neighbour j's record (8 bytes)
+//	offset 16 + 16*j:     weight j (8 bytes)
+func (e *Em3d) nodeSize() int { return 8 + 16*e.Cfg.Degree }
+
+// Run executes the benchmark.
+func (e *Em3d) Run(env workload.Env) {
+	n, d := e.Cfg.Nodes, e.Cfg.Degree
+	ns := e.nodeSize()
+
+	need := uint64(2 * n * ns)
+	space := need
+	if e.Cfg == PaperConfig() {
+		space = PaperSpaceBytes
+		if space < need {
+			panic("em3d: paper space smaller than needed")
+		}
+	}
+	e.SpaceBytes = space
+
+	// 16 KB offset from a 4 MB alignment: the maximal-superpage walk
+	// over the paper's 1120 pages yields its 16 superpages.
+	base := env.AllocAligned("em3dspace", space, 4*arch.MB, 16*arch.KB)
+
+	// E records and H records are interleaved through the space, as
+	// alternating heap allocations would place them.
+	nodeAddr := func(side, i int) arch.VAddr {
+		return base + arch.VAddr((2*i+side)*ns)
+	}
+
+	// Initialization: values and windowed-random cross-links, fully
+	// writing the records (the paper remaps *initialized* memory).
+	r := workload.NewRNG(5)
+	win := e.Cfg.Window
+	if win <= 0 || win > n/2 {
+		win = n / 2
+	}
+	pickNeighbor := func(i int) int {
+		off := r.Intn(2*win+1) - win
+		nb := i + off
+		for nb < 0 {
+			nb += n
+		}
+		for nb >= n {
+			nb -= n
+		}
+		return nb
+	}
+	for side := 0; side < 2; side++ {
+		for i := 0; i < n; i++ {
+			rec := nodeAddr(side, i)
+			env.Store(rec, 8, uint64(i)+1)
+			for j := 0; j < d; j++ {
+				nb := pickNeighbor(i)
+				env.Store(rec+arch.VAddr(8+16*j), 8, uint64(nodeAddr(1-side, nb)))
+				env.Store(rec+arch.VAddr(16+16*j), 8, uint64(2+r.Intn(7)))
+			}
+			env.Step(3 * d)
+		}
+	}
+
+	// Remap after initialization, before the time-step iterations
+	// (§3.3: "explicitly remaps 1120 pages of initialized dynamic
+	// memory before initiating its time step iterations").
+	env.Remap(base, space)
+
+	// Time-step loop: each side's values are recomputed from its
+	// neighbours on the other side. The coupling coefficient lives with
+	// the *source* node (the field generating the coupling), so each
+	// edge costs two scattered loads into the neighbour's record — the
+	// dependent, poorly-localized pattern that gives em3d the worst
+	// cache behaviour of the five programs.
+	update := func(side int) {
+		for i := 0; i < n; i++ {
+			rec := nodeAddr(side, i)
+			sum := env.Load(rec, 8)
+			for j := 0; j < d; j++ {
+				ptr := arch.VAddr(env.Load(rec+arch.VAddr(8+16*j), 8))
+				nbv := env.Load(ptr, 8)
+				w := env.Load(ptr+arch.VAddr(16+16*((i+j)%d)), 8)
+				sum -= nbv / w
+				env.Step(4)
+			}
+			env.Store(rec, 8, sum)
+		}
+	}
+	for it := 0; it < e.Cfg.Iters; it++ {
+		update(0)
+		update(1)
+	}
+
+	// Checksum sweep.
+	var sum uint64
+	for side := 0; side < 2; side++ {
+		for i := 0; i < n; i++ {
+			sum += env.Load(nodeAddr(side, i), 8)
+		}
+	}
+	e.Checksum = sum
+}

@@ -1,0 +1,94 @@
+package em3d
+
+import (
+	"testing"
+
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/workload"
+)
+
+func TestRunsAndChecksums(t *testing.T) {
+	w := New(SmallConfig())
+	w.Run(workload.NewMemEnv())
+	if w.Checksum == 0 {
+		t.Fatal("zero checksum")
+	}
+}
+
+func TestDeterministicChecksum(t *testing.T) {
+	w1 := New(SmallConfig())
+	w1.Run(workload.NewMemEnv())
+	w2 := New(SmallConfig())
+	w2.Run(workload.NewMemEnv())
+	if w1.Checksum != w2.Checksum {
+		t.Errorf("checksums differ: %#x vs %#x", w1.Checksum, w2.Checksum)
+	}
+}
+
+func TestMoreItersChangesResult(t *testing.T) {
+	cfg := SmallConfig()
+	w1 := New(cfg)
+	w1.Run(workload.NewMemEnv())
+	cfg.Iters++
+	w2 := New(cfg)
+	w2.Run(workload.NewMemEnv())
+	if w1.Checksum == w2.Checksum {
+		t.Error("extra iteration did not change the field values")
+	}
+}
+
+func TestPaperSpaceSizes(t *testing.T) {
+	w := New(PaperConfig())
+	// 6000 nodes at 760 bytes each.
+	need := uint64(2 * w.Cfg.Nodes * w.nodeSize())
+	if need > PaperSpaceBytes {
+		t.Fatalf("records (%d) exceed the paper's 1120 pages (%d)", need, PaperSpaceBytes)
+	}
+	// Utilization should be high: the paper's 4.5 MB is real data.
+	if float64(need)/float64(PaperSpaceBytes) < 0.97 {
+		t.Errorf("utilization %.2f too low", float64(need)/float64(PaperSpaceBytes))
+	}
+	if PaperSpaceBytes != 1120*arch.PageSize {
+		t.Errorf("paper space must be exactly 1120 pages (§3.3)")
+	}
+}
+
+func TestNeighborsRespectWindow(t *testing.T) {
+	cfg := Config{Nodes: 400, Degree: 4, Window: 30, Iters: 1}
+	env := workload.NewMemEnv()
+	w := New(cfg)
+	w.Run(env)
+
+	// Reconstruct node addresses and verify every stored pointer lands
+	// within the window on the opposite side.
+	ns := w.nodeSize()
+	// Region base for a fresh env: 16 KB past the 4 MB alignment.
+	base := arch.VAddr(0x40000000 + 16*arch.KB)
+	nodeAddr := func(side, i int) arch.VAddr {
+		return base + arch.VAddr((2*i+side)*ns)
+	}
+	for side := 0; side < 2; side++ {
+		for i := 0; i < cfg.Nodes; i++ {
+			for j := 0; j < cfg.Degree; j++ {
+				ptr := arch.VAddr(env.Load(nodeAddr(side, i)+arch.VAddr(8+16*j), 8))
+				// Decode the neighbour index from the address.
+				off := int(ptr-base) / ns
+				nbSide := off % 2
+				nb := off / 2
+				if nbSide != 1-side {
+					t.Fatalf("neighbour on same side: node %d/%d -> %d/%d", side, i, nbSide, nb)
+				}
+				d := nb - i
+				if d > cfg.Nodes/2 {
+					d -= cfg.Nodes
+				}
+				if d < -cfg.Nodes/2 {
+					d += cfg.Nodes
+				}
+				if d > cfg.Window || d < -cfg.Window {
+					t.Fatalf("neighbour %d outside window ±%d of %d", nb, cfg.Window, i)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Package gcc reimplements the memory behaviour of the cc1 pass of gcc
+// 2.5.3 compiling insn-recog.c (paper §3.1): a compiler front end whose
+// heap fills with many small allocations — RTL nodes, symbol entries —
+// traversed by repeated optimization passes with pointer-heavy, poorly
+// localized access. All superpage creation happens through the modified
+// sbrk(), as in the paper.
+package gcc
+
+import (
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/workload"
+)
+
+// Node layout: an RTL-expression-like record.
+const (
+	nodeSize = 48
+	codeOff  = 0  // 8 bytes: rtx code
+	valOff   = 8  // 8 bytes: operand value
+	op1Off   = 16 // 8 bytes: pointer to first operand
+	op2Off   = 24 // 8 bytes: pointer to second operand
+	nextOff  = 32 // 8 bytes: next insn in chain
+	flagsOff = 40 // 8 bytes: pass-computed flags
+	symSize  = 32 // symbol table entry
+)
+
+// Config sizes a run.
+type Config struct {
+	Functions    int // functions compiled
+	InsnsPerFunc int // insn-chain length per function
+	ExprDepth    int // operand tree depth per insn
+	Passes       int // optimization passes over each function
+	SymbolCount  int // symbol-table entries
+}
+
+// PaperConfig approximates cc1 on insn-recog.c: a large machine-
+// generated file — thousands of small functions, a multi-megabyte heap.
+func PaperConfig() Config {
+	return Config{Functions: 200, InsnsPerFunc: 200, ExprDepth: 2, Passes: 5, SymbolCount: 8000}
+}
+
+// SmallConfig is a fast configuration for tests.
+func SmallConfig() Config {
+	return Config{Functions: 12, InsnsPerFunc: 60, ExprDepth: 2, Passes: 2, SymbolCount: 1000}
+}
+
+// Gcc is the workload.
+type Gcc struct {
+	Cfg Config
+
+	// Allocated reports total heap bytes obtained via sbrk.
+	Allocated uint64
+	// NodesBuilt counts RTL nodes created.
+	NodesBuilt uint64
+}
+
+// New returns a gcc workload.
+func New(cfg Config) *Gcc { return &Gcc{Cfg: cfg} }
+
+// Name identifies the workload; the paper reports it as gcc/cc1.
+func (g *Gcc) Name() string { return "gcc" }
+
+// SbrkSuperpages is true: "all superpage creation was performed by
+// sbrk()" (§3.1).
+func (g *Gcc) SbrkSuperpages() bool { return true }
+
+// Run executes the benchmark.
+func (g *Gcc) Run(env workload.Env) {
+	r := workload.NewRNG(11)
+	alloc := func(n uint64) arch.VAddr {
+		g.Allocated += n
+		return env.Sbrk(n)
+	}
+
+	// Symbol table: a hash-addressed array consulted throughout.
+	symtab := alloc(uint64(g.Cfg.SymbolCount) * symSize)
+	for i := 0; i < g.Cfg.SymbolCount; i++ {
+		s := symtab + arch.VAddr(i*symSize)
+		env.Store(s, 8, uint64(i))
+		env.Store(s+8, 8, r.Next())
+		env.Step(4)
+	}
+	symLookup := func(name uint64) uint64 {
+		idx := int(name % uint64(g.Cfg.SymbolCount))
+		s := symtab + arch.VAddr(idx*symSize)
+		v := env.Load(s+8, 8)
+		env.Store(s+16, 8, v+1) // reference count
+		env.Step(6)
+		return v
+	}
+
+	// newNode allocates and initializes one RTL node.
+	newNode := func(code, val uint64, op1, op2, next arch.VAddr) arch.VAddr {
+		n := alloc(nodeSize)
+		g.NodesBuilt++
+		env.Store(n+codeOff, 8, code)
+		env.Store(n+valOff, 8, val)
+		env.Store(n+op1Off, 8, uint64(op1))
+		env.Store(n+op2Off, 8, uint64(op2))
+		env.Store(n+nextOff, 8, uint64(next))
+		env.Store(n+flagsOff, 8, 0)
+		env.Step(10)
+		return n
+	}
+
+	// buildExpr builds an operand tree of the given depth.
+	var buildExpr func(depth int) arch.VAddr
+	buildExpr = func(depth int) arch.VAddr {
+		if depth == 0 {
+			return newNode(1, symLookup(r.Next()), 0, 0, 0)
+		}
+		l := buildExpr(depth - 1)
+		rr := buildExpr(depth - 1)
+		return newNode(2+uint64(r.Intn(30)), r.Next()&0xFFFF, l, rr, 0)
+	}
+
+	// walkExpr recurses into an operand tree, consulting the symbol
+	// table at the leaves and rewriting flags.
+	var walkExpr func(node arch.VAddr) uint64
+	walkExpr = func(node arch.VAddr) uint64 {
+		if node == 0 {
+			return 0
+		}
+		code := env.Load(node+codeOff, 8)
+		val := env.Load(node+valOff, 8)
+		env.Step(4)
+		if code == 1 { // leaf: symbol reference
+			return val ^ symLookup(val)
+		}
+		l := walkExpr(arch.VAddr(env.Load(node+op1Off, 8)))
+		rr := walkExpr(arch.VAddr(env.Load(node+op2Off, 8)))
+		res := l + rr + code
+		env.Store(node+flagsOff, 8, res)
+		return res
+	}
+
+	// Compile one function at a time, as cc1 does: parse it into an
+	// insn chain, then run every optimization pass over that chain
+	// before moving on. The per-function node set is small and hot; the
+	// symbol table (256 KB, ~64 pages, hash-addressed) is the long-
+	// lived randomly accessed structure that outruns the TLB's reach.
+	for f := 0; f < g.Cfg.Functions; f++ {
+		var head, tail arch.VAddr
+		for i := 0; i < g.Cfg.InsnsPerFunc; i++ {
+			insn := newNode(100+uint64(r.Intn(20)), uint64(i), buildExpr(g.Cfg.ExprDepth), 0, 0)
+			if head == 0 {
+				head = insn
+			} else {
+				env.Store(tail+nextOff, 8, uint64(insn))
+			}
+			tail = insn
+		}
+		for pass := 0; pass < g.Cfg.Passes; pass++ {
+			insn := head
+			for insn != 0 {
+				expr := arch.VAddr(env.Load(insn+op1Off, 8))
+				v := walkExpr(expr)
+				env.Store(insn+flagsOff, 8, v)
+				env.Step(8)
+				insn = arch.VAddr(env.Load(insn+nextOff, 8))
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"fmt"
+
+	"shadowtlb/internal/arch"
+)
+
+// MemEnv is a purely functional execution environment: loads and stores
+// operate on an in-process sparse memory with no timing, TLB or cache
+// model. It exists so workloads can be unit-tested for algorithmic
+// correctness (does compress really round-trip? does radix really
+// sort?) independently of the machine simulator, and it doubles as a
+// fast reference implementation when debugging simulator-side issues:
+// a workload must compute identical results on MemEnv and on the full
+// machine.
+type MemEnv struct {
+	pages map[uint64]*[arch.PageSize]byte
+
+	nextRegion arch.VAddr
+	brk        arch.VAddr
+
+	// Counters for behavioural assertions.
+	Loads   uint64
+	Stores  uint64
+	Steps   uint64
+	Sbrks   uint64
+	Remaps  uint64
+	Regions int
+}
+
+// NewMemEnv returns an empty functional environment using the same
+// address-space layout as the real VM.
+func NewMemEnv() *MemEnv {
+	return &MemEnv{
+		pages:      make(map[uint64]*[arch.PageSize]byte),
+		nextRegion: 0x40000000,
+		brk:        0x10000000,
+	}
+}
+
+var _ Env = (*MemEnv)(nil)
+
+// page returns the backing page for va, allocating it zeroed on demand.
+func (m *MemEnv) page(va arch.VAddr) *[arch.PageSize]byte {
+	pn := va.PageNum()
+	p := m.pages[pn]
+	if p == nil {
+		p = new([arch.PageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// Load reads a little-endian value of the given size.
+func (m *MemEnv) Load(va arch.VAddr, size int) uint64 {
+	m.checkAccess(va, size)
+	m.Loads++
+	p := m.page(va)
+	off := va.PageOff()
+	v := uint64(0)
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | uint64(p[off+uint64(i)])
+	}
+	return v
+}
+
+// Store writes a little-endian value of the given size.
+func (m *MemEnv) Store(va arch.VAddr, size int, val uint64) {
+	m.checkAccess(va, size)
+	m.Stores++
+	p := m.page(va)
+	off := va.PageOff()
+	for i := 0; i < size; i++ {
+		p[off+uint64(i)] = byte(val >> (8 * i))
+	}
+}
+
+// checkAccess enforces the same access contract as the CPU model.
+func (m *MemEnv) checkAccess(va arch.VAddr, size int) {
+	if size <= 0 || size > 8 {
+		panic(fmt.Sprintf("workload: access size %d", size))
+	}
+	if va.PageOff()+uint64(size) > arch.PageSize {
+		panic(fmt.Sprintf("workload: access at %v size %d crosses a page boundary", va, size))
+	}
+}
+
+// Step counts instructions.
+func (m *MemEnv) Step(n int) {
+	if n > 0 {
+		m.Steps += uint64(n)
+	}
+}
+
+// Sbrk extends the break.
+func (m *MemEnv) Sbrk(n uint64) arch.VAddr {
+	m.Sbrks++
+	n = (n + 7) &^ 7
+	base := m.brk
+	m.brk += arch.VAddr(n)
+	return base
+}
+
+// Remap is counted but has no effect (there is no TLB to widen).
+func (m *MemEnv) Remap(base arch.VAddr, size uint64) bool {
+	m.Remaps++
+	return false
+}
+
+// AllocRegion reserves a region with a guard page, like the real VM.
+func (m *MemEnv) AllocRegion(name string, size uint64) arch.VAddr {
+	m.Regions++
+	base := m.nextRegion
+	sz := (size + arch.PageSize - 1) &^ uint64(arch.PageMask)
+	m.nextRegion += arch.VAddr(sz) + arch.PageSize
+	return base
+}
+
+// AllocAligned reserves an aligned region, like the real VM.
+func (m *MemEnv) AllocAligned(name string, size, align, offset uint64) arch.VAddr {
+	m.Regions++
+	base := m.nextRegion.AlignUp(align) + arch.VAddr(offset)
+	if base < m.nextRegion {
+		base += arch.VAddr(align)
+	}
+	sz := (size + arch.PageSize - 1) &^ uint64(arch.PageMask)
+	m.nextRegion = base + arch.VAddr(sz) + arch.PageSize
+	return base
+}
+
+// PagesTouched reports how many distinct pages were materialized.
+func (m *MemEnv) PagesTouched() int { return len(m.pages) }

@@ -1,0 +1,81 @@
+package radix
+
+import (
+	"testing"
+
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/workload"
+)
+
+func TestSortsCorrectly(t *testing.T) {
+	w := New(SmallConfig())
+	w.Run(workload.NewMemEnv()) // panics internally if out of order
+	if !w.Sorted {
+		t.Fatal("not sorted")
+	}
+}
+
+func TestSortedOutputIsPermutation(t *testing.T) {
+	// Re-run the generator to rebuild the input multiset and compare
+	// against the sorted output read back from simulated memory.
+	cfg := Config{Keys: 1 << 12, Radix: 256}
+	env := workload.NewMemEnv()
+	w := New(cfg)
+	w.Run(env)
+
+	rng := workload.NewRNG(3)
+	inputs := map[uint64]int{}
+	for i := 0; i < cfg.Keys; i++ {
+		inputs[rng.Next()&0xFFFFFFFF]++
+	}
+
+	// The final sorted array lives in src after an even number of
+	// passes (4): that is the region base — 64 KB past the 4 MB
+	// alignment of the first region slot.
+	base := arch.VAddr(0x40000000 + 64*arch.KB)
+	for i := 0; i < cfg.Keys; i++ {
+		k := env.Load(base+arch.VAddr(i*4), 4)
+		if inputs[k] == 0 {
+			t.Fatalf("output key %d not in input multiset", k)
+		}
+		inputs[k]--
+	}
+	for k, n := range inputs {
+		if n != 0 {
+			t.Fatalf("input key %d missing from output (%d left)", k, n)
+		}
+	}
+}
+
+func TestPaperSpaceFootprint(t *testing.T) {
+	w := New(PaperConfig())
+	if w.Cfg.Keys != 1<<20 {
+		t.Errorf("Keys = %d", w.Cfg.Keys)
+	}
+	// The paper space must accommodate the arrays.
+	need := uint64(2*4*(1<<20) + 2*8*256)
+	if PaperSpaceBytes < need {
+		t.Errorf("paper space %d < needed %d", PaperSpaceBytes, need)
+	}
+}
+
+func TestSmallRunUsesTightSpace(t *testing.T) {
+	env := workload.NewMemEnv()
+	w := New(SmallConfig())
+	w.Run(env)
+	if w.SpaceBytes == PaperSpaceBytes {
+		t.Error("small config should not claim the paper footprint")
+	}
+	if env.Remaps != 1 {
+		t.Errorf("remaps = %d, want 1 (single space remap, §3.1)", env.Remaps)
+	}
+}
+
+func TestNonDefaultRadixRejected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(Config{Keys: 100, Radix: 1024}).Run(workload.NewMemEnv())
+}

@@ -1,0 +1,126 @@
+package workload
+
+import "shadowtlb/internal/arch"
+
+// Synthetic workloads exercise specific reference patterns; they are used
+// by unit tests, calibration and the ablation benches.
+
+// RandomAccess touches a region uniformly at random — the TLB's worst
+// case when the region far exceeds TLB reach.
+type RandomAccess struct {
+	Bytes     uint64 // region size
+	Accesses  int    // number of references
+	WriteFrac int    // percent of references that are stores
+	Remapped  bool   // remap the region to superpages before the loop
+	StepPer   int    // extra instructions per access (compute density)
+}
+
+// Name identifies the workload.
+func (w *RandomAccess) Name() string { return "random" }
+
+// SbrkSuperpages is false: the region is remapped explicitly.
+func (w *RandomAccess) SbrkSuperpages() bool { return false }
+
+// Run executes the access loop.
+func (w *RandomAccess) Run(env Env) {
+	base := env.AllocRegion("random", w.Bytes)
+	// Touch every page once so remap (and the baseline) start from the
+	// same demand-paged state.
+	for off := uint64(0); off < w.Bytes; off += arch.PageSize {
+		env.Store(base+arch.VAddr(off), 8, off)
+	}
+	if w.Remapped {
+		env.Remap(base, w.Bytes)
+	}
+	r := NewRNG(1)
+	words := int(w.Bytes / 8)
+	for i := 0; i < w.Accesses; i++ {
+		va := base + arch.VAddr(r.Intn(words)*8)
+		if w.WriteFrac > 0 && r.Intn(100) < w.WriteFrac {
+			env.Store(va, 8, uint64(i))
+		} else {
+			env.Load(va, 8)
+		}
+		if w.StepPer > 0 {
+			env.Step(w.StepPer)
+		}
+	}
+}
+
+// StrideAccess sweeps a region with a fixed stride — page-sequential
+// when stride is a page, TLB-friendly when small.
+type StrideAccess struct {
+	Bytes    uint64
+	Stride   uint64
+	Passes   int
+	Remapped bool
+}
+
+// Name identifies the workload.
+func (w *StrideAccess) Name() string { return "stride" }
+
+// SbrkSuperpages is false.
+func (w *StrideAccess) SbrkSuperpages() bool { return false }
+
+// Run executes the sweeps.
+func (w *StrideAccess) Run(env Env) {
+	base := env.AllocRegion("stride", w.Bytes)
+	for off := uint64(0); off < w.Bytes; off += arch.PageSize {
+		env.Store(base+arch.VAddr(off), 8, off)
+	}
+	if w.Remapped {
+		env.Remap(base, w.Bytes)
+	}
+	for p := 0; p < w.Passes; p++ {
+		for off := uint64(0); off+8 <= w.Bytes; off += w.Stride {
+			env.Load(base+arch.VAddr(off), 8)
+			env.Step(2)
+		}
+	}
+}
+
+// PointerChase builds a random permutation cycle in simulated memory and
+// chases it — every access is dependent and effectively random.
+type PointerChase struct {
+	Nodes    int // 64-byte nodes
+	Hops     int
+	Remapped bool
+}
+
+// Name identifies the workload.
+func (w *PointerChase) Name() string { return "chase" }
+
+// SbrkSuperpages is false.
+func (w *PointerChase) SbrkSuperpages() bool { return false }
+
+// Run builds the cycle and chases it.
+func (w *PointerChase) Run(env Env) {
+	const nodeSize = 64
+	bytes := uint64(w.Nodes) * nodeSize
+	base := env.AllocRegion("chase", bytes)
+
+	// Sattolo's algorithm for a single cycle over all nodes.
+	perm := make([]int, w.Nodes)
+	for i := range perm {
+		perm[i] = i
+	}
+	r := NewRNG(2)
+	for i := w.Nodes - 1; i > 0; i-- {
+		j := r.Intn(i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	// next[perm[k]] = perm[k+1]
+	for k := 0; k < w.Nodes; k++ {
+		from := perm[k]
+		to := perm[(k+1)%w.Nodes]
+		env.Store(base+arch.VAddr(from*nodeSize), 8, uint64(base)+uint64(to*nodeSize))
+	}
+	if w.Remapped {
+		env.Remap(base, bytes)
+	}
+	va := base
+	for i := 0; i < w.Hops; i++ {
+		va = arch.VAddr(env.Load(va, 8))
+		env.Step(1)
+	}
+}

@@ -1,0 +1,247 @@
+// Package vortex reimplements the memory behaviour of SPECint95 vortex:
+// an object-oriented database that builds several in-core databases and
+// runs transactions against them. All storage is continually allocated
+// from the heap, so superpage creation happens entirely through the
+// modified sbrk() (paper §2.3, §3.1): an 8 MB initial pre-allocation maps
+// the basic datasets in one group, then 2 MB increments cover the ~10 MB
+// allocated during transaction processing.
+//
+// The transaction mix follows vortex's structure: point lookups
+// concentrated on a hot working window, range scans over index runs, and
+// a tail of uniform accesses across the whole database — giving a hot
+// set of a few hundred pages (TLB-hostile at 64-128 entries) over a
+// ~19 MB heap.
+package vortex
+
+import (
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/workload"
+)
+
+// Object layout: a fixed-size record with an integer key, a handful of
+// scalar attributes and two object references, like vortex's Part/
+// Person/Draw objects.
+const (
+	objSize    = 128
+	keyOff     = 0  // 8 bytes
+	attrOff    = 8  // 6 x 8-byte attributes
+	ref1Off    = 56 // 8-byte reference to another object
+	ref2Off    = 64
+	payloadOff = 72 // remaining bytes written at creation
+)
+
+// Config sizes a run.
+type Config struct {
+	Databases    int // number of in-core databases
+	ObjectsPer   int // objects per database at build time
+	Transactions int // lookup/update transactions
+	HotWindow    int // point lookups concentrate on this many recent keys
+	ScanLen      int // index entries per range scan
+}
+
+// PaperConfig approximates the paper's reduced training run: ~9 MB of
+// basic datasets built up front and roughly 10 MB more allocated during
+// transaction processing (~19 MB total).
+func PaperConfig() Config {
+	return Config{Databases: 3, ObjectsPer: 23000, Transactions: 60000, HotWindow: 3500, ScanLen: 48}
+}
+
+// SmallConfig is a fast configuration for tests.
+func SmallConfig() Config {
+	return Config{Databases: 2, ObjectsPer: 1500, Transactions: 2000, HotWindow: 400, ScanLen: 16}
+}
+
+// Vortex is the workload.
+type Vortex struct {
+	Cfg Config
+
+	// Allocated reports total bytes obtained from sbrk, for assertions
+	// against the paper's ~18-19 MB.
+	Allocated uint64
+	// Lookups/Scans/Updates report the transaction mix.
+	Lookups uint64
+	Scans   uint64
+	Updates uint64
+}
+
+// New returns a vortex workload.
+func New(cfg Config) *Vortex { return &Vortex{Cfg: cfg} }
+
+// Name identifies the workload.
+func (v *Vortex) Name() string { return "vortex" }
+
+// SbrkSuperpages is true: all superpage creation is performed by the
+// modified sbrk (paper §3.1).
+func (v *Vortex) SbrkSuperpages() bool { return true }
+
+// database is one in-core database: an index (key/pointer array in
+// simulated memory, bulk-loaded in key order) over allocated objects.
+type database struct {
+	index arch.VAddr // capacity x 16 bytes: key, object pointer
+	count int
+	cap   int
+}
+
+// Run executes the benchmark.
+func (v *Vortex) Run(env workload.Env) {
+	r := workload.NewRNG(7)
+	alloc := func(n uint64) arch.VAddr {
+		v.Allocated += n
+		return env.Sbrk(n)
+	}
+
+	// Build phase: create the databases and populate them with objects
+	// in key order (vortex bulk-loads its databases).
+	dbs := make([]*database, v.Cfg.Databases)
+	growth := v.Cfg.Transactions / 3
+	for i := range dbs {
+		capacity := v.Cfg.ObjectsPer + growth
+		dbs[i] = &database{index: alloc(uint64(capacity) * 16), cap: capacity}
+	}
+	var prev arch.VAddr
+	for i := range dbs {
+		for k := 0; k < v.Cfg.ObjectsPer; k++ {
+			obj := alloc(objSize)
+			key := uint64(k) * 16
+			v.initObject(env, obj, key, prev)
+			prev = obj
+			v.indexAppend(env, dbs[i], key, obj)
+		}
+	}
+
+	// Transaction phase. The hot window slides with the newest keys;
+	// range scans walk index runs; a cold tail touches the whole DB.
+	for t := 0; t < v.Cfg.Transactions; t++ {
+		db := dbs[r.Intn(len(dbs))]
+		hot := v.Cfg.HotWindow
+		if hot > db.count {
+			hot = db.count
+		}
+
+		var idx int
+		kind := r.Intn(100)
+		switch {
+		case kind < 85: // hot point lookup
+			idx = db.count - 1 - r.Intn(hot)
+		case kind < 97: // range scan starting anywhere
+			idx = r.Intn(db.count)
+		default: // cold uniform lookup
+			idx = r.Intn(db.count)
+		}
+
+		if kind >= 85 && kind < 97 {
+			v.Scans++
+			end := idx + v.Cfg.ScanLen
+			if end > db.count {
+				end = db.count
+			}
+			sum := uint64(0)
+			for j := idx; j < end; j++ {
+				ptr := env.Load(db.index+arch.VAddr(j*16+8), 8)
+				sum += env.Load(arch.VAddr(ptr)+attrOff, 8)
+				env.Step(6)
+			}
+			_ = sum
+			continue
+		}
+
+		key := env.Load(db.index+arch.VAddr(idx*16), 8)
+		obj, ok := v.indexSearch(env, db, key)
+		env.Step(20)
+		if !ok {
+			continue
+		}
+		v.Lookups++
+
+		// Read the attributes.
+		sum := uint64(0)
+		for a := 0; a < 6; a++ {
+			sum += env.Load(obj+arch.VAddr(attrOff+a*8), 8)
+		}
+		env.Step(12)
+
+		// Chase one object reference (pointer-dependent access).
+		if ref := env.Load(obj+ref1Off, 8); ref != 0 {
+			env.Load(arch.VAddr(ref)+attrOff, 8)
+		}
+
+		// Traverse related objects (vortex's Part/Person/Draw object
+		// graph): each hop lands on another recently used object — a
+		// different page, but one whose lines are cache-resident. This
+		// spread of pages, not lines, is what outruns TLB reach.
+		for hop := 0; hop < 4; hop++ {
+			hidx := db.count - 1 - r.Intn(hot)
+			hptr := env.Load(db.index+arch.VAddr(hidx*16+8), 8)
+			if hptr == 0 {
+				break
+			}
+			sum += env.Load(arch.VAddr(hptr)+attrOff, 8)
+			env.Step(8)
+		}
+
+		// Each transaction allocates a result record ("the databases and
+		// transaction results are continually being allocated").
+		result := alloc(objSize)
+		v.initObject(env, result, sum, obj)
+
+		switch r.Intn(3) {
+		case 0: // update two attributes
+			env.Store(obj+arch.VAddr(attrOff), 8, sum)
+			env.Store(obj+arch.VAddr(attrOff+8), 8, uint64(t))
+			v.Updates++
+		case 1: // insert a new object: transaction growth via sbrk
+			nobj := alloc(objSize)
+			nkey := uint64(db.count) * 16
+			v.initObject(env, nobj, nkey, obj)
+			v.indexAppend(env, db, nkey, nobj)
+		}
+	}
+}
+
+// initObject writes a freshly allocated object's fields.
+func (v *Vortex) initObject(env workload.Env, obj arch.VAddr, key uint64, ref arch.VAddr) {
+	env.Store(obj+keyOff, 8, key)
+	for a := 0; a < 6; a++ {
+		env.Store(obj+arch.VAddr(attrOff+a*8), 8, key^uint64(a*0x9E3779B9))
+	}
+	env.Store(obj+ref1Off, 8, uint64(ref))
+	env.Store(obj+ref2Off, 8, 0)
+	for off := payloadOff; off < objSize; off += 8 {
+		env.Store(obj+arch.VAddr(off), 8, key)
+	}
+	env.Step(16)
+}
+
+// indexAppend appends (key, obj); keys are generated in increasing order,
+// so the index stays sorted.
+func (v *Vortex) indexAppend(env workload.Env, db *database, key uint64, obj arch.VAddr) {
+	if db.count >= db.cap {
+		return // index full: drop growth beyond capacity
+	}
+	slot := db.index + arch.VAddr(db.count*16)
+	env.Store(slot, 8, key)
+	env.Store(slot+8, 8, uint64(obj))
+	db.count++
+	env.Step(6)
+}
+
+// indexSearch binary-searches the index for the largest key <= key and
+// returns its object pointer.
+func (v *Vortex) indexSearch(env workload.Env, db *database, key uint64) (arch.VAddr, bool) {
+	lo, hi := 0, db.count-1
+	if hi < 0 {
+		return 0, false
+	}
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		k := env.Load(db.index+arch.VAddr(mid*16), 8)
+		env.Step(4)
+		if k <= key {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	ptr := env.Load(db.index+arch.VAddr(lo*16+8), 8)
+	return arch.VAddr(ptr), ptr != 0
+}

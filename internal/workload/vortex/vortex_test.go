@@ -1,0 +1,88 @@
+package vortex
+
+import (
+	"testing"
+
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/workload"
+)
+
+func TestRunsCompletely(t *testing.T) {
+	env := workload.NewMemEnv()
+	w := New(SmallConfig())
+	w.Run(env)
+	if w.Lookups == 0 {
+		t.Error("no lookups completed")
+	}
+	if w.Scans == 0 {
+		t.Error("no scans completed")
+	}
+	if w.Updates == 0 {
+		t.Error("no updates completed")
+	}
+	if env.Sbrks == 0 {
+		t.Error("vortex must allocate through sbrk")
+	}
+}
+
+func TestAllocationsAllViaSbrk(t *testing.T) {
+	env := workload.NewMemEnv()
+	w := New(SmallConfig())
+	w.Run(env)
+	// Vortex creates no explicit regions: "the modified sbrk() described
+	// earlier performed all superpage creation" (§3.1).
+	if env.Regions != 0 {
+		t.Errorf("regions = %d, want 0", env.Regions)
+	}
+	if env.Remaps != 0 {
+		t.Errorf("explicit remaps = %d, want 0", env.Remaps)
+	}
+	if !w.SbrkSuperpages() {
+		t.Error("SbrkSuperpages must be true")
+	}
+}
+
+func TestPaperAllocationVolume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-size build phase")
+	}
+	env := workload.NewMemEnv()
+	w := New(PaperConfig())
+	w.Run(env)
+	// Paper: ~9 MB of basic datasets, ~18-19 MB total over the run.
+	if w.Allocated < 15*arch.MB || w.Allocated > 24*arch.MB {
+		t.Errorf("Allocated = %d MB, want ~18-19 MB", w.Allocated/arch.MB)
+	}
+}
+
+func TestTransactionMixFractions(t *testing.T) {
+	env := workload.NewMemEnv()
+	w := New(Config{Databases: 2, ObjectsPer: 2000, Transactions: 5000, HotWindow: 500, ScanLen: 16})
+	w.Run(env)
+	total := float64(w.Lookups + w.Scans)
+	if total == 0 {
+		t.Fatal("no transactions")
+	}
+	scanFrac := float64(w.Scans) / total
+	if scanFrac < 0.06 || scanFrac > 0.20 {
+		t.Errorf("scan fraction = %.2f, want ~12%%", scanFrac)
+	}
+	// Updates are 1/3 of point transactions.
+	updFrac := float64(w.Updates) / float64(w.Lookups)
+	if updFrac < 0.25 || updFrac > 0.42 {
+		t.Errorf("update fraction = %.2f, want ~1/3", updFrac)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() (uint64, uint64, uint64) {
+		w := New(SmallConfig())
+		w.Run(workload.NewMemEnv())
+		return w.Lookups, w.Scans, w.Allocated
+	}
+	l1, s1, a1 := run()
+	l2, s2, a2 := run()
+	if l1 != l2 || s1 != s2 || a1 != a2 {
+		t.Error("vortex not deterministic")
+	}
+}

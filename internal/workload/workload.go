@@ -1,0 +1,79 @@
+// Package workload defines the execution environment simulated programs
+// run against and provides the five benchmark programs of the paper's
+// evaluation (§3.1) — compress95, vortex, radix, em3d and gcc/cc1 — as
+// faithful reimplementations of each program's memory-dominant kernel,
+// plus synthetic reference generators for unit tests and ablations.
+//
+// Workloads are genuinely execution-driven: their data structures live in
+// simulated memory and every load and store goes through the simulated
+// TLB, cache, bus and memory controller.
+package workload
+
+import "shadowtlb/internal/arch"
+
+// Env is the machine interface a workload programs against. *cpu.CPU
+// implements it.
+type Env interface {
+	// Load issues a load of size bytes (1, 2, 4 or 8) and returns the
+	// little-endian value.
+	Load(va arch.VAddr, size int) uint64
+	// Store issues a store of size bytes.
+	Store(va arch.VAddr, size int, val uint64)
+	// Step accounts n non-memory instructions.
+	Step(n int)
+	// Sbrk extends the heap and returns the allocation's base address.
+	Sbrk(n uint64) arch.VAddr
+	// Remap asks the OS to back [base, base+size) with shadow
+	// superpages; it reports false (and does nothing) on systems
+	// without an MTLB, so workloads run unchanged on baselines.
+	Remap(base arch.VAddr, size uint64) bool
+	// AllocRegion reserves a named virtual region.
+	AllocRegion(name string, size uint64) arch.VAddr
+	// AllocAligned reserves a region with base ≡ offset (mod align),
+	// reproducing the segment alignments behind the paper's superpage
+	// counts.
+	AllocAligned(name string, size, align, offset uint64) arch.VAddr
+}
+
+// Workload is a runnable benchmark program.
+type Workload interface {
+	// Name returns the program's short name as used in the paper.
+	Name() string
+	// SbrkSuperpages reports whether the program relies on the modified
+	// sbrk() to create superpages (vortex and gcc, §3.1) rather than
+	// explicit remap() calls.
+	SbrkSuperpages() bool
+	// Run executes the program to completion.
+	Run(env Env)
+}
+
+// RNG is the deterministic xorshift64* generator every workload uses, so
+// runs are exactly reproducible across machine configurations.
+type RNG uint64
+
+// NewRNG seeds a generator; a zero seed is replaced by a fixed constant.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	r := RNG(seed)
+	return &r
+}
+
+// Next returns the next 64-bit value.
+func (r *RNG) Next() uint64 {
+	x := uint64(*r)
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*r = RNG(x)
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a value in [0, n); it panics for n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("workload: Intn of non-positive bound")
+	}
+	return int(r.Next() % uint64(n))
+}
