@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"shadowtlb/internal/exp"
+	"shadowtlb/internal/exp/runner"
 )
 
 // benchScale picks workload sizing: paper scale normally, small under
@@ -24,6 +25,17 @@ func benchScale() exp.Scale {
 		return exp.Small
 	}
 	return exp.Paper
+}
+
+// newPool returns a worker pool with the experiment's declared cells
+// already simulated in parallel, so each benchmark iteration measures
+// the experiment's parallel wall time end to end.
+func newPool(id string, scale exp.Scale) *runner.Pool {
+	pool := runner.New(0)
+	if d, ok := exp.Lookup(id); ok && d.Cells != nil {
+		pool.Warm(d.Cells(scale))
+	}
+	return pool
 }
 
 // printOnce guards table output so repeated benchmark iterations (b.N>1)
@@ -55,7 +67,7 @@ func BenchmarkFig3(b *testing.B) {
 	scale := benchScale()
 	var r exp.Fig3Result
 	for i := 0; i < b.N; i++ {
-		r = exp.Fig3(scale)
+		r = exp.Fig3On(newPool("fig3", scale), scale)
 	}
 	printTable("fig3"+scale.String(), func() { fmt.Println(r.Table) })
 	// Headline: average MTLB speedup over the 96-entry base system, and
@@ -77,21 +89,12 @@ func BenchmarkFig3(b *testing.B) {
 	b.ReportMetric(100*worstMTLBFrac, "worst-mtlb-tlbtime-%")
 }
 
-// fig4Memo caches Figure 4's sweep so panels A and B share one run set.
-var (
-	fig4Mu  sync.Mutex
-	fig4Res = map[exp.Scale]*exp.Fig4Result{}
-)
+// fig4Pool caches Figure 4's simulation cells so panels A and B share
+// one run set.
+var fig4Pool = runner.New(0)
 
 func fig4(scale exp.Scale) exp.Fig4Result {
-	fig4Mu.Lock()
-	defer fig4Mu.Unlock()
-	if r, ok := fig4Res[scale]; ok {
-		return *r
-	}
-	r := exp.Fig4(scale)
-	fig4Res[scale] = &r
-	return r
+	return exp.Fig4On(fig4Pool, scale)
 }
 
 // BenchmarkFig4A regenerates Figure 4(A): em3d runtime across MTLB sizes
@@ -142,7 +145,7 @@ func BenchmarkTLBTime(b *testing.B) {
 	scale := benchScale()
 	var r exp.TLBTimeResult
 	for i := 0; i < b.N; i++ {
-		r = exp.TLBTime(scale)
+		r = exp.TLBTimeOn(newPool("tlbtime", scale), scale)
 	}
 	printTable("tlbtime"+scale.String(), func() { fmt.Println(r.Table) })
 	b.ReportMetric(100*r.Cell("radix", 256, false).TLBFrac, "radix-tlb256-%")
@@ -156,7 +159,7 @@ func BenchmarkReach(b *testing.B) {
 	scale := benchScale()
 	var r exp.ReachResult
 	for i := 0; i < b.N; i++ {
-		r = exp.Reach(scale)
+		r = exp.ReachOn(newPool("reach", scale), scale)
 	}
 	printTable("reach"+scale.String(), func() { fmt.Println(r.Table) })
 	var worst float64
@@ -209,7 +212,7 @@ func BenchmarkAblationAllocator(b *testing.B) {
 	scale := benchScale()
 	var r exp.AblationAllocatorResult
 	for i := 0; i < b.N; i++ {
-		r = exp.AblationAllocator(scale)
+		r = exp.AblationAllocatorOn(newPool("ablation-allocator", scale), scale)
 	}
 	printTable("abl-alloc"+scale.String(), func() { fmt.Println(r.Table) })
 	b.ReportMetric(float64(r.BuddyCycles)/float64(r.BucketCycles), "buddy/bucket-cycles")
@@ -220,7 +223,7 @@ func BenchmarkAblationCheckCycle(b *testing.B) {
 	scale := benchScale()
 	var r exp.AblationCheckResult
 	for i := 0; i < b.N; i++ {
-		r = exp.AblationCheck(scale)
+		r = exp.AblationCheckOn(newPool("ablation-check", scale), scale)
 	}
 	printTable("abl-check"+scale.String(), func() { fmt.Println(r.Table) })
 	b.ReportMetric(100*r.CheckCost, "check-cost-%")
@@ -231,7 +234,7 @@ func BenchmarkAblationFill(b *testing.B) {
 	scale := benchScale()
 	var r exp.AblationFillResult
 	for i := 0; i < b.N; i++ {
-		r = exp.AblationFill(scale)
+		r = exp.AblationFillOn(newPool("ablation-fill", scale), scale)
 	}
 	printTable("abl-fill"+scale.String(), func() { fmt.Println(r.Table) })
 	b.ReportMetric(100*r.Slowdown, "software-fill-slowdown-%")
@@ -242,7 +245,7 @@ func BenchmarkAblationDRAM(b *testing.B) {
 	scale := benchScale()
 	var r exp.AblationDRAMResult
 	for i := 0; i < b.N; i++ {
-		r = exp.AblationDRAM(scale)
+		r = exp.AblationDRAMOn(newPool("ablation-dram", scale), scale)
 	}
 	printTable("abl-dram"+scale.String(), func() { fmt.Println(r.Table) })
 	b.ReportMetric(100*r.RadixRowHitRate, "radix-row-hit-%")
@@ -267,7 +270,7 @@ func BenchmarkExtStream(b *testing.B) {
 	scale := benchScale()
 	var r exp.StreamResult
 	for i := 0; i < b.N; i++ {
-		r = exp.Stream(scale)
+		r = exp.StreamOn(newPool("ext-stream", scale), scale)
 	}
 	printTable("ext-stream"+scale.String(), func() { fmt.Println(r.Table) })
 	b.ReportMetric(100*r.HitPortion, "stream-hit-%-of-fills")

@@ -3,109 +3,94 @@
 //	mtlbexp -exp fig3                 # Figure 3 at paper scale
 //	mtlbexp -exp fig4 -scale small    # Figure 4 quickly
 //	mtlbexp -exp all                  # everything
+//	mtlbexp -exp all -parallel 8      # everything, 8 simulations at a time
 //	mtlbexp -exp fig3 -csv            # machine-readable output
+//	mtlbexp -list                     # registered experiment ids
 //
-// Experiments: fig2, fig3, fig4, init, tlbtime, reach, swap, spcount,
-// ablation-allocator, ablation-check, ablation-fill, ablation-refbits,
-// ext-promotion, ext-stream, ext-recolor, ext-multiprog, all.
+// Experiments are looked up in the internal/exp registry; their
+// simulation cells run on a memoizing worker pool, so configurations
+// shared between experiments (Figure 3's base systems, the §3.4 sweep,
+// the reach comparison) are simulated once per invocation.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"shadowtlb/internal/exp"
+	"shadowtlb/internal/exp/runner"
 	"shadowtlb/internal/stats"
 )
 
 func main() {
-	var (
-		name  = flag.String("exp", "all", "experiment id (see doc comment)")
-		scale = flag.String("scale", "paper", "workload scale: paper or small")
-		csv   = flag.Bool("csv", false, "emit CSV instead of text tables")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	var s exp.Scale
-	switch *scale {
-	case "paper":
-		s = exp.Paper
-	case "small":
-		s = exp.Small
-	default:
-		fmt.Fprintf(os.Stderr, "mtlbexp: unknown scale %q\n", *scale)
-		os.Exit(2)
+// run executes the command and returns its exit status.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mtlbexp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		name     = fs.String("exp", "all", "experiment id, or all (-list to enumerate)")
+		scale    = fs.String("scale", "paper", "workload scale: paper or small")
+		csv      = fs.Bool("csv", false, "emit CSV instead of text tables")
+		parallel = fs.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		list     = fs.Bool("list", false, "list registered experiment ids and exit")
+		pstats   = fs.Bool("stats", false, "report cell-cache effectiveness on stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
 
-	emit := func(tables ...*stats.Table) {
+	if *list {
+		for _, d := range exp.Descriptors() {
+			fmt.Fprintf(stdout, "%-20s %s\n", d.ID, d.Title)
+		}
+		return 0
+	}
+
+	s, err := exp.ParseScale(*scale)
+	if err != nil {
+		fmt.Fprintf(stderr, "mtlbexp: unknown scale %q (valid: paper, small)\n", *scale)
+		return 2
+	}
+
+	var descs []exp.Descriptor
+	if *name == "all" {
+		descs = exp.Descriptors()
+	} else {
+		d, ok := exp.Lookup(*name)
+		if !ok {
+			fmt.Fprintf(stderr, "mtlbexp: unknown experiment %q (run mtlbexp -list for ids)\n", *name)
+			return 2
+		}
+		descs = []exp.Descriptor{d}
+	}
+
+	pool := runner.New(*parallel)
+	outs := pool.RunExperiments(descs, s)
+
+	emit := func(tables []*stats.Table) {
 		for _, t := range tables {
 			if *csv {
-				fmt.Print(t.CSV())
+				fmt.Fprint(stdout, t.CSV())
 			} else {
-				fmt.Println(t.String())
+				fmt.Fprintln(stdout, t.String())
 			}
 		}
 	}
-
-	runOne := func(id string) bool {
-		switch id {
-		case "fig2":
-			emit(exp.Fig2().Table)
-		case "fig3":
-			emit(exp.Fig3(s).Table)
-		case "fig4":
-			r := exp.Fig4(s)
-			emit(r.TableA, r.TableB)
-		case "init":
-			emit(exp.InitCosts().Table)
-		case "tlbtime":
-			emit(exp.TLBTime(s).Table)
-		case "reach":
-			emit(exp.Reach(s).Table)
-		case "swap":
-			emit(exp.Swap().Table)
-		case "spcount":
-			emit(exp.SPCount().Table)
-		case "ablation-allocator":
-			emit(exp.AblationAllocator(s).Table)
-		case "ablation-check":
-			emit(exp.AblationCheck(s).Table)
-		case "ablation-fill":
-			emit(exp.AblationFill(s).Table)
-		case "ablation-refbits":
-			emit(exp.AblationRefBits().Table)
-		case "ext-promotion":
-			emit(exp.Promotion().Table)
-		case "ext-stream":
-			emit(exp.Stream(s).Table)
-		case "ext-recolor":
-			emit(exp.Recolor().Table)
-		case "ext-multiprog":
-			emit(exp.Multiprog().Table)
-		case "ablation-dram":
-			emit(exp.AblationDRAM(s).Table)
-		default:
-			return false
+	for _, out := range outs {
+		if *name == "all" {
+			fmt.Fprintf(stdout, "==== %s ====\n", out.ID)
 		}
-		return true
+		emit(out.Tables)
 	}
-
-	if *name == "all" {
-		for _, id := range []string{
-			"fig2", "fig3", "fig4", "init", "tlbtime", "reach", "swap",
-			"spcount", "ablation-allocator", "ablation-check",
-			"ablation-fill", "ablation-refbits",
-			"ablation-dram",
-			"ext-promotion", "ext-stream", "ext-recolor", "ext-multiprog",
-		} {
-			fmt.Printf("==== %s ====\n", id)
-			runOne(id)
-		}
-		return
+	if *pstats {
+		st := pool.Stats()
+		fmt.Fprintf(stderr, "mtlbexp: %d cell results served from %d simulations (%d workers)\n",
+			st.Requested, st.Simulated, pool.Workers())
 	}
-	if !runOne(*name) {
-		fmt.Fprintf(os.Stderr, "mtlbexp: unknown experiment %q\n", *name)
-		os.Exit(2)
-	}
+	return 0
 }

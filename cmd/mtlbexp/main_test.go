@@ -1,0 +1,81 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"shadowtlb/internal/exp"
+)
+
+// TestListEnumeratesRegistry checks -list prints every registered id
+// with its title and exits 0.
+func TestListEnumeratesRegistry(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, d := range exp.Descriptors() {
+		if !strings.Contains(out.String(), d.ID) {
+			t.Errorf("-list output missing %q:\n%s", d.ID, out.String())
+		}
+	}
+	if errb.Len() != 0 {
+		t.Errorf("unexpected stderr: %s", errb.String())
+	}
+}
+
+// TestUnknownExperiment checks the failure mode satellite: a bad -exp
+// must exit non-zero with a message pointing at -list.
+func TestUnknownExperiment(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-exp", "fig99", "-scale", "small"}, &out, &errb); code == 0 {
+		t.Fatal("unknown experiment exited 0")
+	}
+	msg := errb.String()
+	if !strings.Contains(msg, "fig99") || !strings.Contains(msg, "-list") {
+		t.Errorf("error message not usable: %q", msg)
+	}
+}
+
+// TestUnknownScale checks a bad -scale exits non-zero naming the valid
+// values.
+func TestUnknownScale(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-exp", "fig3", "-scale", "huge"}, &out, &errb); code == 0 {
+		t.Fatal("unknown scale exited 0")
+	}
+	msg := errb.String()
+	if !strings.Contains(msg, "huge") || !strings.Contains(msg, "paper") || !strings.Contains(msg, "small") {
+		t.Errorf("error message not usable: %q", msg)
+	}
+}
+
+// TestBadFlag checks flag-parse errors propagate as exit 2.
+func TestBadFlag(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Errorf("exit %d, want 2", code)
+	}
+}
+
+// TestSingleExperimentRuns executes one real experiment end to end and
+// checks it emits a table without the "==== id ====" header -exp all
+// uses.
+func TestSingleExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	var out, errb strings.Builder
+	if code := run([]string{"-exp", "reach", "-scale", "small", "-parallel", "2", "-stats"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "TLB reach equivalence") {
+		t.Errorf("missing reach table:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "====") {
+		t.Errorf("single-experiment output has an all-mode header:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "simulations") {
+		t.Errorf("-stats produced no cache report: %q", errb.String())
+	}
+}

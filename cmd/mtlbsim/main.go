@@ -16,15 +16,11 @@ import (
 
 	"shadowtlb/internal/arch"
 	"shadowtlb/internal/core"
+	"shadowtlb/internal/exp"
 	"shadowtlb/internal/mem"
 	"shadowtlb/internal/sim"
 	"shadowtlb/internal/vm"
 	"shadowtlb/internal/workload"
-	"shadowtlb/internal/workload/compress"
-	"shadowtlb/internal/workload/em3d"
-	"shadowtlb/internal/workload/gcc"
-	"shadowtlb/internal/workload/radix"
-	"shadowtlb/internal/workload/vortex"
 )
 
 func main() {
@@ -89,58 +85,19 @@ func main() {
 	}
 }
 
+// makeWorkload resolves the workload through exp's name → constructor
+// registry, which covers the five paper programs and the synthetic
+// generators.
 func makeWorkload(name, size string) (workload.Workload, error) {
-	paper := size == "paper"
-	if size != "paper" && size != "small" {
+	s, err := exp.ParseScale(size)
+	if err != nil {
 		return nil, fmt.Errorf("mtlbsim: unknown size %q", size)
 	}
-	switch name {
-	case "compress":
-		if paper {
-			return compress.New(compress.PaperConfig()), nil
-		}
-		return compress.New(compress.SmallConfig()), nil
-	case "vortex":
-		if paper {
-			return vortex.New(vortex.PaperConfig()), nil
-		}
-		return vortex.New(vortex.SmallConfig()), nil
-	case "radix":
-		if paper {
-			return radix.New(radix.PaperConfig()), nil
-		}
-		return radix.New(radix.SmallConfig()), nil
-	case "em3d":
-		if paper {
-			return em3d.New(em3d.PaperConfig()), nil
-		}
-		return em3d.New(em3d.SmallConfig()), nil
-	case "gcc":
-		if paper {
-			return gcc.New(gcc.PaperConfig()), nil
-		}
-		return gcc.New(gcc.SmallConfig()), nil
-	case "random":
-		n := 2_000_000
-		if !paper {
-			n = 100_000
-		}
-		return &workload.RandomAccess{Bytes: 8 * arch.MB, Accesses: n, WriteFrac: 30, Remapped: true, StepPer: 2}, nil
-	case "stride":
-		p := 20
-		if !paper {
-			p = 3
-		}
-		return &workload.StrideAccess{Bytes: 4 * arch.MB, Stride: 32, Passes: p, Remapped: true}, nil
-	case "chase":
-		h := 2_000_000
-		if !paper {
-			h = 100_000
-		}
-		return &workload.PointerChase{Nodes: 100_000, Hops: h, Remapped: true}, nil
-	default:
+	w, err := exp.MakeWorkload(name, s)
+	if err != nil {
 		return nil, fmt.Errorf("mtlbsim: unknown workload %q", name)
 	}
+	return w, nil
 }
 
 func printResult(r sim.Result) {

@@ -25,19 +25,32 @@ type AblationAllocatorResult struct {
 	BuddyExhausted  bool
 }
 
-// AblationAllocator runs em3d under both allocators and then stresses
+// buddyConfig is the default MTLB system on the buddy shadow allocator.
+func buddyConfig() sim.Config {
+	cfg := withMTLB(baseConfig())
+	cfg.UseBuddy = true
+	return cfg
+}
+
+// ablationAllocatorCells lists the two em3d runs; the bucket one is the
+// default MTLB base system shared with the other experiments.
+func ablationAllocatorCells(scale Scale) []Cell {
+	return []Cell{
+		NewCell(withMTLB(baseConfig()), "em3d", scale),
+		NewCell(buddyConfig(), "em3d", scale),
+	}
+}
+
+// AblationAllocatorOn runs em3d under both allocators and then stresses
 // each with 300 x 64 KB regions — beyond the Figure 2 partition's 256
 // regions of that class.
-func AblationAllocator(scale Scale) AblationAllocatorResult {
+func AblationAllocatorOn(r Runner, scale Scale) AblationAllocatorResult {
 	var res AblationAllocatorResult
 
-	bucket := withMTLB(baseConfig())
-	r1 := run(bucket, "em3d", scale)
+	r1 := r.Result(NewCell(withMTLB(baseConfig()), "em3d", scale))
 	res.BucketCycles = uint64(r1.TotalCycles())
 
-	buddy := withMTLB(baseConfig())
-	buddy.UseBuddy = true
-	r2 := run(buddy, "em3d", scale)
+	r2 := r.Result(NewCell(buddyConfig(), "em3d", scale))
 	res.BuddyCycles = uint64(r2.TotalCycles())
 
 	// Stress: can the allocator serve 300 64 KB superpages?
@@ -72,6 +85,11 @@ func AblationAllocator(scale Scale) AblationAllocatorResult {
 	return res
 }
 
+// AblationAllocator runs the comparison on a private serial runner.
+func AblationAllocator(scale Scale) AblationAllocatorResult {
+	return AblationAllocatorOn(NewMemo(), scale)
+}
+
 // AblationCheckResult isolates the paper's conservative +1 MMC cycle per
 // operation (§2.2) against their "most recent design work", which hides
 // the shadow check behind bus interface operations.
@@ -85,14 +103,28 @@ type AblationCheckResult struct {
 	CheckCost float64
 }
 
-// AblationCheck runs em3d with and without the per-operation check cycle.
-func AblationCheck(scale Scale) AblationCheckResult {
+// noCheckConfig hides the per-operation shadow-check cycle.
+func noCheckConfig() sim.Config {
+	cfg := withMTLB(baseConfig()).WithTLB(128)
+	cfg.NoCheckCycle = true
+	return cfg
+}
+
+// ablationCheckCells lists the three em3d variants.
+func ablationCheckCells(scale Scale) []Cell {
+	return []Cell{
+		NewCell(baseConfig().WithTLB(128), "em3d", scale),
+		NewCell(withMTLB(baseConfig()).WithTLB(128), "em3d", scale),
+		NewCell(noCheckConfig(), "em3d", scale),
+	}
+}
+
+// AblationCheckOn runs em3d with and without the per-operation check cycle.
+func AblationCheckOn(r Runner, scale Scale) AblationCheckResult {
 	var res AblationCheckResult
-	res.NoMTLB = uint64(run(baseConfig().WithTLB(128), "em3d", scale).TotalCycles())
-	res.WithCheck = uint64(run(withMTLB(baseConfig()).WithTLB(128), "em3d", scale).TotalCycles())
-	nc := withMTLB(baseConfig()).WithTLB(128)
-	nc.NoCheckCycle = true
-	res.NoCheck = uint64(run(nc, "em3d", scale).TotalCycles())
+	res.NoMTLB = uint64(r.Result(NewCell(baseConfig().WithTLB(128), "em3d", scale)).TotalCycles())
+	res.WithCheck = uint64(r.Result(NewCell(withMTLB(baseConfig()).WithTLB(128), "em3d", scale)).TotalCycles())
+	res.NoCheck = uint64(r.Result(NewCell(noCheckConfig(), "em3d", scale)).TotalCycles())
 	res.CheckCost = float64(res.WithCheck-res.NoCheck) / float64(res.WithCheck)
 
 	t := stats.NewTable("Ablation: per-operation MMC shadow-check cycle (paper §2.2)",
@@ -106,6 +138,11 @@ func AblationCheck(scale Scale) AblationCheckResult {
 	return res
 }
 
+// AblationCheck runs the comparison on a private serial runner.
+func AblationCheck(scale Scale) AblationCheckResult {
+	return AblationCheckOn(NewMemo(), scale)
+}
+
 // AblationFillResult compares the paper's hardware MTLB fill (a single
 // indexed DRAM read, §2.2) against a software-managed fill, modelled as
 // a trap-cost-sized MMC stall per miss.
@@ -116,14 +153,28 @@ type AblationFillResult struct {
 	Slowdown       float64
 }
 
-// AblationFill runs em3d with the default fill cost and with a software
-// fill cost (~100 MMC cycles: trap, table walk in software, restart).
-func AblationFill(scale Scale) AblationFillResult {
+// softwareFillConfig charges ~100 MMC cycles per MTLB fill: trap, table
+// walk in software, restart.
+func softwareFillConfig() sim.Config {
+	cfg := withMTLB(baseConfig()).WithTLB(128)
+	cfg.MMCTiming.MTLBFillDRAM = 100
+	return cfg
+}
+
+// ablationFillCells lists the two em3d variants.
+func ablationFillCells(scale Scale) []Cell {
+	return []Cell{
+		NewCell(withMTLB(baseConfig()).WithTLB(128), "em3d", scale),
+		NewCell(softwareFillConfig(), "em3d", scale),
+	}
+}
+
+// AblationFillOn runs em3d with the default fill cost and with the
+// software fill cost.
+func AblationFillOn(r Runner, scale Scale) AblationFillResult {
 	var res AblationFillResult
-	res.HardwareCycles = uint64(run(withMTLB(baseConfig()).WithTLB(128), "em3d", scale).TotalCycles())
-	sw := withMTLB(baseConfig()).WithTLB(128)
-	sw.MMCTiming.MTLBFillDRAM = 100
-	res.SoftwareCycles = uint64(run(sw, "em3d", scale).TotalCycles())
+	res.HardwareCycles = uint64(r.Result(NewCell(withMTLB(baseConfig()).WithTLB(128), "em3d", scale)).TotalCycles())
+	res.SoftwareCycles = uint64(r.Result(NewCell(softwareFillConfig(), "em3d", scale)).TotalCycles())
 	res.Slowdown = float64(res.SoftwareCycles)/float64(res.HardwareCycles) - 1
 
 	t := stats.NewTable("Ablation: hardware vs software MTLB fill (paper §2.2)",
@@ -132,6 +183,11 @@ func AblationFill(scale Scale) AblationFillResult {
 	t.AddRow("software (trap-based)", mcycles(res.SoftwareCycles), pct(res.Slowdown))
 	res.Table = t
 	return res
+}
+
+// AblationFill runs the comparison on a private serial runner.
+func AblationFill(scale Scale) AblationFillResult {
+	return AblationFillOn(NewMemo(), scale)
 }
 
 // AblationRefBitsResult quantifies §2.5's caveat: the MMC only sees
@@ -219,20 +275,30 @@ type AblationDRAMResult struct {
 	Em3dRowHitRate         float64
 }
 
-// AblationDRAM runs both programs on the default MTLB system with flat
+// dramConfig is the default MTLB system with the given DRAM bank count.
+func dramConfig(banks int) sim.Config {
+	cfg := withMTLB(baseConfig()).WithTLB(64)
+	cfg.DRAMBanks = banks
+	return cfg
+}
+
+// ablationDRAMCells lists both programs under flat and banked timing.
+func ablationDRAMCells(scale Scale) []Cell {
+	return []Cell{
+		NewCell(dramConfig(0), "radix", scale),
+		NewCell(dramConfig(8), "radix", scale),
+		NewCell(dramConfig(0), "em3d", scale),
+		NewCell(dramConfig(8), "em3d", scale),
+	}
+}
+
+// AblationDRAMOn runs both programs on the default MTLB system with flat
 // and 8-bank DRAM timing.
-func AblationDRAM(scale Scale) AblationDRAMResult {
+func AblationDRAMOn(r Runner, scale Scale) AblationDRAMResult {
 	var res AblationDRAMResult
 	run2 := func(name string, banks int) (uint64, float64) {
-		cfg := withMTLB(baseConfig()).WithTLB(64)
-		cfg.DRAMBanks = banks
-		s := sim.New(cfg)
-		w, err := MakeWorkload(name, scale)
-		if err != nil {
-			panic(err)
-		}
-		r := s.Run(w)
-		return uint64(r.TotalCycles()), s.MMC.RowHitRate()
+		run := r.Result(NewCell(dramConfig(banks), name, scale))
+		return uint64(run.TotalCycles()), run.RowHitRate
 	}
 	res.RadixFlat, _ = run2("radix", 0)
 	res.RadixBanked, res.RadixRowHitRate = run2("radix", 8)
@@ -247,4 +313,9 @@ func AblationDRAM(scale Scale) AblationDRAMResult {
 		pct(res.Em3dRowHitRate))
 	res.Table = t
 	return res
+}
+
+// AblationDRAM runs the comparison on a private serial runner.
+func AblationDRAM(scale Scale) AblationDRAMResult {
+	return AblationDRAMOn(NewMemo(), scale)
 }

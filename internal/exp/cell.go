@@ -1,0 +1,115 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"shadowtlb/internal/sim"
+)
+
+// Cell is the unit of experimental work: one workload run to completion
+// on one fresh machine configuration at one scale. Every figure and
+// table in this package is a reduction over completed cells, which lets
+// a runner execute them in any order, in parallel, and — because many
+// experiments share base systems — simulate each distinct cell exactly
+// once per invocation.
+type Cell struct {
+	Cfg      sim.Config
+	Workload string
+	Scale    Scale
+}
+
+// NewCell builds a cell.
+func NewCell(cfg sim.Config, workload string, s Scale) Cell {
+	return Cell{Cfg: cfg, Workload: workload, Scale: s}
+}
+
+// Key returns the cell's canonical identity: two cells with equal keys
+// denote the same simulation and may share one result. Every
+// semantically meaningful Config field participates; Label is excluded
+// because it is presentation only. TestCellKeyCoversConfig enforces that
+// new Config fields are added here (or explicitly exempted).
+func (c Cell) Key() string {
+	cfg := c.Cfg
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s@%s", c.Workload, c.Scale)
+	fmt.Fprintf(&b, "|dram=%d,order=%d,maxframes=%d",
+		cfg.DRAMBytes, cfg.AllocOrder, cfg.MaxUserFrames)
+	fmt.Fprintf(&b, "|tlb=%d,text=%d,ifetch=%d",
+		cfg.CPUTLBEntries, cfg.TextPages, cfg.IFetchPeriod)
+	if cfg.MTLB != nil {
+		fmt.Fprintf(&b, "|mtlb=%d/%dw", cfg.MTLB.Entries, cfg.MTLB.Ways)
+	} else {
+		b.WriteString("|mtlb=none")
+	}
+	fmt.Fprintf(&b, "|shadow=%v+%d|part=%v",
+		cfg.ShadowSpace.Base, cfg.ShadowSpace.Size, cfg.Partition)
+	fmt.Fprintf(&b, "|buddy=%t,nocheck=%t,streams=%d,banks=%d",
+		cfg.UseBuddy, cfg.NoCheckCycle, cfg.StreamBuffers, cfg.DRAMBanks)
+	fmt.Fprintf(&b, "|cache=%+v|bus=%+v|mmc=%+v|costs=%+v|hpt=%d",
+		cfg.Cache, cfg.Bus, cfg.MMCTiming, cfg.Costs, cfg.HPTEntries)
+	return b.String()
+}
+
+// Simulate assembles a fresh system and runs the cell's workload on it.
+// Simulations are deterministic: workloads draw from seeded RNGs and the
+// system has no global state, so equal keys always yield equal results.
+func (c Cell) Simulate() sim.Result {
+	w, err := MakeWorkload(c.Workload, c.Scale)
+	if err != nil {
+		panic(err)
+	}
+	return sim.RunOn(c.Cfg, w)
+}
+
+// Runner executes cells on behalf of experiments. Implementations must
+// be safe for concurrent use and must return the same result for cells
+// with equal keys within one invocation. The serial Memo below serves
+// single-experiment calls; internal/exp/runner provides the worker-pool
+// implementation that parallelizes and shares cells across experiments.
+type Runner interface {
+	Result(Cell) sim.Result
+}
+
+// Memo is the minimal Runner: it simulates each distinct cell once, on
+// the calling goroutine, and caches the result by cell key.
+type Memo struct {
+	mu      sync.Mutex
+	results map[string]sim.Result
+	sims    int
+}
+
+// NewMemo returns an empty memoizing runner.
+func NewMemo() *Memo {
+	return &Memo{results: make(map[string]sim.Result)}
+}
+
+// Result returns the cell's result, simulating on first request.
+func (m *Memo) Result(c Cell) sim.Result {
+	key := c.Key()
+	m.mu.Lock()
+	if r, ok := m.results[key]; ok {
+		m.mu.Unlock()
+		return r
+	}
+	m.mu.Unlock()
+	r := c.Simulate()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Another goroutine may have raced us to the same cell; keep the
+	// first result so every caller observes one value.
+	if prev, ok := m.results[key]; ok {
+		return prev
+	}
+	m.results[key] = r
+	m.sims++
+	return r
+}
+
+// Simulated reports how many distinct cells this runner has executed.
+func (m *Memo) Simulated() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sims
+}

@@ -1,0 +1,115 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/core"
+	"shadowtlb/internal/mem"
+	"shadowtlb/internal/sim"
+)
+
+// TestCellKeyCoversConfig guards the cache's correctness: every
+// sim.Config field must either change the cell key when it changes
+// (otherwise two different machines would share one cached result) or be
+// explicitly exempted as presentation-only. Adding a field to sim.Config
+// without extending Cell.Key fails here.
+func TestCellKeyCoversConfig(t *testing.T) {
+	exempt := map[string]bool{
+		"Label": true, // presentation only; see TestCellKeyIgnoresLabel
+	}
+	mutations := map[string]func(*sim.Config){
+		"DRAMBytes":     func(c *sim.Config) { c.DRAMBytes *= 2 },
+		"AllocOrder":    func(c *sim.Config) { c.AllocOrder = mem.Sequential },
+		"MaxUserFrames": func(c *sim.Config) { c.MaxUserFrames = 1234 },
+		"CPUTLBEntries": func(c *sim.Config) { c.CPUTLBEntries++ },
+		"TextPages":     func(c *sim.Config) { c.TextPages++ },
+		"IFetchPeriod":  func(c *sim.Config) { c.IFetchPeriod++ },
+		"MTLB":          func(c *sim.Config) { c.MTLB = &core.MTLBConfig{Entries: 64, Ways: 1} },
+		"ShadowSpace":   func(c *sim.Config) { c.ShadowSpace.Size *= 2 },
+		"Partition":     func(c *sim.Config) { c.Partition = []core.BucketSpec{{Class: arch.Page64K, Count: 3}} },
+		"UseBuddy":      func(c *sim.Config) { c.UseBuddy = true },
+		"NoCheckCycle":  func(c *sim.Config) { c.NoCheckCycle = true },
+		"StreamBuffers": func(c *sim.Config) { c.StreamBuffers = 4 },
+		"DRAMBanks":     func(c *sim.Config) { c.DRAMBanks = 8 },
+		"Cache":         func(c *sim.Config) { c.Cache.Size *= 2 },
+		"Bus":           func(c *sim.Config) { c.Bus.AddrCycles++ },
+		"MMCTiming":     func(c *sim.Config) { c.MMCTiming.Overhead++ },
+		"Costs":         func(c *sim.Config) { c.Costs.TrapEntryExit++ },
+		"HPTEntries":    func(c *sim.Config) { c.HPTEntries *= 2 },
+	}
+
+	cfgType := reflect.TypeOf(sim.Config{})
+	for i := 0; i < cfgType.NumField(); i++ {
+		name := cfgType.Field(i).Name
+		if exempt[name] {
+			continue
+		}
+		mut, ok := mutations[name]
+		if !ok {
+			t.Errorf("sim.Config field %s has no Cell.Key mutation coverage: "+
+				"extend Cell.Key and this test, or exempt it", name)
+			continue
+		}
+		base := NewCell(baseConfig(), "em3d", Small)
+		changed := NewCell(baseConfig(), "em3d", Small)
+		mut(&changed.Cfg)
+		if base.Key() == changed.Key() {
+			t.Errorf("changing Config.%s does not change the cell key %q", name, base.Key())
+		}
+	}
+	for name := range mutations {
+		if _, ok := cfgType.FieldByName(name); !ok {
+			t.Errorf("mutation for unknown Config field %s", name)
+		}
+	}
+}
+
+// TestCellKeyIgnoresLabel pins the one exemption: relabeling a config
+// must not split the cache.
+func TestCellKeyIgnoresLabel(t *testing.T) {
+	a := NewCell(baseConfig(), "em3d", Small)
+	b := NewCell(baseConfig(), "em3d", Small)
+	b.Cfg.Label = "renamed"
+	if a.Key() != b.Key() {
+		t.Errorf("Label participates in the cell key:\n%s\n%s", a.Key(), b.Key())
+	}
+}
+
+// TestCellKeyDistinguishesWorkloadAndScale covers the non-Config parts
+// of identity.
+func TestCellKeyDistinguishesWorkloadAndScale(t *testing.T) {
+	base := NewCell(baseConfig(), "em3d", Small)
+	if base.Key() == NewCell(baseConfig(), "radix", Small).Key() {
+		t.Error("workload name missing from the cell key")
+	}
+	if base.Key() == NewCell(baseConfig(), "em3d", Paper).Key() {
+		t.Error("scale missing from the cell key")
+	}
+	// Equivalent construction orders collapse to one key.
+	a := NewCell(withMTLB(baseConfig()).WithTLB(64), "radix", Small)
+	b := NewCell(withMTLB(baseConfig().WithTLB(64)), "radix", Small)
+	if a.Key() != b.Key() {
+		t.Errorf("equivalent configs key differently:\n%s\n%s", a.Key(), b.Key())
+	}
+}
+
+// TestMemoSimulatesOnce verifies the serial runner's cache: requesting
+// the same cell twice simulates once and returns identical results.
+func TestMemoSimulatesOnce(t *testing.T) {
+	m := NewMemo()
+	c := NewCell(baseConfig().WithTLB(64), "radix", Small)
+	r1 := m.Result(c)
+	r2 := m.Result(NewCell(baseConfig().WithTLB(64), "radix", Small))
+	if m.Simulated() != 1 {
+		t.Errorf("Simulated = %d, want 1", m.Simulated())
+	}
+	if r1 != r2 {
+		t.Error("cached result differs from first result")
+	}
+	m.Result(NewCell(baseConfig().WithTLB(96), "radix", Small))
+	if m.Simulated() != 2 {
+		t.Errorf("Simulated = %d, want 2", m.Simulated())
+	}
+}

@@ -6,6 +6,13 @@
 // initialization-cost accounting, and the §3.4 TLB-time observations —
 // plus the ablation studies DESIGN.md calls out.
 //
+// Experiments are declarative: each registers a Descriptor (see
+// registry.go) naming its id, title, the simulation Cells it needs, and
+// a reduce step that builds its tables from completed cells. Cells are
+// executed through a Runner; the worker-pool Runner in
+// internal/exp/runner runs them in parallel and simulates each distinct
+// cell exactly once, even when several experiments share base systems.
+//
 // Each experiment returns a text table whose rows mirror the paper's
 // series, along with the raw values benches and tests assert against.
 package exp
@@ -13,6 +20,7 @@ package exp
 import (
 	"fmt"
 
+	"shadowtlb/internal/arch"
 	"shadowtlb/internal/core"
 	"shadowtlb/internal/sim"
 	"shadowtlb/internal/workload"
@@ -41,35 +49,109 @@ func (s Scale) String() string {
 	return "small"
 }
 
+// ParseScale maps a scale name to its Scale.
+func ParseScale(name string) (Scale, error) {
+	switch name {
+	case "small":
+		return Small, nil
+	case "paper":
+		return Paper, nil
+	}
+	return 0, fmt.Errorf("exp: unknown scale %q (want paper or small)", name)
+}
+
+// workloadMakers maps a workload name to its constructor, so selecting
+// one program by name builds exactly that program. The five paper
+// benchmarks are joined by the synthetic generators mtlbsim exposes.
+var workloadMakers = map[string]func(Scale) workload.Workload{
+	"compress": func(s Scale) workload.Workload {
+		if s == Paper {
+			return compress.New(compress.PaperConfig())
+		}
+		return compress.New(compress.SmallConfig())
+	},
+	"vortex": func(s Scale) workload.Workload {
+		if s == Paper {
+			return vortex.New(vortex.PaperConfig())
+		}
+		return vortex.New(vortex.SmallConfig())
+	},
+	"radix": func(s Scale) workload.Workload {
+		if s == Paper {
+			return radix.New(radix.PaperConfig())
+		}
+		return radix.New(radix.SmallConfig())
+	},
+	"em3d": func(s Scale) workload.Workload {
+		if s == Paper {
+			return em3d.New(em3d.PaperConfig())
+		}
+		return em3d.New(em3d.SmallConfig())
+	},
+	"gcc": func(s Scale) workload.Workload {
+		if s == Paper {
+			return gcc.New(gcc.PaperConfig())
+		}
+		return gcc.New(gcc.SmallConfig())
+	},
+	"random": func(s Scale) workload.Workload {
+		n := 2_000_000
+		if s != Paper {
+			n = 100_000
+		}
+		return &workload.RandomAccess{
+			Bytes: 8 * arch.MB, Accesses: n, WriteFrac: 30,
+			Remapped: true, StepPer: 2,
+		}
+	},
+	"stride": func(s Scale) workload.Workload {
+		p := 20
+		if s != Paper {
+			p = 3
+		}
+		return &workload.StrideAccess{
+			Bytes: 4 * arch.MB, Stride: 32, Passes: p, Remapped: true,
+		}
+	},
+	"chase": func(s Scale) workload.Workload {
+		h := 2_000_000
+		if s != Paper {
+			h = 100_000
+		}
+		return &workload.PointerChase{Nodes: 100_000, Hops: h, Remapped: true}
+	},
+}
+
+// paperWorkloads lists the five benchmark programs in the paper's
+// reporting order.
+var paperWorkloads = []string{"compress", "vortex", "radix", "em3d", "gcc"}
+
+// WorkloadNames returns the five paper benchmarks in reporting order.
+func WorkloadNames() []string {
+	names := make([]string, len(paperWorkloads))
+	copy(names, paperWorkloads)
+	return names
+}
+
 // Workloads returns fresh instances of the five benchmark programs at
 // the given scale, in the paper's reporting order.
 func Workloads(s Scale) []workload.Workload {
-	if s == Paper {
-		return []workload.Workload{
-			compress.New(compress.PaperConfig()),
-			vortex.New(vortex.PaperConfig()),
-			radix.New(radix.PaperConfig()),
-			em3d.New(em3d.PaperConfig()),
-			gcc.New(gcc.PaperConfig()),
-		}
+	ws := make([]workload.Workload, 0, len(paperWorkloads))
+	for _, name := range paperWorkloads {
+		ws = append(ws, workloadMakers[name](s))
 	}
-	return []workload.Workload{
-		compress.New(compress.SmallConfig()),
-		vortex.New(vortex.SmallConfig()),
-		radix.New(radix.SmallConfig()),
-		em3d.New(em3d.SmallConfig()),
-		gcc.New(gcc.SmallConfig()),
-	}
+	return ws
 }
 
-// MakeWorkload builds one named workload at the given scale.
+// MakeWorkload builds one named workload at the given scale. Beyond the
+// paper's five programs, the synthetic generators random, stride and
+// chase are available.
 func MakeWorkload(name string, s Scale) (workload.Workload, error) {
-	for _, w := range Workloads(s) {
-		if w.Name() == name {
-			return w, nil
-		}
+	mk, ok := workloadMakers[name]
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown workload %q", name)
 	}
-	return nil, fmt.Errorf("exp: unknown workload %q", name)
+	return mk(s), nil
 }
 
 // baseConfig is the machine every experiment starts from.
@@ -80,15 +162,6 @@ func baseConfig() sim.Config {
 // withMTLB fits the paper's default 128-entry 2-way MTLB.
 func withMTLB(c sim.Config) sim.Config {
 	return c.WithMTLB(core.DefaultMTLBConfig())
-}
-
-// run executes one fresh workload instance on one fresh system.
-func run(cfg sim.Config, name string, s Scale) sim.Result {
-	w, err := MakeWorkload(name, s)
-	if err != nil {
-		panic(err)
-	}
-	return sim.RunOn(cfg, w)
 }
 
 // pct formats a ratio as a percentage string.

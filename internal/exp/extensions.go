@@ -76,17 +76,31 @@ type StreamResult struct {
 	Speedup    float64
 }
 
-// Stream runs a strided sweep whose fills are perfectly sequential.
-func Stream(scale Scale) StreamResult {
+// streamConfig is the 64-entry-TLB MTLB system with the given number of
+// MMC stream buffers.
+func streamConfig(buffers int) sim.Config {
+	cfg := withMTLB(baseConfig()).WithTLB(64)
+	cfg.StreamBuffers = buffers
+	return cfg
+}
+
+// streamCells lists the radix runs with and without stream buffers; the
+// no-prefetch one is shared with the reach experiment.
+func streamCells(scale Scale) []Cell {
+	return []Cell{
+		NewCell(streamConfig(0), "radix", scale),
+		NewCell(streamConfig(8), "radix", scale),
+	}
+}
+
+// StreamOn runs a strided sweep whose fills are perfectly sequential.
+func StreamOn(r Runner, scale Scale) StreamResult {
 	var res StreamResult
 
-	off := withMTLB(baseConfig()).WithTLB(64)
-	r1 := run(off, "radix", scale)
+	r1 := r.Result(NewCell(streamConfig(0), "radix", scale))
 	res.OffCycles = uint64(r1.TotalCycles())
 
-	on := withMTLB(baseConfig()).WithTLB(64)
-	on.StreamBuffers = 8
-	r2 := run(on, "radix", scale)
+	r2 := r.Result(NewCell(streamConfig(8), "radix", scale))
 	res.OnCycles = uint64(r2.TotalCycles())
 	res.StreamHits = r2.StreamHits
 	if r2.Fills > 0 {
@@ -102,6 +116,9 @@ func Stream(scale Scale) StreamResult {
 	res.Table = t
 	return res
 }
+
+// Stream runs the comparison on a private serial runner.
+func Stream(scale Scale) StreamResult { return StreamOn(NewMemo(), scale) }
 
 // RecolorResult quantifies no-copy page recoloring on a physically
 // indexed cache: hot pages that share a color conflict-miss on every

@@ -3,7 +3,6 @@ package exp
 import (
 	"fmt"
 
-	"shadowtlb/internal/sim"
 	"shadowtlb/internal/stats"
 )
 
@@ -37,19 +36,38 @@ func (r Fig3Result) Cell(workload string, tlb int, mtlb bool) Fig3Cell {
 	panic(fmt.Sprintf("exp: no Fig3 cell %s/%d/%v", workload, tlb, mtlb))
 }
 
-// Fig3 reproduces Figure 3: normalized runtimes for three TLB sizes with
-// and without a 128-entry MTLB, for the five programs, with the fraction
-// of runtime spent handling TLB misses broken out. The base system for
-// normalization is a 96-entry CPU TLB with no MTLB (§3.4).
-func Fig3(scale Scale) Fig3Result {
+// fig3Cells lists the figure's simulations: the 96-entry no-MTLB
+// normalization base plus the full size × MTLB grid for each program.
+func fig3Cells(scale Scale) []Cell {
+	var cells []Cell
+	for _, name := range paperWorkloads {
+		cells = append(cells, NewCell(baseConfig().WithTLB(96), name, scale))
+		for _, mtlb := range []bool{false, true} {
+			for _, tlbSize := range Fig3TLBSizes {
+				cfg := baseConfig().WithTLB(tlbSize)
+				if mtlb {
+					cfg = withMTLB(cfg)
+				}
+				cells = append(cells, NewCell(cfg, name, scale))
+			}
+		}
+	}
+	return cells
+}
+
+// Fig3On reproduces Figure 3 using r's completed cells: normalized
+// runtimes for three TLB sizes with and without a 128-entry MTLB, for
+// the five programs, with the fraction of runtime spent handling TLB
+// misses broken out. The base system for normalization is a 96-entry
+// CPU TLB with no MTLB (§3.4).
+func Fig3On(r Runner, scale Scale) Fig3Result {
 	t := stats.NewTable(
 		"Figure 3: normalized runtimes (base = 96-entry TLB, no MTLB) ["+scale.String()+" scale]",
 		"program", "config", "cycles", "normalized", "tlb-miss time", "bar")
 	res := Fig3Result{Table: t}
 
-	for _, w := range Workloads(scale) {
-		name := w.Name()
-		base := run(baseConfig().WithTLB(96), name, scale)
+	for _, name := range paperWorkloads {
+		base := r.Result(NewCell(baseConfig().WithTLB(96), name, scale))
 		baseCycles := uint64(base.TotalCycles())
 
 		for _, mtlb := range []bool{false, true} {
@@ -58,19 +76,14 @@ func Fig3(scale Scale) Fig3Result {
 				if mtlb {
 					cfg = withMTLB(cfg)
 				}
-				var r sim.Result
-				if !mtlb && tlbSize == 96 {
-					r = base
-				} else {
-					r = run(cfg, name, scale)
-				}
+				run := r.Result(NewCell(cfg, name, scale))
 				cell := Fig3Cell{
 					Workload:   name,
 					TLBEntries: tlbSize,
 					MTLB:       mtlb,
-					Cycles:     uint64(r.TotalCycles()),
-					Normalized: float64(r.TotalCycles()) / float64(baseCycles),
-					TLBFrac:    r.TLBFraction(),
+					Cycles:     uint64(run.TotalCycles()),
+					Normalized: float64(run.TotalCycles()) / float64(baseCycles),
+					TLBFrac:    run.TLBFraction(),
 				}
 				res.Cells = append(res.Cells, cell)
 				t.AddRow(name, cfg.Label, mcycles(cell.Cycles),
@@ -81,3 +94,6 @@ func Fig3(scale Scale) Fig3Result {
 	}
 	return res
 }
+
+// Fig3 runs the figure on a private serial runner.
+func Fig3(scale Scale) Fig3Result { return Fig3On(NewMemo(), scale) }

@@ -50,19 +50,28 @@ func (r Fig4Result) Cell(label string) Fig4Cell {
 	panic(fmt.Sprintf("exp: no Fig4 cell %q", label))
 }
 
-// Fig4 reproduces Figure 4: em3d — the program with the worst cache
+// fig4Cells lists the em3d sweep: the no-MTLB reference plus the grid.
+func fig4Cells(scale Scale) []Cell {
+	cells := []Cell{NewCell(baseConfig().WithTLB(128), "em3d", scale)}
+	for _, mc := range Fig4Configs {
+		cells = append(cells, NewCell(baseConfig().WithTLB(128).WithMTLB(mc), "em3d", scale))
+	}
+	return cells
+}
+
+// Fig4On reproduces Figure 4: em3d — the program with the worst cache
 // behaviour, hence the most main-memory accesses — run on a 128-entry
 // CPU TLB across MTLB sizes and associativities, against the no-MTLB
 // reference. Panel A is total runtime; panel B is the average time per
 // cache fill in MMC cycles (§3.5).
-func Fig4(scale Scale) Fig4Result {
+func Fig4On(r Runner, scale Scale) Fig4Result {
 	ta := stats.NewTable("Figure 4(A): em3d runtime vs MTLB configuration (CPU TLB = 128) ["+scale.String()+" scale]",
 		"mtlb", "cycles", "vs no-MTLB", "mtlb hit rate", "bar")
 	tb := stats.NewTable("Figure 4(B): em3d average MMC cycles per cache fill ["+scale.String()+" scale]",
 		"mtlb", "avg fill (MMC cycles)", "added vs no-MTLB")
 	res := Fig4Result{TableA: ta, TableB: tb}
 
-	ref := run(baseConfig().WithTLB(128), "em3d", scale)
+	ref := r.Result(NewCell(baseConfig().WithTLB(128), "em3d", scale))
 	res.Ref = Fig4Cell{
 		Label:      "none",
 		Cycles:     uint64(ref.TotalCycles()),
@@ -74,14 +83,14 @@ func Fig4(scale Scale) Fig4Result {
 
 	for _, mc := range Fig4Configs {
 		cfg := baseConfig().WithTLB(128).WithMTLB(mc)
-		r := run(cfg, "em3d", scale)
+		run := r.Result(NewCell(cfg, "em3d", scale))
 		cell := Fig4Cell{
 			Label:        fmt.Sprintf("%d/%dw", mc.Entries, mc.Ways),
 			MTLB:         &mc,
-			Cycles:       uint64(r.TotalCycles()),
-			MTLBHitRate:  r.MTLBHitRate,
-			AvgFillMMC:   r.AvgFillMMC,
-			AddedFillMMC: r.AvgFillMMC - res.Ref.AvgFillMMC,
+			Cycles:       uint64(run.TotalCycles()),
+			MTLBHitRate:  run.MTLBHitRate,
+			AvgFillMMC:   run.AvgFillMMC,
+			AddedFillMMC: run.AvgFillMMC - res.Ref.AvgFillMMC,
 		}
 		res.Cells = append(res.Cells, cell)
 		rel := float64(cell.Cycles) / float64(res.Ref.Cycles)
@@ -91,3 +100,6 @@ func Fig4(scale Scale) Fig4Result {
 	}
 	return res
 }
+
+// Fig4 runs the figure on a private serial runner.
+func Fig4(scale Scale) Fig4Result { return Fig4On(NewMemo(), scale) }

@@ -38,18 +38,31 @@ func (r ReachResult) Cell(workload string) ReachCell {
 	panic(fmt.Sprintf("exp: no Reach cell %q", workload))
 }
 
-// Reach runs each program on a 64-entry-TLB MTLB system and on a
+// reachCells lists the three systems compared per program; all of them
+// also appear in the §3.4 sweep, so a shared runner adds no new
+// simulations for this experiment.
+func reachCells(scale Scale) []Cell {
+	var cells []Cell
+	for _, name := range paperWorkloads {
+		cells = append(cells,
+			NewCell(withMTLB(baseConfig().WithTLB(64)), name, scale),
+			NewCell(baseConfig().WithTLB(128), name, scale),
+			NewCell(baseConfig().WithTLB(64), name, scale))
+	}
+	return cells
+}
+
+// ReachOn runs each program on a 64-entry-TLB MTLB system and on a
 // 128-entry-TLB conventional system and compares runtimes and the TLB's
 // effective reach (bytes mapped by its resident entries).
-func Reach(scale Scale) ReachResult {
+func ReachOn(r Runner, scale Scale) ReachResult {
 	t := stats.NewTable("TLB reach equivalence (paper §1/abstract) ["+scale.String()+" scale]",
 		"program", "64+MTLB cycles", "128 alone cycles", "ratio", "reach x")
 	res := ReachResult{Table: t}
-	for _, w := range Workloads(scale) {
-		name := w.Name()
-		small := run(withMTLB(baseConfig().WithTLB(64)), name, scale)
-		big := run(baseConfig().WithTLB(128), name, scale)
-		base := run(baseConfig().WithTLB(64), name, scale)
+	for _, name := range paperWorkloads {
+		small := r.Result(NewCell(withMTLB(baseConfig().WithTLB(64)), name, scale))
+		big := r.Result(NewCell(baseConfig().WithTLB(128), name, scale))
+		base := r.Result(NewCell(baseConfig().WithTLB(64), name, scale))
 		cell := ReachCell{
 			Workload:      name,
 			Small64MTLB:   uint64(small.TotalCycles()),
@@ -67,3 +80,6 @@ func Reach(scale Scale) ReachResult {
 	}
 	return res
 }
+
+// Reach runs the comparison on a private serial runner.
+func Reach(scale Scale) ReachResult { return ReachOn(NewMemo(), scale) }

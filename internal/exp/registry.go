@@ -1,0 +1,156 @@
+package exp
+
+import (
+	"fmt"
+
+	"shadowtlb/internal/stats"
+)
+
+// Descriptor declares one experiment: a stable id, a one-line title, the
+// simulation cells it needs (nil for experiments that drive bespoke
+// systems inline), and the reduce step that turns completed cells into
+// the experiment's tables. Declaring cells separately from the reduce
+// lets a runner batch every requested experiment's cells through one
+// memoized worker pool before any table is rendered.
+type Descriptor struct {
+	// ID is the experiment's stable identifier (the -exp flag value).
+	ID string
+	// Title is a one-line description for listings.
+	Title string
+	// Scaled reports whether the experiment's workloads resize with the
+	// -scale flag; unscaled experiments always run their fixed setup.
+	Scaled bool
+	// Cells lists the simulations the reduce step will request, for
+	// prewarming. Nil when the experiment runs bespoke systems inline.
+	Cells func(Scale) []Cell
+	// Tables runs the experiment against r and renders its tables in
+	// output order.
+	Tables func(r Runner, s Scale) []*stats.Table
+}
+
+// registry holds descriptors in registration order, which is the order
+// "-exp all" emits them in.
+var registry struct {
+	order []string
+	byID  map[string]Descriptor
+}
+
+// register adds a descriptor; duplicate ids are a programming error.
+func register(d Descriptor) {
+	if registry.byID == nil {
+		registry.byID = make(map[string]Descriptor)
+	}
+	if _, dup := registry.byID[d.ID]; dup {
+		panic(fmt.Sprintf("exp: duplicate experiment id %q", d.ID))
+	}
+	registry.byID[d.ID] = d
+	registry.order = append(registry.order, d.ID)
+}
+
+// Lookup finds a registered experiment by id.
+func Lookup(id string) (Descriptor, bool) {
+	d, ok := registry.byID[id]
+	return d, ok
+}
+
+// Descriptors returns every registered experiment in registration order.
+func Descriptors() []Descriptor {
+	ds := make([]Descriptor, 0, len(registry.order))
+	for _, id := range registry.order {
+		ds = append(ds, registry.byID[id])
+	}
+	return ds
+}
+
+// IDs returns every registered experiment id in registration order.
+func IDs() []string {
+	ids := make([]string, len(registry.order))
+	copy(ids, registry.order)
+	return ids
+}
+
+// one wraps a single-table reduce.
+func one(t *stats.Table) []*stats.Table { return []*stats.Table{t} }
+
+func init() {
+	register(Descriptor{
+		ID: "fig2", Title: "Figure 2: shadow-space bucket partitioning",
+		Tables: func(Runner, Scale) []*stats.Table { return one(Fig2().Table) },
+	})
+	register(Descriptor{
+		ID: "fig3", Title: "Figure 3: normalized runtimes, three TLB sizes ± MTLB",
+		Scaled: true, Cells: fig3Cells,
+		Tables: func(r Runner, s Scale) []*stats.Table { return one(Fig3On(r, s).Table) },
+	})
+	register(Descriptor{
+		ID: "fig4", Title: "Figure 4: em3d vs MTLB size/associativity + fill times",
+		Scaled: true, Cells: fig4Cells,
+		Tables: func(r Runner, s Scale) []*stats.Table {
+			res := Fig4On(r, s)
+			return []*stats.Table{res.TableA, res.TableB}
+		},
+	})
+	register(Descriptor{
+		ID: "init", Title: "§3.3 initialization costs: em3d remap accounting",
+		Tables: func(Runner, Scale) []*stats.Table { return one(InitCosts().Table) },
+	})
+	register(Descriptor{
+		ID: "tlbtime", Title: "§3.4 TLB miss time fraction by TLB size",
+		Scaled: true, Cells: tlbTimeCells,
+		Tables: func(r Runner, s Scale) []*stats.Table { return one(TLBTimeOn(r, s).Table) },
+	})
+	register(Descriptor{
+		ID: "reach", Title: "§1/abstract TLB reach equivalence (64+MTLB vs 128)",
+		Scaled: true, Cells: reachCells,
+		Tables: func(r Runner, s Scale) []*stats.Table { return one(ReachOn(r, s).Table) },
+	})
+	register(Descriptor{
+		ID: "swap", Title: "§2.5 paging: page-grain vs superpage-grain write-back",
+		Tables: func(Runner, Scale) []*stats.Table { return one(Swap().Table) },
+	})
+	register(Descriptor{
+		ID: "spcount", Title: "§3.1 superpage counts per region",
+		Tables: func(Runner, Scale) []*stats.Table { return one(SPCount().Table) },
+	})
+	register(Descriptor{
+		ID: "ablation-allocator", Title: "Ablation: bucket partition vs buddy allocator",
+		Scaled: true, Cells: ablationAllocatorCells,
+		Tables: func(r Runner, s Scale) []*stats.Table { return one(AblationAllocatorOn(r, s).Table) },
+	})
+	register(Descriptor{
+		ID: "ablation-check", Title: "Ablation: per-operation MMC shadow-check cycle",
+		Scaled: true, Cells: ablationCheckCells,
+		Tables: func(r Runner, s Scale) []*stats.Table { return one(AblationCheckOn(r, s).Table) },
+	})
+	register(Descriptor{
+		ID: "ablation-fill", Title: "Ablation: hardware vs software MTLB fill",
+		Scaled: true, Cells: ablationFillCells,
+		Tables: func(r Runner, s Scale) []*stats.Table { return one(AblationFillOn(r, s).Table) },
+	})
+	register(Descriptor{
+		ID: "ablation-refbits", Title: "Ablation: approximate MTLB reference bits",
+		Tables: func(Runner, Scale) []*stats.Table { return one(AblationRefBits().Table) },
+	})
+	register(Descriptor{
+		ID: "ablation-dram", Title: "Ablation: flat vs banked open-row DRAM timing",
+		Scaled: true, Cells: ablationDRAMCells,
+		Tables: func(r Runner, s Scale) []*stats.Table { return one(AblationDRAMOn(r, s).Table) },
+	})
+	register(Descriptor{
+		ID: "ext-promotion", Title: "Extension: online superpage promotion",
+		Tables: func(Runner, Scale) []*stats.Table { return one(Promotion().Table) },
+	})
+	register(Descriptor{
+		ID: "ext-stream", Title: "Extension: MMC stream buffers on radix",
+		Scaled: true, Cells: streamCells,
+		Tables: func(r Runner, s Scale) []*stats.Table { return one(StreamOn(r, s).Table) },
+	})
+	register(Descriptor{
+		ID: "ext-recolor", Title: "Extension: no-copy page recoloring",
+		Tables: func(Runner, Scale) []*stats.Table { return one(Recolor().Table) },
+	})
+	register(Descriptor{
+		ID: "ext-multiprog", Title: "Extension: multiprogramming, two time-sliced processes",
+		Tables: func(Runner, Scale) []*stats.Table { return one(Multiprog().Table) },
+	})
+}

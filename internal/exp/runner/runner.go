@@ -1,0 +1,143 @@
+// Package runner executes experiment cells on a worker pool with a
+// memoizing result cache. The pool is the production Runner for
+// internal/exp: it bounds concurrent simulations at a configurable
+// width, deduplicates cells by canonical key — so base systems shared by
+// several experiments (Figure 3, the §3.4 sweep, the reach comparison,
+// the ablations) are simulated exactly once per invocation — and stays
+// deterministic because every simulation runs on a fresh, fully
+// isolated system from a seeded workload.
+package runner
+
+import (
+	"runtime"
+	"sync"
+
+	"shadowtlb/internal/exp"
+	"shadowtlb/internal/sim"
+	"shadowtlb/internal/stats"
+)
+
+// Pool is a concurrent, memoizing exp.Runner.
+type Pool struct {
+	sem chan struct{} // bounds in-flight simulations
+
+	mu        sync.Mutex
+	cells     map[string]*entry
+	requested int
+	simulated int
+}
+
+// entry is one cell's slot: the first requester simulates and closes
+// done; later requesters for the same key wait on it.
+type entry struct {
+	done chan struct{}
+	res  sim.Result
+}
+
+// New returns a pool running at most workers simulations at once.
+// workers <= 0 selects GOMAXPROCS.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{
+		sem:   make(chan struct{}, workers),
+		cells: make(map[string]*entry),
+	}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return cap(p.sem) }
+
+// Result returns the cell's result, simulating it on the calling
+// goroutine if this is the first request for its key, or waiting for the
+// in-flight simulation otherwise.
+func (p *Pool) Result(c exp.Cell) sim.Result {
+	key := c.Key()
+	p.mu.Lock()
+	p.requested++
+	if e, ok := p.cells[key]; ok {
+		p.mu.Unlock()
+		<-e.done
+		return e.res
+	}
+	e := &entry{done: make(chan struct{})}
+	p.cells[key] = e
+	p.simulated++
+	p.mu.Unlock()
+
+	p.sem <- struct{}{}
+	e.res = c.Simulate()
+	<-p.sem
+	close(e.done)
+	return e.res
+}
+
+// Warm simulates every distinct cell in the batch, up to the pool's
+// worker bound at a time, and returns when all are complete.
+func (p *Pool) Warm(cells []exp.Cell) {
+	var wg sync.WaitGroup
+	for _, c := range cells {
+		wg.Add(1)
+		go func(c exp.Cell) {
+			defer wg.Done()
+			p.Result(c)
+		}(c)
+	}
+	wg.Wait()
+}
+
+// Stats reports the pool's cache effectiveness.
+type Stats struct {
+	Requested int // cell results asked for
+	Simulated int // distinct cells actually simulated
+}
+
+// Stats returns the counters so far.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{Requested: p.requested, Simulated: p.simulated}
+}
+
+// Output is one experiment's rendered tables.
+type Output struct {
+	ID     string
+	Tables []*stats.Table
+}
+
+// RunExperiments executes the given experiments at the given scale:
+// every declared cell across all of them is prewarmed through the pool
+// (deduplicated, in parallel), then each reduce runs and the outputs are
+// returned in the experiments' order. Reduces run concurrently — they
+// only read pool results or drive private systems — but the returned
+// slice order, and therefore any printed output, is deterministic.
+func (p *Pool) RunExperiments(descs []exp.Descriptor, s exp.Scale) []Output {
+	var cells []exp.Cell
+	for _, d := range descs {
+		if d.Cells != nil {
+			cells = append(cells, d.Cells(s)...)
+		}
+	}
+	p.Warm(cells)
+
+	outs := make([]Output, len(descs))
+	if p.Workers() == 1 {
+		// A single-worker pool means the caller asked for serial
+		// execution; honor that for the reduces too.
+		for i, d := range descs {
+			outs[i] = Output{ID: d.ID, Tables: d.Tables(p, s)}
+		}
+		return outs
+	}
+	var wg sync.WaitGroup
+	for i, d := range descs {
+		wg.Add(1)
+		go func(i int, d exp.Descriptor) {
+			defer wg.Done()
+			outs[i] = Output{ID: d.ID, Tables: d.Tables(p, s)}
+		}(i, d)
+	}
+	wg.Wait()
+	return outs
+}

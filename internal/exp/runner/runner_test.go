@@ -1,0 +1,129 @@
+package runner
+
+import (
+	"strings"
+	"testing"
+
+	"shadowtlb/internal/core"
+	"shadowtlb/internal/exp"
+	"shadowtlb/internal/sim"
+)
+
+// mtlbCell builds a small-scale cell with the paper's default MTLB and
+// the given CPU TLB size, for tests that need cheap distinct systems.
+func mtlbCell(workload string, tlb int) exp.Cell {
+	cfg := sim.Default().WithTLB(tlb).WithMTLB(core.DefaultMTLBConfig())
+	return exp.NewCell(cfg, workload, exp.Small)
+}
+
+// lookup fetches registered descriptors or fails the test.
+func lookup(t *testing.T, ids ...string) []exp.Descriptor {
+	t.Helper()
+	var ds []exp.Descriptor
+	for _, id := range ids {
+		d, ok := exp.Lookup(id)
+		if !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		ds = append(ds, d)
+	}
+	return ds
+}
+
+// render concatenates an output batch the way mtlbexp prints it.
+func render(outs []Output) string {
+	var b strings.Builder
+	for _, out := range outs {
+		b.WriteString("==== " + out.ID + " ====\n")
+		for _, tbl := range out.Tables {
+			b.WriteString(tbl.String())
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// TestDeterministicAcrossParallelism is the runner's core guarantee: the
+// same experiments produce byte-identical tables whether cells run one
+// at a time or eight at a time. The batch spans the five paper programs
+// (seeded-RNG synthetics included: gcc, radix and vortex all draw from
+// workload RNGs) and the experiments with the heaviest cell sharing.
+func TestDeterministicAcrossParallelism(t *testing.T) {
+	ds := lookup(t, "fig3", "tlbtime", "reach", "ext-stream")
+	serial := render(New(1).RunExperiments(ds, exp.Small))
+	parallel := render(New(8).RunExperiments(ds, exp.Small))
+	if serial != parallel {
+		t.Errorf("output differs between -parallel 1 and -parallel 8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+	if !strings.Contains(serial, "==== fig3 ====") {
+		t.Errorf("rendered output malformed:\n%s", serial)
+	}
+}
+
+// TestDeterministicSyntheticCell pins determinism for a pure
+// seeded-RNG synthetic workload cell executed by two pools at different
+// widths.
+func TestDeterministicSyntheticCell(t *testing.T) {
+	cell := mtlbCell("random", 64)
+	r1 := New(1).Result(cell)
+	r8 := New(8).Result(cell)
+	if r1 != r8 {
+		t.Errorf("synthetic cell diverged across pools:\n%+v\n%+v", r1, r8)
+	}
+}
+
+// TestPoolDeduplicatesAcrossExperiments verifies the memoizing cache:
+// fig3, tlbtime and reach overlap heavily (reach adds no cells of its
+// own), so the pool must simulate strictly fewer cells than are
+// requested, and re-running the batch must simulate nothing new.
+func TestPoolDeduplicatesAcrossExperiments(t *testing.T) {
+	ds := lookup(t, "fig3", "tlbtime", "reach")
+	p := New(4)
+	p.RunExperiments(ds, exp.Small)
+	st := p.Stats()
+	if st.Simulated >= st.Requested {
+		t.Errorf("no deduplication: %d simulated of %d requested", st.Simulated, st.Requested)
+	}
+	// fig3 runs 5 programs over sizes {64,96,128} ± MTLB (30 cells);
+	// tlbtime adds only the 256-entry column (10 cells); reach is fully
+	// shared. 40 distinct systems total.
+	if st.Simulated != 40 {
+		t.Errorf("Simulated = %d, want 40 distinct systems", st.Simulated)
+	}
+	p.RunExperiments(ds, exp.Small)
+	if again := p.Stats(); again.Simulated != st.Simulated {
+		t.Errorf("re-run simulated %d new cells", again.Simulated-st.Simulated)
+	}
+}
+
+// TestWarmConcurrent exercises the pool under -race: many goroutines
+// requesting overlapping cells concurrently must neither duplicate
+// simulations nor race on shared state.
+func TestWarmConcurrent(t *testing.T) {
+	p := New(8)
+	var cells []exp.Cell
+	for i := 0; i < 4; i++ { // duplicates on purpose
+		for _, tlb := range []int{64, 96} {
+			cells = append(cells, mtlbCell("random", tlb))
+		}
+	}
+	p.Warm(cells)
+	st := p.Stats()
+	if st.Simulated != 2 {
+		t.Errorf("Simulated = %d, want 2", st.Simulated)
+	}
+	if st.Requested != len(cells) {
+		t.Errorf("Requested = %d, want %d", st.Requested, len(cells))
+	}
+}
+
+// TestWorkersDefault checks the GOMAXPROCS fallback.
+func TestWorkersDefault(t *testing.T) {
+	if New(0).Workers() < 1 {
+		t.Error("defaulted pool has no workers")
+	}
+	if got := New(3).Workers(); got != 3 {
+		t.Errorf("Workers = %d, want 3", got)
+	}
+}

@@ -36,30 +36,48 @@ func (r TLBTimeResult) Cell(workload string, tlb int, mtlb bool) TLBTimeCell {
 	panic(fmt.Sprintf("exp: no TLBTime cell %s/%d/%v", workload, tlb, mtlb))
 }
 
-// TLBTime reproduces the §3.4 TLB-miss-time observations: for four of
-// the five programs a 64-entry TLB burns over 20% of runtime in TLB
-// misses; radix has particularly poor TLB locality, still spending
-// 13.5% at 256 entries; and with an MTLB, TLB miss time falls below 5%
-// in every configuration.
-func TLBTime(scale Scale) TLBTimeResult {
-	t := stats.NewTable("TLB miss time fraction by TLB size (paper §3.4) ["+scale.String()+" scale]",
-		"program", "tlb", "mtlb", "tlb-miss time", "cycles")
-	res := TLBTimeResult{Table: t}
-	for _, w := range Workloads(scale) {
-		name := w.Name()
+// tlbTimeCells lists the sweep's simulations. The 64/96/128-entry
+// points are the same cells Figure 3 runs, so a shared runner simulates
+// them only once across the two experiments.
+func tlbTimeCells(scale Scale) []Cell {
+	var cells []Cell
+	for _, name := range paperWorkloads {
 		for _, mtlb := range []bool{false, true} {
 			for _, size := range TLBTimeSizes {
 				cfg := baseConfig().WithTLB(size)
 				if mtlb {
 					cfg = withMTLB(cfg)
 				}
-				r := run(cfg, name, scale)
+				cells = append(cells, NewCell(cfg, name, scale))
+			}
+		}
+	}
+	return cells
+}
+
+// TLBTimeOn reproduces the §3.4 TLB-miss-time observations: for four of
+// the five programs a 64-entry TLB burns over 20% of runtime in TLB
+// misses; radix has particularly poor TLB locality, still spending
+// 13.5% at 256 entries; and with an MTLB, TLB miss time falls below 5%
+// in every configuration.
+func TLBTimeOn(r Runner, scale Scale) TLBTimeResult {
+	t := stats.NewTable("TLB miss time fraction by TLB size (paper §3.4) ["+scale.String()+" scale]",
+		"program", "tlb", "mtlb", "tlb-miss time", "cycles")
+	res := TLBTimeResult{Table: t}
+	for _, name := range paperWorkloads {
+		for _, mtlb := range []bool{false, true} {
+			for _, size := range TLBTimeSizes {
+				cfg := baseConfig().WithTLB(size)
+				if mtlb {
+					cfg = withMTLB(cfg)
+				}
+				run := r.Result(NewCell(cfg, name, scale))
 				cell := TLBTimeCell{
 					Workload:   name,
 					TLBEntries: size,
 					MTLB:       mtlb,
-					TLBFrac:    r.TLBFraction(),
-					Cycles:     uint64(r.TotalCycles()),
+					TLBFrac:    run.TLBFraction(),
+					Cycles:     uint64(run.TotalCycles()),
 				}
 				res.Cells = append(res.Cells, cell)
 				mt := "no"
@@ -72,3 +90,6 @@ func TLBTime(scale Scale) TLBTimeResult {
 	}
 	return res
 }
+
+// TLBTime runs the sweep on a private serial runner.
+func TLBTime(scale Scale) TLBTimeResult { return TLBTimeOn(NewMemo(), scale) }

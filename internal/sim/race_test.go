@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/workload"
+)
+
+// TestConcurrentRunOnIsolated is the contract the parallel experiment
+// runner depends on: RunOn builds a fresh System per call, so concurrent
+// runs share no mutable state (run under -race) and identical
+// configurations yield identical results regardless of interleaving.
+func TestConcurrentRunOnIsolated(t *testing.T) {
+	mk := func() workload.Workload {
+		return &workload.RandomAccess{
+			Bytes: 1 * arch.MB, Accesses: 20_000, WriteFrac: 50, Remapped: true,
+		}
+	}
+	cfgs := []Config{
+		small().WithTLB(64),
+		small().WithTLB(128),
+		smallMTLB().WithTLB(64),
+		smallMTLB().WithTLB(128),
+	}
+	const replicas = 4 // each config simulated 4× concurrently
+	results := make([][]Result, len(cfgs))
+	var wg sync.WaitGroup
+	for i, cfg := range cfgs {
+		results[i] = make([]Result, replicas)
+		for j := 0; j < replicas; j++ {
+			wg.Add(1)
+			go func(i, j int, cfg Config) {
+				defer wg.Done()
+				results[i][j] = RunOn(cfg, mk())
+			}(i, j, cfg)
+		}
+	}
+	wg.Wait()
+	for i := range cfgs {
+		for j := 1; j < replicas; j++ {
+			if results[i][j] != results[i][0] {
+				t.Errorf("config %d replica %d diverged:\n%+v\n%+v",
+					i, j, results[i][0], results[i][j])
+			}
+		}
+	}
+}

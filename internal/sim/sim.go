@@ -223,6 +223,7 @@ type Result struct {
 	AvgFillMMC      float64 // Figure 4(B): MMC cycles per cache fill
 	Fills           uint64
 	StreamHits      uint64
+	RowHitRate      float64 // banked DRAM timing only (zero when flat)
 	CPUTLBReachPeak uint64
 }
 
@@ -263,6 +264,7 @@ func (s *System) Run(w workload.Workload) Result {
 		Fills:        s.MMC.Fills,
 		StreamHits:   s.MMC.StreamHits(),
 		AvgFillMMC:   s.MMC.AvgFillMMCCycles(),
+		RowHitRate:   s.MMC.RowHitRate(),
 	}
 	if s.MTLB != nil {
 		res.HasMTLB = true
