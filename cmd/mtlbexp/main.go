@@ -5,6 +5,9 @@
 //	mtlbexp -exp all                  # everything
 //	mtlbexp -exp all -parallel 8      # everything, 8 simulations at a time
 //	mtlbexp -exp fig3 -csv            # machine-readable output
+//	mtlbexp -exp fig3 -json           # run manifest as JSON on stdout
+//	mtlbexp -exp fig3 -metrics out/   # per-cell metrics + time series + manifest
+//	mtlbexp -exp fig3 -timeline t.json  # Perfetto timeline for every cell
 //	mtlbexp -list                     # registered experiment ids
 //
 // Experiments are looked up in the internal/exp registry; their
@@ -19,6 +22,7 @@ import (
 	"io"
 	"os"
 
+	"shadowtlb/internal/cmdutil"
 	"shadowtlb/internal/exp"
 	"shadowtlb/internal/exp/runner"
 	"shadowtlb/internal/stats"
@@ -36,10 +40,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		name     = fs.String("exp", "all", "experiment id, or all (-list to enumerate)")
 		scale    = fs.String("scale", "paper", "workload scale: paper or small")
 		csv      = fs.Bool("csv", false, "emit CSV instead of text tables")
+		jsonOut  = fs.Bool("json", false, "emit the run manifest as JSON instead of tables")
 		parallel = fs.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		list     = fs.Bool("list", false, "list registered experiment ids and exit")
 		pstats   = fs.Bool("stats", false, "report cell-cache effectiveness on stderr")
+		obsFlags cmdutil.ObsFlags
 	)
+	obsFlags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -69,28 +76,79 @@ func run(args []string, stdout, stderr io.Writer) int {
 		descs = []exp.Descriptor{d}
 	}
 
+	stopProfiles, err := obsFlags.StartProfiling(stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "mtlbexp: %v\n", err)
+		return 1
+	}
+	defer stopProfiles()
+
 	pool := runner.New(*parallel)
+	if obsFlags.Enabled() {
+		pool.EnableObs(obsFlags.Options())
+	}
 	outs := pool.RunExperiments(descs, s)
 
-	emit := func(tables []*stats.Table) {
-		for _, t := range tables {
-			if *csv {
-				fmt.Fprint(stdout, t.CSV())
-			} else {
-				fmt.Fprintln(stdout, t.String())
+	if !*jsonOut {
+		emit := func(tables []*stats.Table) {
+			for _, t := range tables {
+				if *csv {
+					fmt.Fprint(stdout, t.CSV())
+				} else {
+					fmt.Fprintln(stdout, t.String())
+				}
 			}
 		}
-	}
-	for _, out := range outs {
-		if *name == "all" {
-			fmt.Fprintf(stdout, "==== %s ====\n", out.ID)
+		for _, out := range outs {
+			if *name == "all" {
+				fmt.Fprintf(stdout, "==== %s ====\n", out.ID)
+			}
+			emit(out.Tables)
 		}
-		emit(out.Tables)
 	}
+
+	ids := make([]string, len(descs))
+	for i, d := range descs {
+		ids[i] = d.ID
+	}
+	manifest := pool.Manifest(ids, s)
+	if *jsonOut {
+		if err := manifest.WriteJSON(stdout); err != nil {
+			fmt.Fprintf(stderr, "mtlbexp: %v\n", err)
+			return 1
+		}
+	}
+	if err := writeArtifacts(&obsFlags, pool, manifest, stderr); err != nil {
+		fmt.Fprintf(stderr, "mtlbexp: %v\n", err)
+		return 1
+	}
+
 	if *pstats {
 		st := pool.Stats()
 		fmt.Fprintf(stderr, "mtlbexp: %d cell results served from %d simulations (%d workers)\n",
 			st.Requested, st.Simulated, pool.Workers())
 	}
 	return 0
+}
+
+// writeArtifacts emits the per-cell observability outputs: the run
+// manifest plus metrics dump and time series per cell under -metrics,
+// and one merged timeline (one Perfetto process per cell) for
+// -timeline.
+func writeArtifacts(f *cmdutil.ObsFlags, pool *runner.Pool, manifest runner.RunManifest, stderr io.Writer) error {
+	if !f.Enabled() {
+		return nil
+	}
+	if err := f.WriteManifest("manifest.json", manifest.WriteJSON); err != nil {
+		return err
+	}
+	obsv := pool.Observations()
+	var named []cmdutil.NamedTimeline
+	for _, o := range obsv {
+		if err := f.WriteCellArtifacts(o.Manifest.Name, o.Obs); err != nil {
+			return err
+		}
+		named = append(named, cmdutil.NamedTimeline{Name: o.Manifest.Name, TL: o.Obs.Timeline()})
+	}
+	return f.WriteTimeline(stderr, named)
 }

@@ -1,10 +1,14 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"shadowtlb/internal/exp"
+	"shadowtlb/internal/exp/runner"
 )
 
 // TestListEnumeratesRegistry checks -list prints every registered id
@@ -77,5 +81,66 @@ func TestSingleExperimentRuns(t *testing.T) {
 	}
 	if !strings.Contains(errb.String(), "simulations") {
 		t.Errorf("-stats produced no cache report: %q", errb.String())
+	}
+}
+
+// TestJSONManifestAndArtifacts runs the acceptance shape end to end: a
+// real experiment with -json, -metrics and -timeline, checking the
+// manifest parses, every cell has a time series with >= 2 intervals,
+// and the timeline file is trace-event JSON.
+func TestJSONManifestAndArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	dir := t.TempDir()
+	tl := filepath.Join(dir, "run.trace.json")
+	var out, errb strings.Builder
+	code := run([]string{
+		"-exp", "reach", "-scale", "small", "-json",
+		"-metrics", dir, "-timeline", tl,
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+
+	var m runner.RunManifest
+	if err := json.Unmarshal([]byte(out.String()), &m); err != nil {
+		t.Fatalf("-json output does not parse: %v", err)
+	}
+	if m.Simulated == 0 || len(m.Cells) != m.Simulated {
+		t.Fatalf("manifest cells = %d, simulated = %d", len(m.Cells), m.Simulated)
+	}
+	if strings.Contains(out.String(), "TLB reach") {
+		t.Error("-json output still contains text tables")
+	}
+
+	for _, c := range m.Cells {
+		if c.Result.TotalCycles() == 0 {
+			t.Errorf("cell %s has an empty result", c.Name)
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, c.Name+".series.csv"))
+		if err != nil {
+			t.Fatalf("cell %s series: %v", c.Name, err)
+		}
+		if rows := strings.Count(strings.TrimSpace(string(raw)), "\n"); rows < 2 {
+			t.Errorf("cell %s series has %d intervals, want >= 2", c.Name, rows)
+		}
+		if _, err := os.Stat(filepath.Join(dir, c.Name+".metrics.json")); err != nil {
+			t.Errorf("cell %s metrics dump missing: %v", c.Name, err)
+		}
+	}
+
+	raw, err := os.ReadFile(tl)
+	if err != nil {
+		t.Fatalf("timeline: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("timeline does not parse: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("timeline has no events")
 	}
 }

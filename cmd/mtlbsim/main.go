@@ -7,49 +7,72 @@
 //	mtlbsim -workload em3d -tlb 64 -mtlb 128        # paper's default MTLB
 //	mtlbsim -workload radix -size paper -mtlb 128 -ways 2
 //	mtlbsim -workload random -mtlb 512 -ways 512    # fully associative
+//	mtlbsim -workload radix -size small -json       # result as JSON
+//	mtlbsim -workload radix -size small -metrics out/ -timeline t.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"shadowtlb/internal/arch"
+	"shadowtlb/internal/cmdutil"
 	"shadowtlb/internal/core"
 	"shadowtlb/internal/exp"
 	"shadowtlb/internal/mem"
+	"shadowtlb/internal/obs"
 	"shadowtlb/internal/sim"
 	"shadowtlb/internal/vm"
 	"shadowtlb/internal/workload"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the command and returns its exit status.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mtlbsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		name    = flag.String("workload", "em3d", "workload: compress, vortex, radix, em3d, gcc, random, stride, chase")
-		size    = flag.String("size", "paper", "workload size: paper or small")
-		tlbSize = flag.Int("tlb", 96, "CPU TLB entries")
-		mtlbN   = flag.Int("mtlb", 0, "MTLB entries (0 = no MTLB)")
-		ways    = flag.Int("ways", 2, "MTLB associativity")
-		buddy   = flag.Bool("buddy", false, "use the buddy shadow allocator")
-		nocheck = flag.Bool("nocheck", false, "hide the MMC shadow-check cycle")
-		seq     = flag.Bool("seqalloc", false, "sequential (unfragmented) frame allocation")
-		dram    = flag.Uint64("dram", 256, "installed DRAM in MB")
-		streams = flag.Int("streams", 0, "MMC stream buffers (0 = off)")
-		promote = flag.Bool("promote", false, "enable online superpage promotion")
-		frames  = flag.Uint64("frames", 0, "cap user frames (0 = all; small values force paging)")
-		banks   = flag.Int("banks", 0, "DRAM banks for open-row timing (0 = flat latency)")
+		name    = fs.String("workload", "em3d", "workload: compress, vortex, radix, em3d, gcc, random, stride, chase")
+		size    = fs.String("size", "paper", "workload size: paper or small")
+		tlbSize = fs.Int("tlb", 96, "CPU TLB entries")
+		mtlbN   = fs.Int("mtlb", 0, "MTLB entries (0 = no MTLB)")
+		ways    = fs.Int("ways", 2, "MTLB associativity")
+		buddy   = fs.Bool("buddy", false, "use the buddy shadow allocator")
+		nocheck = fs.Bool("nocheck", false, "hide the MMC shadow-check cycle")
+		seq     = fs.Bool("seqalloc", false, "sequential (unfragmented) frame allocation")
+		dram    = fs.Uint64("dram", 256, "installed DRAM in MB")
+		streams = fs.Int("streams", 0, "MMC stream buffers (0 = off)")
+		promote = fs.Bool("promote", false, "enable online superpage promotion")
+		frames  = fs.Uint64("frames", 0, "cap user frames (0 = all; small values force paging)")
+		banks   = fs.Int("banks", 0, "DRAM banks for open-row timing (0 = flat latency)")
+		jsonOut = fs.Bool("json", false, "emit the result as JSON instead of text")
+		obsF    cmdutil.ObsFlags
 	)
-	flag.Parse()
+	obsF.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	w, err := makeWorkload(*name, *size)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
 
 	cfg := sim.Default()
 	cfg.DRAMBytes = *dram * arch.MB
 	cfg = cfg.WithTLB(*tlbSize)
 	if *mtlbN > 0 {
-		w := *ways
-		if w > *mtlbN {
-			w = *mtlbN
-		}
-		cfg = cfg.WithMTLB(core.MTLBConfig{Entries: *mtlbN, Ways: w})
+		// sim.New normalizes the MTLB geometry (core.MTLBConfig.Normalize),
+		// so no clamping is needed here.
+		cfg = cfg.WithMTLB(core.MTLBConfig{Entries: *mtlbN, Ways: *ways})
 	}
 	cfg.UseBuddy = *buddy
 	cfg.NoCheckCycle = *nocheck
@@ -60,64 +83,94 @@ func main() {
 		cfg.AllocOrder = mem.Sequential
 	}
 
-	w, err := makeWorkload(*name, *size)
+	stopProfiles, err := obsF.StartProfiling(stderr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "mtlbsim: %v\n", err)
+		return 1
 	}
+	defer stopProfiles()
 
 	s := sim.New(cfg)
 	if *promote {
 		if !s.VM.HasShadow() {
-			fmt.Fprintln(os.Stderr, "mtlbsim: -promote requires -mtlb")
-			os.Exit(2)
+			fmt.Fprintln(stderr, "mtlbsim: -promote requires -mtlb")
+			return 2
 		}
 		s.VM.EnablePromotion(vm.DefaultPromotePolicy())
 	}
+	var o *obs.Obs
+	if obsF.Enabled() {
+		o = obs.New(obsF.Options())
+		s.Observe(o)
+	}
 	res := s.Run(w)
-	printResult(res)
-	if *promote {
-		fmt.Printf("promotions   %d (online policy)\n", s.VM.PromotionsMade())
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintf(stderr, "mtlbsim: %v\n", err)
+			return 1
+		}
+	} else {
+		printResult(stdout, res)
+		if *promote {
+			fmt.Fprintf(stdout, "promotions   %d (online policy)\n", s.VM.PromotionsMade())
+		}
+		if s.VM.Reclaims > 0 {
+			fmt.Fprintf(stdout, "paging       %d reclaims, %d swap-outs, %d swap-ins\n",
+				s.VM.Reclaims, s.VM.SwapOuts, s.VM.SwapIns)
+		}
 	}
-	if s.VM.Reclaims > 0 {
-		fmt.Printf("paging       %d reclaims, %d swap-outs, %d swap-ins\n",
-			s.VM.Reclaims, s.VM.SwapOuts, s.VM.SwapIns)
+
+	cell := *name + "-" + *size
+	if err := obsF.WriteCellArtifacts(cell, o); err != nil {
+		fmt.Fprintf(stderr, "mtlbsim: %v\n", err)
+		return 1
 	}
+	if o != nil {
+		if err := obsF.WriteTimeline(stderr, []cmdutil.NamedTimeline{{Name: cell, TL: o.Timeline()}}); err != nil {
+			fmt.Fprintf(stderr, "mtlbsim: %v\n", err)
+			return 1
+		}
+	}
+	return 0
 }
 
 // makeWorkload resolves the workload through exp's name → constructor
 // registry, which covers the five paper programs and the synthetic
-// generators.
+// generators. Unknown names are an error listing the valid choices.
 func makeWorkload(name, size string) (workload.Workload, error) {
 	s, err := exp.ParseScale(size)
 	if err != nil {
-		return nil, fmt.Errorf("mtlbsim: unknown size %q", size)
+		return nil, fmt.Errorf("mtlbsim: unknown size %q (valid: paper, small)", size)
 	}
 	w, err := exp.MakeWorkload(name, s)
 	if err != nil {
-		return nil, fmt.Errorf("mtlbsim: unknown workload %q", name)
+		return nil, fmt.Errorf("mtlbsim: unknown workload %q (valid: %s)",
+			name, strings.Join(exp.AllWorkloadNames(), ", "))
 	}
 	return w, nil
 }
 
-func printResult(r sim.Result) {
-	fmt.Printf("workload   %s\n", r.Workload)
-	fmt.Printf("config     %s\n", r.Label)
-	fmt.Printf("cycles     %d (%.2f ms at 240 MHz)\n",
+func printResult(w io.Writer, r sim.Result) {
+	fmt.Fprintf(w, "workload   %s\n", r.Workload)
+	fmt.Fprintf(w, "config     %s\n", r.Label)
+	fmt.Fprintf(w, "cycles     %d (%.2f ms at 240 MHz)\n",
 		r.TotalCycles(), float64(r.TotalCycles())/240e3)
 	b := r.Breakdown
 	tot := float64(b.Total())
-	fmt.Printf("  user     %12d (%5.1f%%)\n", b.User, 100*float64(b.User)/tot)
-	fmt.Printf("  tlbmiss  %12d (%5.1f%%)\n", b.TLBMiss, 100*float64(b.TLBMiss)/tot)
-	fmt.Printf("  memory   %12d (%5.1f%%)\n", b.Memory, 100*float64(b.Memory)/tot)
-	fmt.Printf("  kernel   %12d (%5.1f%%)\n", b.Kernel, 100*float64(b.Kernel)/tot)
-	fmt.Printf("instructions %d\n", r.Instructions)
-	fmt.Printf("tlb misses   %d (hit rate %.4f)\n", r.TLBMisses, r.TLBHitRate)
-	fmt.Printf("cache hits   %.4f\n", r.CacheHitRate)
-	fmt.Printf("page faults  %d\n", r.PageFaults)
-	fmt.Printf("cache fills  %d (avg %.2f MMC cycles)\n", r.Fills, r.AvgFillMMC)
+	fmt.Fprintf(w, "  user     %12d (%5.1f%%)\n", b.User, 100*float64(b.User)/tot)
+	fmt.Fprintf(w, "  tlbmiss  %12d (%5.1f%%)\n", b.TLBMiss, 100*float64(b.TLBMiss)/tot)
+	fmt.Fprintf(w, "  memory   %12d (%5.1f%%)\n", b.Memory, 100*float64(b.Memory)/tot)
+	fmt.Fprintf(w, "  kernel   %12d (%5.1f%%)\n", b.Kernel, 100*float64(b.Kernel)/tot)
+	fmt.Fprintf(w, "instructions %d\n", r.Instructions)
+	fmt.Fprintf(w, "tlb misses   %d (hit rate %.4f)\n", r.TLBMisses, r.TLBHitRate)
+	fmt.Fprintf(w, "cache hits   %.4f\n", r.CacheHitRate)
+	fmt.Fprintf(w, "page faults  %d\n", r.PageFaults)
+	fmt.Fprintf(w, "cache fills  %d (avg %.2f MMC cycles)\n", r.Fills, r.AvgFillMMC)
 	if r.HasMTLB {
-		fmt.Printf("mtlb         hit rate %.4f, %d fills\n", r.MTLBHitRate, r.MTLBFills)
-		fmt.Printf("superpages   %d created, %d pages remapped\n", r.SuperpagesMade, r.PagesRemapped)
+		fmt.Fprintf(w, "mtlb         hit rate %.4f, %d fills\n", r.MTLBHitRate, r.MTLBFills)
+		fmt.Fprintf(w, "superpages   %d created, %d pages remapped\n", r.SuperpagesMade, r.PagesRemapped)
 	}
 }

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestUnknownWorkloadListsValidNames(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-workload", "nope", "-size", "small"}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	msg := errb.String()
+	for _, name := range []string{"compress", "vortex", "radix", "em3d", "gcc", "random", "stride", "chase"} {
+		if !strings.Contains(msg, name) {
+			t.Errorf("error %q does not list workload %q", msg, name)
+		}
+	}
+}
+
+func TestUnknownSizeListsValidNames(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-workload", "radix", "-size", "huge"}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if msg := errb.String(); !strings.Contains(msg, "paper") || !strings.Contains(msg, "small") {
+		t.Errorf("error %q does not list valid sizes", msg)
+	}
+}
+
+func TestRunSmallWorkload(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-workload", "radix", "-size", "small", "-tlb", "64", "-mtlb", "128"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"workload   radix", "cycles", "mtlb", "superpages"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output lacks %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestOddWaysNormalized pins the satellite fix: geometry the old clamp
+// let through (ways not dividing entries) must normalize, not panic.
+func TestOddWaysNormalized(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-workload", "random", "-size", "small", "-mtlb", "128", "-ways", "3"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errb.String())
+	}
+	// 3 does not divide 128; Normalize falls back to 2-way.
+	if !strings.Contains(out.String(), "mtlb128/2w") {
+		t.Errorf("output does not show normalized 2-way geometry:\n%s", out.String())
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-workload", "random", "-size", "small", "-json"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errb.String())
+	}
+	var res map[string]any
+	if err := json.Unmarshal([]byte(out.String()), &res); err != nil {
+		t.Fatalf("-json output does not parse: %v", err)
+	}
+	if res["Workload"] == "" || res["Breakdown"] == nil {
+		t.Errorf("result JSON incomplete: %v", res)
+	}
+}
+
+func TestObservabilityArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	tl := filepath.Join(dir, "run.trace.json")
+	var out, errb strings.Builder
+	code := run([]string{
+		"-workload", "random", "-size", "small", "-mtlb", "128",
+		"-metrics", dir, "-timeline", tl, "-sample", "100000",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errb.String())
+	}
+	for _, f := range []string{"random-small.metrics.json", "random-small.series.csv", "random-small.series.json"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing artifact %s: %v", f, err)
+		}
+	}
+	raw, err := os.ReadFile(tl)
+	if err != nil {
+		t.Fatalf("timeline: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("timeline does not parse: %v", err)
+	}
+	if doc["traceEvents"] == nil {
+		t.Error("timeline lacks traceEvents")
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "random-small.series.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(strings.TrimSpace(string(csv)), "\n"); lines < 2 {
+		t.Errorf("series has %d data rows, want >= 2", lines)
+	}
+}

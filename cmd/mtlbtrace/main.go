@@ -5,6 +5,7 @@
 //	mtlbtrace -record -workload radix -size small -o radix.trc
 //	mtlbtrace -dump radix.trc | head
 //	mtlbtrace -replay radix.trc -tlb 64 -mtlb 128
+//	mtlbtrace -replay radix.trc -mtlb 128 -json -timeline replay.trace.json
 //
 // A trace captured once replays bit-identically on any machine
 // configuration, so configuration comparisons see exactly the same
@@ -12,36 +13,88 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"shadowtlb/internal/cmdutil"
 	"shadowtlb/internal/core"
 	"shadowtlb/internal/exp"
+	"shadowtlb/internal/obs"
 	"shadowtlb/internal/sim"
 	"shadowtlb/internal/trace"
 	"shadowtlb/internal/workload"
 )
 
 func main() {
-	var (
-		record   = flag.Bool("record", false, "record a workload's trace")
-		dump     = flag.String("dump", "", "print a trace file's records")
-		replay   = flag.String("replay", "", "replay a trace file")
-		wname    = flag.String("workload", "radix", "workload to record")
-		size     = flag.String("size", "small", "workload size: paper or small")
-		out      = flag.String("o", "out.trc", "output trace file")
-		tlbSize  = flag.Int("tlb", 96, "CPU TLB entries for record/replay")
-		mtlbN    = flag.Int("mtlb", 0, "MTLB entries (0 = no MTLB)")
-		ways     = flag.Int("ways", 2, "MTLB associativity")
-		sbrkSup  = flag.Bool("sbrksp", false, "replay with superpage sbrk semantics")
-		maxPrint = flag.Int("n", 20, "records to print with -dump")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
+// run executes the command and returns its exit status.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mtlbtrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		record   = fs.Bool("record", false, "record a workload's trace")
+		dump     = fs.String("dump", "", "print a trace file's records")
+		replay   = fs.String("replay", "", "replay a trace file")
+		wname    = fs.String("workload", "radix", "workload to record")
+		size     = fs.String("size", "small", "workload size: paper or small")
+		out      = fs.String("o", "out.trc", "output trace file")
+		tlbSize  = fs.Int("tlb", 96, "CPU TLB entries for record/replay")
+		mtlbN    = fs.Int("mtlb", 0, "MTLB entries (0 = no MTLB)")
+		ways     = fs.Int("ways", 2, "MTLB associativity")
+		sbrkSup  = fs.Bool("sbrksp", false, "replay with superpage sbrk semantics")
+		maxPrint = fs.Int("n", 20, "records to print with -dump")
+		jsonOut  = fs.Bool("json", false, "emit the simulation result as JSON")
+		obsF     cmdutil.ObsFlags
+	)
+	obsF.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// sim.New normalizes the MTLB geometry (core.MTLBConfig.Normalize),
+	// so -ways needs no clamping here.
 	cfg := sim.Default().WithTLB(*tlbSize)
 	if *mtlbN > 0 {
 		cfg = cfg.WithMTLB(core.MTLBConfig{Entries: *mtlbN, Ways: *ways})
+	}
+
+	stopProfiles, err := obsF.StartProfiling(stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "mtlbtrace: %v\n", err)
+		return 1
+	}
+	defer stopProfiles()
+
+	// observed assembles the system, attaches observability when asked
+	// for, runs the workload, and writes the per-run artifacts.
+	observed := func(name string, w workload.Workload) (sim.Result, error) {
+		s := sim.New(cfg)
+		var o *obs.Obs
+		if obsF.Enabled() {
+			o = obs.New(obsF.Options())
+			s.Observe(o)
+		}
+		res := s.Run(w)
+		if err := obsF.WriteCellArtifacts(name, o); err != nil {
+			return res, err
+		}
+		if o != nil {
+			if err := obsF.WriteTimeline(stderr, []cmdutil.NamedTimeline{{Name: name, TL: o.Timeline()}}); err != nil {
+				return res, err
+			}
+		}
+		return res, nil
+	}
+
+	emitJSON := func(res sim.Result) error {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
 	}
 
 	switch {
@@ -52,43 +105,51 @@ func main() {
 		}
 		w, err := exp.MakeWorkload(*wname, scale)
 		if err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
 		defer f.Close()
 		tw, err := trace.NewWriter(f)
 		if err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
-		s := sim.New(cfg)
-		res := s.Run(&recordedWorkload{inner: w, w: tw})
+		res, err := observed("record-"+w.Name(), &recordedWorkload{inner: w, w: tw})
+		if err != nil {
+			return fail(stderr, err)
+		}
 		if err := tw.Flush(); err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
-		fmt.Printf("recorded %d records from %s (%d cycles) to %s\n",
-			tw.Records(), w.Name(), res.TotalCycles(), *out)
+		if *jsonOut {
+			if err := emitJSON(res); err != nil {
+				return fail(stderr, err)
+			}
+		} else {
+			fmt.Fprintf(stdout, "recorded %d records from %s (%d cycles) to %s\n",
+				tw.Records(), w.Name(), res.TotalCycles(), *out)
+		}
 
 	case *dump != "":
 		f, err := os.Open(*dump)
 		if err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
 		defer f.Close()
 		recs, err := trace.ReadAll(f)
 		if err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
 		counts := map[trace.Kind]int{}
 		for i, r := range recs {
 			counts[r.Kind]++
 			if i < *maxPrint {
-				fmt.Printf("%8d  %s\n", i, formatRecord(r))
+				fmt.Fprintf(stdout, "%8d  %s\n", i, formatRecord(r))
 			}
 		}
-		fmt.Printf("... %d records total: %d loads, %d stores, %d steps, %d sbrk, %d remap, %d alloc\n",
+		fmt.Fprintf(stdout, "... %d records total: %d loads, %d stores, %d steps, %d sbrk, %d remap, %d alloc\n",
 			len(recs), counts[trace.KindLoad], counts[trace.KindStore],
 			counts[trace.KindStep], counts[trace.KindSbrk], counts[trace.KindRemap],
 			counts[trace.KindAllocRegion]+counts[trace.KindAllocAligned])
@@ -96,21 +157,31 @@ func main() {
 	case *replay != "":
 		f, err := os.Open(*replay)
 		if err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
 		recs, err := trace.ReadAll(f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
-		res := sim.RunOn(cfg, &trace.Replay{Records: recs, UseSbrkSuperpages: *sbrkSup})
-		fmt.Printf("replayed %d records on %s: %d cycles, tlb-miss time %.1f%%\n",
-			len(recs), res.Label, res.TotalCycles(), 100*res.TLBFraction())
+		res, err := observed("replay", &trace.Replay{Records: recs, UseSbrkSuperpages: *sbrkSup})
+		if err != nil {
+			return fail(stderr, err)
+		}
+		if *jsonOut {
+			if err := emitJSON(res); err != nil {
+				return fail(stderr, err)
+			}
+		} else {
+			fmt.Fprintf(stdout, "replayed %d records on %s: %d cycles, tlb-miss time %.1f%%\n",
+				len(recs), res.Label, res.TotalCycles(), 100*res.TLBFraction())
+		}
 
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
+	return 0
 }
 
 // recordedWorkload wraps a workload so its Env is the trace recorder.
@@ -146,7 +217,7 @@ func formatRecord(r trace.Record) string {
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "mtlbtrace:", err)
-	os.Exit(1)
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "mtlbtrace:", err)
+	return 1
 }

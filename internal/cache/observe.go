@@ -1,0 +1,12 @@
+package cache
+
+import "shadowtlb/internal/obs"
+
+// RegisterMetrics registers the data cache's counters. Everything reads
+// live fields at sample time; the access hot path is untouched.
+func (c *Cache) RegisterMetrics(r *obs.Registry) {
+	r.CounterFunc("cache.hits", func() uint64 { return c.Stats.Hits })
+	r.CounterFunc("cache.misses", func() uint64 { return c.Stats.Misses })
+	r.CounterFunc("cache.writebacks", func() uint64 { return c.WriteBacks })
+	r.GaugeFunc("cache.hit_rate", func() float64 { return c.Stats.Rate() })
+}

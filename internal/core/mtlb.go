@@ -18,6 +18,27 @@ type MTLBConfig struct {
 // 128 entries, 2-way set associative, NRU replacement (§3.4).
 func DefaultMTLBConfig() MTLBConfig { return MTLBConfig{Entries: 128, Ways: 2} }
 
+// Normalize clamps a flag-derived geometry into the valid shape NewMTLB
+// (and the underlying set-associative TLB) accepts: at least one entry,
+// associativity within [1, Entries], and a way count that divides the
+// entry count evenly. sim.New normalizes every MTLB configuration it is
+// handed, so all entry points — mtlbsim, mtlbtrace, programmatic
+// configs — agree on how out-of-range values are interpreted.
+func (c *MTLBConfig) Normalize() {
+	if c.Entries < 1 {
+		c.Entries = 1
+	}
+	if c.Ways < 1 {
+		c.Ways = 1
+	}
+	if c.Ways > c.Entries {
+		c.Ways = c.Entries
+	}
+	for c.Entries%c.Ways != 0 {
+		c.Ways--
+	}
+}
+
 // MTLB is the memory-controller TLB: a single-ported, single-page-size
 // translation cache over the shadow-to-physical table (§2.2). It is
 // deliberately simpler than a processor TLB — it supports only the 4 KB

@@ -162,3 +162,25 @@ func TestDefaultMTLBConfig(t *testing.T) {
 		t.Errorf("default = %+v, want 128-entry 2-way (paper §3.4)", cfg)
 	}
 }
+
+// TestMTLBConfigNormalize pins the shared geometry normalization every
+// entry point (sim.New, WithMTLB, the commands) relies on.
+func TestMTLBConfigNormalize(t *testing.T) {
+	cases := []struct {
+		in, want MTLBConfig
+	}{
+		{MTLBConfig{Entries: 128, Ways: 2}, MTLBConfig{Entries: 128, Ways: 2}},
+		{MTLBConfig{Entries: 128, Ways: 3}, MTLBConfig{Entries: 128, Ways: 2}},     // 3 ∤ 128
+		{MTLBConfig{Entries: 128, Ways: 200}, MTLBConfig{Entries: 128, Ways: 128}}, // clamp to entries
+		{MTLBConfig{Entries: 0, Ways: 0}, MTLBConfig{Entries: 1, Ways: 1}},
+		{MTLBConfig{Entries: 12, Ways: 5}, MTLBConfig{Entries: 12, Ways: 4}}, // 5,  then 4 | 12
+		{MTLBConfig{Entries: 7, Ways: 7}, MTLBConfig{Entries: 7, Ways: 7}},   // fully associative
+	}
+	for _, c := range cases {
+		got := c.in
+		got.Normalize()
+		if got != c.want {
+			t.Errorf("Normalize(%+v) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+package core
+
+import "shadowtlb/internal/obs"
+
+// RegisterMetrics registers the MTLB's counters and occupancy gauge.
+func (m *MTLB) RegisterMetrics(r *obs.Registry) {
+	r.CounterFunc("mtlb.hits", func() uint64 { return m.Stats.Hits })
+	r.CounterFunc("mtlb.misses", func() uint64 { return m.Stats.Misses })
+	r.CounterFunc("mtlb.fills", func() uint64 { return m.Fills })
+	r.CounterFunc("mtlb.faults", func() uint64 { return m.Faults })
+	r.GaugeFunc("mtlb.hit_rate", func() float64 { return m.Stats.Rate() })
+	r.GaugeFunc("mtlb.cached_entries", func() float64 { return float64(m.CachedEntries()) })
+}

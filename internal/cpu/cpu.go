@@ -24,6 +24,7 @@ import (
 	"shadowtlb/internal/core"
 	"shadowtlb/internal/kernel"
 	"shadowtlb/internal/mmc"
+	"shadowtlb/internal/obs"
 	"shadowtlb/internal/stats"
 	"shadowtlb/internal/tlb"
 	"shadowtlb/internal/vm"
@@ -86,6 +87,11 @@ type CPU struct {
 	textPage    int
 	sliceUsed   stats.Cycles
 	inKernel    bool
+
+	// Observability instruments (see observe.go); nil means disabled.
+	smp      *obs.Sampler
+	tl       *obs.Timeline
+	missHist *obs.Histogram
 }
 
 // New wires a CPU to the machine. The TLB, ITLB, cache, MMC and kernel
@@ -122,6 +128,9 @@ func (c *CPU) Charge(n stats.Cycles, cat Category) {
 	}
 	c.Breakdown.Kernel += c.K.Advance(n)
 	c.sliceUsed += n
+	if c.smp != nil {
+		c.smp.MaybeSample(uint64(c.Breakdown.Total()))
+	}
 }
 
 // maybePreempt fires the scheduler callback at an instruction boundary
@@ -165,6 +174,16 @@ func (c *CPU) instr(n int) {
 	}
 }
 
+// noteMiss records one software TLB miss handler invocation — a span
+// on the timeline's "tlbmiss" track starting at the current cycle (the
+// charges land right after) and a handler-latency histogram sample.
+func (c *CPU) noteMiss(res vm.MissResult) {
+	c.missHist.Observe(uint64(res.HandlerCycles))
+	if c.tl != nil {
+		c.tl.SpanAt("tlbmiss", "handler", uint64(c.Breakdown.Total()), uint64(res.HandlerCycles))
+	}
+}
+
 // ifetch simulates one cross-page instruction fetch.
 func (c *CPU) ifetch() {
 	c.textPage++
@@ -181,6 +200,7 @@ func (c *CPU) ifetch() {
 		if err != nil {
 			panic(fmt.Sprintf("cpu: ifetch TLB miss at %v: %v", va, err))
 		}
+		c.noteMiss(res)
 		c.Charge(res.HandlerCycles, TLBMiss)
 		c.Charge(res.FaultCycles+res.PromoteCycles, KernelTime)
 		c.TLB.Insert(res.Entry)
@@ -199,6 +219,7 @@ func (c *CPU) translate(va arch.VAddr, kind arch.AccessKind) arch.PAddr {
 	if err != nil {
 		panic(fmt.Sprintf("cpu: TLB miss at %v: %v", va, err))
 	}
+	c.noteMiss(res)
 	c.Charge(res.HandlerCycles, TLBMiss)
 	c.Charge(res.FaultCycles+res.PromoteCycles, KernelTime)
 	c.TLB.Insert(res.Entry)

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 
+	"shadowtlb/internal/obs"
 	"shadowtlb/internal/sim"
 )
 
@@ -56,11 +57,18 @@ func (c Cell) Key() string {
 // Simulations are deterministic: workloads draw from seeded RNGs and the
 // system has no global state, so equal keys always yield equal results.
 func (c Cell) Simulate() sim.Result {
+	return c.SimulateObserved(nil)
+}
+
+// SimulateObserved runs the cell with an observability session attached
+// to its fresh system. Observation never perturbs the simulation, so
+// the result equals Simulate()'s; a nil session is exactly Simulate.
+func (c Cell) SimulateObserved(o *obs.Obs) sim.Result {
 	w, err := MakeWorkload(c.Workload, c.Scale)
 	if err != nil {
 		panic(err)
 	}
-	return sim.RunOn(c.Cfg, w)
+	return sim.RunObserved(c.Cfg, w, o)
 }
 
 // Runner executes cells on behalf of experiments. Implementations must

@@ -19,6 +19,7 @@ package exp
 
 import (
 	"fmt"
+	"sort"
 
 	"shadowtlb/internal/arch"
 	"shadowtlb/internal/core"
@@ -130,6 +131,18 @@ var paperWorkloads = []string{"compress", "vortex", "radix", "em3d", "gcc"}
 func WorkloadNames() []string {
 	names := make([]string, len(paperWorkloads))
 	copy(names, paperWorkloads)
+	return names
+}
+
+// AllWorkloadNames returns every constructible workload name — the five
+// paper programs plus the synthetic generators — sorted, for usage
+// messages.
+func AllWorkloadNames() []string {
+	names := make([]string, 0, len(workloadMakers))
+	for n := range workloadMakers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
 	return names
 }
 

@@ -1,0 +1,131 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"sort"
+	"strings"
+
+	"shadowtlb/internal/exp"
+	"shadowtlb/internal/obs"
+	"shadowtlb/internal/sim"
+)
+
+// CellManifest is the machine-readable record of one simulated cell:
+// its identity, the full machine configuration, the complete result
+// (including the cycle breakdown the text tables render), and the
+// host-side execution metadata the memoizing pool tracked.
+type CellManifest struct {
+	// Key is the cell's canonical identity (exp.Cell.Key); Name is a
+	// short filesystem-safe handle derived from it.
+	Key      string `json:"key"`
+	Name     string `json:"name"`
+	Label    string `json:"label"`
+	Workload string `json:"workload"`
+	Scale    string `json:"scale"`
+
+	Config sim.Config `json:"config"`
+	Result sim.Result `json:"result"`
+
+	// WallNS is host wall time of the one real simulation; Requests
+	// counts how often experiments asked for the cell, MemoizedHits how
+	// many of those were served from the cache (Requests-1).
+	WallNS       int64 `json:"wall_ns"`
+	Requests     int   `json:"requests"`
+	MemoizedHits int   `json:"memoized_hits"`
+}
+
+// RunManifest is the run-level summary plus every cell manifest.
+type RunManifest struct {
+	Experiments []string       `json:"experiments"`
+	Scale       string         `json:"scale"`
+	Workers     int            `json:"workers"`
+	Requested   int            `json:"cell_requests"`
+	Simulated   int            `json:"cells_simulated"`
+	TotalWallNS int64          `json:"total_cell_wall_ns"`
+	Cells       []CellManifest `json:"cells"`
+}
+
+// CellObservation pairs a completed cell with its observability
+// session, for writing per-cell metrics, time series and timelines.
+type CellObservation struct {
+	Manifest CellManifest
+	Obs      *obs.Obs // nil when observability was off
+}
+
+// cellName derives a short, unique, filesystem-safe handle for a cell:
+// workload, label and scale plus a hash prefix of the canonical key.
+func cellName(c exp.Cell) string {
+	sum := sha256.Sum256([]byte(c.Key()))
+	clean := func(s string) string {
+		return strings.Map(func(r rune) rune {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z',
+				r >= '0' && r <= '9', r == '-', r == '.':
+				return r
+			default:
+				return '_'
+			}
+		}, s)
+	}
+	return clean(c.Workload) + "-" + clean(c.Cfg.Label) + "-" + c.Scale.String() +
+		"-" + hex.EncodeToString(sum[:4])
+}
+
+// Observations returns every distinct simulated cell with its manifest
+// and observability session, sorted by cell name for deterministic
+// output. Call only after all outstanding Result calls have returned
+// (e.g. after RunExperiments).
+func (p *Pool) Observations() []CellObservation {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]CellObservation, 0, len(p.cells))
+	for key, e := range p.cells {
+		out = append(out, CellObservation{
+			Manifest: CellManifest{
+				Key:          key,
+				Name:         cellName(e.cell),
+				Label:        e.res.Label,
+				Workload:     e.res.Workload,
+				Scale:        e.cell.Scale.String(),
+				Config:       e.cell.Cfg,
+				Result:       e.res,
+				WallNS:       e.wall.Nanoseconds(),
+				Requests:     e.requests,
+				MemoizedHits: e.requests - 1,
+			},
+			Obs: e.obs,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Manifest.Name < out[j].Manifest.Name })
+	return out
+}
+
+// Manifest assembles the run-level manifest for the given experiment
+// ids and scale. Call after RunExperiments.
+func (p *Pool) Manifest(experiments []string, scale exp.Scale) RunManifest {
+	obsv := p.Observations()
+	st := p.Stats()
+	m := RunManifest{
+		Experiments: experiments,
+		Scale:       scale.String(),
+		Workers:     p.Workers(),
+		Requested:   st.Requested,
+		Simulated:   st.Simulated,
+		Cells:       make([]CellManifest, 0, len(obsv)),
+	}
+	for _, o := range obsv {
+		m.TotalWallNS += o.Manifest.WallNS
+		m.Cells = append(m.Cells, o.Manifest)
+	}
+	return m
+}
+
+// WriteJSON writes the manifest as indented JSON.
+func (m RunManifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}

@@ -1,0 +1,123 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"shadowtlb/internal/exp"
+	"shadowtlb/internal/obs"
+)
+
+// TestManifestTracksCells checks the pool records identity, request
+// counts, wall time and results for every distinct cell, and that the
+// run manifest round-trips through JSON.
+func TestManifestTracksCells(t *testing.T) {
+	p := New(2)
+	a := mtlbCell("random", 64)
+	b := mtlbCell("random", 96)
+	p.Warm([]exp.Cell{a, b, a}) // a requested twice
+
+	obsv := p.Observations()
+	if len(obsv) != 2 {
+		t.Fatalf("Observations = %d cells, want 2", len(obsv))
+	}
+	byKey := map[string]CellObservation{}
+	for _, o := range obsv {
+		byKey[o.Manifest.Key] = o
+		if o.Obs != nil {
+			t.Errorf("cell %s carries an obs session without EnableObs", o.Manifest.Name)
+		}
+		if o.Manifest.WallNS <= 0 {
+			t.Errorf("cell %s wall time = %d, want > 0", o.Manifest.Name, o.Manifest.WallNS)
+		}
+		if o.Manifest.Result.TotalCycles() == 0 {
+			t.Errorf("cell %s has an empty result", o.Manifest.Name)
+		}
+	}
+	ma := byKey[a.Key()].Manifest
+	if ma.Requests != 2 || ma.MemoizedHits != 1 {
+		t.Errorf("cell a: requests %d hits %d, want 2 and 1", ma.Requests, ma.MemoizedHits)
+	}
+	mb := byKey[b.Key()].Manifest
+	if mb.Requests != 1 || mb.MemoizedHits != 0 {
+		t.Errorf("cell b: requests %d hits %d, want 1 and 0", mb.Requests, mb.MemoizedHits)
+	}
+
+	m := p.Manifest([]string{"test"}, exp.Small)
+	if m.Simulated != 2 || m.Requested != 3 || len(m.Cells) != 2 {
+		t.Fatalf("manifest summary = %+v", m)
+	}
+	if m.TotalWallNS < ma.WallNS+mb.WallNS {
+		t.Errorf("TotalWallNS %d < sum of cells %d", m.TotalWallNS, ma.WallNS+mb.WallNS)
+	}
+
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back RunManifest
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("manifest JSON does not parse: %v", err)
+	}
+	if back.Scale != "small" || len(back.Cells) != 2 {
+		t.Errorf("round-tripped manifest = %+v", back)
+	}
+	// The breakdown must survive the round trip exactly — the acceptance
+	// contract is manifest totals equal to text-table output.
+	if back.Cells[0].Result.Breakdown != m.Cells[0].Result.Breakdown {
+		t.Errorf("breakdown changed in round trip: %+v vs %+v",
+			back.Cells[0].Result.Breakdown, m.Cells[0].Result.Breakdown)
+	}
+}
+
+// TestEnableObsAttachesSessions checks every simulated cell gets its own
+// observability session with a populated registry, series and timeline.
+func TestEnableObsAttachesSessions(t *testing.T) {
+	p := New(2)
+	p.EnableObs(obs.Options{SampleEvery: 100_000, Timeline: true})
+	p.Warm([]exp.Cell{mtlbCell("random", 64), mtlbCell("random", 96)})
+
+	obsv := p.Observations()
+	if len(obsv) != 2 {
+		t.Fatalf("Observations = %d cells, want 2", len(obsv))
+	}
+	for _, o := range obsv {
+		if o.Obs == nil {
+			t.Fatalf("cell %s has no obs session", o.Manifest.Name)
+		}
+		if o.Obs.Registry().Len() == 0 {
+			t.Errorf("cell %s registry is empty", o.Manifest.Name)
+		}
+		if rows := o.Obs.Sampler().Rows(); rows < 2 {
+			t.Errorf("cell %s series has %d rows, want >= 2", o.Manifest.Name, rows)
+		}
+		if len(o.Obs.Timeline().Events()) == 0 {
+			t.Errorf("cell %s timeline is empty", o.Manifest.Name)
+		}
+	}
+	// Distinct cells must not share sessions.
+	if obsv[0].Obs == obsv[1].Obs {
+		t.Error("two cells share one obs session")
+	}
+}
+
+// TestCellNamesDistinctAndSafe checks derived artifact names are unique
+// per cell and contain no path separators.
+func TestCellNamesDistinctAndSafe(t *testing.T) {
+	p := New(1)
+	p.Warm([]exp.Cell{mtlbCell("random", 64), mtlbCell("random", 96)})
+	seen := map[string]bool{}
+	for _, o := range p.Observations() {
+		n := o.Manifest.Name
+		if seen[n] {
+			t.Errorf("duplicate cell name %q", n)
+		}
+		seen[n] = true
+		for _, r := range n {
+			if r == '/' || r == '\\' || r == ' ' {
+				t.Errorf("cell name %q contains unsafe character %q", n, r)
+			}
+		}
+	}
+}

@@ -11,15 +11,18 @@ package runner
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"shadowtlb/internal/exp"
+	"shadowtlb/internal/obs"
 	"shadowtlb/internal/sim"
 	"shadowtlb/internal/stats"
 )
 
 // Pool is a concurrent, memoizing exp.Runner.
 type Pool struct {
-	sem chan struct{} // bounds in-flight simulations
+	sem     chan struct{} // bounds in-flight simulations
+	obsOpts *obs.Options  // per-cell observability; nil when off
 
 	mu        sync.Mutex
 	cells     map[string]*entry
@@ -32,6 +35,12 @@ type Pool struct {
 type entry struct {
 	done chan struct{}
 	res  sim.Result
+
+	// Run-manifest bookkeeping (see manifest.go).
+	cell     exp.Cell // the first requester's cell
+	wall     time.Duration
+	requests int
+	obs      *obs.Obs // per-cell session, nil when observability is off
 }
 
 // New returns a pool running at most workers simulations at once.
@@ -49,6 +58,13 @@ func New(workers int) *Pool {
 // Workers returns the pool's concurrency bound.
 func (p *Pool) Workers() int { return cap(p.sem) }
 
+// EnableObs makes every subsequently simulated cell carry its own
+// observability session with the given options. Call before any Result;
+// cells already simulated stay unobserved.
+func (p *Pool) EnableObs(o obs.Options) {
+	p.obsOpts = &o
+}
+
 // Result returns the cell's result, simulating it on the calling
 // goroutine if this is the first request for its key, or waiting for the
 // in-flight simulation otherwise.
@@ -57,17 +73,23 @@ func (p *Pool) Result(c exp.Cell) sim.Result {
 	p.mu.Lock()
 	p.requested++
 	if e, ok := p.cells[key]; ok {
+		e.requests++
 		p.mu.Unlock()
 		<-e.done
 		return e.res
 	}
-	e := &entry{done: make(chan struct{})}
+	e := &entry{done: make(chan struct{}), cell: c, requests: 1}
+	if p.obsOpts != nil {
+		e.obs = obs.New(*p.obsOpts)
+	}
 	p.cells[key] = e
 	p.simulated++
 	p.mu.Unlock()
 
 	p.sem <- struct{}{}
-	e.res = c.Simulate()
+	start := time.Now()
+	e.res = c.SimulateObserved(e.obs)
+	e.wall = time.Since(start)
 	<-p.sem
 	close(e.done)
 	return e.res

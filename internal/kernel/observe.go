@@ -1,0 +1,12 @@
+package kernel
+
+import "shadowtlb/internal/obs"
+
+// RegisterMetrics registers the kernel's accounting counters.
+func (k *Kernel) RegisterMetrics(r *obs.Registry) {
+	r.CounterFunc("kernel.syscalls", func() uint64 { return k.Syscalls })
+	r.CounterFunc("kernel.timer_ticks", func() uint64 { return k.TimerTicks })
+	r.CounterFunc("kernel.timer_cycles", func() uint64 { return uint64(k.TimerCycles) })
+	r.CounterFunc("kernel.boot_cycles", func() uint64 { return uint64(k.BootCycles) })
+	r.CounterFunc("kernel.proc_cycles", func() uint64 { return uint64(k.ProcCycles) })
+}

@@ -31,6 +31,7 @@ import (
 	"shadowtlb/internal/bus"
 	"shadowtlb/internal/cache"
 	"shadowtlb/internal/core"
+	"shadowtlb/internal/obs"
 )
 
 // Timing holds the MMC cost parameters, in MMC (120 MHz) cycles.
@@ -88,6 +89,11 @@ type MMC struct {
 	streams *streamSet
 	banks   *dramBanks
 
+	// Observability instruments, nil (no-op) unless Observe attached a
+	// session.
+	fillHist *obs.Histogram
+	tl       *obs.Timeline
+
 	// Fill statistics, the basis of Figure 4(B).
 	Fills        uint64
 	FillMMCTotal uint64 // MMC cycles across all fills (excluding bus)
@@ -140,6 +146,7 @@ func (m *MMC) translate(pa arch.PAddr, dirty bool) (int, arch.PAddr, error) {
 		// Single-cycle translate, folded into the check cycle.
 		return 0, tr.Real, nil
 	}
+	m.tl.Instant("mtlb", "fill")
 	if m.banks.enabled() {
 		// The table read opens the table's row, displacing whatever
 		// the bank held.
@@ -180,6 +187,7 @@ func (m *MMC) HandleEvent(ev cache.Event) (Result, error) {
 		mmcCycles := t.Overhead + fillDRAM + m.checkCycles() + mtlbMMC
 		m.FillMMCTotal += uint64(mmcCycles)
 		m.BusyMMC += uint64(mmcCycles)
+		m.fillHist.Observe(uint64(mmcCycles))
 		stall := m.bus.ToCPU(m.bus.LineTransfer() + mmcCycles)
 		return Result{StallCPU: stall, Real: real}, nil
 

@@ -1,0 +1,24 @@
+package mmc
+
+import "shadowtlb/internal/obs"
+
+// Observe attaches an observability session to the controller: its
+// counters become registry metrics, every cache fill feeds a log2
+// histogram of MMC service cycles (the per-event view behind Figure
+// 4(B)'s average), and MTLB hardware fills appear as timeline instants.
+// The hot path holds nil instrument pointers when observability is off,
+// so the disabled cost is a nil check per event.
+func (m *MMC) Observe(o *obs.Obs) {
+	r := o.Registry()
+	r.CounterFunc("mmc.fills", func() uint64 { return m.Fills })
+	r.CounterFunc("mmc.writebacks", func() uint64 { return m.WriteBacks })
+	r.CounterFunc("mmc.upgrades", func() uint64 { return m.Upgrades })
+	r.CounterFunc("mmc.control_ops", func() uint64 { return m.ControlOps })
+	r.CounterFunc("mmc.busy_cycles", func() uint64 { return m.BusyMMC })
+	r.GaugeFunc("mmc.avg_fill_cycles", func() float64 { return m.AvgFillMMCCycles() })
+	if m.streams.enabled() {
+		r.CounterFunc("mmc.stream_hits", func() uint64 { return m.StreamHits() })
+	}
+	m.fillHist = r.Histogram("mmc.fill_cycles")
+	m.tl = o.Timeline()
+}

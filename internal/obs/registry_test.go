@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestDisabledPathAllocatesNothing pins the zero-overhead contract: with
+// observability off, every instrument is a nil pointer and each event on
+// the hot path must cost zero heap allocations.
+func TestDisabledPathAllocatesNothing(t *testing.T) {
+	var (
+		r   *Registry
+		c   *Counter
+		h   *Histogram
+		tl  *Timeline
+		smp *Sampler
+	)
+	checks := map[string]func(){
+		"counter":   func() { c.Inc(); c.Add(7) },
+		"histogram": func() { h.Observe(123) },
+		"timeline":  func() { tl.Span("t", "n", 5); tl.SpanAt("t", "n", 1, 2); tl.Instant("t", "n") },
+		"sampler":   func() { smp.MaybeSample(1_000_000); smp.Final(2_000_000) },
+		"registry": func() {
+			_ = r.Counter("x")
+			r.CounterFunc("y", func() uint64 { return 0 })
+			r.GaugeFunc("z", func() float64 { return 0 })
+			_ = r.Histogram("w")
+		},
+	}
+	for name, fn := range checks {
+		if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+			t.Errorf("disabled %s path: %v allocs per event, want 0", name, allocs)
+		}
+	}
+}
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits")
+	c.Inc()
+	c.Add(9)
+	if got := c.Value(); got != 10 {
+		t.Fatalf("Value = %d, want 10", got)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", r.Len())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	h.Observe(0)  // bucket [0,0]
+	h.Observe(1)  // [1,1]
+	h.Observe(5)  // [4,7]
+	h.Observe(7)  // [4,7]
+	h.Observe(64) // [64,127]
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if want := (0 + 1 + 5 + 7 + 64) / 5.0; h.Mean() != want {
+		t.Fatalf("Mean = %v, want %v", h.Mean(), want)
+	}
+	bks := h.Buckets()
+	want := []HistBucket{
+		{Lo: 0, Hi: 0, Count: 1},
+		{Lo: 1, Hi: 1, Count: 1},
+		{Lo: 4, Hi: 7, Count: 2},
+		{Lo: 64, Hi: 127, Count: 1},
+	}
+	if len(bks) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", bks, want)
+	}
+	for i := range want {
+		if bks[i] != want[i] {
+			t.Errorf("bucket %d = %+v, want %+v", i, bks[i], want[i])
+		}
+	}
+}
+
+func TestDuplicateMetricPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x")
+	r.Counter("x")
+}
+
+func TestDumpOrderAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Add(2)
+	r.GaugeFunc("a", func() float64 { return 0.5 })
+	r.Histogram("h").Observe(3)
+
+	d := r.Dump()
+	if len(d) != 3 || d[0].Name != "b" || d[1].Name != "a" || d[2].Name != "h" {
+		t.Fatalf("dump order = %+v, want registration order b,a,h", d)
+	}
+	if d[0].Kind != "counter" || d[0].Value != 2 {
+		t.Errorf("counter dump = %+v", d[0])
+	}
+	if d[1].Kind != "gauge" || d[1].Value != 0.5 {
+		t.Errorf("gauge dump = %+v", d[1])
+	}
+	if d[2].Kind != "histogram" || d[2].Count != 1 {
+		t.Errorf("histogram dump = %+v", d[2])
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteDump(&buf); err != nil {
+		t.Fatalf("WriteDump: %v", err)
+	}
+	var back []DumpMetric
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("dump JSON does not parse: %v", err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("round-tripped %d metrics, want 3", len(back))
+	}
+}
+
+func TestNilObsAccessors(t *testing.T) {
+	var o *Obs
+	if o.Registry() != nil || o.Timeline() != nil || o.Sampler() != nil {
+		t.Fatal("nil Obs accessors must return nil")
+	}
+	// And a live Obs with everything off still has a registry.
+	o = New(Options{})
+	if o.Registry() == nil {
+		t.Fatal("live Obs must always carry a registry")
+	}
+	if o.Timeline() != nil || o.Sampler() != nil {
+		t.Fatal("timeline/sampler must stay nil unless requested")
+	}
+}

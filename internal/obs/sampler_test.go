@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSamplerBoundaries(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events")
+	var gauge float64
+	r.GaugeFunc("level", func() float64 { return gauge })
+	r.Histogram("dist") // must be excluded from the series
+
+	s := NewSampler(r, 100)
+
+	c.Add(5)
+	gauge = 1
+	s.MaybeSample(50) // below first boundary: no row
+	if s.Rows() != 0 {
+		t.Fatalf("rows after 50 = %d, want 0", s.Rows())
+	}
+	s.MaybeSample(100) // first boundary
+	c.Add(3)
+	gauge = 2
+	s.MaybeSample(120) // same interval: no new row
+	if s.Rows() != 1 {
+		t.Fatalf("rows after 120 = %d, want 1", s.Rows())
+	}
+	// One charge jumping several boundaries yields exactly one row.
+	c.Add(10)
+	gauge = 7
+	s.MaybeSample(450)
+	if s.Rows() != 2 {
+		t.Fatalf("rows after 450 = %d, want 2", s.Rows())
+	}
+	// Next boundary after 450 is 500.
+	s.MaybeSample(499)
+	if s.Rows() != 2 {
+		t.Fatalf("rows after 499 = %d, want 2", s.Rows())
+	}
+	c.Add(2)
+	s.Final(520)
+	if s.Rows() != 3 {
+		t.Fatalf("rows after Final = %d, want 3", s.Rows())
+	}
+	s.Final(520) // idempotent at the same cycle
+	if s.Rows() != 3 {
+		t.Fatalf("Final re-sampled: rows = %d, want 3", s.Rows())
+	}
+
+	var csv bytes.Buffer
+	if err := s.WriteCSV(&csv); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	want := []string{
+		"cycle,events,level",
+		"100,5,1",  // cumulative 5, gauge 1
+		"450,13,7", // delta 18-5=13, gauge 7
+		"520,2,7",  // delta 20-18=2
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("csv = %q, want %d lines", csv.String(), len(want))
+	}
+	for i, w := range want {
+		if lines[i] != w {
+			t.Errorf("csv line %d = %q, want %q", i, lines[i], w)
+		}
+	}
+}
+
+func TestSamplerJSON(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n")
+	s := NewSampler(r, 10)
+	c.Add(4)
+	s.MaybeSample(10)
+	c.Add(6)
+	s.Final(25)
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var doc struct {
+		Interval uint64      `json:"interval_cycles"`
+		Columns  []string    `json:"columns"`
+		Kinds    []string    `json:"kinds"`
+		Cycles   []uint64    `json:"cycles"`
+		Values   [][]float64 `json:"values"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("series JSON does not parse: %v", err)
+	}
+	if doc.Interval != 10 || len(doc.Columns) != 1 || doc.Columns[0] != "n" || doc.Kinds[0] != "counter" {
+		t.Fatalf("header = %+v", doc)
+	}
+	if len(doc.Cycles) != 2 || doc.Cycles[0] != 10 || doc.Cycles[1] != 25 {
+		t.Fatalf("cycles = %v", doc.Cycles)
+	}
+	// JSON carries cumulative values.
+	if doc.Values[0][0] != 4 || doc.Values[1][0] != 10 {
+		t.Fatalf("values = %v, want cumulative 4 then 10", doc.Values)
+	}
+}
+
+func TestSamplerZeroIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero interval did not panic")
+		}
+	}()
+	NewSampler(NewRegistry(), 0)
+}

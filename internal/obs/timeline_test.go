@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// jsonTrace mirrors the trace-event shape for decoding in tests.
+type jsonTrace struct {
+	TraceEvents []struct {
+		Name  string         `json:"name"`
+		Phase string         `json:"ph"`
+		TS    uint64         `json:"ts"`
+		Dur   *uint64        `json:"dur"`
+		Pid   int            `json:"pid"`
+		Tid   int            `json:"tid"`
+		Scope string         `json:"s"`
+		Args  map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData"`
+}
+
+// buildTimeline records a realistic event mix: two tracks of adjacent
+// spans plus instants, in strictly advancing clock order.
+func buildTimeline(t *testing.T) *Timeline {
+	t.Helper()
+	var clock uint64
+	tl := NewTimeline(0)
+	tl.Now = func() uint64 { return clock }
+
+	clock = 100
+	tl.Span("tlbmiss", "handler", 40)
+	tl.Instant("mtlb", "fill")
+	clock = 200
+	tl.SpanAt("remap", "flush", 200, 30)
+	tl.SpanAt("remap", "other", 230, 20)
+	clock = 400
+	tl.Span("tlbmiss", "handler", 25)
+	clock = 500
+	tl.Span("pageout", "scan", 60)
+	return tl
+}
+
+// TestWriteTraceGolden checks the emitted JSON parses, declares every
+// track, and keeps spans non-overlapping with monotonic begins per
+// track.
+func TestWriteTraceGolden(t *testing.T) {
+	tl := buildTimeline(t)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, []Process{{Pid: 1, Name: "cell", Events: tl.Events()}}); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+
+	var doc jsonTrace
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+
+	// Metadata: one process_name, and thread_name + thread_sort_index
+	// per distinct track.
+	meta := map[string]int{}
+	threadNames := map[int]string{}
+	for _, e := range doc.TraceEvents {
+		if e.Phase != "M" {
+			continue
+		}
+		meta[e.Name]++
+		if e.Name == "thread_name" {
+			threadNames[e.Tid] = e.Args["name"].(string)
+		}
+	}
+	if meta["process_name"] != 1 {
+		t.Errorf("process_name metadata = %d, want 1", meta["process_name"])
+	}
+	if meta["thread_name"] != 4 || meta["thread_sort_index"] != 4 {
+		t.Errorf("thread metadata = %+v, want 4 tracks", meta)
+	}
+
+	// Spans: per (pid, tid) track, begins are monotonic and spans never
+	// overlap; instants carry the thread scope.
+	type span struct{ ts, end uint64 }
+	lastEnd := map[[2]int]uint64{}
+	lastTS := map[[2]int]uint64{}
+	var spans, instants int
+	for _, e := range doc.TraceEvents {
+		key := [2]int{e.Pid, e.Tid}
+		switch e.Phase {
+		case "X":
+			spans++
+			if e.Dur == nil {
+				t.Fatalf("X event %q lacks dur", e.Name)
+			}
+			if e.TS < lastTS[key] {
+				t.Errorf("track %s: begin %d after begin %d — not monotonic",
+					threadNames[e.Tid], e.TS, lastTS[key])
+			}
+			if e.TS < lastEnd[key] {
+				t.Errorf("track %s: span at %d overlaps previous span ending %d",
+					threadNames[e.Tid], e.TS, lastEnd[key])
+			}
+			lastTS[key] = e.TS
+			if end := e.TS + *e.Dur; end > lastEnd[key] {
+				lastEnd[key] = end
+			}
+		case "i":
+			instants++
+			if e.Scope != "t" {
+				t.Errorf("instant %q scope = %q, want t", e.Name, e.Scope)
+			}
+		}
+	}
+	if spans != 5 || instants != 1 {
+		t.Errorf("got %d spans, %d instants; want 5, 1", spans, instants)
+	}
+	if doc.OtherData["dropped_events"].(float64) != 0 {
+		t.Errorf("dropped_events = %v, want 0", doc.OtherData["dropped_events"])
+	}
+}
+
+func TestTimelineCapDrops(t *testing.T) {
+	tl := NewTimeline(2)
+	tl.Span("t", "a", 1)
+	tl.Span("t", "b", 1)
+	tl.Span("t", "c", 1)
+	tl.Instant("t", "d")
+	if len(tl.Events()) != 2 {
+		t.Fatalf("events = %d, want 2 (cap)", len(tl.Events()))
+	}
+	if tl.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", tl.Dropped())
+	}
+
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, []Process{{Pid: 1, Name: "capped", Events: tl.Events(), Dropped: tl.Dropped()}}); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	var doc jsonTrace
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if doc.OtherData["dropped_events"].(float64) != 2 {
+		t.Errorf("dropped_events = %v, want 2", doc.OtherData["dropped_events"])
+	}
+}
+
+func TestMultiProcessTrace(t *testing.T) {
+	a, b := NewTimeline(0), NewTimeline(0)
+	a.Span("x", "s", 10)
+	b.Span("x", "s", 10)
+	var buf bytes.Buffer
+	err := WriteTrace(&buf, []Process{
+		{Pid: 1, Name: "cell-a", Events: a.Events()},
+		{Pid: 2, Name: "cell-b", Events: b.Events()},
+	})
+	if err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	var doc jsonTrace
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pids := map[int]bool{}
+	for _, e := range doc.TraceEvents {
+		pids[e.Pid] = true
+	}
+	if !pids[1] || !pids[2] {
+		t.Errorf("pids = %v, want both 1 and 2", pids)
+	}
+}

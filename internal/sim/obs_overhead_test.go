@@ -1,0 +1,71 @@
+package sim_test
+
+import (
+	"testing"
+
+	"shadowtlb/internal/obs"
+	"shadowtlb/internal/sim"
+	"shadowtlb/internal/workload/radix"
+)
+
+// preObsBaselineNS is the per-run wall time of BenchmarkRunObsDisabled's
+// exact configuration (radix small, 64-entry TLB + default MTLB)
+// measured on the development machine immediately BEFORE the
+// observability layer was threaded through the devices: 36,988,636
+// ns/op. The disabled path adds only nil checks, so today's runs must
+// stay in the same regime.
+const preObsBaselineNS = 36_988_636
+
+// overheadFactor is the regression tripwire: the benchmark fails if a
+// run exceeds baseline × factor. 2.5× is deliberately generous — it
+// tolerates slow CI machines, turbo variance and GC jitter while still
+// catching a real regression (an accidental allocation or branch in the
+// per-reference hot path shows up as an integer multiple, not 10%).
+const overheadFactor = 2.5
+
+// benchWorkload builds the benchmark's fixed workload.
+func benchWorkload() *radix.Radix { return radix.New(radix.SmallConfig()) }
+
+// BenchmarkRunObsDisabled measures the simulator with observability off
+// — the production configuration — and enforces the zero-overhead
+// contract against the pre-observability baseline. The assertion is
+// skipped under -short (bench smoke runs) and under the race detector,
+// whose instrumentation dominates wall time.
+func BenchmarkRunObsDisabled(b *testing.B) {
+	cfg := observedConfig()
+	var res sim.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = sim.RunOn(cfg, benchWorkload())
+	}
+	b.StopTimer()
+	if res.TotalCycles() == 0 {
+		b.Fatal("simulation ran zero cycles")
+	}
+	if testing.Short() || raceEnabled {
+		return
+	}
+	perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	if limit := float64(preObsBaselineNS) * overheadFactor; perOp > limit {
+		b.Errorf("obs-disabled run took %.0f ns/op, over %.0f (baseline %d × %.1f): the disabled path regressed",
+			perOp, limit, preObsBaselineNS, overheadFactor)
+	}
+}
+
+// BenchmarkRunObsEnabled measures the same run with full observability
+// (registry + sampler + timeline), for comparison against the disabled
+// path in benchmark output. No assertion: the enabled path is allowed
+// to cost more.
+func BenchmarkRunObsEnabled(b *testing.B) {
+	cfg := observedConfig()
+	var res sim.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := obs.New(obs.Options{SampleEvery: 1_000_000, Timeline: true})
+		res = sim.RunObserved(cfg, benchWorkload(), o)
+	}
+	b.StopTimer()
+	if res.TotalCycles() == 0 {
+		b.Fatal("simulation ran zero cycles")
+	}
+}

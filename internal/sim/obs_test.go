@@ -1,0 +1,101 @@
+package sim_test
+
+import (
+	"testing"
+
+	"shadowtlb/internal/core"
+	"shadowtlb/internal/obs"
+	"shadowtlb/internal/sim"
+	"shadowtlb/internal/workload/radix"
+)
+
+// observedConfig is a small MTLB machine that exercises every
+// instrumented path: TLB misses, MTLB fills, remaps, cache fills.
+func observedConfig() sim.Config {
+	return sim.Default().WithTLB(64).WithMTLB(core.DefaultMTLBConfig())
+}
+
+// TestObservationDoesNotPerturb pins the core contract: attaching a full
+// observability session must not change the simulation's result.
+func TestObservationDoesNotPerturb(t *testing.T) {
+	cfg := observedConfig()
+	plain := sim.RunOn(cfg, radix.New(radix.SmallConfig()))
+
+	o := obs.New(obs.Options{SampleEvery: 100_000, Timeline: true})
+	observed := sim.RunObserved(cfg, radix.New(radix.SmallConfig()), o)
+
+	if plain != observed {
+		t.Fatalf("observed result differs from plain:\nplain    %+v\nobserved %+v", plain, observed)
+	}
+}
+
+// TestObservedRunProducesSeries checks the sampler crossed at least two
+// boundaries at the default interval (kernel boot alone guarantees it)
+// and that counters in the registry agree with the result.
+func TestObservedRunProducesSeries(t *testing.T) {
+	o := obs.New(obs.Options{SampleEvery: 1_000_000})
+	res := sim.RunObserved(observedConfig(), radix.New(radix.SmallConfig()), o)
+
+	if rows := o.Sampler().Rows(); rows < 2 {
+		t.Fatalf("sampler rows = %d, want >= 2 (run is %d cycles)", rows, res.TotalCycles())
+	}
+
+	dump := o.Registry().Dump()
+	byName := map[string]obs.DumpMetric{}
+	for _, m := range dump {
+		byName[m.Name] = m
+	}
+	if got := byName["tlb.misses"].Value; uint64(got) != res.TLBMisses {
+		t.Errorf("tlb.misses metric = %v, result says %d", got, res.TLBMisses)
+	}
+	if got := byName["cycles.user"].Value; got != float64(res.Breakdown.User) {
+		t.Errorf("cycles.user metric = %v, result says %d", got, res.Breakdown.User)
+	}
+	if got := byName["mmc.fills"].Value; uint64(got) != res.Fills {
+		t.Errorf("mmc.fills metric = %v, result says %d", got, res.Fills)
+	}
+	if byName["mmc.fill_cycles"].Count == 0 {
+		t.Error("mmc.fill_cycles histogram recorded nothing")
+	}
+}
+
+// TestObservedRunTimeline checks the machine emits the paper-relevant
+// spans and that each track is monotonic and non-overlapping in the
+// simulated-cycle domain.
+func TestObservedRunTimeline(t *testing.T) {
+	o := obs.New(obs.Options{Timeline: true})
+	res := sim.RunObserved(observedConfig(), radix.New(radix.SmallConfig()), o)
+
+	evs := o.Timeline().Events()
+	if len(evs) == 0 {
+		t.Fatal("no timeline events recorded")
+	}
+	tracks := map[string]int{}
+	lastEnd := map[string]uint64{}
+	lastBegin := map[string]uint64{}
+	total := uint64(res.TotalCycles())
+	for _, e := range evs {
+		tracks[e.Track]++
+		if e.Begin > total {
+			t.Fatalf("event %s/%s begins at %d, past end of run %d", e.Track, e.Name, e.Begin, total)
+		}
+		if e.Instant {
+			continue
+		}
+		if e.Begin < lastBegin[e.Track] {
+			t.Fatalf("track %s: begin %d after begin %d — not monotonic", e.Track, e.Begin, lastBegin[e.Track])
+		}
+		if e.Begin < lastEnd[e.Track] {
+			t.Fatalf("track %s: span at %d overlaps previous span ending %d", e.Track, e.Begin, lastEnd[e.Track])
+		}
+		lastBegin[e.Track] = e.Begin
+		if end := e.Begin + e.Dur; end > lastEnd[e.Track] {
+			lastEnd[e.Track] = end
+		}
+	}
+	for _, want := range []string{"tlbmiss", "remap", "mtlb"} {
+		if tracks[want] == 0 {
+			t.Errorf("no events on track %q (got %v)", want, tracks)
+		}
+	}
+}

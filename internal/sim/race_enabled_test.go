@@ -1,0 +1,8 @@
+//go:build race
+
+package sim_test
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose instrumentation slows the simulator severalfold and
+// would trip wall-time assertions.
+const raceEnabled = true

@@ -24,6 +24,7 @@ import (
 	"shadowtlb/internal/kernel"
 	"shadowtlb/internal/mem"
 	"shadowtlb/internal/mmc"
+	"shadowtlb/internal/obs"
 	"shadowtlb/internal/ptable"
 	"shadowtlb/internal/stats"
 	"shadowtlb/internal/tlb"
@@ -120,8 +121,10 @@ func (c Config) WithTLB(entries int) Config {
 	return c
 }
 
-// WithMTLB returns the config with an MTLB fitted.
+// WithMTLB returns the config with an MTLB fitted. The geometry is
+// normalized first so the label names what will actually be built.
 func (c Config) WithMTLB(m core.MTLBConfig) Config {
+	m.Normalize()
 	c.MTLB = &m
 	c.Label = fmt.Sprintf("tlb%d+mtlb%d/%dw", c.CPUTLBEntries, m.Entries, m.Ways)
 	return c
@@ -142,6 +145,34 @@ type System struct {
 	Kernel *kernel.Kernel
 	VM     *vm.VM
 	CPU    *cpu.CPU
+
+	obs *obs.Obs // attached session, nil when unobserved
+}
+
+// Observe attaches an observability session to an assembled machine:
+// the timeline's clock becomes the CPU cycle count and every layer —
+// processor TLB, data cache, MTLB, MMC, kernel, VM, CPU — registers its
+// metrics and takes its instrument pointers. Call before Run; a nil o
+// leaves the system unobserved. Observing does not perturb simulated
+// timing: every metric reads state the machine already maintains.
+func (s *System) Observe(o *obs.Obs) {
+	if o == nil {
+		return
+	}
+	s.obs = o
+	if tl := o.Timeline(); tl != nil {
+		tl.Now = func() uint64 { return uint64(s.CPU.Cycles()) }
+	}
+	r := o.Registry()
+	s.CPUTLB.RegisterMetrics(r, "tlb")
+	s.Cache.RegisterMetrics(r)
+	s.Kernel.RegisterMetrics(r)
+	if s.MTLB != nil {
+		s.MTLB.RegisterMetrics(r)
+	}
+	s.MMC.Observe(o)
+	s.VM.Observe(o)
+	s.CPU.Observe(o)
 }
 
 // New assembles a machine from the configuration.
@@ -171,7 +202,12 @@ func New(cfg Config) *System {
 	var shadowAlloc core.ShadowAllocator
 	if cfg.MTLB != nil {
 		stable = core.NewShadowTable(cfg.ShadowSpace, ShadowTableBase, s.Dram)
-		s.MTLB = core.NewMTLB(*cfg.MTLB, stable)
+		// Normalize here, at the single point every entry path funnels
+		// through, so flag-derived geometries (e.g. -ways larger than
+		// -mtlb) mean the same thing in every command.
+		mcfg := *cfg.MTLB
+		mcfg.Normalize()
+		s.MTLB = core.NewMTLB(mcfg, stable)
 		if cfg.UseBuddy {
 			shadowAlloc = core.NewBuddyAlloc(cfg.ShadowSpace)
 		} else {
@@ -274,10 +310,21 @@ func (s *System) Run(w workload.Workload) Result {
 		res.PagesRemapped = s.VM.PagesRemapped
 	}
 	res.CPUTLBReachPeak = s.CPUTLB.Reach()
+	// Close out the time series at the run's final cycle so the last
+	// partial interval is covered.
+	s.obs.Sampler().Final(uint64(s.CPU.Cycles()))
 	return res
 }
 
 // RunOn is a convenience: assemble a fresh system and run the workload.
 func RunOn(cfg Config, w workload.Workload) Result {
 	return New(cfg).Run(w)
+}
+
+// RunObserved assembles a fresh system, attaches the observability
+// session, and runs the workload. A nil o degrades to RunOn exactly.
+func RunObserved(cfg Config, w workload.Workload, o *obs.Obs) Result {
+	s := New(cfg)
+	s.Observe(o)
+	return s.Run(w)
 }

@@ -1,0 +1,15 @@
+package tlb
+
+import "shadowtlb/internal/obs"
+
+// RegisterMetrics registers the TLB's counters and occupancy gauges
+// under the given name prefix (e.g. "tlb" for the processor TLB). All
+// metrics read live fields at sample time, so registration adds nothing
+// to the lookup hot path; on a nil registry it is a no-op.
+func (t *TLB) RegisterMetrics(r *obs.Registry, prefix string) {
+	r.CounterFunc(prefix+".hits", func() uint64 { return t.Stats.Hits })
+	r.CounterFunc(prefix+".misses", func() uint64 { return t.Stats.Misses })
+	r.GaugeFunc(prefix+".hit_rate", func() float64 { return t.Stats.Rate() })
+	r.GaugeFunc(prefix+".valid_entries", func() float64 { return float64(t.ValidCount()) })
+	r.GaugeFunc(prefix+".reach_bytes", func() float64 { return float64(t.Reach()) })
+}

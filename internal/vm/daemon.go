@@ -25,11 +25,17 @@ type clockPos struct {
 // ReclaimFrames frees at least target frames by paging out cold
 // superpages, returning the kernel cycles spent. It fails only when no
 // shadow-backed memory remains to reclaim.
-func (v *VM) ReclaimFrames(target uint64) (stats.Cycles, error) {
+func (v *VM) ReclaimFrames(target uint64) (cycles stats.Cycles, err error) {
 	if !v.HasShadow() {
 		return 0, ErrNoMTLB
 	}
-	var cycles stats.Cycles
+	if v.tl != nil {
+		// Span the whole scan; the clock holds still inside the daemon
+		// (the caller charges the returned cycles afterwards), so the
+		// span's duration is whatever the scan ends up costing.
+		begin := v.tl.Now()
+		defer func() { v.tl.SpanAt("pageout", "scan", begin, uint64(cycles)) }()
+	}
 	freed := uint64(0)
 	// Two sweeps: the first clears reference bits (second chance), the
 	// second evicts whatever is still unreferenced; a third forces

@@ -1,0 +1,40 @@
+package vm
+
+import (
+	"fmt"
+
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/obs"
+)
+
+// Observe attaches an observability session to the OS layer. The VM
+// registers its paging and superpage counters, frame-pool occupancy,
+// and — on shadow systems — the per-bucket free counts of the shadow
+// allocator (the occupancy view of the paper's Figure 2 partition). It
+// also keeps the timeline so remap() and the page-out daemon can record
+// spans; with no session attached those fields stay nil and the calls
+// are no-ops.
+func (v *VM) Observe(o *obs.Obs) {
+	r := o.Registry()
+	r.CounterFunc("vm.tlb_misses", func() uint64 { return v.TLBMisses })
+	r.CounterFunc("vm.page_faults", func() uint64 { return v.PageFaults })
+	r.CounterFunc("vm.superpages_made", func() uint64 { return v.SuperpagesMade })
+	r.CounterFunc("vm.pages_remapped", func() uint64 { return v.PagesRemapped })
+	r.CounterFunc("vm.shadow_faults", func() uint64 { return v.ShadowFaults })
+	r.CounterFunc("vm.reclaims", func() uint64 { return v.Reclaims })
+	r.CounterFunc("vm.swap_outs", func() uint64 { return v.SwapOuts })
+	r.CounterFunc("vm.swap_ins", func() uint64 { return v.SwapIns })
+	r.GaugeFunc("vm.resident_frames", func() float64 {
+		return float64(v.Frames.Total() - v.Frames.FreeCount())
+	})
+	r.GaugeFunc("vm.free_frames", func() float64 { return float64(v.Frames.FreeCount()) })
+	if v.ShadowAlloc != nil {
+		for c := arch.Page16K; c <= arch.Page16M; c++ {
+			r.GaugeFunc(fmt.Sprintf("shadow.free_regions.%v", c), func() float64 {
+				return float64(v.ShadowAlloc.FreeCount(c))
+			})
+		}
+	}
+	v.tl = o.Timeline()
+	v.remapHist = r.Histogram("vm.remap_superpage_pages")
+}

@@ -52,6 +52,18 @@ func (v *VM) Remap(base arch.VAddr, size uint64) (RemapResult, error) {
 	if !v.HasShadow() {
 		return res, ErrNoMTLB
 	}
+	if v.tl != nil {
+		// The clock stands still inside a VM operation (the CPU charges
+		// the returned cycles afterwards), so the remap's span starts at
+		// the current cycle and its cost split is known on return: one
+		// span for the per-page cache flushing the paper's §3.3
+		// accounting breaks out, then one for everything else.
+		begin := v.tl.Now()
+		defer func() {
+			v.tl.SpanAt("remap", "flush", begin, uint64(res.FlushCycles))
+			v.tl.SpanAt("remap", "other", begin+uint64(res.FlushCycles), uint64(res.OtherCycles))
+		}()
+	}
 	res.OtherCycles += v.Kernel.SyscallEntry()
 
 	// An explicit remap pre-empts the online promotion policy for the
@@ -185,6 +197,7 @@ func (v *VM) makeSuperpage(vbase arch.VAddr, class arch.PageSizeClass, res *Rema
 		r.Superpages = append(r.Superpages, sp)
 	}
 	v.SuperpagesMade++
+	v.remapHist.Observe(uint64(basePages))
 	res.Superpages++
 	res.BySize[class]++
 	return other, nil

@@ -22,6 +22,7 @@ import (
 	"shadowtlb/internal/kernel"
 	"shadowtlb/internal/mem"
 	"shadowtlb/internal/mmc"
+	"shadowtlb/internal/obs"
 	"shadowtlb/internal/ptable"
 	"shadowtlb/internal/stats"
 	"shadowtlb/internal/tlb"
@@ -92,6 +93,11 @@ type VM struct {
 	// Page-out daemon state (see daemon.go).
 	clock    clockPos
 	Reclaims uint64
+
+	// Observability instruments (see observe.go); nil means disabled
+	// and every use is a no-op.
+	tl        *obs.Timeline
+	remapHist *obs.Histogram
 
 	// Statistics.
 	PageFaults     uint64

@@ -1,0 +1,16 @@
+#!/bin/sh
+# bench.sh — seed the benchmark trajectory.
+#
+# Emits BENCH_runner.json: the fig3 run manifest at small scale, which
+# carries per-cell cycle breakdowns, host wall times and memoization
+# counts — everything a trend dashboard needs to spot simulator
+# slowdowns or result drift between commits.
+#
+# Usage: scripts/bench.sh [output-file]
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_runner.json}"
+
+go run ./cmd/mtlbexp -exp fig3 -scale small -json > "$out"
+echo "wrote $out ($(wc -c < "$out") bytes)" >&2
