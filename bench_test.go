@@ -14,8 +14,11 @@ import (
 	"sync"
 	"testing"
 
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/core"
 	"shadowtlb/internal/exp"
 	"shadowtlb/internal/exp/runner"
+	"shadowtlb/internal/sim"
 )
 
 // benchScale picks workload sizing: paper scale normally, small under
@@ -298,6 +301,66 @@ func BenchmarkExtMultiprog(b *testing.B) {
 	printTable("ext-multiprog", func() { fmt.Println(r.Table) })
 	b.ReportMetric(r.Speedup, "mtlb-speedup")
 	b.ReportMetric(float64(r.BaseTLBCycles)/float64(r.MTLBTLBCycles), "tlb-cycle-ratio")
+}
+
+// BenchmarkAccessHotLoop measures the raw reference throughput of the
+// access path — one warmed CPU issuing a load, a store and a few ALU
+// instructions per iteration — with the fast-path engine on and off.
+// The ratio between the two sub-benchmarks is the memoization win on
+// references that stay within recently touched pages and lines.
+func BenchmarkAccessHotLoop(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		noFast bool
+	}{{"fast", false}, {"slow", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := sim.Default().WithTLB(64).WithMTLB(core.DefaultMTLBConfig())
+			cfg.NoFastPath = mode.noFast
+			s := sim.New(cfg)
+			base := s.CPU.AllocRegion("bench", 64*arch.PageSize)
+			for off := uint64(0); off < 64*arch.PageSize; off += arch.PageSize {
+				s.CPU.Store(base+arch.VAddr(off), 8, off)
+			}
+			s.CPU.Step(10_000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				va := base + arch.VAddr((uint64(i)*264)%(64*arch.PageSize))
+				s.CPU.Load(va, 8)
+				s.CPU.Store(va, 8, uint64(i))
+				s.CPU.Step(3)
+			}
+			b.ReportMetric(float64(2*b.N)/b.Elapsed().Seconds(), "refs/s")
+		})
+	}
+}
+
+// BenchmarkSimFig3Cell measures end-to-end wall time for one Figure 3
+// cell — em3d on the paper's default 64-entry-TLB + MTLB system — the
+// acceptance cell for the fast-path engine's throughput target. The
+// refs/s metric is simulated references (loads + stores) per host
+// second.
+func BenchmarkSimFig3Cell(b *testing.B) {
+	scale := benchScale()
+	for _, mode := range []struct {
+		name   string
+		noFast bool
+	}{{"fast", false}, {"slow", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var refs uint64
+			for i := 0; i < b.N; i++ {
+				cfg := sim.Default().WithTLB(64).WithMTLB(core.DefaultMTLBConfig())
+				cfg.NoFastPath = mode.noFast
+				w, err := exp.MakeWorkload("em3d", scale)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s := sim.New(cfg)
+				s.Run(w)
+				refs = s.CPU.Loads + s.CPU.Stores
+			}
+			b.ReportMetric(float64(refs)*float64(b.N)/b.Elapsed().Seconds(), "refs/s")
+		})
+	}
 }
 
 // BenchmarkAblationRefBits quantifies the approximate reference bits.

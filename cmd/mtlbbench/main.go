@@ -1,0 +1,157 @@
+// Command mtlbbench measures the simulator's hot-path throughput: it
+// runs one Figure 3 cell (em3d on the 64-entry-TLB + default-MTLB
+// system) repeatedly with the fast-path access engine on and off, and
+// emits BENCH_hotpath.json with simulated references per host second
+// for both engines and their ratio.
+//
+// The speedup ratio is machine-independent enough to regress-test: both
+// engines run in the same process on the same cell, so host speed
+// cancels out. CI compares the emitted ratio against a committed
+// baseline:
+//
+//	mtlbbench -o BENCH_hotpath.json
+//	mtlbbench -baseline scripts/BENCH_hotpath_baseline.json -tolerance 0.2
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"shadowtlb/internal/core"
+	"shadowtlb/internal/exp"
+	"shadowtlb/internal/sim"
+)
+
+// EngineResult reports one engine's measurement.
+type EngineResult struct {
+	Seconds    float64 `json:"seconds"`      // total host wall time
+	Runs       int     `json:"runs"`         // full cell simulations
+	Refs       uint64  `json:"refs"`         // simulated references per run
+	RefsPerSec float64 `json:"refs_per_sec"` // best round: Refs/round seconds
+}
+
+// Result is the BENCH_hotpath.json schema.
+type Result struct {
+	Cell    string       `json:"cell"` // which fig3 cell was measured
+	Scale   string       `json:"scale"`
+	Fast    EngineResult `json:"fast"`
+	Slow    EngineResult `json:"slow"`
+	Speedup float64      `json:"speedup"` // fast refs/s over slow refs/s
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the command and returns its exit status.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mtlbbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out       = fs.String("o", "BENCH_hotpath.json", "output JSON file")
+		scaleName = fs.String("scale", "small", "workload scale: paper or small")
+		seconds   = fs.Float64("t", 2.0, "minimum seconds to run each engine")
+		baseline  = fs.String("baseline", "", "baseline JSON to compare the speedup against")
+		tolerance = fs.Float64("tolerance", 0.2, "allowed fractional speedup regression vs baseline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	scale, err := exp.ParseScale(*scaleName)
+	if err != nil {
+		fmt.Fprintf(stderr, "mtlbbench: unknown scale %q\n", *scaleName)
+		return 2
+	}
+
+	res := Result{Cell: "fig3/em3d/tlb64+mtlb128", Scale: scale.String()}
+	res.Fast, res.Slow = measure(scale, *seconds)
+	res.Speedup = res.Fast.RefsPerSec / res.Slow.RefsPerSec
+
+	var sink io.Writer = stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(stderr, "mtlbbench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		sink = f
+	}
+	enc := json.NewEncoder(sink)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		fmt.Fprintf(stderr, "mtlbbench: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "cell %s: fast %.2fM refs/s, slow %.2fM refs/s, speedup %.2fx\n",
+		res.Cell, res.Fast.RefsPerSec/1e6, res.Slow.RefsPerSec/1e6, res.Speedup)
+
+	if *baseline != "" {
+		return compare(stdout, stderr, res, *baseline, *tolerance)
+	}
+	return 0
+}
+
+// measure runs the cell with the two engines in alternating rounds
+// until each has accumulated min seconds of wall time, and reports each
+// engine's best round. Interleaving means host noise (a busy neighbour,
+// a frequency shift) hits both engines alike instead of skewing their
+// ratio, and best-of discards the rounds the noise did hit.
+func measure(scale exp.Scale, minSeconds float64) (fast, slow EngineResult) {
+	runCell := func(noFast bool) (uint64, float64) {
+		cfg := sim.Default().WithTLB(64).WithMTLB(core.DefaultMTLBConfig())
+		cfg.NoFastPath = noFast
+		w, err := exp.MakeWorkload("em3d", scale)
+		if err != nil {
+			panic(err) // em3d is always registered
+		}
+		s := sim.New(cfg)
+		start := time.Now()
+		s.Run(w)
+		return s.CPU.Loads + s.CPU.Stores, time.Since(start).Seconds()
+	}
+	round := func(r *EngineResult, noFast bool) {
+		refs, secs := runCell(noFast)
+		r.Refs = refs
+		r.Runs++
+		r.Seconds += secs
+		if rps := float64(refs) / secs; rps > r.RefsPerSec {
+			r.RefsPerSec = rps
+		}
+	}
+	for fast.Seconds < minSeconds || slow.Seconds < minSeconds {
+		round(&fast, false)
+		round(&slow, true)
+	}
+	return fast, slow
+}
+
+// compare checks the measured speedup against a committed baseline and
+// fails (exit 1) when it has regressed by more than the tolerance. The
+// absolute refs/s numbers are machine-dependent and only reported; the
+// fast/slow ratio is what must not regress.
+func compare(stdout, stderr io.Writer, res Result, path string, tolerance float64) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "mtlbbench: reading baseline: %v\n", err)
+		return 1
+	}
+	var base Result
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(stderr, "mtlbbench: parsing baseline: %v\n", err)
+		return 1
+	}
+	floor := base.Speedup * (1 - tolerance)
+	if res.Speedup < floor {
+		fmt.Fprintf(stderr, "mtlbbench: FAIL: speedup %.2fx is below %.2fx (baseline %.2fx - %.0f%% tolerance)\n",
+			res.Speedup, floor, base.Speedup, 100*tolerance)
+		return 1
+	}
+	fmt.Fprintf(stdout, "baseline ok: speedup %.2fx >= %.2fx (baseline %.2fx - %.0f%% tolerance)\n",
+		res.Speedup, floor, base.Speedup, 100*tolerance)
+	return 0
+}

@@ -44,12 +44,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		parallel = fs.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		list     = fs.Bool("list", false, "list registered experiment ids and exit")
 		pstats   = fs.Bool("stats", false, "report cell-cache effectiveness on stderr")
+		fastpath = fs.Bool("fastpath", true, "use the CPU fast-path access engine (results are identical either way)")
 		obsFlags cmdutil.ObsFlags
 	)
 	obsFlags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+
+	exp.SetNoFastPath(!*fastpath)
 
 	if *list {
 		for _, d := range exp.Descriptors() {

@@ -49,6 +49,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sbrkSup  = fs.Bool("sbrksp", false, "replay with superpage sbrk semantics")
 		maxPrint = fs.Int("n", 20, "records to print with -dump")
 		jsonOut  = fs.Bool("json", false, "emit the simulation result as JSON")
+		fastpath = fs.Bool("fastpath", true, "use the CPU fast-path access engine (results are identical either way)")
 		obsF     cmdutil.ObsFlags
 	)
 	obsF.Register(fs)
@@ -62,6 +63,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *mtlbN > 0 {
 		cfg = cfg.WithMTLB(core.MTLBConfig{Entries: *mtlbN, Ways: *ways})
 	}
+	cfg.NoFastPath = !*fastpath
 
 	stopProfiles, err := obsF.StartProfiling(stderr)
 	if err != nil {

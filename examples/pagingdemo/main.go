@@ -38,7 +38,7 @@ func main() {
 		va := r.Base + arch.VAddr(p*arch.PageSize)
 		pte := s.VM.HPT.LookupFast(va)
 		res := s.Cache.Access(va, pte.Translate(va), kind)
-		for _, ev := range res.Events {
+		for _, ev := range res.Events[:res.NEvents] {
 			if _, err := s.MMC.HandleEvent(ev); err != nil {
 				panic(err)
 			}

@@ -14,6 +14,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"shadowtlb/internal/arch"
 	"shadowtlb/internal/stats"
@@ -76,11 +77,14 @@ type Event struct {
 	PAddr arch.PAddr
 }
 
-// Result reports what an access did. Events has at most two entries
-// (write-back of the victim, then the fill for the new line).
+// Result reports what an access did. Events holds at most two entries
+// (write-back of the victim, then the fill for the new line); only
+// Events[:NEvents] are meaningful. A fixed-size array keeps the access
+// hot path free of heap allocations.
 type Result struct {
-	Hit    bool
-	Events []Event
+	Hit     bool
+	NEvents int
+	Events  [2]Event
 }
 
 // Config sizes the cache.
@@ -103,10 +107,19 @@ func DefaultConfig() Config {
 
 // Cache is the data-cache timing model.
 type Cache struct {
-	cfg      Config
-	sets     [][]line
-	numSets  uint64
-	lineMask uint64
+	cfg       Config
+	lines     []line // all ways of all sets, contiguous; set i is lines[i*ways:(i+1)*ways]
+	ways      uint64
+	numSets   uint64
+	lineMask  uint64
+	lineShift uint   // log2(LineSize); line sizes are powers of two
+	setMask   uint64 // numSets-1 when numSets is a power of two, else 0
+
+	// gen counts line mutations: fills, evictions, upgrades and flushes
+	// all advance it, silent hits do not. The CPU's line-grain memo
+	// compares generations to know a remembered resident line is still
+	// resident in the same state without rescanning the set.
+	gen uint64
 
 	Stats      stats.HitMiss
 	WriteBacks uint64
@@ -116,28 +129,55 @@ type Cache struct {
 // New builds a cache; it panics on degenerate geometry.
 func New(cfg Config) *Cache {
 	if cfg.LineSize == 0 || cfg.Size == 0 || cfg.Ways <= 0 ||
+		cfg.LineSize&(cfg.LineSize-1) != 0 ||
 		cfg.Size%(cfg.LineSize*uint64(cfg.Ways)) != 0 {
 		panic(fmt.Sprintf("cache: bad geometry %+v", cfg))
 	}
 	numSets := cfg.Size / cfg.LineSize / uint64(cfg.Ways)
-	sets := make([][]line, numSets)
-	for i := range sets {
-		sets[i] = make([]line, cfg.Ways)
+	// One flat, pointer-free backing array for every line: construction
+	// is a single allocation and the GC never scans the cache.
+	c := &Cache{
+		cfg:     cfg,
+		lines:   make([]line, numSets*uint64(cfg.Ways)),
+		ways:    uint64(cfg.Ways),
+		numSets: numSets, lineMask: cfg.LineSize - 1,
 	}
-	return &Cache{cfg: cfg, sets: sets, numSets: numSets, lineMask: cfg.LineSize - 1}
+	c.lineShift = uint(bits.TrailingZeros64(cfg.LineSize))
+	if numSets&(numSets-1) == 0 {
+		c.setMask = numSets - 1
+	}
+	return c
+}
+
+// set returns the ways of set idx as a slice into the flat line array.
+func (c *Cache) set(idx uint64) []line {
+	return c.lines[idx*c.ways : (idx+1)*c.ways]
 }
 
 // Config returns the cache geometry.
 func (c *Cache) Config() Config { return c.cfg }
 
+// Gen returns the line-mutation generation (see the gen field).
+func (c *Cache) Gen() uint64 { return c.gen }
+
+// LineBase returns the address of the first byte of va's cache line.
+func (c *Cache) LineBase(va arch.VAddr) uint64 { return uint64(va) &^ c.lineMask }
+
 // index computes the set index: from the virtual address for the
-// default VIPT organization, from the physical for PIPT.
+// default VIPT organization, from the physical for PIPT. The division
+// and modulo are replaced with a precomputed shift and (for the usual
+// power-of-two set counts) mask; non-power-of-two set counts fall back
+// to the modulo.
 func (c *Cache) index(va, pa uint64) uint64 {
 	a := va
 	if c.cfg.PhysIndexed {
 		a = pa
 	}
-	return (a / c.cfg.LineSize) % c.numSets
+	ln := a >> c.lineShift
+	if c.setMask != 0 {
+		return ln & c.setMask
+	}
+	return ln % c.numSets
 }
 
 // Colors returns the number of page colors: the sets one way spans,
@@ -163,7 +203,8 @@ func (c *Cache) ColorOf(pa arch.PAddr) uint64 {
 func (c *Cache) Access(va arch.VAddr, pa arch.PAddr, kind arch.AccessKind) Result {
 	vline := uint64(va) &^ c.lineMask
 	pline := uint64(pa) &^ c.lineMask
-	set := c.sets[c.index(uint64(va), uint64(pa))]
+	idx := c.index(uint64(va), uint64(pa))
+	set := c.set(idx)
 
 	for i := range set {
 		l := &set[i]
@@ -171,15 +212,19 @@ func (c *Cache) Access(va arch.VAddr, pa arch.PAddr, kind arch.AccessKind) Resul
 			c.Stats.Hit()
 			if kind == arch.Write && l.state == shared {
 				l.state = modified
+				c.gen++
 				c.Upgrades++
-				return Result{Hit: true, Events: []Event{{Kind: Upgrade, PAddr: arch.PAddr(pline)}}}
+				res := Result{Hit: true, NEvents: 1}
+				res.Events[0] = Event{Kind: Upgrade, PAddr: arch.PAddr(pline)}
+				return res
 			}
 			return Result{Hit: true}
 		}
 	}
 
 	c.Stats.Miss()
-	var events []Event
+	c.gen++
+	var res Result
 
 	// Choose a victim: an invalid way if any, else way 0 rotated by a
 	// simple round-robin on the set index (direct-mapped caches have a
@@ -192,12 +237,13 @@ func (c *Cache) Access(va arch.VAddr, pa arch.PAddr, kind arch.AccessKind) Resul
 		}
 	}
 	if victim < 0 {
-		victim = int(c.index(uint64(va), uint64(pa))) % len(set)
+		victim = int(idx) % len(set)
 	}
 	v := &set[victim]
 	if v.state == modified {
 		c.WriteBacks++
-		events = append(events, Event{Kind: WriteBack, PAddr: arch.PAddr(v.pbase)})
+		res.Events[res.NEvents] = Event{Kind: WriteBack, PAddr: arch.PAddr(v.pbase)}
+		res.NEvents++
 	}
 
 	fill := FillShared
@@ -206,15 +252,45 @@ func (c *Cache) Access(va arch.VAddr, pa arch.PAddr, kind arch.AccessKind) Resul
 		fill = FillExclusive
 		st = modified
 	}
-	events = append(events, Event{Kind: fill, PAddr: arch.PAddr(pline)})
+	res.Events[res.NEvents] = Event{Kind: fill, PAddr: arch.PAddr(pline)}
+	res.NEvents++
 	*v = line{state: st, vbase: vline, pbase: pline}
-	return Result{Hit: false, Events: events}
+	return res
 }
+
+// FastHit attempts the pure-hit fast path: if the line holding pa is
+// resident and the access would neither change line state nor emit a
+// bus event, it charges the hit (exactly what Access would have done)
+// and returns hit=true, plus whether the line accepts silent writes
+// (modified state) so the caller can memoize line-grain repeats. Any
+// other case — miss, or a write to a shared line that needs an Upgrade
+// transaction — returns hit=false with zero side effects, and the
+// caller must take the full Access path.
+func (c *Cache) FastHit(va arch.VAddr, pa arch.PAddr, kind arch.AccessKind) (hit, writable bool) {
+	pline := uint64(pa) &^ c.lineMask
+	set := c.set(c.index(uint64(va), uint64(pa)))
+	for i := range set {
+		l := &set[i]
+		if l.state != invalid && l.pbase == pline {
+			if kind == arch.Write && l.state == shared {
+				return false, false
+			}
+			c.Stats.Hit()
+			return true, l.state == modified
+		}
+	}
+	return false, false
+}
+
+// FastRepeatHit charges a hit with no other work: the caller has proven
+// via Gen() that the line it remembers is still resident in a state
+// this access cannot change.
+func (c *Cache) FastRepeatHit() { c.Stats.Hit() }
 
 // Present reports whether the line holding pa is resident (any state).
 func (c *Cache) Present(va arch.VAddr, pa arch.PAddr) bool {
 	pline := uint64(pa) &^ c.lineMask
-	set := c.sets[c.index(uint64(va), uint64(pa))]
+	set := c.set(c.index(uint64(va), uint64(pa)))
 	for i := range set {
 		if set[i].state != invalid && set[i].pbase == pline {
 			return true
@@ -234,11 +310,12 @@ func (c *Cache) FlushPage(vbase arch.VAddr, pbase arch.PAddr) (events []Event, i
 	if uint64(vbase)&arch.PageMask != 0 || uint64(pbase)&arch.PageMask != 0 {
 		panic(fmt.Sprintf("cache: FlushPage of unaligned %v/%v", vbase, pbase))
 	}
+	c.gen++
 	linesPerPage := arch.PageSize / c.cfg.LineSize
 	for i := uint64(0); i < linesPerPage; i++ {
 		va := uint64(vbase) + i*c.cfg.LineSize
 		pline := uint64(pbase) + i*c.cfg.LineSize
-		set := c.sets[c.index(va, pline)]
+		set := c.set(c.index(va, pline))
 		for w := range set {
 			l := &set[w]
 			if l.state != invalid && l.pbase == pline {
@@ -257,16 +334,15 @@ func (c *Cache) FlushPage(vbase arch.VAddr, pbase arch.PAddr) (events []Event, i
 // FlushAll writes back every dirty line and invalidates the cache,
 // returning the write-back events.
 func (c *Cache) FlushAll() []Event {
+	c.gen++
 	var events []Event
-	for _, set := range c.sets {
-		for w := range set {
-			l := &set[w]
-			if l.state == modified {
-				c.WriteBacks++
-				events = append(events, Event{Kind: WriteBack, PAddr: arch.PAddr(l.pbase)})
-			}
-			l.state = invalid
+	for i := range c.lines {
+		l := &c.lines[i]
+		if l.state == modified {
+			c.WriteBacks++
+			events = append(events, Event{Kind: WriteBack, PAddr: arch.PAddr(l.pbase)})
 		}
+		l.state = invalid
 	}
 	return events
 }
@@ -274,11 +350,9 @@ func (c *Cache) FlushAll() []Event {
 // ResidentLines returns the number of valid lines (tests/diagnostics).
 func (c *Cache) ResidentLines() int {
 	n := 0
-	for _, set := range c.sets {
-		for w := range set {
-			if set[w].state != invalid {
-				n++
-			}
+	for i := range c.lines {
+		if c.lines[i].state != invalid {
+			n++
 		}
 	}
 	return n
@@ -287,11 +361,9 @@ func (c *Cache) ResidentLines() int {
 // DirtyLines returns the number of modified lines.
 func (c *Cache) DirtyLines() int {
 	n := 0
-	for _, set := range c.sets {
-		for w := range set {
-			if set[w].state == modified {
-				n++
-			}
+	for i := range c.lines {
+		if c.lines[i].state == modified {
+			n++
 		}
 	}
 	return n

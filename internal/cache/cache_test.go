@@ -18,11 +18,11 @@ func TestReadMissThenHit(t *testing.T) {
 	if r.Hit {
 		t.Fatal("cold access should miss")
 	}
-	if len(r.Events) != 1 || r.Events[0].Kind != FillShared || r.Events[0].PAddr != 0x40001000 {
+	if r.NEvents != 1 || r.Events[0].Kind != FillShared || r.Events[0].PAddr != 0x40001000 {
 		t.Fatalf("events = %+v", r.Events)
 	}
 	r = c.Access(0x1004, 0x40001004, arch.Read)
-	if !r.Hit || len(r.Events) != 0 {
+	if !r.Hit || r.NEvents != 0 {
 		t.Fatalf("same-line access should hit silently: %+v", r)
 	}
 }
@@ -42,7 +42,7 @@ func TestWriteHitOnSharedLineUpgrades(t *testing.T) {
 	c := small()
 	c.Access(0x3000, 0x40003000, arch.Read)
 	r := c.Access(0x3008, 0x40003008, arch.Write)
-	if !r.Hit || len(r.Events) != 1 || r.Events[0].Kind != Upgrade {
+	if !r.Hit || r.NEvents != 1 || r.Events[0].Kind != Upgrade {
 		t.Fatalf("expected upgrade event: %+v", r)
 	}
 	if c.Upgrades != 1 {
@@ -50,7 +50,7 @@ func TestWriteHitOnSharedLineUpgrades(t *testing.T) {
 	}
 	// Second write: already modified, no event.
 	r = c.Access(0x3010, 0x40003010, arch.Write)
-	if !r.Hit || len(r.Events) != 0 {
+	if !r.Hit || r.NEvents != 0 {
 		t.Fatalf("write to modified line should be silent: %+v", r)
 	}
 }
@@ -62,7 +62,7 @@ func TestConflictEvictionWritesBackDirtyVictim(t *testing.T) {
 	if r.Hit {
 		t.Fatal("conflicting access should miss")
 	}
-	if len(r.Events) != 2 {
+	if r.NEvents != 2 {
 		t.Fatalf("expected write-back + fill, got %+v", r.Events)
 	}
 	if r.Events[0].Kind != WriteBack || r.Events[0].PAddr != 0x40001000 {
@@ -80,7 +80,7 @@ func TestCleanVictimNoWriteBack(t *testing.T) {
 	c := small()
 	c.Access(0x1000, 0x40001000, arch.Read)
 	r := c.Access(0x1000+4*arch.KB, 0x50000000, arch.Read)
-	if len(r.Events) != 1 || r.Events[0].Kind != FillShared {
+	if r.NEvents != 1 || r.Events[0].Kind != FillShared {
 		t.Fatalf("clean eviction should not write back: %+v", r.Events)
 	}
 }
@@ -221,7 +221,7 @@ func TestWriteBackOnlyDirtyProperty(t *testing.T) {
 				kind = arch.Write
 			}
 			res := c.Access(va, pa, kind)
-			for _, e := range res.Events {
+			for _, e := range res.Events[:res.NEvents] {
 				if e.Kind == WriteBack && !dirty[e.PAddr] {
 					return false
 				}

@@ -120,6 +120,7 @@ type ShadowTable struct {
 	space ShadowSpace
 	base  arch.PAddr
 	dram  *mem.DRAM
+	gen   uint64 // bumped whenever a Set changes a translation (PFN/Valid)
 }
 
 // NewShadowTable creates the table for space with storage at base. The
@@ -161,8 +162,21 @@ func (t *ShadowTable) Get(pa arch.PAddr) TableEntry {
 // MMC control register" (§2.4); the cost of that uncached write is
 // charged by the VM layer.
 func (t *ShadowTable) Set(pa arch.PAddr, e TableEntry) {
-	t.dram.WriteU32(t.EntryAddr(pa), e.Pack())
+	addr := t.EntryAddr(pa)
+	old := UnpackEntry(t.dram.ReadU32(addr))
+	if old.PFN != e.PFN || old.Valid != e.Valid {
+		// The shadow→physical mapping moved: invalidate any memoized
+		// translations. Ref/Dirty-only updates (the MTLB's per-event
+		// bookkeeping) leave translations intact and do not bump.
+		t.gen++
+	}
+	t.dram.WriteU32(addr, e.Pack())
 }
+
+// Gen returns the table's translation generation: it advances every time
+// a Set changes which real frame (if any) backs a shadow page. Fast-path
+// memos record it and treat a change as invalidation.
+func (t *ShadowTable) Gen() uint64 { return t.gen }
 
 // Update applies fn to the entry for pa and writes it back.
 func (t *ShadowTable) Update(pa arch.PAddr, fn func(*TableEntry)) TableEntry {

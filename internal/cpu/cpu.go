@@ -28,6 +28,7 @@ import (
 	"shadowtlb/internal/stats"
 	"shadowtlb/internal/tlb"
 	"shadowtlb/internal/vm"
+	"shadowtlb/internal/workload"
 )
 
 // Config sizes the processor.
@@ -41,6 +42,11 @@ type Config struct {
 	// cross-page instruction fetches (micro-ITLB misses). Straight-line
 	// code within a page never leaves the micro-ITLB.
 	IFetchPeriod int
+	// NoFastPath disables the fast-path access engine (fastpath.go),
+	// forcing every reference through the full TLB/cache/bus walk. The
+	// zero value enables the engine; the differential tests prove the
+	// two paths produce identical results.
+	NoFastPath bool
 }
 
 // DefaultConfig returns a 96-entry TLB (the paper's normalization base)
@@ -87,6 +93,9 @@ type CPU struct {
 	textPage    int
 	sliceUsed   stats.Cycles
 	inKernel    bool
+
+	// memo is the fast-path translation memo (fastpath.go).
+	memo [memoSlots]memoEntry
 
 	// Observability instruments (see observe.go); nil means disabled.
 	smp      *obs.Sampler
@@ -152,6 +161,7 @@ func (c *CPU) SwitchVM(v *vm.VM) {
 		panic("cpu: SwitchVM across different hardware")
 	}
 	c.VM = v
+	c.FlushMemo()
 	c.TLB.PurgeAll()
 	c.ITLB.Purge()
 	c.Charge(stats.Cycles(c.K.Costs.ContextSwitch), KernelTime)
@@ -210,10 +220,11 @@ func (c *CPU) ifetch() {
 }
 
 // translate produces the (possibly shadow) physical address for va,
-// running the software miss handler when the TLB misses.
-func (c *CPU) translate(va arch.VAddr, kind arch.AccessKind) arch.PAddr {
+// running the software miss handler when the TLB misses. It also
+// returns the installed TLB entry so the access path can memoize it.
+func (c *CPU) translate(va arch.VAddr, kind arch.AccessKind) (arch.PAddr, *tlb.Entry) {
 	if e := c.TLB.Lookup(uint64(va)); e != nil {
-		return arch.PAddr(e.Translate(uint64(va)))
+		return arch.PAddr(e.Translate(uint64(va))), e
 	}
 	res, err := c.VM.HandleTLBMiss(va, kind)
 	if err != nil {
@@ -223,7 +234,7 @@ func (c *CPU) translate(va arch.VAddr, kind arch.AccessKind) arch.PAddr {
 	c.Charge(res.HandlerCycles, TLBMiss)
 	c.Charge(res.FaultCycles+res.PromoteCycles, KernelTime)
 	c.TLB.Insert(res.Entry)
-	return arch.PAddr(res.Entry.Translate(uint64(va)))
+	return arch.PAddr(res.Entry.Translate(uint64(va))), c.TLB.Probe(uint64(va))
 }
 
 // access runs the full timed path for one data reference and returns
@@ -238,11 +249,20 @@ func (c *CPU) access(va arch.VAddr, size int, kind arch.AccessKind) arch.PAddr {
 	c.maybePreempt()
 	c.instr(1)
 
+	// Fast path: the memo is consulted after instr(1), whose ifetch can
+	// insert TLB entries and run kernel code; the generation checks
+	// inside fastAccess observe any such mutation.
+	if !c.cfg.NoFastPath {
+		if real, ok := c.fastAccess(va, kind); ok {
+			return real
+		}
+	}
+
 	for attempt := 0; ; attempt++ {
-		pa := c.translate(va, kind)
+		pa, e := c.translate(va, kind)
 		res := c.Cache.Access(va, pa, kind)
 		faulted := false
-		for _, ev := range res.Events {
+		for _, ev := range res.Events[:res.NEvents] {
 			r, err := c.MMC.HandleEvent(ev)
 			if err != nil {
 				sf, ok := err.(*core.ShadowFault)
@@ -266,6 +286,7 @@ func (c *CPU) access(va arch.VAddr, size int, kind arch.AccessKind) arch.PAddr {
 			if err != nil {
 				panic(fmt.Sprintf("cpu: functional translate of %v: %v", pa, err))
 			}
+			c.memoize(va, e, kind, pa, real)
 			return real
 		}
 		if attempt >= 2 {
@@ -312,6 +333,26 @@ func (c *CPU) Store(va arch.VAddr, size int, val uint64) {
 		c.VM.Dram.Write(real, buf[:size])
 	}
 }
+
+// Stream issues a batch of references in order, with semantics identical
+// to the equivalent sequence of Load/Store/Step calls (workload.Streamer).
+// Batching replaces one interface call per reference with one per batch;
+// each reference still runs the full access path (or its fast path).
+func (c *CPU) Stream(refs []workload.Ref) {
+	for i := range refs {
+		r := &refs[i]
+		if r.Store {
+			c.Store(r.VA, int(r.Size), r.Val)
+		} else {
+			c.Load(r.VA, int(r.Size))
+		}
+		if r.Step > 0 {
+			c.Step(int(r.Step))
+		}
+	}
+}
+
+var _ workload.Streamer = (*CPU)(nil)
 
 // Step accounts n non-memory instructions (ALU, branches).
 func (c *CPU) Step(n int) {

@@ -220,7 +220,7 @@ func AblationRefBits() AblationRefBitsResult {
 			va := r.Base + arch.VAddr(off)
 			pte := s.VM.HPT.LookupFast(va)
 			res := s.Cache.Access(va, pte.Translate(va), arch.Read)
-			for _, ev := range res.Events {
+			for _, ev := range res.Events[:res.NEvents] {
 				if _, err := s.MMC.HandleEvent(ev); err != nil {
 					panic(err)
 				}

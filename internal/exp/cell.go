@@ -37,8 +37,8 @@ func (c Cell) Key() string {
 	fmt.Fprintf(&b, "%s@%s", c.Workload, c.Scale)
 	fmt.Fprintf(&b, "|dram=%d,order=%d,maxframes=%d",
 		cfg.DRAMBytes, cfg.AllocOrder, cfg.MaxUserFrames)
-	fmt.Fprintf(&b, "|tlb=%d,text=%d,ifetch=%d",
-		cfg.CPUTLBEntries, cfg.TextPages, cfg.IFetchPeriod)
+	fmt.Fprintf(&b, "|tlb=%d,text=%d,ifetch=%d,nofast=%t",
+		cfg.CPUTLBEntries, cfg.TextPages, cfg.IFetchPeriod, cfg.NoFastPath)
 	if cfg.MTLB != nil {
 		fmt.Fprintf(&b, "|mtlb=%d/%dw", cfg.MTLB.Entries, cfg.MTLB.Ways)
 	} else {

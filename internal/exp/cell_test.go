@@ -26,6 +26,7 @@ func TestCellKeyCoversConfig(t *testing.T) {
 		"CPUTLBEntries": func(c *sim.Config) { c.CPUTLBEntries++ },
 		"TextPages":     func(c *sim.Config) { c.TextPages++ },
 		"IFetchPeriod":  func(c *sim.Config) { c.IFetchPeriod++ },
+		"NoFastPath":    func(c *sim.Config) { c.NoFastPath = true },
 		"MTLB":          func(c *sim.Config) { c.MTLB = &core.MTLBConfig{Entries: 64, Ways: 1} },
 		"ShadowSpace":   func(c *sim.Config) { c.ShadowSpace.Size *= 2 },
 		"Partition":     func(c *sim.Config) { c.Partition = []core.BucketSpec{{Class: arch.Page64K, Count: 3}} },

@@ -167,9 +167,21 @@ func MakeWorkload(name string, s Scale) (workload.Workload, error) {
 	return mk(s), nil
 }
 
+// noFastPath, when set via SetNoFastPath, disables the CPU fast-path
+// access engine in every experiment configuration. Results are identical
+// either way (TestFastPathDifferential proves it); the switch exists for
+// A/B timing and regression bisection.
+var noFastPath bool
+
+// SetNoFastPath applies the -fastpath=false command flag to every config
+// subsequently built by this package.
+func SetNoFastPath(v bool) { noFastPath = v }
+
 // baseConfig is the machine every experiment starts from.
 func baseConfig() sim.Config {
-	return sim.Default()
+	c := sim.Default()
+	c.NoFastPath = noFastPath
+	return c
 }
 
 // withMTLB fits the paper's default 128-entry 2-way MTLB.

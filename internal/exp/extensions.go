@@ -161,7 +161,7 @@ func Recolor() RecolorResult {
 				va := r.Base + arch.VAddr(p*arch.PageSize)
 				pte := s.VM.HPT.LookupFast(va)
 				cres := s.Cache.Access(va, pte.Translate(va), arch.Read)
-				for _, ev := range cres.Events {
+				for _, ev := range cres.Events[:cres.NEvents] {
 					if _, err := s.MMC.HandleEvent(ev); err != nil {
 						panic(err)
 					}

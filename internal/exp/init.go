@@ -43,7 +43,7 @@ func InitCosts() InitCostsResult {
 		va := r.Base + arch.VAddr(off)
 		pte := s.VM.HPT.LookupFast(va)
 		res := s.Cache.Access(va, pte.Translate(va), arch.Write)
-		for _, ev := range res.Events {
+		for _, ev := range res.Events[:res.NEvents] {
 			if _, err := s.MMC.HandleEvent(ev); err != nil {
 				panic(err)
 			}

@@ -65,7 +65,7 @@ func Swap() SwapResult {
 				}
 				pte := s.VM.HPT.LookupFast(va)
 				cres := s.Cache.Access(va, pte.Translate(va), kind)
-				for _, ev := range cres.Events {
+				for _, ev := range cres.Events[:cres.NEvents] {
 					if _, err := s.MMC.HandleEvent(ev); err != nil {
 						panic(err)
 					}

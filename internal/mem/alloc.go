@@ -3,6 +3,7 @@ package mem
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"shadowtlb/internal/arch"
 )
@@ -31,14 +32,29 @@ const (
 // The zero value is not usable; call NewFrameAlloc.
 type FrameAlloc struct {
 	free  []uint64 // stack of free frame numbers; allocation pops the tail
-	inUse map[uint64]bool
+	start uint64   // first managed frame number
+	inUse []bool   // inUse[f-start]: dense, allocation-free bookkeeping
 	total uint64
 }
+
+// orderTemplates caches the initial free-list for each (start, count,
+// order) triple. The Scatter shuffle is deterministic, so its result is
+// a pure function of those inputs — and with every experiment cell
+// building a fresh allocator (often in parallel), copying a memoized
+// permutation is far cheaper than re-running Fisher-Yates over every
+// frame of installed DRAM.
+var orderTemplates sync.Map // [3]uint64{start, count, order} -> []uint64
 
 // NewFrameAlloc builds an allocator over frames [start, start+count) in
 // the given hand-out order. start lets the kernel reserve low memory
 // (e.g. for the MMC's shadow page table) outside the allocator.
 func NewFrameAlloc(start, count uint64, order AllocOrder) *FrameAlloc {
+	key := [3]uint64{start, count, uint64(order)}
+	if t, ok := orderTemplates.Load(key); ok {
+		free := make([]uint64, count)
+		copy(free, t.([]uint64))
+		return &FrameAlloc{free: free, start: start, inUse: make([]bool, count), total: count}
+	}
 	free := make([]uint64, count)
 	switch order {
 	case Sequential:
@@ -67,7 +83,10 @@ func NewFrameAlloc(start, count uint64, order AllocOrder) *FrameAlloc {
 	default:
 		panic(fmt.Sprintf("mem: unknown AllocOrder %d", order))
 	}
-	return &FrameAlloc{free: free, inUse: make(map[uint64]bool), total: count}
+	tmpl := make([]uint64, count)
+	copy(tmpl, free)
+	orderTemplates.Store(key, tmpl)
+	return &FrameAlloc{free: free, start: start, inUse: make([]bool, count), total: count}
 }
 
 // Alloc returns a free frame number, or ErrOutOfMemory.
@@ -77,7 +96,7 @@ func (a *FrameAlloc) Alloc() (uint64, error) {
 	}
 	f := a.free[len(a.free)-1]
 	a.free = a.free[:len(a.free)-1]
-	a.inUse[f] = true
+	a.inUse[f-a.start] = true
 	return f, nil
 }
 
@@ -93,15 +112,17 @@ func (a *FrameAlloc) AllocPAddr() (arch.PAddr, error) {
 // Free returns a frame to the pool. Freeing a frame that is not in use
 // panics: it indicates VM bookkeeping corruption.
 func (a *FrameAlloc) Free(frame uint64) {
-	if !a.inUse[frame] {
+	if !a.InUse(frame) {
 		panic(fmt.Sprintf("mem: double free of frame %#x", frame))
 	}
-	delete(a.inUse, frame)
+	a.inUse[frame-a.start] = false
 	a.free = append(a.free, frame)
 }
 
 // InUse reports whether the frame is currently allocated.
-func (a *FrameAlloc) InUse(frame uint64) bool { return a.inUse[frame] }
+func (a *FrameAlloc) InUse(frame uint64) bool {
+	return frame >= a.start && frame < a.start+a.total && a.inUse[frame-a.start]
+}
 
 // FreeCount returns the number of unallocated frames.
 func (a *FrameAlloc) FreeCount() uint64 { return uint64(len(a.free)) }

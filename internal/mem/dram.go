@@ -5,17 +5,27 @@
 package mem
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"shadowtlb/internal/arch"
 )
 
-// DRAM is the installed physical memory. Storage is allocated lazily, one
-// 4 KB frame at a time, so simulating a 1 GB machine costs only the pages
-// actually touched.
+// slabFrames is how many frames one storage slab holds (1 MB slabs).
+const slabFrames = 256
+
+// DRAM is the installed physical memory. Storage is allocated lazily in
+// 1 MB slabs, so simulating a 1 GB machine costs only the pages actually
+// touched. The frame directory is a dense, pointer-free uint32 slice
+// indexed by frame number: every simulated reference resolves a frame,
+// so the lookup must be a plain index — and keeping the directory free
+// of pointers means the garbage collector never scans it.
 type DRAM struct {
-	size   uint64 // installed bytes; addresses >= size are not backed
-	frames map[uint64][]byte
+	size    uint64   // installed bytes; addresses >= size are not backed
+	dir     []uint32 // frame number -> 1 + slab slot index; 0 = untouched
+	slabs   [][]byte // each slabFrames*PageSize bytes
+	used    int      // frame slots used in the newest slab
+	touched int      // materialized frames
 }
 
 // NewDRAM returns a DRAM of the given installed size in bytes. Size must
@@ -24,7 +34,7 @@ func NewDRAM(size uint64) *DRAM {
 	if size%arch.PageSize != 0 {
 		panic(fmt.Sprintf("mem: DRAM size %d not page aligned", size))
 	}
-	return &DRAM{size: size, frames: make(map[uint64][]byte)}
+	return &DRAM{size: size, dir: make([]uint32, size/arch.PageSize), used: slabFrames}
 }
 
 // Size returns the installed DRAM size in bytes.
@@ -46,12 +56,20 @@ func (d *DRAM) frame(p arch.PAddr) []byte {
 			p, d.size/arch.MB))
 	}
 	fn := p.FrameNum()
-	f := d.frames[fn]
-	if f == nil {
-		f = make([]byte, arch.PageSize)
-		d.frames[fn] = f
+	idx := d.dir[fn]
+	if idx == 0 {
+		if d.used == slabFrames {
+			d.slabs = append(d.slabs, make([]byte, slabFrames*arch.PageSize))
+			d.used = 0
+		}
+		idx = uint32((len(d.slabs)-1)*slabFrames + d.used + 1)
+		d.used++
+		d.touched++
+		d.dir[fn] = idx
 	}
-	return f
+	slot := uint64(idx - 1)
+	off := (slot % slabFrames) * arch.PageSize
+	return d.slabs[slot/slabFrames][off : off+arch.PageSize]
 }
 
 // Read copies len(buf) bytes starting at physical address p into buf,
@@ -81,37 +99,48 @@ func (d *DRAM) Write(p arch.PAddr, buf []byte) {
 // ReadU32 reads a little-endian 32-bit word at p (used by the MTLB's
 // hardware fill engine to load 4-byte mapping entries).
 func (d *DRAM) ReadU32(p arch.PAddr) uint32 {
+	if off := p.PageOff(); off <= arch.PageSize-4 {
+		return binary.LittleEndian.Uint32(d.frame(p)[off:])
+	}
 	var b [4]byte
 	d.Read(p, b[:])
-	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	return binary.LittleEndian.Uint32(b[:])
 }
 
 // WriteU32 writes a little-endian 32-bit word at p.
 func (d *DRAM) WriteU32(p arch.PAddr, v uint32) {
-	b := [4]byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
+	if off := p.PageOff(); off <= arch.PageSize-4 {
+		binary.LittleEndian.PutUint32(d.frame(p)[off:], v)
+		return
+	}
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
 	d.Write(p, b[:])
 }
 
-// ReadU64 reads a little-endian 64-bit word at p.
+// ReadU64 reads a little-endian 64-bit word at p. Words that fit inside
+// one frame — every aligned access — decode straight from the frame's
+// storage; only frame-straddling words take the generic copy path.
 func (d *DRAM) ReadU64(p arch.PAddr) uint64 {
+	if off := p.PageOff(); off <= arch.PageSize-8 {
+		return binary.LittleEndian.Uint64(d.frame(p)[off:])
+	}
 	var b [8]byte
 	d.Read(p, b[:])
-	v := uint64(0)
-	for i := 7; i >= 0; i-- {
-		v = v<<8 | uint64(b[i])
-	}
-	return v
+	return binary.LittleEndian.Uint64(b[:])
 }
 
 // WriteU64 writes a little-endian 64-bit word at p.
 func (d *DRAM) WriteU64(p arch.PAddr, v uint64) {
-	var b [8]byte
-	for i := 0; i < 8; i++ {
-		b[i] = byte(v >> (8 * i))
+	if off := p.PageOff(); off <= arch.PageSize-8 {
+		binary.LittleEndian.PutUint64(d.frame(p)[off:], v)
+		return
 	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
 	d.Write(p, b[:])
 }
 
 // TouchedFrames returns how many distinct frames have been written or read
 // (i.e. materialized); useful for memory-footprint assertions in tests.
-func (d *DRAM) TouchedFrames() int { return len(d.frames) }
+func (d *DRAM) TouchedFrames() int { return d.touched }

@@ -73,6 +73,10 @@ type Table struct {
 	dead    int // tombstones
 	Probes  uint64
 	Lookups uint64
+
+	// probeBuf backs the probe-address slice Lookup returns, reused
+	// across calls so the miss handler's hot path never allocates.
+	probeBuf []arch.PAddr
 }
 
 // New builds a table of n entries whose storage starts at physical
@@ -180,17 +184,21 @@ func (t *Table) lookupClass(addr arch.VAddr, class arch.PageSizeClass, probes []
 // from the base page upward, as the paper's software handler must when
 // the faulting page size is unknown. It returns the entry (nil if
 // unmapped) and the physical addresses of every table slot probed, in
-// order, for the caller to replay against the cache.
+// order, for the caller to replay against the cache. The probe slice is
+// backed by a buffer reused on the next Lookup, so callers must finish
+// with it before looking up again.
 func (t *Table) Lookup(addr arch.VAddr) (*PTE, []arch.PAddr) {
 	t.Lookups++
-	var probes []arch.PAddr
+	probes := t.probeBuf[:0]
 	for c := arch.Page4K; c < arch.PageSizeClass(arch.NumPageClasses); c++ {
 		var pte *PTE
 		pte, probes = t.lookupClass(addr, c, probes)
 		if pte != nil {
+			t.probeBuf = probes
 			return pte, probes
 		}
 	}
+	t.probeBuf = probes
 	return nil, probes
 }
 

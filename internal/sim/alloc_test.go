@@ -1,0 +1,78 @@
+package sim_test
+
+import (
+	"testing"
+
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/core"
+	"shadowtlb/internal/sim"
+	"shadowtlb/internal/workload"
+)
+
+// warm brings a system to a steady state: the data region is allocated
+// and touched, and enough instructions have retired that the rotating
+// text-page ifetches have populated the TLB. After this, the hot loop
+// in the alloc tests exercises only hit paths and handled misses — no
+// first-touch page faults — which is exactly the regime the zero-alloc
+// guarantee covers.
+func warm(t *testing.T, cfg sim.Config) (*sim.System, arch.VAddr) {
+	t.Helper()
+	s := sim.New(cfg)
+	base := s.CPU.AllocRegion("alloc-test", 64*arch.PageSize)
+	for off := uint64(0); off < 64*arch.PageSize; off += arch.PageSize {
+		s.CPU.Store(base+arch.VAddr(off), 8, off)
+	}
+	s.CPU.Step(10_000) // cycle through every text page at least once
+	return s, base
+}
+
+// TestHotLoopZeroAllocs pins the engine's allocation contract: once
+// warm, Load, Store and Step never touch the heap — with the fast path
+// on or off, and with or without an MTLB behind the cache.
+func TestHotLoopZeroAllocs(t *testing.T) {
+	configs := map[string]sim.Config{
+		"base-fast": sim.Default().WithTLB(64),
+		"mtlb-fast": sim.Default().WithTLB(64).WithMTLB(core.DefaultMTLBConfig()),
+	}
+	slow := sim.Default().WithTLB(64).WithMTLB(core.DefaultMTLBConfig())
+	slow.NoFastPath = true
+	configs["mtlb-slow"] = slow
+
+	for name, cfg := range configs {
+		t.Run(name, func(t *testing.T) {
+			s, base := warm(t, cfg)
+			i := uint64(0)
+			avg := testing.AllocsPerRun(200, func() {
+				// A small stride walks several pages and lines, mixing
+				// memo hits, memo misses, and TLB-hit slow paths.
+				va := base + arch.VAddr((i*264)%(64*arch.PageSize))
+				s.CPU.Load(va, 8)
+				s.CPU.Store(va, 8, i)
+				s.CPU.Step(3)
+				i++
+			})
+			if avg != 0 {
+				t.Errorf("hot loop allocates %.1f objects per iteration, want 0", avg)
+			}
+		})
+	}
+}
+
+// TestStreamZeroAllocs extends the contract to batched delivery: a
+// CPU.Stream call over a fixed Ref array must not allocate either.
+func TestStreamZeroAllocs(t *testing.T) {
+	s, base := warm(t, sim.Default().WithTLB(64).WithMTLB(core.DefaultMTLBConfig()))
+	var refs [16]workload.Ref
+	i := uint64(0)
+	avg := testing.AllocsPerRun(200, func() {
+		for j := range refs {
+			va := base + arch.VAddr((i*264)%(64*arch.PageSize))
+			refs[j] = workload.Ref{VA: va, Val: i, Size: 8, Store: j%3 == 0, Step: 2}
+			i++
+		}
+		s.CPU.Stream(refs[:])
+	})
+	if avg != 0 {
+		t.Errorf("Stream allocates %.1f objects per batch, want 0", avg)
+	}
+}

@@ -1,0 +1,152 @@
+package sim_test
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"shadowtlb/internal/core"
+	"shadowtlb/internal/exp"
+	"shadowtlb/internal/obs"
+	"shadowtlb/internal/sim"
+	"shadowtlb/internal/stats"
+	"shadowtlb/internal/workload"
+	"shadowtlb/internal/workload/radix"
+)
+
+// TestFastPathDifferential is the engine's correctness keystone: for
+// every simulation cell any registered experiment declares at small
+// scale, running with the fast-path engine enabled and disabled must
+// produce byte-identical results — cycle breakdowns, hit rates,
+// superpage counts, everything sim.Result carries. Under -short a
+// deterministic spread of the cells is checked; the full matrix runs in
+// the long mode.
+func TestFastPathDifferential(t *testing.T) {
+	cells := map[string]exp.Cell{}
+	for _, d := range exp.Descriptors() {
+		if d.Cells == nil {
+			continue
+		}
+		for _, c := range d.Cells(exp.Small) {
+			c.Cfg.NoFastPath = false
+			cells[c.Key()] = c
+		}
+	}
+	if len(cells) == 0 {
+		t.Fatal("no experiment declared any cells")
+	}
+	keys := make([]string, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if testing.Short() {
+		// Every 7th cell: a deterministic cross-section of workloads
+		// and configurations rather than an alphabetic prefix.
+		var subset []string
+		for i := 0; i < len(keys); i += 7 {
+			subset = append(subset, keys[i])
+		}
+		keys = subset
+	}
+
+	for _, k := range keys {
+		fast := cells[k]
+		slow := fast
+		slow.Cfg.NoFastPath = true
+		rf := fast.Simulate()
+		rs := slow.Simulate()
+		if rf != rs {
+			t.Errorf("cell %s:\n  fast: %+v\n  slow: %+v", k, rf, rs)
+		}
+	}
+}
+
+// TestFastPathDifferentialObsCounters extends the equivalence to the
+// observability layer: every registered metric — TLB and cache hit/miss
+// counters, MTLB fills, kernel and VM counters — must dump identically
+// with the engine on and off.
+func TestFastPathDifferentialObsCounters(t *testing.T) {
+	run := func(noFast bool) []obs.DumpMetric {
+		cfg := sim.Default().WithTLB(64).WithMTLB(core.DefaultMTLBConfig())
+		cfg.NoFastPath = noFast
+		w, err := exp.MakeWorkload("em3d", exp.Small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := obs.New(obs.Options{})
+		sim.RunObserved(cfg, w, o)
+		return o.Registry().Dump()
+	}
+	fast, slow := run(false), run(true)
+	if !reflect.DeepEqual(fast, slow) {
+		t.Errorf("registry dumps diverge:\nfast: %+v\nslow: %+v", fast, slow)
+	}
+}
+
+// TestFastPathDifferentialMulti covers preemptive multiprogramming: two
+// time-sliced processes share one TLB and cache, so every quantum ends
+// in a SwitchVM that must kill the memo. Totals and per-process
+// accounting must match with the engine on and off.
+func TestFastPathDifferentialMulti(t *testing.T) {
+	type procStat struct {
+		Cycles, TLBMiss stats.Cycles
+		Switches        uint64
+	}
+	run := func(noFast bool) (stats.Cycles, []procStat) {
+		cfg := sim.Default().WithTLB(64).WithMTLB(core.DefaultMTLBConfig())
+		cfg.NoFastPath = noFast
+		w1, err := exp.MakeWorkload("radix", exp.Small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w2, err := exp.MakeWorkload("em3d", exp.Small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms := sim.NewMulti(cfg, []workload.Workload{w1, w2}, 50_000)
+		total := ms.Run()
+		var ps []procStat
+		for _, p := range ms.Procs {
+			ps = append(ps, procStat{p.Cycles, p.TLBMissCycles, p.Switches})
+		}
+		return total, ps
+	}
+	tf, pf := run(false)
+	ts, ps := run(true)
+	if tf != ts {
+		t.Errorf("total cycles diverge: fast %d, slow %d", tf, ts)
+	}
+	if !reflect.DeepEqual(pf, ps) {
+		t.Errorf("per-process accounting diverges:\nfast: %+v\nslow: %+v", pf, ps)
+	}
+}
+
+// TestFastPathDifferentialSwapPressure forces paging: radix remaps its
+// whole space before initializing it, so every data page is shadow-backed
+// and reclaimable; capping frames below the footprint makes the page-out
+// daemon swap superpage base pages in and out under the running workload,
+// so memoized shadow translations go stale mid-run. Both engines must
+// agree, and the pressure must actually have occurred.
+func TestFastPathDifferentialSwapPressure(t *testing.T) {
+	run := func(noFast bool) (sim.Result, uint64) {
+		cfg := sim.Default().WithTLB(64).WithMTLB(core.DefaultMTLBConfig())
+		cfg.NoFastPath = noFast
+		cfg.MaxUserFrames = 180 // ~260-page radix footprint: forces reclaim
+		w := radix.New(radix.Config{Keys: 1 << 17, Radix: 256})
+		s := sim.New(cfg)
+		res := s.Run(w)
+		if !w.Sorted {
+			t.Fatal("radix run did not complete correctly")
+		}
+		return res, s.VM.SwapOuts
+	}
+	rf, outF := run(false)
+	rs, outS := run(true)
+	if rf != rs {
+		t.Errorf("swap-pressure results diverge:\n  fast: %+v\n  slow: %+v", rf, rs)
+	}
+	if outF == 0 || outS == 0 {
+		t.Errorf("test exerted no paging pressure (swap-outs fast=%d slow=%d)", outF, outS)
+	}
+}

@@ -108,6 +108,7 @@ func NewMulti(cfg Config, workloads []workload.Workload, quantum stats.Cycles) *
 			ITLB: base.ITLB, Kernel: ms.Kernel,
 			ShadowAlloc: shadowAlloc, STable: stable,
 		})
+		v.OnShootdown = ms.CPU.FlushMemo
 		ms.Procs = append(ms.Procs, &Proc{
 			Workload: w, VM: v,
 			resume: make(chan struct{}), yield: make(chan struct{}),

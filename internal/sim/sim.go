@@ -66,6 +66,11 @@ type Config struct {
 	// TextPages and IFetchPeriod shape instruction-side TLB pressure.
 	TextPages    int
 	IFetchPeriod int
+	// NoFastPath disables the CPU's fast-path access engine, forcing
+	// every reference through the full TLB/cache/bus walk. Results are
+	// identical either way (the differential tests prove it); the flag
+	// exists so they can be compared and regressions bisected.
+	NoFastPath bool
 
 	// MTLB enables the memory-controller TLB when non-nil.
 	MTLB *core.MTLBConfig
@@ -233,7 +238,11 @@ func New(cfg Config) *System {
 		TLBEntries:   cfg.CPUTLBEntries,
 		TextPages:    cfg.TextPages,
 		IFetchPeriod: cfg.IFetchPeriod,
+		NoFastPath:   cfg.NoFastPath,
 	}, s.VM)
+	// Explicit shootdown hook: OS translation changes drop the CPU's
+	// fast-path memo directly, on top of the generation checks.
+	s.VM.OnShootdown = s.CPU.FlushMemo
 	return s
 }
 

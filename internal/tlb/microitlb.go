@@ -27,6 +27,7 @@ func (m *MicroITLB) Lookup(addr uint64) (uint64, bool) {
 // supplied a translation.
 func (m *MicroITLB) Refill(e Entry) {
 	e.Valid = true
+	e.mask = e.Class.Mask()
 	m.entry = e
 }
 

@@ -38,17 +38,23 @@ type Entry struct {
 	ReadOnly   bool
 	Supervisor bool
 
-	nru bool // NRU referenced bit
+	nru  bool   // NRU referenced bit
+	mask uint64 // Class.Mask(), precomputed when the entry is installed
 }
 
 // Translate applies the mapping to an address that hits this entry.
+// It works on any entry value, installed or not, so the mask is derived
+// from the class rather than read from the install-time cache.
 func (e *Entry) Translate(addr uint64) uint64 {
 	return e.Target | (addr & e.Class.Mask())
 }
 
-// covers reports whether addr falls in this entry's mapped range.
+// covers reports whether addr falls in this entry's mapped range. It
+// relies on the precomputed offset mask, so it must only be called on
+// entries that went through Insert or Refill (every stored entry does);
+// recomputing Class.Mask per probed entry dominated simulation profiles.
 func (e *Entry) covers(addr uint64) bool {
-	return e.Valid && addr&^e.Class.Mask() == e.Tag
+	return e.Valid && addr&^e.mask == e.Tag
 }
 
 // Config sizes a TLB.
@@ -86,6 +92,18 @@ type TLB struct {
 	sets    []set
 	lastHit *Entry // MRU short-circuit; cleared on any mutation
 	Stats   stats.HitMiss
+
+	// setShift/setMask precompute set indexing for power-of-two set
+	// counts; setMask is zero when the count is not a power of two and
+	// indexing falls back to modulo.
+	setShift uint
+	setMask  uint64
+
+	// gen counts mapping mutations (Insert, Purge, PurgeAll, PurgeRange).
+	// External memos of TLB contents — the CPU's fast-path translation
+	// memo — record the generation they were built at and die when it
+	// moves, so no mutation path needs to know who is memoizing.
+	gen uint64
 }
 
 // New builds a TLB. It panics on malformed configurations (non-divisible
@@ -103,7 +121,12 @@ func New(cfg Config) *TLB {
 	for i := range sets {
 		sets[i].entries = make([]Entry, cfg.Ways)
 	}
-	return &TLB{cfg: cfg, sets: sets}
+	t := &TLB{cfg: cfg, sets: sets}
+	t.setShift = cfg.UniformClass.Shift()
+	if numSets&(numSets-1) == 0 {
+		t.setMask = uint64(numSets - 1)
+	}
+	return t
 }
 
 // Entries returns the total entry count.
@@ -116,13 +139,38 @@ func (t *TLB) Ways() int { return t.cfg.Ways }
 func (t *TLB) Sets() int { return len(t.sets) }
 
 // setFor returns the set an address maps to. Fully associative TLBs
-// always use set 0.
+// always use set 0; multi-set TLBs index by page number with a
+// precomputed shift and, for power-of-two set counts, a mask instead of
+// a modulo (TestSetIndexEquivalence pins the two forms equal).
 func (t *TLB) setFor(addr uint64) *set {
 	if len(t.sets) == 1 {
 		return &t.sets[0]
 	}
-	idx := (addr >> t.cfg.UniformClass.Shift()) % uint64(len(t.sets))
-	return &t.sets[idx]
+	return &t.sets[t.setIndex(addr)]
+}
+
+// setIndex computes the set number for addr.
+func (t *TLB) setIndex(addr uint64) uint64 {
+	page := addr >> t.setShift
+	if t.setMask != 0 {
+		return page & t.setMask
+	}
+	return page % uint64(len(t.sets))
+}
+
+// Gen returns the TLB's mapping generation: it advances on every Insert
+// and on every purge, so any externally memoized translation is valid
+// only while the generation it was recorded at still holds.
+func (t *TLB) Gen() uint64 { return t.gen }
+
+// FastHit replays the bookkeeping of a Lookup hit — the hit counter and
+// NRU referenced-bit maintenance — on an entry the caller already knows
+// covers the address, skipping the associative scan. e must be a valid
+// entry of t; the CPU's fast path guarantees this by discarding its memo
+// whenever Gen advances.
+func (t *TLB) FastHit(e *Entry) {
+	t.Stats.Hit()
+	t.touch(t.setFor(e.Tag), e)
 }
 
 // Lookup finds the entry covering addr. On a hit it marks the entry
@@ -203,7 +251,9 @@ func (t *TLB) Insert(e Entry) Entry {
 	}
 	e.Valid = true
 	e.nru = false // installEntry's touch sets it
+	e.mask = e.Class.Mask()
 	t.lastHit = nil
+	t.gen++
 	s := t.setFor(e.Tag)
 
 	// Replace an existing mapping for the same range.
@@ -261,6 +311,7 @@ func (t *TLB) purgeAt(s *set, i int) {
 	s.entries[i] = Entry{}
 	s.valid--
 	t.lastHit = nil
+	t.gen++
 }
 
 // Purge invalidates any entry covering addr and reports whether one was
@@ -276,8 +327,11 @@ func (t *TLB) Purge(addr uint64) bool {
 	return false
 }
 
-// PurgeAll invalidates every non-wired entry.
+// PurgeAll invalidates every non-wired entry. The generation advances
+// even when the TLB held nothing purgeable, so a context switch always
+// kills externally memoized translations.
 func (t *TLB) PurgeAll() {
+	t.gen++
 	for si := range t.sets {
 		s := &t.sets[si]
 		for i := range s.entries {

@@ -105,7 +105,7 @@ func TestReclaimPreservesData(t *testing.T) {
 		va := r.Base + arch.VAddr(i*arch.PageSize)
 		pte := v.HPT.LookupFast(va)
 		res := v.Cache.Access(va, pte.Translate(va), arch.Write)
-		for _, ev := range res.Events {
+		for _, ev := range res.Events[:res.NEvents] {
 			if _, err := v.MMC.HandleEvent(ev); err != nil {
 				t.Fatal(err)
 			}

@@ -111,7 +111,7 @@ func TestRecolorEliminatesConflicts(t *testing.T) {
 	touch := func(va arch.VAddr) bool {
 		pte := v.HPT.LookupFast(va)
 		res := v.Cache.Access(va, pte.Translate(va), arch.Read)
-		for _, ev := range res.Events {
+		for _, ev := range res.Events[:res.NEvents] {
 			if _, err := v.MMC.HandleEvent(ev); err != nil {
 				t.Fatal(err)
 			}

@@ -191,6 +191,7 @@ func (v *VM) makeSuperpage(vbase arch.VAddr, class arch.PageSizeClass, res *Rema
 	// Shoot down stale processor TLB entries for the whole range.
 	v.CPUTLB.PurgeRange(uint64(vbase), class.Bytes())
 	v.ITLB.PurgeIfOverlaps(uint64(vbase), class.Bytes())
+	v.shootdown()
 
 	sp := Superpage{VBase: vbase, Class: class, Shadow: shadow}
 	if r := v.regionContaining(vbase); r != nil {

@@ -97,6 +97,7 @@ func (v *VM) SwapOutSuperpage(sp Superpage, g SwapGranularity) (SwapResult, erro
 		v.Frames.Free(ent.PFN)
 		v.SwapOuts++
 	}
+	v.shootdown()
 	return res, nil
 }
 

@@ -34,7 +34,7 @@ func userWrite(t *testing.T, v *VM, va arch.VAddr) {
 		t.Fatalf("userWrite: %v unmapped", va)
 	}
 	res := v.Cache.Access(va, pte.Translate(va), arch.Write)
-	for _, ev := range res.Events {
+	for _, ev := range res.Events[:res.NEvents] {
 		if _, err := v.MMC.HandleEvent(ev); err != nil {
 			t.Fatalf("userWrite event: %v", err)
 		}
@@ -161,7 +161,7 @@ func TestClearRefBits(t *testing.T) {
 		va := sp.VBase + arch.VAddr(i*arch.PageSize)
 		pte := v.HPT.LookupFast(va)
 		res := v.Cache.Access(va, pte.Translate(va), arch.Read)
-		for _, ev := range res.Events {
+		for _, ev := range res.Events[:res.NEvents] {
 			if _, err := v.MMC.HandleEvent(ev); err != nil {
 				t.Fatal(err)
 			}

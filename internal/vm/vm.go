@@ -74,6 +74,13 @@ type VM struct {
 	ShadowAlloc core.ShadowAllocator
 	STable      *core.ShadowTable
 
+	// OnShootdown, when set, is invoked after any OS operation that
+	// changes an existing virtual→real translation (remap, swap-out,
+	// recolor). The simulator wires it to CPU.FlushMemo so the fast-path
+	// memo is dropped explicitly, in addition to the generation checks
+	// that already make stale use impossible.
+	OnShootdown func()
+
 	regions   []*Region
 	nextVA    arch.VAddr
 	heapBrk   arch.VAddr
@@ -147,6 +154,13 @@ func New(d Deps) *VM {
 
 // HasShadow reports whether shadow memory is available.
 func (v *VM) HasShadow() bool { return v.STable != nil }
+
+// shootdown notifies the processor model that translations changed.
+func (v *VM) shootdown() {
+	if v.OnShootdown != nil {
+		v.OnShootdown()
+	}
+}
 
 // Regions returns the regions created so far.
 func (v *VM) Regions() []*Region { return v.regions }
@@ -248,7 +262,7 @@ func (v *VM) MapPage(va arch.VAddr) (stats.Cycles, error) {
 func (v *VM) kernelAccessUser(va arch.VAddr, pa arch.PAddr, kind arch.AccessKind) stats.Cycles {
 	res := v.Cache.Access(va, pa, kind)
 	var c stats.Cycles
-	for _, ev := range res.Events {
+	for _, ev := range res.Events[:res.NEvents] {
 		r, err := v.MMC.HandleEvent(ev)
 		if err != nil {
 			panic(fmt.Sprintf("vm: kernel access fault at %v: %v", pa, err))

@@ -1,0 +1,68 @@
+package workload
+
+import "shadowtlb/internal/arch"
+
+// Batched reference delivery. Workload inner loops that can precompute a
+// run of references hand them to the environment as a slice instead of
+// one interface call per access. Semantics are defined to be exactly
+// per-reference issue order — a Stream of N refs is indistinguishable
+// from N Load/Store calls each followed by its Step — so environments
+// may implement Streamer merely to cut call overhead, never to change
+// behaviour. Workloads keep the batch in a fixed-size stack array, so
+// delivery allocates nothing.
+
+// Ref is one memory reference in a batch: a load or store of Size bytes
+// at VA (Val is the store value), followed by Step non-memory
+// instructions.
+type Ref struct {
+	VA    arch.VAddr
+	Val   uint64
+	Size  uint8
+	Store bool
+	Step  uint32
+}
+
+// Streamer is an optional Env extension for batched delivery.
+type Streamer interface {
+	// Stream issues each reference in order, exactly as the equivalent
+	// sequence of Load/Store/Step calls would.
+	Stream(refs []Ref)
+}
+
+// Deliver issues refs through env.Stream when the environment supports
+// it, falling back to per-reference calls otherwise. The fallback makes
+// batching purely an optimization: any Env works.
+func Deliver(env Env, refs []Ref) {
+	if s, ok := env.(Streamer); ok {
+		s.Stream(refs)
+		return
+	}
+	for i := range refs {
+		r := &refs[i]
+		if r.Store {
+			env.Store(r.VA, int(r.Size), r.Val)
+		} else {
+			env.Load(r.VA, int(r.Size))
+		}
+		if r.Step > 0 {
+			env.Step(int(r.Step))
+		}
+	}
+}
+
+var _ Streamer = (*MemEnv)(nil)
+
+// Stream issues the batch against the functional memory.
+func (m *MemEnv) Stream(refs []Ref) {
+	for i := range refs {
+		r := &refs[i]
+		if r.Store {
+			m.Store(r.VA, int(r.Size), r.Val)
+		} else {
+			m.Load(r.VA, int(r.Size))
+		}
+		if r.Step > 0 {
+			m.Step(int(r.Step))
+		}
+	}
+}

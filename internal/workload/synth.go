@@ -34,17 +34,22 @@ func (w *RandomAccess) Run(env Env) {
 	}
 	r := NewRNG(1)
 	words := int(w.Bytes / 8)
+	// References are independent, so they are precomputed into a fixed
+	// stack batch and delivered in order; the RNG draw sequence and the
+	// resulting access stream are exactly the unbatched ones.
+	var refs [64]Ref
+	n := 0
 	for i := 0; i < w.Accesses; i++ {
 		va := base + arch.VAddr(r.Intn(words)*8)
-		if w.WriteFrac > 0 && r.Intn(100) < w.WriteFrac {
-			env.Store(va, 8, uint64(i))
-		} else {
-			env.Load(va, 8)
-		}
-		if w.StepPer > 0 {
-			env.Step(w.StepPer)
+		store := w.WriteFrac > 0 && r.Intn(100) < w.WriteFrac
+		refs[n] = Ref{VA: va, Val: uint64(i), Size: 8, Store: store, Step: uint32(w.StepPer)}
+		n++
+		if n == len(refs) {
+			Deliver(env, refs[:n])
+			n = 0
 		}
 	}
+	Deliver(env, refs[:n])
 }
 
 // StrideAccess sweeps a region with a fixed stride — page-sequential
@@ -71,12 +76,22 @@ func (w *StrideAccess) Run(env Env) {
 	if w.Remapped {
 		env.Remap(base, w.Bytes)
 	}
+	// The sweep is a precomputable stream: batch it through a fixed
+	// stack array, preserving per-reference order and the Step(2) after
+	// each load.
+	var refs [64]Ref
+	n := 0
 	for p := 0; p < w.Passes; p++ {
 		for off := uint64(0); off+8 <= w.Bytes; off += w.Stride {
-			env.Load(base+arch.VAddr(off), 8)
-			env.Step(2)
+			refs[n] = Ref{VA: base + arch.VAddr(off), Size: 8, Step: 2}
+			n++
+			if n == len(refs) {
+				Deliver(env, refs[:n])
+				n = 0
+			}
 		}
 	}
+	Deliver(env, refs[:n])
 }
 
 // PointerChase builds a random permutation cycle in simulated memory and

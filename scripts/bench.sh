@@ -1,16 +1,27 @@
 #!/bin/sh
 # bench.sh — seed the benchmark trajectory.
 #
-# Emits BENCH_runner.json: the fig3 run manifest at small scale, which
-# carries per-cell cycle breakdowns, host wall times and memoization
-# counts — everything a trend dashboard needs to spot simulator
-# slowdowns or result drift between commits.
+# Emits two artifacts:
 #
-# Usage: scripts/bench.sh [output-file]
+#   BENCH_runner.json  — the fig3 run manifest at small scale, which
+#     carries per-cell cycle breakdowns, host wall times and memoization
+#     counts — everything a trend dashboard needs to spot simulator
+#     slowdowns or result drift between commits.
+#
+#   BENCH_hotpath.json — fast- vs slow-engine throughput on one fig3
+#     cell (see cmd/mtlbbench). The fast/slow speedup ratio is the
+#     regression signal; scripts/BENCH_hotpath_baseline.json is the
+#     committed reference CI compares against.
+#
+# Usage: scripts/bench.sh [runner-output] [hotpath-output]
 set -eu
 
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_runner.json}"
+hot="${2:-BENCH_hotpath.json}"
 
 go run ./cmd/mtlbexp -exp fig3 -scale small -json > "$out"
 echo "wrote $out ($(wc -c < "$out") bytes)" >&2
+
+go run ./cmd/mtlbbench -o "$hot"
+echo "wrote $hot ($(wc -c < "$hot") bytes)" >&2
