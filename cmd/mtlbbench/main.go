@@ -21,6 +21,7 @@ import (
 	"os"
 	"time"
 
+	"shadowtlb/internal/cmdutil"
 	"shadowtlb/internal/core"
 	"shadowtlb/internal/exp"
 	"shadowtlb/internal/sim"
@@ -58,6 +59,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		baseline  = fs.String("baseline", "", "baseline JSON to compare the speedup against")
 		tolerance = fs.Float64("tolerance", 0.2, "allowed fractional speedup regression vs baseline")
 	)
+	// Host profiling only: simulation-side observability (-metrics,
+	// -timeline) would perturb the throughput being measured.
+	var prof cmdutil.ObsFlags
+	prof.RegisterProfiling(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -66,6 +71,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "mtlbbench: unknown scale %q\n", *scaleName)
 		return 2
 	}
+	stopProfiles, err := prof.StartProfiling(stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "mtlbbench: %v\n", err)
+		return 1
+	}
+	defer stopProfiles()
 
 	res := Result{Cell: "fig3/em3d/tlb64+mtlb128", Scale: scale.String()}
 	res.Fast, res.Slow = measure(scale, *seconds)

@@ -44,15 +44,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		parallel = fs.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		list     = fs.Bool("list", false, "list registered experiment ids and exit")
 		pstats   = fs.Bool("stats", false, "report cell-cache effectiveness on stderr")
-		fastpath = fs.Bool("fastpath", true, "use the CPU fast-path access engine (results are identical either way)")
-		obsFlags cmdutil.ObsFlags
+		server   = fs.String("server", "", "offload the run to an mtlbd daemon at `URL` (output is byte-identical to local)")
 	)
-	obsFlags.Register(fs)
+	obsFlags := cmdutil.RegisterCommonFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-
-	exp.SetNoFastPath(!*fastpath)
 
 	if *list {
 		for _, d := range exp.Descriptors() {
@@ -79,12 +76,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		descs = []exp.Descriptor{d}
 	}
 
-	stopProfiles, err := obsFlags.StartProfiling(stderr)
+	stopProfiles, err := obsFlags.Apply(stderr)
 	if err != nil {
 		fmt.Fprintf(stderr, "mtlbexp: %v\n", err)
 		return 1
 	}
 	defer stopProfiles()
+
+	if *server != "" {
+		if obsFlags.Enabled() {
+			fmt.Fprintln(stderr, "mtlbexp: -metrics and -timeline are not supported with -server (per-cell sessions live in the daemon)")
+			return 2
+		}
+		return runRemote(*server, *name, descs, s, *csv, *jsonOut, *pstats, stdout, stderr)
+	}
 
 	pool := runner.New(*parallel)
 	if obsFlags.Enabled() {
@@ -121,7 +126,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
-	if err := writeArtifacts(&obsFlags, pool, manifest, stderr); err != nil {
+	if err := writeArtifacts(&obsFlags.ObsFlags, pool, manifest, stderr); err != nil {
 		fmt.Fprintf(stderr, "mtlbexp: %v\n", err)
 		return 1
 	}

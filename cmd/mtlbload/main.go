@@ -1,0 +1,283 @@
+// Command mtlbload is the load generator for the mtlbd daemon. It
+// drives concurrent clients issuing a deterministic mix of overlapping
+// single-cell jobs and experiment jobs, then reports throughput,
+// latency percentiles and the daemon's cache hit rate as JSON
+// (scripts/bench.sh captures it as BENCH_serve.json).
+//
+//	mtlbload -clients 64 -n 4 -scale small -o BENCH_serve.json
+//	mtlbload -server http://localhost:8047 -clients 16 -n 8
+//
+// Without -server it hosts an in-process daemon on a loopback listener,
+// so the benchmark is hermetic while still exercising the full HTTP
+// stack.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"shadowtlb/internal/serve"
+	"shadowtlb/internal/serve/client"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jobMix is the deterministic request pool. Client i's request k picks
+// entry (i*7+k)%len — many clients land on the same specs, which is the
+// point: overlapping traffic exercises the shared cache and
+// single-flight coalescing.
+func jobMix(scale string) []serve.JobSpec {
+	cell := func(w string, tlb, mtlb int) serve.JobSpec {
+		return serve.JobSpec{Cells: []serve.CellSpec{{Workload: w, TLB: tlb, MTLB: mtlb}}, Scale: scale}
+	}
+	return []serve.JobSpec{
+		cell("radix", 64, 0),
+		cell("em3d", 64, 512),
+		cell("radix", 64, 512),
+		{Experiments: []string{"tlbtime"}, Scale: scale},
+		cell("em3d", 64, 0),
+		cell("radix", 128, 0),
+		{Experiments: []string{"reach"}, Scale: scale},
+		cell("em3d", 128, 0),
+		cell("radix", 64, 512),
+		cell("em3d", 64, 512),
+	}
+}
+
+// report is the JSON document mtlbload emits.
+type report struct {
+	Server    string  `json:"server"`
+	Clients   int     `json:"clients"`
+	PerClient int     `json:"jobs_per_client"`
+	Scale     string  `json:"scale"`
+	Jobs      int     `json:"jobs"`
+	Failed    int     `json:"failed"`
+	Retries   int     `json:"retries_429"`
+	WallS     float64 `json:"wall_s"`
+	JobsPerS  float64 `json:"jobs_per_s"`
+
+	LatencyMS struct {
+		P50 float64 `json:"p50"`
+		P90 float64 `json:"p90"`
+		P99 float64 `json:"p99"`
+		Max float64 `json:"max"`
+	} `json:"latency_ms"`
+
+	Cache struct {
+		Hits    uint64  `json:"hits"`
+		Misses  uint64  `json:"misses"`
+		HitRate float64 `json:"hit_rate"`
+	} `json:"cache"`
+
+	CellsDone int `json:"cells_done"`
+	CellHits  int `json:"cell_cache_hits"`
+}
+
+// run executes the load test and returns its exit status.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mtlbload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		server  = fs.String("server", "", "daemon URL; empty hosts one in-process")
+		clients = fs.Int("clients", 64, "concurrent clients")
+		perC    = fs.Int("n", 4, "jobs per client")
+		scale   = fs.String("scale", "small", "workload scale for generated jobs")
+		workers = fs.Int("workers", 0, "in-process daemon simulation workers (0 = GOMAXPROCS)")
+		queue   = fs.Int("queue", 0, "in-process daemon queue capacity (0 = default)")
+		out     = fs.String("o", "", "write the JSON report to this file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	base := *server
+	var inproc *serve.Server
+	if base == "" {
+		inproc = serve.New(serve.Config{Workers: *workers, QueueCap: *queue})
+		inproc.Start()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(stderr, "mtlbload: %v\n", err)
+			return 1
+		}
+		hs := &http.Server{Handler: inproc.Handler()}
+		go hs.Serve(ln) //nolint:errcheck // torn down with the process
+		defer hs.Close()
+		base = "http://" + ln.Addr().String()
+	}
+
+	mix := jobMix(*scale)
+	c := client.New(base, nil)
+	ctx := context.Background()
+	if err := c.Healthz(ctx); err != nil {
+		fmt.Fprintf(stderr, "mtlbload: daemon not healthy: %v\n", err)
+		return 1
+	}
+
+	var (
+		mu        sync.Mutex
+		durations []time.Duration
+		failed    int
+		retries   int
+		cells     int
+		cellHits  int
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < *clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < *perC; k++ {
+				spec := mix[(i*7+k)%len(mix)]
+				t0 := time.Now()
+				st, err := submitWithRetry(ctx, c, spec, &mu, &retries)
+				if err == nil {
+					st, err = waitDone(ctx, c, st)
+				}
+				d := time.Since(t0)
+				mu.Lock()
+				durations = append(durations, d)
+				if err != nil {
+					failed++
+					fmt.Fprintf(stderr, "mtlbload: client %d job %d: %v\n", i, k, err)
+				} else {
+					cells += st.Progress.CellsDone
+					cellHits += st.Progress.CacheHits
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := report{
+		Server: base, Clients: *clients, PerClient: *perC, Scale: *scale,
+		Jobs: len(durations), Failed: failed, Retries: retries,
+		WallS:     wall.Seconds(),
+		JobsPerS:  float64(len(durations)) / wall.Seconds(),
+		CellsDone: cells, CellHits: cellHits,
+	}
+	sort.Slice(durations, func(a, b int) bool { return durations[a] < durations[b] })
+	pct := func(p float64) float64 {
+		if len(durations) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(durations)-1))
+		return float64(durations[i]) / float64(time.Millisecond)
+	}
+	rep.LatencyMS.P50 = pct(0.50)
+	rep.LatencyMS.P90 = pct(0.90)
+	rep.LatencyMS.P99 = pct(0.99)
+	rep.LatencyMS.Max = pct(1.0)
+	if err := fillCacheStats(ctx, c, inproc, &rep); err != nil {
+		fmt.Fprintf(stderr, "mtlbload: reading cache stats: %v\n", err)
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(stderr, "mtlbload: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(stderr, "mtlbload: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "mtlbload: %d jobs in %.2fs (%.1f/s), %d failed, cache hit rate %.0f%%\n",
+		rep.Jobs, rep.WallS, rep.JobsPerS, rep.Failed, 100*rep.Cache.HitRate)
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+// submitWithRetry submits, backing off briefly on 429 per Retry-After
+// (capped so a saturated queue still makes progress).
+func submitWithRetry(ctx context.Context, c *client.Client, spec serve.JobSpec, mu *sync.Mutex, retries *int) (serve.JobStatus, error) {
+	for {
+		id, err := c.Submit(ctx, spec)
+		if err == nil {
+			return serve.JobStatus{ID: id}, nil
+		}
+		var se *client.StatusError
+		if !errors.As(err, &se) || se.Code != http.StatusTooManyRequests {
+			return serve.JobStatus{}, err
+		}
+		mu.Lock()
+		*retries++
+		mu.Unlock()
+		delay := se.RetryAfter
+		if delay <= 0 || delay > time.Second {
+			delay = 100 * time.Millisecond
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return serve.JobStatus{}, ctx.Err()
+		}
+	}
+}
+
+// waitDone waits for the job and insists on a done state.
+func waitDone(ctx context.Context, c *client.Client, st serve.JobStatus) (serve.JobStatus, error) {
+	fin, err := c.Wait(ctx, st.ID, nil)
+	if err != nil {
+		return fin, err
+	}
+	if fin.State != serve.StateDone {
+		return fin, fmt.Errorf("job %s %s: %s", fin.ID, fin.State, fin.Error)
+	}
+	return fin, nil
+}
+
+// fillCacheStats reads hit/miss counts — directly for an in-process
+// daemon, from /metrics for a remote one.
+func fillCacheStats(ctx context.Context, c *client.Client, inproc *serve.Server, rep *report) error {
+	if inproc != nil {
+		rep.Cache.Hits, rep.Cache.Misses = inproc.Cache().Stats()
+	} else {
+		raw, err := c.Metrics(ctx)
+		if err != nil {
+			return err
+		}
+		var dump []struct {
+			Name  string  `json:"name"`
+			Value float64 `json:"value"`
+		}
+		if err := json.Unmarshal(raw, &dump); err != nil {
+			return err
+		}
+		for _, m := range dump {
+			switch m.Name {
+			case "serve.cache_hits":
+				rep.Cache.Hits = uint64(m.Value)
+			case "serve.cache_misses":
+				rep.Cache.Misses = uint64(m.Value)
+			}
+		}
+	}
+	if total := rep.Cache.Hits + rep.Cache.Misses; total > 0 {
+		rep.Cache.HitRate = float64(rep.Cache.Hits) / float64(total)
+	}
+	return nil
+}

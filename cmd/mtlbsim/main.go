@@ -39,24 +39,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("mtlbsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		name     = fs.String("workload", "em3d", "workload: compress, vortex, radix, em3d, gcc, random, stride, chase")
-		size     = fs.String("size", "paper", "workload size: paper or small")
-		tlbSize  = fs.Int("tlb", 96, "CPU TLB entries")
-		mtlbN    = fs.Int("mtlb", 0, "MTLB entries (0 = no MTLB)")
-		ways     = fs.Int("ways", 2, "MTLB associativity")
-		buddy    = fs.Bool("buddy", false, "use the buddy shadow allocator")
-		nocheck  = fs.Bool("nocheck", false, "hide the MMC shadow-check cycle")
-		seq      = fs.Bool("seqalloc", false, "sequential (unfragmented) frame allocation")
-		dram     = fs.Uint64("dram", 256, "installed DRAM in MB")
-		streams  = fs.Int("streams", 0, "MMC stream buffers (0 = off)")
-		promote  = fs.Bool("promote", false, "enable online superpage promotion")
-		frames   = fs.Uint64("frames", 0, "cap user frames (0 = all; small values force paging)")
-		banks    = fs.Int("banks", 0, "DRAM banks for open-row timing (0 = flat latency)")
-		jsonOut  = fs.Bool("json", false, "emit the result as JSON instead of text")
-		fastpath = fs.Bool("fastpath", true, "use the CPU fast-path access engine (results are identical either way)")
-		obsF     cmdutil.ObsFlags
+		name    = fs.String("workload", "em3d", "workload: compress, vortex, radix, em3d, gcc, random, stride, chase")
+		size    = fs.String("size", "paper", "workload size: paper or small")
+		tlbSize = fs.Int("tlb", 96, "CPU TLB entries")
+		mtlbN   = fs.Int("mtlb", 0, "MTLB entries (0 = no MTLB)")
+		ways    = fs.Int("ways", 2, "MTLB associativity")
+		buddy   = fs.Bool("buddy", false, "use the buddy shadow allocator")
+		nocheck = fs.Bool("nocheck", false, "hide the MMC shadow-check cycle")
+		seq     = fs.Bool("seqalloc", false, "sequential (unfragmented) frame allocation")
+		dram    = fs.Uint64("dram", 256, "installed DRAM in MB")
+		streams = fs.Int("streams", 0, "MMC stream buffers (0 = off)")
+		promote = fs.Bool("promote", false, "enable online superpage promotion")
+		frames  = fs.Uint64("frames", 0, "cap user frames (0 = all; small values force paging)")
+		banks   = fs.Int("banks", 0, "DRAM banks for open-row timing (0 = flat latency)")
+		jsonOut = fs.Bool("json", false, "emit the result as JSON instead of text")
 	)
-	obsF.Register(fs)
+	obsF := cmdutil.RegisterCommonFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -80,12 +78,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.StreamBuffers = *streams
 	cfg.MaxUserFrames = *frames
 	cfg.DRAMBanks = *banks
-	cfg.NoFastPath = !*fastpath
+	cfg.NoFastPath = obsF.NoFastPath()
 	if *seq {
 		cfg.AllocOrder = mem.Sequential
 	}
 
-	stopProfiles, err := obsF.StartProfiling(stderr)
+	stopProfiles, err := obsF.Apply(stderr)
 	if err != nil {
 		fmt.Fprintf(stderr, "mtlbsim: %v\n", err)
 		return 1

@@ -49,10 +49,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sbrkSup  = fs.Bool("sbrksp", false, "replay with superpage sbrk semantics")
 		maxPrint = fs.Int("n", 20, "records to print with -dump")
 		jsonOut  = fs.Bool("json", false, "emit the simulation result as JSON")
-		fastpath = fs.Bool("fastpath", true, "use the CPU fast-path access engine (results are identical either way)")
-		obsF     cmdutil.ObsFlags
 	)
-	obsF.Register(fs)
+	obsF := cmdutil.RegisterCommonFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -63,9 +61,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *mtlbN > 0 {
 		cfg = cfg.WithMTLB(core.MTLBConfig{Entries: *mtlbN, Ways: *ways})
 	}
-	cfg.NoFastPath = !*fastpath
+	cfg.NoFastPath = obsF.NoFastPath()
 
-	stopProfiles, err := obsF.StartProfiling(stderr)
+	stopProfiles, err := obsF.Apply(stderr)
 	if err != nil {
 		fmt.Fprintf(stderr, "mtlbtrace: %v\n", err)
 		return 1

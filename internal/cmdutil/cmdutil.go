@@ -12,6 +12,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"shadowtlb/internal/exp"
 	"shadowtlb/internal/obs"
 )
 
@@ -35,9 +36,46 @@ func (f *ObsFlags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&f.MetricsDir, "metrics", "", "write metrics, time series and manifests into `DIR`")
 	fs.StringVar(&f.Timeline, "timeline", "", "write a Chrome trace-event / Perfetto timeline to `FILE`")
 	fs.Uint64Var(&f.Sample, "sample", DefaultSampleEvery, "time-series sampling interval in simulated `cycles`")
+	f.RegisterProfiling(fs)
+}
+
+// RegisterProfiling installs only the host-profiling subset (-pprof,
+// -memprofile), for commands like mtlbbench where simulation-side
+// observability would perturb the measurement being taken.
+func (f *ObsFlags) RegisterProfiling(fs *flag.FlagSet) {
 	fs.StringVar(&f.PProf, "pprof", "", "write a host CPU profile to `FILE`")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a host heap profile to `FILE`")
 }
+
+// CommonFlags bundles the flag plumbing every command repeats: the
+// observability/profiling set plus the CPU fast-path engine switch.
+// Register once, Apply once, instead of copying the wiring into each
+// new main.
+type CommonFlags struct {
+	ObsFlags
+	FastPath bool
+}
+
+// RegisterCommonFlags installs the shared observability, profiling and
+// engine flags on fs and returns the bound set.
+func RegisterCommonFlags(fs *flag.FlagSet) *CommonFlags {
+	f := &CommonFlags{}
+	f.ObsFlags.Register(fs)
+	fs.BoolVar(&f.FastPath, "fastpath", true, "use the CPU fast-path access engine (results are identical either way)")
+	return f
+}
+
+// Apply pushes the parsed flags into the packages they configure — the
+// fast-path switch into the experiment config builders — and starts the
+// requested host profiles, returning their stop function (never nil).
+func (f *CommonFlags) Apply(stderr io.Writer) (stop func(), err error) {
+	exp.SetNoFastPath(!f.FastPath)
+	return f.StartProfiling(stderr)
+}
+
+// NoFastPath reports the engine switch inverted, for commands that
+// build a sim.Config directly instead of through the registry.
+func (f *CommonFlags) NoFastPath() bool { return !f.FastPath }
 
 // Enabled reports whether any simulation-side observability was asked
 // for (profiling flags alone don't instrument the simulation).

@@ -156,6 +156,14 @@ func Workloads(s Scale) []workload.Workload {
 	return ws
 }
 
+// HasWorkload reports whether name is a constructible workload, without
+// building it — admission checks in the daemon validate job specs this
+// way before any memory is committed.
+func HasWorkload(name string) bool {
+	_, ok := workloadMakers[name]
+	return ok
+}
+
 // MakeWorkload builds one named workload at the given scale. Beyond the
 // paper's five programs, the synthetic generators random, stride and
 // chase are available.

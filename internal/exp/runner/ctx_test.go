@@ -1,0 +1,205 @@
+package runner
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"shadowtlb/internal/exp"
+	"shadowtlb/internal/sim"
+)
+
+// cheapCell is a fast synthetic cell for scheduling tests.
+func cheapCell(tlb int) exp.Cell {
+	return exp.NewCell(sim.Default().WithTLB(tlb), "stride", exp.Small)
+}
+
+func TestResultCtxCanceledWhileQueued(t *testing.T) {
+	sem := make(chan struct{}, 1)
+	sem <- struct{}{} // the only worker slot is busy
+	p := NewShared(sem)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.ResultCtx(ctx, cheapCell(64)); err != context.Canceled {
+		t.Fatalf("queued cell under canceled ctx: err = %v, want context.Canceled", err)
+	}
+	if st := p.Stats(); st.Simulated != 0 {
+		t.Errorf("canceled cell was simulated: %+v", st)
+	}
+
+	// The abandoned entry must not wedge the key: with the slot free
+	// again, the same cell simulates normally.
+	<-sem
+	if _, err := p.ResultCtx(context.Background(), cheapCell(64)); err != nil {
+		t.Fatalf("retry after cancellation: %v", err)
+	}
+	if st := p.Stats(); st.Simulated != 1 {
+		t.Errorf("retry did not simulate: %+v", st)
+	}
+}
+
+func TestWarmCtxCanceledDropsQueuedCells(t *testing.T) {
+	sem := make(chan struct{}, 1)
+	sem <- struct{}{}
+	p := NewShared(sem)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := p.WarmCtx(ctx, []exp.Cell{cheapCell(64), cheapCell(96), cheapCell(128)})
+	if err != context.Canceled {
+		t.Fatalf("WarmCtx = %v, want context.Canceled", err)
+	}
+	if st := p.Stats(); st.Simulated != 0 {
+		t.Errorf("canceled warm simulated cells: %+v", st)
+	}
+}
+
+func TestWaiterCancellationLeavesOwnerRunning(t *testing.T) {
+	p := New(2)
+	c := cheapCell(64)
+
+	// Owner starts; a waiter on the same key cancels out; the owner's
+	// result must still land and serve later requests.
+	ownerDone := make(chan sim.Result, 1)
+	go func() {
+		ownerDone <- p.Result(c)
+	}()
+	waitCtx, cancelWait := context.WithCancel(context.Background())
+	cancelWait()
+	// The waiter either catches the in-flight entry (ctx error) or runs
+	// after the owner finished (result); both are valid — what matters
+	// is no hang and no corruption.
+	p.ResultCtx(waitCtx, c) //nolint:errcheck
+
+	select {
+	case <-ownerDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("owner never completed")
+	}
+	if _, err := p.ResultCtx(context.Background(), c); err != nil {
+		t.Fatalf("post-cancellation request: %v", err)
+	}
+}
+
+func TestPanickingCellIsIsolated(t *testing.T) {
+	p := New(2)
+	bad := exp.NewCell(sim.Default(), "no-such-workload", exp.Small)
+
+	_, err := p.ResultCtx(context.Background(), bad)
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("panicking cell: err = %v, want a panic-wrapping error", err)
+	}
+	// The key is retryable (and fails again), not wedged.
+	if _, err := p.ResultCtx(context.Background(), bad); err == nil {
+		t.Fatal("second request for panicking cell succeeded")
+	}
+	// The pool still works and its worker slots were released.
+	for i := 0; i < 3; i++ {
+		if _, err := p.ResultCtx(context.Background(), cheapCell(64)); err != nil {
+			t.Fatalf("pool unusable after isolated panic: %v", err)
+		}
+	}
+}
+
+func TestCellHookFiresOncePerDistinctCell(t *testing.T) {
+	p := New(4)
+	var (
+		mu     sync.Mutex
+		events []CellEvent
+	)
+	p.SetCellHook(func(ev CellEvent) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	})
+	cells := []exp.Cell{cheapCell(64), cheapCell(96), cheapCell(64), cheapCell(96), cheapCell(64)}
+	p.Warm(cells)
+	p.Result(cheapCell(64)) // already memoized; must not re-fire
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) != 2 {
+		t.Fatalf("hook fired %d times for 2 distinct cells: %+v", len(events), events)
+	}
+	seen := map[string]bool{}
+	for _, ev := range events {
+		seen[ev.Key] = true
+		if ev.Cached {
+			t.Errorf("no external cache attached but event cached: %+v", ev)
+		}
+		if ev.Key == "" || ev.Name == "" || ev.Workload != "stride" || ev.Scale != "small" {
+			t.Errorf("underpopulated event: %+v", ev)
+		}
+		if ev.WallNS <= 0 {
+			t.Errorf("non-positive wall time: %+v", ev)
+		}
+	}
+	if len(seen) != 2 {
+		t.Errorf("hook fired twice for one key: %+v", events)
+	}
+}
+
+// mapCache is a minimal ExternalCache for cross-pool sharing tests.
+type mapCache struct {
+	mu   sync.Mutex
+	m    map[string]sim.Result
+	hits int
+}
+
+func (c *mapCache) Do(_ context.Context, key string, simulate func() sim.Result) (sim.Result, bool, error) {
+	c.mu.Lock()
+	if r, ok := c.m[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return r, true, nil
+	}
+	c.mu.Unlock()
+	r := simulate()
+	c.mu.Lock()
+	c.m[key] = r
+	c.mu.Unlock()
+	return r, false, nil
+}
+
+func TestExternalCacheSharesAcrossPools(t *testing.T) {
+	cache := &mapCache{m: make(map[string]sim.Result)}
+	sem := make(chan struct{}, 2)
+
+	p1 := NewShared(sem)
+	p1.UseCache(cache)
+	want := p1.Result(cheapCell(64))
+	if st := p1.Stats(); st.Simulated != 1 || st.CacheHits != 0 {
+		t.Fatalf("first pool stats: %+v", st)
+	}
+
+	p2 := NewShared(sem)
+	p2.UseCache(cache)
+	var cachedEv *CellEvent
+	p2.SetCellHook(func(ev CellEvent) { cachedEv = &ev })
+	got := p2.Result(cheapCell(64))
+	if got != want {
+		t.Error("cached result differs from simulated result")
+	}
+	if st := p2.Stats(); st.Simulated != 0 || st.CacheHits != 1 {
+		t.Errorf("second pool stats: %+v", st)
+	}
+	if cachedEv == nil || !cachedEv.Cached {
+		t.Errorf("second pool's hook event not marked cached: %+v", cachedEv)
+	}
+	if cache.hits != 1 {
+		t.Errorf("cache hits = %d", cache.hits)
+	}
+
+	// The manifest records the cache hit.
+	found := false
+	for _, o := range p2.Observations() {
+		if o.Manifest.Cached {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("manifest does not mark the cached cell")
+	}
+}

@@ -31,10 +31,13 @@ type CellManifest struct {
 
 	// WallNS is host wall time of the one real simulation; Requests
 	// counts how often experiments asked for the cell, MemoizedHits how
-	// many of those were served from the cache (Requests-1).
+	// many of those were served from the cache (Requests-1). Cached
+	// marks cells served whole from an attached cross-pool result cache
+	// (the daemon's LRU) rather than simulated by this pool.
 	WallNS       int64 `json:"wall_ns"`
 	Requests     int   `json:"requests"`
 	MemoizedHits int   `json:"memoized_hits"`
+	Cached       bool  `json:"cached,omitempty"`
 }
 
 // RunManifest is the run-level summary plus every cell manifest.
@@ -95,6 +98,7 @@ func (p *Pool) Observations() []CellObservation {
 				WallNS:       e.wall.Nanoseconds(),
 				Requests:     e.requests,
 				MemoizedHits: e.requests - 1,
+				Cached:       e.cached,
 			},
 			Obs: e.obs,
 		})

@@ -37,11 +37,18 @@ func (c *Counter) Value() uint64 {
 	return c.n
 }
 
-// Histogram counts observations in fixed log2 buckets: bucket i holds
-// values whose bit length is i, i.e. [2^(i-1), 2^i). The bucket layout
-// is fixed so merging and rendering need no configuration.
+// histBuckets is the fixed log2 bucket count shared by Histogram and
+// AtomicHistogram: one bucket per possible bit length, plus zero.
+const histBuckets = 65
+
+// bucketIndex maps a value to its log2 bucket: bucket i holds values
+// whose bit length is i, i.e. [2^(i-1), 2^i); bucket 0 holds value 0.
+func bucketIndex(v uint64) int { return bits.Len64(v) }
+
+// Histogram counts observations in fixed log2 buckets. The bucket
+// layout is fixed so merging and rendering need no configuration.
 type Histogram struct {
-	counts [65]uint64 // index = bits.Len64(value); 0 holds value 0
+	counts [histBuckets]uint64
 	sum    uint64
 	n      uint64
 }
@@ -51,7 +58,7 @@ func (h *Histogram) Observe(v uint64) {
 	if h == nil {
 		return
 	}
-	h.counts[bits.Len64(v)]++
+	h.counts[bucketIndex(v)]++
 	h.sum += v
 	h.n++
 }
@@ -85,8 +92,14 @@ func (h *Histogram) Buckets() []HistBucket {
 	if h == nil {
 		return nil
 	}
+	return bucketize(&h.counts)
+}
+
+// bucketize renders a bucket-count array as the non-empty buckets in
+// ascending value order.
+func bucketize(counts *[histBuckets]uint64) []HistBucket {
 	var out []HistBucket
-	for i, n := range h.counts {
+	for i, n := range counts {
 		if n == 0 {
 			continue
 		}
@@ -128,6 +141,7 @@ type metric struct {
 	counterFn func() uint64
 	gaugeFn   func() float64
 	hist      *Histogram
+	ahist     *AtomicHistogram
 }
 
 // value reads the metric's current scalar value (counters and gauges).
@@ -235,9 +249,15 @@ func (r *Registry) Dump() []DumpMetric {
 		m := &r.metrics[i]
 		d := DumpMetric{Name: m.name, Kind: m.kind.String()}
 		if m.kind == kindHist {
-			d.Count = m.hist.Count()
-			d.Mean = m.hist.Mean()
-			d.Buckets = m.hist.Buckets()
+			if m.ahist != nil {
+				d.Count = m.ahist.Count()
+				d.Mean = m.ahist.Mean()
+				d.Buckets = m.ahist.Buckets()
+			} else {
+				d.Count = m.hist.Count()
+				d.Mean = m.hist.Mean()
+				d.Buckets = m.hist.Buckets()
+			}
 			d.Value = float64(d.Count)
 		} else {
 			d.Value = m.value()

@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"shadowtlb/internal/sim"
+)
+
+// res builds a distinguishable result.
+func res(n uint64) sim.Result { return sim.Result{Instructions: n} }
+
+func TestCacheStoresAndHits(t *testing.T) {
+	c := NewResultCache(8)
+	sims := 0
+	get := func(key string) (sim.Result, bool) {
+		r, cached, err := c.Do(context.Background(), key, func() sim.Result {
+			sims++
+			return res(42)
+		})
+		if err != nil {
+			t.Fatalf("Do(%s): %v", key, err)
+		}
+		return r, cached
+	}
+
+	if r, cached := get("a"); cached || r != res(42) {
+		t.Fatalf("first Do: cached=%v r=%+v", cached, r)
+	}
+	if _, cached := get("a"); !cached {
+		t.Fatal("second Do for same key missed")
+	}
+	if sims != 1 {
+		t.Fatalf("simulated %d times", sims)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d hits, %d misses", hits, misses)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewResultCache(2)
+	do := func(key string, v uint64) {
+		c.Do(context.Background(), key, func() sim.Result { return res(v) }) //nolint:errcheck
+	}
+	do("a", 1)
+	do("b", 2)
+	do("a", 1) // touch a: b is now LRU
+	do("c", 3) // evicts b
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	sims := 0
+	c.Do(context.Background(), "a", func() sim.Result { sims++; return res(1) }) //nolint:errcheck
+	c.Do(context.Background(), "b", func() sim.Result { sims++; return res(2) }) //nolint:errcheck
+	if sims != 1 {
+		t.Errorf("retained a should hit and evicted b should re-simulate; sims = %d", sims)
+	}
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	c := NewResultCache(8)
+	var (
+		entered = make(chan struct{})
+		release = make(chan struct{})
+		sims    int32
+		mu      sync.Mutex
+	)
+	leaderDone := make(chan sim.Result, 1)
+	go func() {
+		r, _, _ := c.Do(context.Background(), "k", func() sim.Result {
+			close(entered)
+			<-release
+			mu.Lock()
+			sims++
+			mu.Unlock()
+			return res(7)
+		})
+		leaderDone <- r
+	}()
+	<-entered
+
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([]sim.Result, waiters)
+	cached := make([]bool, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], cached[i], _ = c.Do(context.Background(), "k", func() sim.Result {
+				mu.Lock()
+				sims++
+				mu.Unlock()
+				return res(7)
+			})
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond) // let waiters reach the flight
+	close(release)
+	wg.Wait()
+	<-leaderDone
+
+	mu.Lock()
+	defer mu.Unlock()
+	if sims != 1 {
+		t.Fatalf("%d simulations for one key under concurrency", sims)
+	}
+	for i := 0; i < waiters; i++ {
+		if results[i] != res(7) || !cached[i] {
+			t.Errorf("waiter %d: r=%+v cached=%v", i, results[i], cached[i])
+		}
+	}
+	hits, misses := c.Stats()
+	if hits != waiters || misses != 1 {
+		t.Errorf("stats = %d hits, %d misses", hits, misses)
+	}
+}
+
+func TestCacheWaiterHonorsContext(t *testing.T) {
+	c := NewResultCache(8)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		c.Do(context.Background(), "k", func() sim.Result { //nolint:errcheck
+			close(entered)
+			<-release
+			return res(1)
+		})
+	}()
+	<-entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.Do(ctx, "k", func() sim.Result { return res(1) })
+	if err != context.Canceled {
+		t.Fatalf("canceled waiter: err = %v", err)
+	}
+	close(release)
+}
+
+func TestCacheLeaderPanicReleasesWaiters(t *testing.T) {
+	c := NewResultCache(8)
+	entered := make(chan struct{})
+	boom := make(chan struct{})
+	go func() {
+		defer func() { recover() }()                        //nolint:errcheck // the panic under test
+		c.Do(context.Background(), "k", func() sim.Result { //nolint:errcheck
+			close(entered)
+			<-boom
+			panic("simulated failure")
+		})
+	}()
+	<-entered
+
+	got := make(chan sim.Result, 1)
+	go func() {
+		r, _, _ := c.Do(context.Background(), "k", func() sim.Result { return res(9) })
+		got <- r
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(boom)
+
+	select {
+	case r := <-got:
+		if r != res(9) {
+			t.Fatalf("waiter after leader panic: %+v", r)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiter hung after leader panic")
+	}
+	// The failed flight stored nothing.
+	r, cached, err := c.Do(context.Background(), "k", func() sim.Result { return res(9) })
+	if err != nil || !cached || r != res(9) {
+		t.Errorf("retry after panic: r=%+v cached=%v err=%v", r, cached, err)
+	}
+}
+
+func TestCacheConcurrentMixedKeys(t *testing.T) {
+	c := NewResultCache(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%8)
+				want := res(uint64((g + i) % 8))
+				r, _, err := c.Do(context.Background(), key, func() sim.Result { return want })
+				if err != nil || r != want {
+					t.Errorf("Do(%s) = %+v, %v", key, r, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() != 8 {
+		t.Errorf("Len = %d, want 8", c.Len())
+	}
+}

@@ -52,7 +52,35 @@ type Record struct {
 // Magic identifies trace files.
 const Magic = uint32(0x4D544C42) // "MTLB"
 
+// Version is the current trace format version. The header is the magic
+// followed by a version byte and the recording machine's base-page
+// shift, so a reader rejects traces from an incompatible format or
+// architecture instead of replaying garbage addresses.
+const Version = 1
+
 const recordBytes = 1 + 1 + 8 + 8
+
+// Sentinel errors for malformed traces. All errors returned by
+// NewReader, Next and ReadAll wrap one of these (or io.EOF at a clean
+// end of trace), so callers can distinguish a wrong file from a damaged
+// one with errors.Is.
+var (
+	// ErrBadMagic means the stream does not start with the trace magic:
+	// not a trace file at all.
+	ErrBadMagic = errors.New("trace: bad magic; not a trace file")
+	// ErrBadVersion means the trace was written by an unknown format
+	// version.
+	ErrBadVersion = errors.New("trace: unsupported format version")
+	// ErrArchMismatch means the trace was recorded on a machine whose
+	// page geometry differs from this build; replaying it would map
+	// every address onto the wrong pages.
+	ErrArchMismatch = errors.New("trace: page size mismatch")
+	// ErrTruncated means the stream ended mid-header or mid-record.
+	ErrTruncated = errors.New("trace: truncated")
+	// ErrBadRecord means a record is structurally invalid (unknown
+	// kind); the stream is corrupt or misaligned.
+	ErrBadRecord = errors.New("trace: invalid record")
+)
 
 // Writer serializes records.
 type Writer struct {
@@ -64,7 +92,11 @@ type Writer struct {
 // NewWriter writes a trace to w, emitting the header immediately.
 func NewWriter(w io.Writer) (*Writer, error) {
 	bw := bufio.NewWriter(w)
-	if err := binary.Write(bw, binary.LittleEndian, Magic); err != nil {
+	var hdr [6]byte
+	binary.LittleEndian.PutUint32(hdr[:4], Magic)
+	hdr[4] = Version
+	hdr[5] = arch.PageShift
+	if _, err := bw.Write(hdr[:]); err != nil {
 		return nil, err
 	}
 	return &Writer{w: bw}, nil
@@ -103,34 +135,52 @@ type Reader struct {
 	r *bufio.Reader
 }
 
-// NewReader validates the header and returns a record reader.
+// NewReader validates the header — magic, format version, and that the
+// recording machine's page geometry matches this build — and returns a
+// record reader.
 func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReader(r)
-	var magic uint32
-	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+	var hdr [6]byte
+	if n, err := io.ReadFull(br, hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("%w header: %d bytes, want %d", ErrTruncated, n, len(hdr))
+		}
 		return nil, fmt.Errorf("trace: reading header: %w", err)
 	}
-	if magic != Magic {
-		return nil, errors.New("trace: bad magic; not a trace file")
+	if binary.LittleEndian.Uint32(hdr[:4]) != Magic {
+		return nil, fmt.Errorf("%w (got 0x%08x)", ErrBadMagic, binary.LittleEndian.Uint32(hdr[:4]))
+	}
+	if hdr[4] != Version {
+		return nil, fmt.Errorf("%w %d (this build reads version %d)", ErrBadVersion, hdr[4], Version)
+	}
+	if hdr[5] != arch.PageShift {
+		return nil, fmt.Errorf("%w: trace recorded with %d-byte pages, this build uses %d-byte pages",
+			ErrArchMismatch, 1<<hdr[5], arch.PageSize)
 	}
 	return &Reader{r: br}, nil
 }
 
 // Next returns the next record, or io.EOF at the end of the trace.
+// A stream ending mid-record wraps ErrTruncated; a record with an
+// unknown kind wraps ErrBadRecord.
 func (r *Reader) Next() (Record, error) {
 	var buf [recordBytes]byte
 	if _, err := io.ReadFull(r.r, buf[:]); err != nil {
 		if err == io.ErrUnexpectedEOF {
-			return Record{}, errors.New("trace: truncated record")
+			return Record{}, fmt.Errorf("%w record: stream ends mid-record", ErrTruncated)
 		}
 		return Record{}, err
 	}
-	return Record{
+	rec := Record{
 		Kind: Kind(buf[0]),
 		Size: buf[1],
 		A:    binary.LittleEndian.Uint64(buf[2:]),
 		B:    binary.LittleEndian.Uint64(buf[10:]),
-	}, nil
+	}
+	if rec.Kind > KindAllocAligned {
+		return Record{}, fmt.Errorf("%w: unknown kind %d", ErrBadRecord, rec.Kind)
+	}
+	return rec, nil
 }
 
 // ReadAll slurps a whole trace.

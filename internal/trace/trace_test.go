@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"testing"
 	"testing/quick"
@@ -182,3 +183,106 @@ func TestReplayDrivesEnv(t *testing.T) {
 }
 
 var _ workload.Env = (*fakeEnv)(nil)
+
+func TestHeaderSentinelErrors(t *testing.T) {
+	var good bytes.Buffer
+	w, _ := NewWriter(&good)
+	w.Write(Record{Kind: KindStep, A: 1})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	hdr := append([]byte(nil), good.Bytes()[:6]...)
+
+	cases := []struct {
+		name string
+		raw  []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short header", hdr[:3], ErrTruncated},
+		{"bad magic", []byte("nope nope"), ErrBadMagic},
+		{"bad version", mutate(hdr, 4, Version+1), ErrBadVersion},
+		{"arch mismatch", mutate(hdr, 5, arch.PageShift+4), ErrArchMismatch},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewReader(bytes.NewReader(tc.raw))
+			if !errors.Is(err, tc.want) {
+				t.Errorf("NewReader = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// mutate copies b and sets b[i] = v.
+func mutate(b []byte, i int, v byte) []byte {
+	out := append([]byte(nil), b...)
+	out[i] = v
+	return out
+}
+
+func TestTruncatedSentinel(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(Record{Kind: KindLoad, Size: 8, A: 1})
+	w.Write(Record{Kind: KindStore, Size: 8, A: 2})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[:buf.Len()-3] // short final record
+
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatalf("first record: %v", err)
+	}
+	_, err = r.Next()
+	if !errors.Is(err, ErrTruncated) {
+		t.Errorf("short final record: err = %v, want ErrTruncated", err)
+	}
+	if errors.Is(err, io.EOF) {
+		t.Error("truncation must not read as clean EOF")
+	}
+
+	// ReadAll surfaces the same failure instead of returning a prefix.
+	if _, err := ReadAll(bytes.NewReader(raw)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("ReadAll = %v, want ErrTruncated", err)
+	}
+}
+
+func TestBadRecordKind(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(Record{Kind: KindAllocAligned + 1, A: 9})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, ErrBadRecord) {
+		t.Errorf("unknown kind: err = %v, want ErrBadRecord", err)
+	}
+}
+
+func TestCleanEOF(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("empty trace: err = %v, want io.EOF", err)
+	}
+	recs, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil || len(recs) != 0 {
+		t.Errorf("ReadAll empty trace = %d recs, %v", len(recs), err)
+	}
+}

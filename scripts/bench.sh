@@ -1,7 +1,7 @@
 #!/bin/sh
 # bench.sh — seed the benchmark trajectory.
 #
-# Emits two artifacts:
+# Emits three artifacts:
 #
 #   BENCH_runner.json  — the fig3 run manifest at small scale, which
 #     carries per-cell cycle breakdowns, host wall times and memoization
@@ -13,15 +13,23 @@
 #     regression signal; scripts/BENCH_hotpath_baseline.json is the
 #     committed reference CI compares against.
 #
-# Usage: scripts/bench.sh [runner-output] [hotpath-output]
+#   BENCH_serve.json   — daemon throughput under concurrent mixed
+#     traffic (see cmd/mtlbload): jobs/s, latency percentiles and the
+#     shared result cache's hit rate against an in-process mtlbd.
+#
+# Usage: scripts/bench.sh [runner-output] [hotpath-output] [serve-output]
 set -eu
 
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_runner.json}"
 hot="${2:-BENCH_hotpath.json}"
+srv="${3:-BENCH_serve.json}"
 
 go run ./cmd/mtlbexp -exp fig3 -scale small -json > "$out"
 echo "wrote $out ($(wc -c < "$out") bytes)" >&2
 
 go run ./cmd/mtlbbench -o "$hot"
 echo "wrote $hot ($(wc -c < "$hot") bytes)" >&2
+
+go run ./cmd/mtlbload -clients 32 -n 3 -scale small -o "$srv"
+echo "wrote $srv ($(wc -c < "$srv") bytes)" >&2
