@@ -1,0 +1,189 @@
+// Command mtlbchaos is the chaos harness: it runs every registered
+// experiment cell under randomized-but-deterministic fault plans
+// (forced page-outs, shootdown storms, mid-remap purges, DRAM fill
+// delays — see internal/faultinject) with the machine invariant
+// catalogue auditing each run (internal/invariant). Because every
+// injected fault is semantically invisible, any invariant violation is
+// a real bug; the tool prints the plan seed that provoked it, and the
+// same seed reproduces the identical schedule.
+//
+//	mtlbchaos                    # every registered cell × 3 plans
+//	mtlbchaos -cells 20 -plans 3 # bounded run for CI
+//	mtlbchaos -seed 0xbeef       # a different deterministic universe
+//
+// -plant is the harness's self-test: after one clean run it inserts a
+// TLB entry no page table backs, then re-audits. The tool must FAIL —
+// exiting 1 with the violation and its seed — proving a real
+// corruption would not pass silently.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/exp"
+	"shadowtlb/internal/faultinject"
+	"shadowtlb/internal/invariant"
+	"shadowtlb/internal/sim"
+	"shadowtlb/internal/tlb"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mtlbchaos", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		cellsN  = fs.Int("cells", 0, "max distinct cells to exercise (0 = all registered)")
+		plans   = fs.Int("plans", 3, "fault plans per cell")
+		seed    = fs.Uint64("seed", 1, "base seed; every plan seed derives from it")
+		scale   = fs.String("scale", "small", "workload scale (small, medium, full)")
+		verbose = fs.Bool("v", false, "log every run, not just failures")
+		plant   = fs.Bool("plant", false, "plant a deliberate violation (self-test: the run must FAIL)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	sc, err := exp.ParseScale(*scale)
+	if err != nil {
+		fmt.Fprintf(stderr, "mtlbchaos: %v\n", err)
+		return 2
+	}
+
+	cells := registeredCells(sc)
+	if *cellsN > 0 && len(cells) > *cellsN {
+		cells = cells[:*cellsN]
+	}
+	if len(cells) == 0 {
+		fmt.Fprintln(stderr, "mtlbchaos: no cells registered")
+		return 1
+	}
+	if *plant {
+		cells = cells[:1]
+		*plans = 1
+	}
+
+	var failures, runs int
+	var tot totals
+	for ci, c := range cells {
+		for pi := 0; pi < *plans; pi++ {
+			plan := faultinject.New(mixSeed(*seed, ci, pi))
+			runs++
+			vs, inj, err := runOne(c, plan, *plant)
+			if inj != nil {
+				tot.add(inj)
+			}
+			if err != nil {
+				failures++
+				fmt.Fprintf(stderr, "FAIL cell=%s workload=%s: %v\n  plan: %s\n  reproduce: -seed %d (cell %d, plan %d)\n",
+					c.Cfg.Label, c.Workload, err, plan, *seed, ci, pi)
+				continue
+			}
+			if len(vs) > 0 {
+				failures++
+				fmt.Fprintf(stderr, "FAIL cell=%s workload=%s: %d invariant violation(s)\n  plan: %s\n  reproduce: -seed %d (cell %d, plan %d)\n",
+					c.Cfg.Label, c.Workload, len(vs), plan, *seed, ci, pi)
+				for _, v := range vs {
+					fmt.Fprintf(stderr, "  %s\n", v)
+				}
+				continue
+			}
+			if *verbose {
+				fmt.Fprintf(stdout, "ok   cell=%s workload=%s plan=[%s] injected=%d\n",
+					c.Cfg.Label, c.Workload, plan, inj.Injected())
+			}
+		}
+	}
+	fmt.Fprintf(stdout, "mtlbchaos: %d cells × %d plans: %d runs, %d failed; injected swap-outs=%d shootdowns=%d fill-delays=%d mid-remap-purges=%d\n",
+		len(cells), *plans, runs, failures, tot.swapOuts, tot.shootdowns, tot.fillDelays, tot.midRemap)
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runOne executes one cell under one plan with the invariant checker in
+// record mode, returning every violation the run accumulated (including
+// the final whole-machine audit at run end). A panic — e.g. from
+// machine state corrupted badly enough to break the simulator itself —
+// is reported as the error. With plant set, a TLB entry no page table
+// backs is inserted after the run and the catalogue is re-audited: the
+// violations returned then must be non-empty or the harness is blind.
+func runOne(c exp.Cell, plan faultinject.Plan, plant bool) (vs []invariant.Violation, inj *faultinject.Injector, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panicked: %v", r)
+		}
+	}()
+	s := sim.New(c.Cfg)
+	inj = faultinject.Attach(s, plan)
+	chk := invariant.Attach(s, invariant.Options{}) // record, don't panic
+	w, err := exp.MakeWorkload(c.Workload, c.Scale)
+	if err != nil {
+		return nil, inj, err
+	}
+	s.Run(w)
+	if plant {
+		// A valid-looking user mapping at a virtual page the process
+		// never mapped: structurally fine, backed by nothing.
+		s.CPUTLB.Insert(tlb.Entry{
+			Valid:  true,
+			Class:  arch.Page4K,
+			Tag:    0x7fffdead000,
+			Target: uint64(arch.FrameToPAddr(3)),
+		})
+		return append(chk.Violations(), invariant.Check(s)...), inj, nil
+	}
+	return chk.Violations(), inj, nil
+}
+
+// registeredCells collects every declared cell across the experiment
+// registry, deduplicated by canonical key, in registration order —
+// the same population the runner pool would simulate for -exp all.
+func registeredCells(sc exp.Scale) []exp.Cell {
+	var cells []exp.Cell
+	seen := make(map[string]struct{})
+	for _, d := range exp.Descriptors() {
+		if d.Cells == nil {
+			continue // bespoke experiments drive private systems
+		}
+		for _, c := range d.Cells(sc) {
+			k := c.Key()
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			cells = append(cells, c)
+		}
+	}
+	return cells
+}
+
+// mixSeed derives one plan seed from the base seed and the (cell, plan)
+// coordinates, splitmix-style, so every run gets an independent but
+// reproducible schedule.
+func mixSeed(base uint64, ci, pi int) uint64 {
+	x := base + uint64(ci)*0x9E3779B97F4A7C15 + uint64(pi)*0xBF58476D1CE4E5B9
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// totals accumulates injection counters across runs, so the summary
+// line proves the plans actually fired.
+type totals struct {
+	swapOuts, shootdowns, fillDelays, midRemap uint64
+}
+
+func (t *totals) add(inj *faultinject.Injector) {
+	t.swapOuts += inj.SwapOuts
+	t.shootdowns += inj.Shootdowns
+	t.fillDelays += inj.FillDelays
+	t.midRemap += inj.MidRemapPurges
+}

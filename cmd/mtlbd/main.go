@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"shadowtlb/internal/invariant"
 	"shadowtlb/internal/serve"
 )
 
@@ -56,9 +57,13 @@ func run(args []string, sig <-chan os.Signal, ready chan<- string, stdout, stder
 		cache   = fs.Int("cache", 4096, "result cache entries")
 		timeout = fs.Duration("timeout", 5*time.Minute, "default per-job deadline")
 		drain   = fs.Duration("drain", 10*time.Minute, "max time to wait for in-flight jobs on shutdown")
+		chk     = fs.Bool("check", false, "audit machine invariants during every simulation (panics on violation; slower)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *chk {
+		invariant.EnableGlobalChecks()
 	}
 
 	srv := serve.New(serve.Config{

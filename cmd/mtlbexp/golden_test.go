@@ -1,0 +1,52 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// -update regenerates the golden files from the current simulator
+// output:
+//
+//	go test ./cmd/mtlbexp -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestGoldenTables pins the paper-figure tables byte-for-byte: the
+// rendered fig3 and fig4 output at small scale must match the committed
+// goldens exactly. Simulations are deterministic, so any diff is a real
+// change to simulated behavior (or to table rendering) and must be
+// reviewed — then blessed with -update.
+func TestGoldenTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment runs; skipped under -short")
+	}
+	for _, id := range []string{"fig3", "fig4"} {
+		t.Run(id, func(t *testing.T) {
+			var out, errb strings.Builder
+			if code := run([]string{"-exp", id, "-scale", "small"}, &out, &errb); code != 0 {
+				t.Fatalf("exit %d, stderr: %s", code, errb.String())
+			}
+			golden := filepath.Join("testdata", id+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, []byte(out.String()), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if got := out.String(); got != string(want) {
+				t.Fatalf("%s output diverged from golden (re-bless with -update if intended)\n--- got ---\n%s--- want ---\n%s",
+					id, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,13 @@
+//go:build !invariants
+
+// Package check reports whether runtime invariant checking is compiled
+// into this build. The constant lets hot paths guard hook invocations
+// with `if check.Enabled && hook != nil { ... }`: in the default build
+// Enabled is a false constant, so the compiler removes the branch and
+// the access fast path stays untouched. Building with `-tags
+// invariants` flips the constant and compiles the checks in.
+package check
+
+// Enabled is false in the default build: per-access invariant hooks
+// compile to nothing.
+const Enabled = false

@@ -13,6 +13,7 @@ import (
 	"path/filepath"
 
 	"shadowtlb/internal/exp"
+	"shadowtlb/internal/invariant"
 	"shadowtlb/internal/obs"
 )
 
@@ -54,6 +55,7 @@ func (f *ObsFlags) RegisterProfiling(fs *flag.FlagSet) {
 type CommonFlags struct {
 	ObsFlags
 	FastPath bool
+	Check    bool
 }
 
 // RegisterCommonFlags installs the shared observability, profiling and
@@ -62,14 +64,19 @@ func RegisterCommonFlags(fs *flag.FlagSet) *CommonFlags {
 	f := &CommonFlags{}
 	f.ObsFlags.Register(fs)
 	fs.BoolVar(&f.FastPath, "fastpath", true, "use the CPU fast-path access engine (results are identical either way)")
+	fs.BoolVar(&f.Check, "check", false, "audit machine invariants during every simulation (panics on violation; slower)")
 	return f
 }
 
 // Apply pushes the parsed flags into the packages they configure — the
-// fast-path switch into the experiment config builders — and starts the
-// requested host profiles, returning their stop function (never nil).
+// fast-path switch into the experiment config builders, the invariant
+// harness onto every system assembled — and starts the requested host
+// profiles, returning their stop function (never nil).
 func (f *CommonFlags) Apply(stderr io.Writer) (stop func(), err error) {
 	exp.SetNoFastPath(!f.FastPath)
+	if f.Check {
+		invariant.EnableGlobalChecks()
+	}
 	return f.StartProfiling(stderr)
 }
 

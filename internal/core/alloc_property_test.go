@@ -1,0 +1,122 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"shadowtlb/internal/arch"
+)
+
+// Figure 2 invariants, checked through the allocator's own extent
+// report after every operation: every tracked region (free or live) is
+// aligned to its own class size, lies inside the shadow space, and
+// overlaps no other region. extentsSound returns a reason string, empty
+// when sound.
+func extentsSound(space ShadowSpace, exts []Extent) string {
+	var prevEnd arch.PAddr
+	for i, e := range exts {
+		sz := e.Class.Bytes()
+		if uint64(e.Base)%sz != 0 {
+			return "misaligned extent"
+		}
+		if e.Base < space.Base || uint64(e.Base-space.Base)+sz > space.Size {
+			return "extent outside space"
+		}
+		if i > 0 && e.Base < prevEnd {
+			return "overlapping extents"
+		}
+		prevEnd = e.Base + arch.PAddr(sz)
+	}
+	return ""
+}
+
+// allocProperty drives one allocator build through random alloc/free
+// interleavings, auditing the Figure 2 invariants at every step, then
+// frees every live region and requires the allocator's extent report to
+// return exactly to its fresh state — the free lists fully recycle.
+func allocProperty(t *testing.T, fresh func() interface {
+	ShadowAllocator
+	ExtentLister
+}, space ShadowSpace, classes []arch.PageSizeClass) {
+	t.Helper()
+	baseline := fresh().Extents()
+	if msg := extentsSound(space, baseline); msg != "" {
+		t.Fatalf("fresh allocator already unsound: %s", msg)
+	}
+	f := func(ops []uint16) bool {
+		a := fresh()
+		type live struct {
+			pa    arch.PAddr
+			class arch.PageSizeClass
+		}
+		var allocated []live
+		for _, op := range ops {
+			if op&1 == 0 || len(allocated) == 0 {
+				class := classes[int(op/2)%len(classes)]
+				pa, err := a.Alloc(class)
+				if err != nil {
+					continue // class exhausted; legal
+				}
+				if uint64(pa)%class.Bytes() != 0 {
+					t.Logf("Alloc(%v) = %v: misaligned", class, pa)
+					return false
+				}
+				allocated = append(allocated, live{pa, class})
+			} else {
+				i := int(op/2) % len(allocated)
+				a.Free(allocated[i].pa, allocated[i].class)
+				allocated = append(allocated[:i], allocated[i+1:]...)
+			}
+			if msg := extentsSound(space, a.Extents()); msg != "" {
+				t.Logf("after op %#x: %s", op, msg)
+				return false
+			}
+		}
+		for _, l := range allocated {
+			a.Free(l.pa, l.class)
+		}
+		if !reflect.DeepEqual(a.Extents(), baseline) {
+			t.Logf("free lists did not fully recycle")
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBucketAllocFigure2Property audits the paper's static bucket
+// partition allocator.
+func TestBucketAllocFigure2Property(t *testing.T) {
+	space := ShadowSpace{Base: 0x80000000, Size: 16 * arch.MB}
+	specs := []BucketSpec{
+		{arch.Page16K, 64},
+		{arch.Page64K, 16},
+		{arch.Page256K, 8},
+		{arch.Page1M, 4},
+		{arch.Page4M, 2},
+	}
+	classes := []arch.PageSizeClass{arch.Page16K, arch.Page64K, arch.Page256K, arch.Page1M, arch.Page4M}
+	allocProperty(t, func() interface {
+		ShadowAllocator
+		ExtentLister
+	} {
+		return NewBucketAlloc(space, specs)
+	}, space, classes)
+}
+
+// TestBuddyAllocFigure2Property audits the buddy-system variant (§6):
+// splits and coalescing must preserve the same partition discipline,
+// and freeing everything must coalesce back to the fresh block list.
+func TestBuddyAllocFigure2Property(t *testing.T) {
+	space := ShadowSpace{Base: 0x80000000, Size: 16 * arch.MB}
+	classes := []arch.PageSizeClass{arch.Page16K, arch.Page64K, arch.Page256K, arch.Page1M, arch.Page4M}
+	allocProperty(t, func() interface {
+		ShadowAllocator
+		ExtentLister
+	} {
+		return NewBuddyAlloc(space)
+	}, space, classes)
+}

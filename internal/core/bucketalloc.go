@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"shadowtlb/internal/arch"
 )
@@ -23,6 +24,21 @@ type ShadowAllocator interface {
 	// FreeCount reports how many regions of the class could currently
 	// be allocated.
 	FreeCount(class arch.PageSizeClass) int
+}
+
+// Extent describes one region an allocator currently tracks, free or
+// live. The invariant harness audits extents for class alignment,
+// disjointness, and containment in the shadow space (Figure 2).
+type Extent struct {
+	Base  arch.PAddr
+	Class arch.PageSizeClass
+	Live  bool
+}
+
+// ExtentLister is implemented by shadow allocators that can enumerate
+// their tracked regions for auditing.
+type ExtentLister interface {
+	Extents() []Extent
 }
 
 // BucketSpec is one row of the partition: how many regions of a class to
@@ -143,4 +159,23 @@ func (b *BucketAlloc) FreeCount(class arch.PageSizeClass) int {
 // LiveCount reports currently allocated regions.
 func (b *BucketAlloc) LiveCount() int { return len(b.origin) }
 
-var _ ShadowAllocator = (*BucketAlloc)(nil)
+// Extents enumerates every region the partition tracks — free bucket
+// entries plus live allocations — sorted by base address.
+func (b *BucketAlloc) Extents() []Extent {
+	var out []Extent
+	for c := range b.free {
+		for _, pa := range b.free[c] {
+			out = append(out, Extent{Base: pa, Class: arch.PageSizeClass(c)})
+		}
+	}
+	for pa, c := range b.origin {
+		out = append(out, Extent{Base: pa, Class: c, Live: true})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Base < out[j].Base })
+	return out
+}
+
+var (
+	_ ShadowAllocator = (*BucketAlloc)(nil)
+	_ ExtentLister    = (*BucketAlloc)(nil)
+)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"shadowtlb/internal/arch"
 )
@@ -133,6 +134,22 @@ func (b *BuddyAlloc) FreeCount(class arch.PageSizeClass) int {
 // LiveCount reports currently allocated regions.
 func (b *BuddyAlloc) LiveCount() int { return len(b.live) }
 
+// Extents enumerates every region the buddy system tracks — per-class
+// free lists plus live allocations — sorted by base address.
+func (b *BuddyAlloc) Extents() []Extent {
+	var out []Extent
+	for c := range b.free {
+		for pa := range b.free[c] {
+			out = append(out, Extent{Base: pa, Class: arch.PageSizeClass(c)})
+		}
+	}
+	for pa, c := range b.live {
+		out = append(out, Extent{Base: pa, Class: c, Live: true})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Base < out[j].Base })
+	return out
+}
+
 // minKey returns the smallest key, keeping allocation deterministic.
 func minKey(m map[arch.PAddr]bool) arch.PAddr {
 	first := true
@@ -145,4 +162,7 @@ func minKey(m map[arch.PAddr]bool) arch.PAddr {
 	return min
 }
 
-var _ ShadowAllocator = (*BuddyAlloc)(nil)
+var (
+	_ ShadowAllocator = (*BuddyAlloc)(nil)
+	_ ExtentLister    = (*BuddyAlloc)(nil)
+)

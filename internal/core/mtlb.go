@@ -152,3 +152,14 @@ func (m *MTLB) PurgeAll() { m.cache.PurgeAll() }
 
 // CachedEntries returns the number of valid cached translations.
 func (m *MTLB) CachedEntries() int { return m.cache.ValidCount() }
+
+// VisitCached calls fn for every valid cached translation with its
+// shadow page base and real target base, without touching stats or
+// replacement state. The invariant harness uses it to audit MTLB↔table
+// coherence: every cached mapping must agree with the current shadow
+// table entry.
+func (m *MTLB) VisitCached(fn func(shadowBase, realBase arch.PAddr)) {
+	m.cache.VisitValid(func(e tlb.Entry) {
+		fn(arch.PAddr(e.Tag), arch.PAddr(e.Target))
+	})
+}

@@ -21,6 +21,7 @@ import (
 
 	"shadowtlb/internal/arch"
 	"shadowtlb/internal/cache"
+	"shadowtlb/internal/check"
 	"shadowtlb/internal/core"
 	"shadowtlb/internal/kernel"
 	"shadowtlb/internal/mmc"
@@ -88,6 +89,13 @@ type CPU struct {
 	// processes. Zero Quantum disables preemption.
 	Quantum   stats.Cycles
 	OnQuantum func()
+
+	// OnAccessCheck is the invariant harness's per-access differential
+	// probe: it receives every completed data access's virtual address
+	// and resolved real address. The call sites are compiled out unless
+	// the build carries the invariants tag (internal/check), so the
+	// default-build hot path is untouched.
+	OnAccessCheck func(va arch.VAddr, real arch.PAddr)
 
 	sinceIFetch int
 	textPage    int
@@ -254,6 +262,9 @@ func (c *CPU) access(va arch.VAddr, size int, kind arch.AccessKind) arch.PAddr {
 	// inside fastAccess observe any such mutation.
 	if !c.cfg.NoFastPath {
 		if real, ok := c.fastAccess(va, kind); ok {
+			if check.Enabled && c.OnAccessCheck != nil {
+				c.OnAccessCheck(va, real)
+			}
 			return real
 		}
 	}
@@ -287,6 +298,9 @@ func (c *CPU) access(va arch.VAddr, size int, kind arch.AccessKind) arch.PAddr {
 				panic(fmt.Sprintf("cpu: functional translate of %v: %v", pa, err))
 			}
 			c.memoize(va, e, kind, pa, real)
+			if check.Enabled && c.OnAccessCheck != nil {
+				c.OnAccessCheck(va, real)
+			}
 			return real
 		}
 		if attempt >= 2 {

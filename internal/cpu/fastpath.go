@@ -25,6 +25,8 @@
 package cpu
 
 import (
+	"fmt"
+
 	"shadowtlb/internal/arch"
 	"shadowtlb/internal/tlb"
 )
@@ -93,6 +95,38 @@ func (c *CPU) memoize(va arch.VAddr, e *tlb.Entry, kind arch.AccessKind, pa, rea
 		lineWritable: kind == arch.Write,
 		cacheGen:     c.Cache.Gen(),
 	}
+}
+
+// MemoDiag audits the fast-path memo for the invariant harness. Only
+// entries still at the current TLB/shadow generations are checked —
+// stale entries are dead by construction (fastAccess refuses them) —
+// and each live entry must re-derive the same translation chain from
+// the authoritative structures: the recorded TLB entry still covers the
+// page with the same target, and the shadow translation of paBase still
+// lands on realBase. After FlushMemo every slot is invalid, so the
+// audit trivially passes. Returns a description per inconsistent slot.
+func (c *CPU) MemoDiag() []string {
+	var bad []string
+	for i := range c.memo {
+		m := &c.memo[i]
+		if !m.valid || m.tlbGen != c.TLB.Gen() || m.shGen != c.shadowGen() {
+			continue
+		}
+		e := c.TLB.Probe(m.vbase)
+		if e == nil || e != m.entry {
+			bad = append(bad, fmt.Sprintf("memo[%d] va %#x: recorded TLB entry no longer installed", i, m.vbase))
+			continue
+		}
+		if got := arch.PAddr(e.Translate(m.vbase)); got != m.paBase {
+			bad = append(bad, fmt.Sprintf("memo[%d] va %#x: paBase %v, TLB now translates to %v", i, m.vbase, m.paBase, got))
+			continue
+		}
+		real, err := c.VM.TranslateData(m.paBase)
+		if err != nil || real != m.realBase {
+			bad = append(bad, fmt.Sprintf("memo[%d] va %#x: realBase %v, shadow table now gives %v (err %v)", i, m.vbase, m.realBase, real, err))
+		}
+	}
+	return bad
 }
 
 // fastAccess attempts to complete one data reference from the memo. It

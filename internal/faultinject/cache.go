@@ -1,0 +1,70 @@
+package faultinject
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"shadowtlb/internal/exp/runner"
+	"shadowtlb/internal/sim"
+)
+
+// Evictor is the slice of a result cache the chaos wrapper needs to
+// inject evict-under-load: serve.ResultCache implements it.
+type Evictor interface {
+	// EvictOldest drops the least-recently-used stored result,
+	// reporting whether anything was evicted.
+	EvictOldest() bool
+}
+
+// ChaosCache wraps a runner.ExternalCache with the plan's serve-side
+// faults: every CachePanicEvery-th led simulation panics (exercising
+// the daemon's panic isolation), every CacheDelayEvery-th lookup stalls
+// (exercising deadline expiry and cancellation while queued on the
+// cache), and every CacheEvictEvery-th lookup evicts the LRU result
+// afterwards (exercising refill under load). All counting is atomic;
+// the wrapper is as concurrency-safe as its inner cache.
+type ChaosCache struct {
+	Inner   runner.ExternalCache
+	Plan    Plan
+	Evictor Evictor       // optional; nil disables eviction injection
+	Delay   time.Duration // stall length; 0 selects 10 ms
+
+	calls     atomic.Uint64
+	Panics    atomic.Uint64
+	Delays    atomic.Uint64
+	Evictions atomic.Uint64
+}
+
+// Do implements runner.ExternalCache.
+func (c *ChaosCache) Do(ctx context.Context, key string, simulate func() sim.Result) (sim.Result, bool, error) {
+	n := c.calls.Add(1)
+	if e := c.Plan.CacheDelayEvery; e > 0 && n%uint64(e) == 0 {
+		d := c.Delay
+		if d == 0 {
+			d = 10 * time.Millisecond
+		}
+		c.Delays.Add(1)
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return sim.Result{}, false, ctx.Err()
+		}
+	}
+	run := simulate
+	if e := c.Plan.CachePanicEvery; e > 0 && n%uint64(e) == 0 {
+		run = func() sim.Result {
+			c.Panics.Add(1)
+			panic("faultinject: injected worker panic")
+		}
+	}
+	res, cached, err := c.Inner.Do(ctx, key, run)
+	if e := c.Plan.CacheEvictEvery; e > 0 && c.Evictor != nil && n%uint64(e) == 0 {
+		if c.Evictor.EvictOldest() {
+			c.Evictions.Add(1)
+		}
+	}
+	return res, cached, err
+}

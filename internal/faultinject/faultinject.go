@@ -1,0 +1,220 @@
+// Package faultinject perturbs a simulated system (and the daemon's
+// result cache) with deterministic, seedable fault plans, so the
+// invariant harness (internal/invariant) can audit the machine under
+// hostile schedules instead of only the happy path.
+//
+// A Plan is derived entirely from a uint64 seed: the same seed always
+// produces the same perturbation schedule, so any failure a chaos run
+// reports is reproducible from its seed alone. Machine-side faults:
+// forced page-outs under synthetic memory pressure (a superpage is
+// evicted out from under the running process, so its next access takes
+// the MTLB fault-bit path), shootdown storms (every translation cache
+// purged at once), purges in the middle of multi-superpage remaps, and
+// randomized DRAM fill delays at the MMC. All injected faults are
+// semantically invisible — they purge caches, drop residency, or add
+// latency, never corrupt state — so every machine invariant must still
+// hold under any plan; timing fidelity is explicitly sacrificed (the
+// injector discards the kernel cycles its forced operations would
+// charge, since this is a correctness harness, not a cost model).
+package faultinject
+
+import (
+	"fmt"
+
+	"shadowtlb/internal/sim"
+	"shadowtlb/internal/stats"
+	"shadowtlb/internal/vm"
+)
+
+// rng is the repo's xorshift64 generator (see mem/alloc.go); the
+// injector cannot use math/rand because plans must be stable across Go
+// releases.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15 // xorshift sticks at zero
+	}
+	r := rng{s: seed}
+	for i := 0; i < 4; i++ { // decorrelate adjacent seeds
+		r.next()
+	}
+	return r
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// between returns a value in [lo, hi].
+func (r *rng) between(lo, hi int) int { return lo + r.intn(hi-lo+1) }
+
+// Plan is one deterministic fault schedule. Machine-side fields drive
+// Attach; the Cache* fields parameterize a ChaosCache for the daemon's
+// result-cache path. Zero values disable the corresponding fault.
+type Plan struct {
+	Seed uint64
+
+	// Quantum is the injection period in charged CPU cycles; each
+	// elapsed quantum is one opportunity to inject.
+	Quantum stats.Cycles
+	// SwapOutEvery forces a page-out of a random superpage every Nth
+	// quantum (shadow systems only).
+	SwapOutEvery int
+	// ShootdownEvery purges every translation cache (CPU TLB, micro
+	// ITLB, MTLB, fast-path memo) every Nth quantum.
+	ShootdownEvery int
+	// FillDelayPct is the percent chance each MMC line fill is delayed
+	// by FillDelayCycles extra cycles.
+	FillDelayPct    int
+	FillDelayCycles int
+	// MidRemapPurge purges all translation caches between the
+	// superpages of a multi-superpage remap, while the remap loop is
+	// still running.
+	MidRemapPurge bool
+
+	// Serve-side knobs, consumed by ChaosCache.
+	CachePanicEvery int // every Nth led simulation panics
+	CacheDelayEvery int // every Nth Do stalls before proceeding
+	CacheEvictEvery int // every Nth Do evicts the LRU result after
+}
+
+// New derives the plan for a seed. Every knob is drawn from the ranges
+// the chaos tool exercises; the machine side is always fully armed.
+func New(seed uint64) Plan {
+	r := newRNG(seed)
+	return Plan{
+		Seed:            seed,
+		Quantum:         stats.Cycles(r.between(30_000, 100_000)),
+		SwapOutEvery:    r.between(2, 5),
+		ShootdownEvery:  r.between(1, 4),
+		FillDelayPct:    r.between(10, 50),
+		FillDelayCycles: r.between(4, 32),
+		MidRemapPurge:   r.intn(2) == 0,
+		CachePanicEvery: r.between(3, 6),
+		CacheDelayEvery: r.between(2, 5),
+		CacheEvictEvery: r.between(2, 4),
+	}
+}
+
+// String summarizes the machine-side schedule for reports.
+func (p Plan) String() string {
+	return fmt.Sprintf("seed=%#x quantum=%d swap-out/%d shootdown/%d fill-delay=%d%%×%d mid-remap=%v",
+		p.Seed, p.Quantum, p.SwapOutEvery, p.ShootdownEvery,
+		p.FillDelayPct, p.FillDelayCycles, p.MidRemapPurge)
+}
+
+// Injector is a plan attached to one system. Its counters report what
+// was actually injected, so a chaos run can prove its plans fired.
+type Injector struct {
+	Plan Plan
+
+	sys    *sim.System
+	rng    rng
+	quanta uint64
+
+	SwapOuts       uint64 // forced page-outs that evicted ≥ 1 page
+	Shootdowns     uint64 // full translation-cache purges
+	FillDelays     uint64 // delayed MMC line fills
+	MidRemapPurges uint64 // purges inside a remap loop
+}
+
+// Attach wires the plan into a freshly assembled system. It must run
+// before the invariant checker's Attach so that audits observe the
+// state each fault leaves behind. The scheduling-quantum hook is taken
+// only when free (multiprogrammed systems own it); the VM operation
+// hook is chained.
+func Attach(s *sim.System, p Plan) *Injector {
+	inj := &Injector{Plan: p, sys: s, rng: newRNG(p.Seed ^ 0xD1B54A32D192ED03)}
+
+	if p.Quantum > 0 && s.CPU.OnQuantum == nil {
+		s.CPU.Quantum = p.Quantum
+		s.CPU.OnQuantum = inj.onQuantum
+	}
+	if p.FillDelayPct > 0 {
+		s.MMC.FillDelay = inj.fillDelay
+	}
+	if p.MidRemapPurge {
+		prev := s.VM.OnOp
+		s.VM.OnOp = func(op string) {
+			if prev != nil {
+				prev(op)
+			}
+			if op == "remap.superpage" {
+				inj.MidRemapPurges++
+				inj.purgeAll()
+			}
+		}
+	}
+	return inj
+}
+
+// Injected reports the total faults delivered across all channels.
+func (inj *Injector) Injected() uint64 {
+	return inj.SwapOuts + inj.Shootdowns + inj.FillDelays + inj.MidRemapPurges
+}
+
+// onQuantum fires at an instruction boundary every plan quantum — the
+// one point where mutating injection is safe (no translation or kernel
+// operation is mid-flight).
+func (inj *Injector) onQuantum() {
+	inj.quanta++
+	p := inj.Plan
+	if p.ShootdownEvery > 0 && inj.quanta%uint64(p.ShootdownEvery) == 0 {
+		inj.Shootdowns++
+		inj.purgeAll()
+	}
+	if p.SwapOutEvery > 0 && inj.quanta%uint64(p.SwapOutEvery) == 0 {
+		inj.forceSwapOut()
+	}
+}
+
+// purgeAll drops every cached translation at once — the worst-case
+// shootdown. Purges are semantically invisible: every dropped entry is
+// re-derivable from the page and shadow tables.
+func (inj *Injector) purgeAll() {
+	s := inj.sys
+	if s.MTLB != nil {
+		s.MTLB.PurgeAll()
+	}
+	s.CPUTLB.PurgeAll()
+	s.ITLB.Purge()
+	s.CPU.FlushMemo()
+}
+
+// forceSwapOut pages out a random superpage, simulating the page-out
+// daemon striking under memory pressure the workload didn't create. The
+// next access to the superpage takes the MTLB fault-bit path and pages
+// back in at 4 KB grain. Kernel cycles are discarded (correctness
+// harness, not a cost model).
+func (inj *Injector) forceSwapOut() {
+	s := inj.sys
+	if !s.VM.HasShadow() {
+		return
+	}
+	sps := s.VM.Superpages()
+	if len(sps) == 0 {
+		return
+	}
+	sp := sps[inj.rng.intn(len(sps))]
+	res, err := s.VM.SwapOutSuperpage(sp, vm.PageGrain)
+	if err == nil && res.PagesExamined > 0 {
+		inj.SwapOuts++
+	}
+}
+
+// fillDelay is the MMC hook: a random fraction of line fills take extra
+// cycles, modelling contended or refreshing DRAM.
+func (inj *Injector) fillDelay() int {
+	if inj.rng.intn(100) >= inj.Plan.FillDelayPct {
+		return 0
+	}
+	inj.FillDelays++
+	return inj.Plan.FillDelayCycles
+}

@@ -1,0 +1,93 @@
+package faultinject
+
+import (
+	"context"
+	"testing"
+
+	"shadowtlb/internal/sim"
+)
+
+// TestPlanDeterministic pins that plans derive from seeds alone — the
+// chaos tool's failure reports promise "this seed reproduces this run".
+func TestPlanDeterministic(t *testing.T) {
+	if New(42) != New(42) {
+		t.Fatal("same seed produced different plans")
+	}
+	if New(42) == New(43) {
+		t.Fatal("adjacent seeds produced identical plans")
+	}
+	if New(0).Quantum == 0 {
+		t.Fatal("seed 0 produced a disarmed plan")
+	}
+}
+
+// countCache is a pass-through ExternalCache recording calls.
+type countCache struct{ calls int }
+
+func (c *countCache) Do(_ context.Context, _ string, simulate func() sim.Result) (sim.Result, bool, error) {
+	c.calls++
+	return simulate(), false, nil
+}
+
+// countEvictor records eviction requests.
+type countEvictor struct{ n int }
+
+func (e *countEvictor) EvictOldest() bool { e.n++; return true }
+
+// TestChaosCacheInjects drives the wrapper and expects every scheduled
+// fault to fire: panics on the panic period, evictions on the eviction
+// period, clean pass-through otherwise.
+func TestChaosCacheInjects(t *testing.T) {
+	inner := &countCache{}
+	ev := &countEvictor{}
+	cc := &ChaosCache{
+		Inner:   inner,
+		Plan:    Plan{CachePanicEvery: 3, CacheEvictEvery: 2},
+		Evictor: ev,
+	}
+	panics := 0
+	for i := 0; i < 6; i++ {
+		func() {
+			defer func() {
+				if recover() != nil {
+					panics++
+				}
+			}()
+			if _, _, err := cc.Do(context.Background(), "k", func() sim.Result { return sim.Result{} }); err != nil {
+				t.Fatalf("Do: %v", err)
+			}
+		}()
+	}
+	if panics != 2 {
+		t.Fatalf("injected panics = %d, want 2 (calls 3 and 6)", panics)
+	}
+	if got := cc.Panics.Load(); got != 2 {
+		t.Fatalf("panic counter = %d, want 2", got)
+	}
+	// Calls 2 and 4 evict; call 6 panicked inside Inner.Do before the
+	// eviction step could run.
+	if ev.n != 2 {
+		t.Fatalf("evictions = %d, want 2", ev.n)
+	}
+	if inner.calls != 6 {
+		t.Fatalf("inner calls = %d, want 6", inner.calls)
+	}
+}
+
+// TestChaosCacheDelayHonorsContext pins that an injected stall aborts
+// when the caller's context expires — the deadline-expiry fault path.
+func TestChaosCacheDelayHonorsContext(t *testing.T) {
+	cc := &ChaosCache{
+		Inner: &countCache{},
+		Plan:  Plan{CacheDelayEvery: 1},
+		Delay: 10_000_000_000, // 10 s: only cancellation can end the call
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := cc.Do(ctx, "k", func() sim.Result { return sim.Result{} }); err == nil {
+		t.Fatal("canceled context did not abort the injected stall")
+	}
+	if got := cc.Delays.Load(); got != 1 {
+		t.Fatalf("delay counter = %d, want 1", got)
+	}
+}

@@ -1,0 +1,134 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/check"
+	"shadowtlb/internal/core"
+	"shadowtlb/internal/exp"
+	"shadowtlb/internal/sim"
+)
+
+// mtlbCell returns a registered experiment cell with an MTLB fitted, so
+// tests audit the full catalogue (shadow table, MTLB, partition) and
+// not just the conventional subset.
+func mtlbCell(t *testing.T) exp.Cell {
+	t.Helper()
+	for _, d := range exp.Descriptors() {
+		if d.Cells == nil {
+			continue
+		}
+		for _, c := range d.Cells(exp.Small) {
+			if c.Cfg.MTLB != nil {
+				return c
+			}
+		}
+	}
+	t.Fatal("no registered cell has an MTLB")
+	return exp.Cell{}
+}
+
+// TestCleanRunPasses attaches the checker in record mode to a normal
+// run and expects audits to have happened and found nothing.
+func TestCleanRunPasses(t *testing.T) {
+	c := mtlbCell(t)
+	s := sim.New(c.Cfg)
+	chk := Attach(s, Options{})
+	w, err := exp.MakeWorkload(c.Workload, c.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(w)
+	if vs := chk.Violations(); len(vs) != 0 {
+		t.Fatalf("clean run reported violations: %v", vs)
+	}
+	if chk.Passes == 0 {
+		t.Fatal("no audit passes ran — hooks are not wired")
+	}
+	if check.Enabled && chk.AccessChecks == 0 {
+		t.Fatal("invariants tag is on but no per-access checks fired")
+	}
+}
+
+// TestCorruptionsDetected plants distinct corruptions into a finished
+// system and expects the matching catalogue rule to fire for each.
+func TestCorruptionsDetected(t *testing.T) {
+	c := mtlbCell(t)
+	w, err := exp.MakeWorkload(c.Workload, c.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := func() *sim.System {
+		s := sim.New(c.Cfg)
+		s.Run(w)
+		return s
+	}
+
+	t.Run("shadow.bits", func(t *testing.T) {
+		s := fresh()
+		// A ref bit on an unmapped shadow page: the MTLB only maintains
+		// bits on valid entries, so this state is unreachable.
+		spa := findShadowPage(s, false)
+		s.VM.STable.Set(spa, core.TableEntry{Ref: true})
+		expectRule(t, s, "shadow.bits")
+	})
+	t.Run("shadow.backing", func(t *testing.T) {
+		s := fresh()
+		// Two valid shadow pages sharing one frame.
+		a := findShadowPage(s, true)
+		b := findShadowPage(s, false)
+		s.VM.STable.Set(b, core.TableEntry{PFN: s.VM.STable.Get(a).PFN, Valid: true})
+		expectRule(t, s, "shadow.backing")
+	})
+	t.Run("mtlb.coherent", func(t *testing.T) {
+		s := fresh()
+		// Invalidate a table entry behind the MTLB's back: a cached
+		// translation for it becomes a missed shootdown. Force the page
+		// into the MTLB first.
+		spa := findShadowPage(s, true)
+		if _, err := s.MTLB.Translate(spa, false); err != nil {
+			t.Fatalf("priming MTLB: %v", err)
+		}
+		ent := s.VM.STable.Get(spa)
+		ent.Valid = false
+		s.VM.STable.Set(spa, ent)
+		expectRule(t, s, "mtlb.coherent")
+	})
+}
+
+// findShadowPage returns a shadow page whose entry validity matches
+// valid, skipping the test when the run left none in that state.
+func findShadowPage(s *sim.System, valid bool) arch.PAddr {
+	space := s.VM.STable.Space()
+	for i := uint64(0); i < space.Pages(); i++ {
+		spa := space.PageAddr(i)
+		if s.VM.STable.Get(spa).Valid == valid {
+			return spa
+		}
+	}
+	panic("no shadow page in requested state")
+}
+
+// expectRule audits the system and requires at least one violation of
+// the named rule (and tolerates companions — one corruption can trip
+// several related rules).
+func expectRule(t *testing.T, s *sim.System, rule string) {
+	t.Helper()
+	vs := Check(s)
+	if len(vs) == 0 {
+		t.Fatalf("corruption not detected, want rule %s", rule)
+	}
+	for _, v := range vs {
+		if v.Rule == rule {
+			return
+		}
+	}
+	var got []string
+	for _, v := range vs {
+		got = append(got, v.Rule+": "+v.Detail)
+	}
+	t.Fatalf("want rule %s, got:\n%s", rule, strings.Join(got, "\n"))
+}

@@ -105,6 +105,12 @@ type Kernel struct {
 	TimerTicks  uint64
 	Syscalls    uint64
 
+	// OnTick, when non-nil, fires once per timer interrupt. The
+	// invariant harness hangs its periodic whole-machine audit here.
+	// Hooks run inside the CPU's cycle-charging path, so they must be
+	// read-only with respect to simulator state.
+	OnTick func()
+
 	sinceTick int
 }
 
@@ -150,6 +156,9 @@ func (k *Kernel) Advance(n stats.Cycles) stats.Cycles {
 		k.sinceTick -= k.Costs.TimerPeriod
 		k.TimerTicks++
 		spent += stats.Cycles(k.Costs.TimerHandler)
+		if k.OnTick != nil {
+			k.OnTick()
+		}
 	}
 	k.TimerCycles += spent
 	return spent

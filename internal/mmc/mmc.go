@@ -94,6 +94,13 @@ type MMC struct {
 	fillHist *obs.Histogram
 	tl       *obs.Timeline
 
+	// FillDelay, when non-nil, returns extra MMC cycles to add to a
+	// cache fill — the fault-injection harness's model of DRAM
+	// contention or refresh interference. It perturbs timing only;
+	// translation results are unaffected. Nil (the default) costs
+	// nothing on the fill path.
+	FillDelay func() int
+
 	// Fill statistics, the basis of Figure 4(B).
 	Fills        uint64
 	FillMMCTotal uint64 // MMC cycles across all fills (excluding bus)
@@ -185,6 +192,9 @@ func (m *MMC) HandleEvent(ev cache.Event) (Result, error) {
 			m.BusyMMC += uint64(t.FillDRAM)
 		}
 		mmcCycles := t.Overhead + fillDRAM + m.checkCycles() + mtlbMMC
+		if m.FillDelay != nil {
+			mmcCycles += m.FillDelay()
+		}
 		m.FillMMCTotal += uint64(mmcCycles)
 		m.BusyMMC += uint64(mmcCycles)
 		m.fillHist.Observe(uint64(mmcCycles))

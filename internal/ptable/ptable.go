@@ -246,6 +246,36 @@ func (t *Table) Remove(vbase arch.VAddr, class arch.PageSizeClass) bool {
 	return false
 }
 
+// CheckConsistent audits the table's internal structure: the live and
+// tombstone counters must match a full slot scan, and every live entry
+// must be class-aligned and findable by its own hash probe. It returns
+// nil when consistent; the invariant harness calls it between
+// simulation events.
+func (t *Table) CheckConsistent() error {
+	live, dead := 0, 0
+	for i := range t.slots {
+		s := &t.slots[i]
+		switch s.state {
+		case used:
+			live++
+			if uint64(s.pte.VBase)&s.pte.Class.Mask() != 0 || uint64(s.pte.Target)&s.pte.Class.Mask() != 0 {
+				return fmt.Errorf("ptable: slot %d holds unaligned %v PTE %v -> %v",
+					i, s.pte.Class, s.pte.VBase, s.pte.Target)
+			}
+			if got := t.LookupFast(s.pte.VBase); got == nil || got.VBase != s.pte.VBase || got.Class != s.pte.Class {
+				return fmt.Errorf("ptable: slot %d entry %v (%v) unreachable by lookup", i, s.pte.VBase, s.pte.Class)
+			}
+		case tombstone:
+			dead++
+		}
+	}
+	if live != t.live || dead != t.dead {
+		return fmt.Errorf("ptable: counters live=%d dead=%d, slot scan found live=%d dead=%d",
+			t.live, t.dead, live, dead)
+	}
+	return nil
+}
+
 // Walk calls fn for every live entry; fn may mutate the entry in place
 // (used by the paging daemon to scan/clear reference bits).
 func (t *Table) Walk(fn func(*PTE)) {

@@ -124,6 +124,21 @@ func (c *ResultCache) insert(key string, res sim.Result) {
 	}
 }
 
+// EvictOldest drops the least-recently-used stored result, reporting
+// whether anything was evicted. The fault-injection harness uses it to
+// force refills under load; in-flight simulations are unaffected.
+func (c *ResultCache) EvictOldest() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	last := c.ll.Back()
+	if last == nil {
+		return false
+	}
+	c.ll.Remove(last)
+	delete(c.items, last.Value.(*cacheEntry).key)
+	return true
+}
+
 // Len returns the number of stored results.
 func (c *ResultCache) Len() int {
 	c.mu.Lock()

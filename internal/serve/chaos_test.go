@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"shadowtlb/internal/exp/runner"
+	"shadowtlb/internal/faultinject"
+)
+
+// chaosServer starts a server whose result cache is wrapped in a
+// faultinject.ChaosCache with the given plan, returning the wrapper so
+// tests can assert its injection counters.
+func chaosServer(t *testing.T, cfg Config, plan faultinject.Plan, delay time.Duration) (*Server, *httptest.Server, *faultinject.ChaosCache) {
+	t.Helper()
+	s := New(cfg)
+	cc := &faultinject.ChaosCache{Plan: plan, Evictor: s.Cache(), Delay: delay}
+	s.SetCacheWrapper(func(inner runner.ExternalCache) runner.ExternalCache {
+		cc.Inner = inner
+		return cc
+	})
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("drain on cleanup: %v", err)
+		}
+	})
+	return s, ts, cc
+}
+
+// TestChaosWorkerPanicIsolated injects a panic into every second led
+// simulation: the unlucky job must fail with the panic surfaced in its
+// error, and the jobs before and after it must be untouched — one bad
+// cell never takes down the daemon.
+func TestChaosWorkerPanicIsolated(t *testing.T) {
+	s, ts, cc := chaosServer(t, Config{Workers: 2},
+		faultinject.Plan{CachePanicEvery: 2}, 0)
+
+	// Distinct cells so every job is a cache miss: jobs map 1:1 onto
+	// ChaosCache calls, making "which job panics" deterministic.
+	if st := waitTerminal(t, s, ts, submitOK(t, ts, cheapSpec(64))); st.State != StateDone {
+		t.Fatalf("job 1 state %s (%s)", st.State, st.Error)
+	}
+	st := waitTerminal(t, s, ts, submitOK(t, ts, cheapSpec(128)))
+	if st.State != StateFailed {
+		t.Fatalf("job 2 state %s, want failed", st.State)
+	}
+	if !strings.Contains(st.Error, "panicked") {
+		t.Fatalf("job 2 error does not surface the panic: %q", st.Error)
+	}
+	if st := waitTerminal(t, s, ts, submitOK(t, ts, cheapSpec(256))); st.State != StateDone {
+		t.Fatalf("job 3 after injected panic: state %s (%s)", st.State, st.Error)
+	}
+	if got := cc.Panics.Load(); got != 1 {
+		t.Errorf("injected panics = %d, want 1", got)
+	}
+}
+
+// TestChaosCacheDelayTripsDeadline stalls every cache lookup for far
+// longer than the job's deadline: the job must expire as canceled (not
+// hang, not fail as a simulation error) and release its executor.
+func TestChaosCacheDelayTripsDeadline(t *testing.T) {
+	s, ts, cc := chaosServer(t, Config{Workers: 2, JobWorkers: 1},
+		faultinject.Plan{CacheDelayEvery: 1}, 10*time.Second)
+
+	spec := cheapSpec(64)
+	spec.TimeoutMS = 50
+	st := waitTerminal(t, s, ts, submitOK(t, ts, spec))
+	if st.State != StateCanceled {
+		t.Fatalf("stalled job state %s (%s), want canceled", st.State, st.Error)
+	}
+	if got := cc.Delays.Load(); got == 0 {
+		t.Error("no delay was injected")
+	}
+}
+
+// TestChaosEvictUnderLoad evicts the LRU result after every lookup:
+// identical jobs must keep succeeding by re-simulating, and the cache
+// must end empty — refill under eviction pressure works.
+func TestChaosEvictUnderLoad(t *testing.T) {
+	s, ts, cc := chaosServer(t, Config{Workers: 2},
+		faultinject.Plan{CacheEvictEvery: 1}, 0)
+
+	for i := 0; i < 2; i++ {
+		if st := waitTerminal(t, s, ts, submitOK(t, ts, cheapSpec(64))); st.State != StateDone {
+			t.Fatalf("job %d under eviction: state %s (%s)", i+1, st.State, st.Error)
+		}
+	}
+	if got := cc.Evictions.Load(); got != 2 {
+		t.Errorf("evictions = %d, want 2 (one per stored result)", got)
+	}
+	if n := s.Cache().Len(); n != 0 {
+		t.Errorf("cache holds %d results after evict-every-call plan", n)
+	}
+}
+
+// TestChaosDroppedEventsClient opens the NDJSON event stream for a
+// running job, reads one line, then slams the connection shut. The
+// server must finish the job normally and keep serving other clients —
+// a dead subscriber never blocks or fails its job.
+func TestChaosDroppedEventsClient(t *testing.T) {
+	s, ts := startServer(t, Config{JobWorkers: 2})
+	release := make(chan struct{})
+	started := make(chan struct{}, 4)
+	s.testExec = func(ctx context.Context, j *Job) (*JobResult, error) {
+		j.start(0)
+		started <- struct{}{}
+		select {
+		case <-release:
+			return &JobResult{}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	id := submitOK(t, ts, cheapSpec(64))
+	<-started
+
+	// Subscribe mid-run, take the first event, drop the connection.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("no first event before drop: %v", sc.Err())
+	}
+	resp.Body.Close() // abandon the stream mid-job
+
+	close(release)
+	if st := waitTerminal(t, s, ts, id); st.State != StateDone {
+		t.Fatalf("job with dropped subscriber: state %s (%s)", st.State, st.Error)
+	}
+
+	// The server is still healthy: a fresh job with a fresh subscriber
+	// streams to the terminal event.
+	s.testExec = nil
+	id2 := submitOK(t, ts, cheapSpec(64))
+	resp2, err := http.Get(ts.URL + "/v1/jobs/" + id2 + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var last string
+	for sc := bufio.NewScanner(resp2.Body); sc.Scan(); {
+		last = sc.Text()
+	}
+	if !strings.Contains(last, `"done"`) {
+		t.Fatalf("post-drop stream did not end with done event: %q", last)
+	}
+}

@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeJobSpec feeds arbitrary bytes to the submit endpoint's
+// decoder. The contract: never panic, and any accepted document must
+// survive a re-encode/re-decode round trip — the decoder is the API
+// boundary, so a spec that decodes differently the second time would
+// mean accepted jobs aren't reproducible from their own JSON.
+func FuzzDecodeJobSpec(f *testing.F) {
+	f.Add([]byte(`{"experiments":["fig3"],"scale":"small"}`))
+	f.Add([]byte(`{"experiments":["all"]}`))
+	f.Add([]byte(`{"cells":[{"workload":"compress","tlb":64,"mtlb":1024,"ways":2}],"scale":"small","timeout_ms":1000}`))
+	f.Add([]byte(`{"cells":[{"workload":"radix","config":{"Label":"x","DRAMBytes":1048576}}]}`))
+	f.Add([]byte(`{"unknown_field":1}`))
+	f.Add([]byte(`{"cells":[{"workload":1}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"scale":{"nested":"wrong type"}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := DecodeJobSpec(bytes.NewReader(data))
+		if err != nil {
+			return // rejected; only the no-panic contract applies
+		}
+		enc, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("accepted spec does not re-encode: %v", err)
+		}
+		spec2, err := DecodeJobSpec(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("re-encoded spec rejected: %v\n%s", err, enc)
+		}
+		enc2, err := json.Marshal(spec2)
+		if err != nil {
+			t.Fatalf("re-decoded spec does not re-encode: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("round trip not stable:\n%s\n%s", enc, enc2)
+		}
+	})
+}
+
+// TestDecodeJobSpecRejectsUnknownFields pins the strictness the fuzz
+// target relies on: typos in field names are 400s, not silent no-ops.
+func TestDecodeJobSpecRejectsUnknownFields(t *testing.T) {
+	_, err := DecodeJobSpec(strings.NewReader(`{"experimets":["fig3"]}`))
+	if err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}

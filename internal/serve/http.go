@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 )
 
@@ -50,6 +51,19 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// DecodeJobSpec parses one job-spec document, rejecting unknown fields.
+// It is exactly the decoder the submit endpoint runs, factored out so
+// the fuzz harness exercises the same code path the API does.
+func DecodeJobSpec(r io.Reader) (JobSpec, error) {
+	var spec JobSpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return JobSpec{}, err
+	}
+	return spec, nil
+}
+
 // writeJSON emits a JSON response body.
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -68,10 +82,8 @@ func writeError(w http.ResponseWriter, status int, err error) {
 // status codes: 400 malformed, 429 queue full (with Retry-After), 503
 // draining.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var spec JobSpec
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
+	spec, err := DecodeJobSpec(r.Body)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
 		return
 	}

@@ -95,6 +95,10 @@ type Server struct {
 	order  []string // creation order, for retention eviction
 	nextID uint64
 
+	// extCache, when set, replaces the plain result cache on job pools
+	// (see SetCacheWrapper); nil means jobs use s.cache directly.
+	extCache runner.ExternalCache
+
 	// testExec, when set by tests in this package, replaces real job
 	// execution with a deterministic stand-in.
 	testExec func(ctx context.Context, j *Job) (*JobResult, error)
@@ -146,6 +150,14 @@ func (s *Server) Start() {
 
 // Workers returns the simulation concurrency bound.
 func (s *Server) Workers() int { return cap(s.sem) }
+
+// SetCacheWrapper interposes wrap's return value between job pools and
+// the server's result cache — the fault-injection harness wraps the
+// cache with panics, stalls and evictions this way. The wrapper is
+// built once, so its counters span all jobs. Call before Start.
+func (s *Server) SetCacheWrapper(wrap func(runner.ExternalCache) runner.ExternalCache) {
+	s.extCache = wrap(s.cache)
+}
 
 // Cache exposes the shared result cache (for load reports and tests).
 func (s *Server) Cache() *ResultCache { return s.cache }
@@ -358,7 +370,11 @@ func (s *Server) execute(ctx context.Context, j *Job) (res *JobResult, err error
 		return nil, err
 	}
 	pool := runner.NewShared(s.sem)
-	pool.UseCache(s.cache)
+	if s.extCache != nil {
+		pool.UseCache(s.extCache)
+	} else {
+		pool.UseCache(s.cache)
+	}
 	pool.SetCellHook(func(ev runner.CellEvent) {
 		s.mCellWall.Observe(uint64(ev.WallNS) / 1000)
 		j.cellDone(ev)

@@ -80,19 +80,22 @@ func getStatus(t *testing.T, ts *httptest.Server, id string) JobStatus {
 	return st
 }
 
-// waitTerminal polls until the job leaves the live states.
-func waitTerminal(t *testing.T, ts *httptest.Server, id string) JobStatus {
+// waitTerminal blocks on the job's done channel — closed strictly after
+// the terminal state is published — then snapshots the status over HTTP.
+// Event-driven, so it stays reliable under -race -count=5 load where
+// poll loops flake.
+func waitTerminal(t *testing.T, s *Server, ts *httptest.Server, id string) JobStatus {
 	t.Helper()
-	deadline := time.Now().Add(60 * time.Second)
-	for time.Now().Before(deadline) {
-		st := getStatus(t, ts, id)
-		if st.State.Terminal() {
-			return st
-		}
-		time.Sleep(5 * time.Millisecond)
+	j, ok := s.Job(id)
+	if !ok {
+		t.Fatalf("job %s not registered", id)
 	}
-	t.Fatalf("job %s never reached a terminal state", id)
-	return JobStatus{}
+	select {
+	case <-j.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatalf("job %s never reached a terminal state", id)
+	}
+	return getStatus(t, ts, id)
 }
 
 // cheapSpec is a fast real simulation job.
@@ -101,7 +104,7 @@ func cheapSpec(tlb int) JobSpec {
 }
 
 func TestJobLifecycleAndEvents(t *testing.T) {
-	_, ts := startServer(t, Config{Workers: 2})
+	s, ts := startServer(t, Config{Workers: 2})
 	id := submitOK(t, ts, JobSpec{
 		Cells: []CellSpec{
 			{Workload: "stride", TLB: 64},
@@ -147,7 +150,7 @@ func TestJobLifecycleAndEvents(t *testing.T) {
 		t.Fatalf("%d cell events for 2 distinct cells", len(cellEvents))
 	}
 
-	st := waitTerminal(t, ts, id)
+	st := waitTerminal(t, s, ts, id)
 	if st.State != StateDone {
 		t.Fatalf("state %s: %s", st.State, st.Error)
 	}
@@ -166,9 +169,9 @@ func TestJobLifecycleAndEvents(t *testing.T) {
 }
 
 func TestExperimentJobRendersTables(t *testing.T) {
-	_, ts := startServer(t, Config{})
+	s, ts := startServer(t, Config{})
 	id := submitOK(t, ts, JobSpec{Experiments: []string{"tlbtime"}, Scale: "small"})
-	st := waitTerminal(t, ts, id)
+	st := waitTerminal(t, s, ts, id)
 	if st.State != StateDone {
 		t.Fatalf("state %s: %s", st.State, st.Error)
 	}
@@ -218,8 +221,10 @@ func TestOverloadReturns429WithRetryAfter(t *testing.T) {
 	const queueCap = 3
 	s, ts := startServer(t, Config{QueueCap: queueCap, JobWorkers: 1})
 	block := make(chan struct{})
+	started := make(chan struct{}, 16)
 	s.testExec = func(ctx context.Context, j *Job) (*JobResult, error) {
 		j.start(0)
+		started <- struct{}{}
 		select {
 		case <-block:
 			return &JobResult{}, nil
@@ -227,41 +232,39 @@ func TestOverloadReturns429WithRetryAfter(t *testing.T) {
 			return nil, ctx.Err()
 		}
 	}
-	// One job occupies the single executor; the next queueCap fill the
-	// queue; everything beyond must bounce with 429 + Retry-After.
+	// The first job occupies the single executor — wait until it has
+	// been dequeued, so the queue is observably empty before filling it.
+	// Then queueCap more fill the queue exactly, and every submission
+	// beyond that must bounce with 429 + Retry-After.
 	var ids []string
-	for i := 0; i < 1+queueCap; i++ {
+	ids = append(ids, submitOK(t, ts, cheapSpec(64)))
+	<-started
+	for i := 0; i < queueCap; i++ {
 		ids = append(ids, submitOK(t, ts, cheapSpec(64)))
 	}
-	// The executor pickup races with the queue filling; allow one
-	// in-between admit, then require rejection.
-	rejections := 0
 	for i := 0; i < 3; i++ {
 		resp := postJob(t, ts, cheapSpec(64))
-		if resp.StatusCode == http.StatusTooManyRequests {
-			rejections++
-			if ra := resp.Header.Get("Retry-After"); ra == "" {
-				t.Error("429 without Retry-After")
-			}
-			var doc struct {
-				Error string `json:"error"`
-			}
-			if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil || doc.Error == "" {
-				t.Errorf("429 without JSON error: %v", err)
-			}
-		} else if resp.StatusCode != http.StatusAccepted {
-			t.Errorf("overflow submit %d: HTTP %d", i, resp.StatusCode)
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Errorf("overflow submit %d: HTTP %d, want 429", i, resp.StatusCode)
+			resp.Body.Close()
+			continue
+		}
+		if ra := resp.Header.Get("Retry-After"); ra == "" {
+			t.Error("429 without Retry-After")
+		}
+		var doc struct {
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil || doc.Error == "" {
+			t.Errorf("429 without JSON error: %v", err)
 		}
 		resp.Body.Close()
-	}
-	if rejections == 0 {
-		t.Fatal("no submission was rejected at queue capacity")
 	}
 
 	// Admitted jobs all complete once unblocked.
 	close(block)
 	for _, id := range ids {
-		if st := waitTerminal(t, ts, id); st.State != StateDone {
+		if st := waitTerminal(t, s, ts, id); st.State != StateDone {
 			t.Errorf("job %s: %s (%s)", id, st.State, st.Error)
 		}
 	}
@@ -327,15 +330,15 @@ func TestCancelAndDeadlineReleaseWorkers(t *testing.T) {
 	baseline := runtime.NumGoroutine()
 
 	// A held cancelable job.
+	started := make(chan struct{}, 4)
 	s.testExec = func(ctx context.Context, j *Job) (*JobResult, error) {
 		j.start(0)
+		started <- struct{}{}
 		<-ctx.Done()
 		return nil, ctx.Err()
 	}
 	id := submitOK(t, ts, cheapSpec(64))
-	for getStatus(t, ts, id).State != StateRunning {
-		time.Sleep(time.Millisecond)
-	}
+	<-started
 	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -345,20 +348,20 @@ func TestCancelAndDeadlineReleaseWorkers(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if st := waitTerminal(t, ts, id); st.State != StateCanceled {
+	if st := waitTerminal(t, s, ts, id); st.State != StateCanceled {
 		t.Fatalf("canceled job state %s", st.State)
 	}
 
 	// A deadline job.
 	id2 := submitOK(t, ts, JobSpec{Cells: []CellSpec{{Workload: "stride"}}, Scale: "small", TimeoutMS: 20})
-	if st := waitTerminal(t, ts, id2); st.State != StateCanceled {
+	if st := waitTerminal(t, s, ts, id2); st.State != StateCanceled {
 		t.Fatalf("deadline job state %s (%s)", st.State, st.Error)
 	}
 
 	// The executor slot is free again: a real job completes.
 	s.testExec = nil
 	id3 := submitOK(t, ts, cheapSpec(64))
-	if st := waitTerminal(t, ts, id3); st.State != StateDone {
+	if st := waitTerminal(t, s, ts, id3); st.State != StateDone {
 		t.Fatalf("post-cancel job state %s (%s)", st.State, st.Error)
 	}
 
@@ -395,10 +398,10 @@ func TestCancelQueuedJob(t *testing.T) {
 	}
 	j.Cancel()
 	close(release)
-	if st := waitTerminal(t, ts, queued); st.State != StateCanceled {
+	if st := waitTerminal(t, s, ts, queued); st.State != StateCanceled {
 		t.Errorf("queued-then-canceled job: %s", st.State)
 	}
-	if st := waitTerminal(t, ts, blocker); st.State != StateDone {
+	if st := waitTerminal(t, s, ts, blocker); st.State != StateDone {
 		t.Errorf("blocker job: %s (%s)", st.State, st.Error)
 	}
 }
@@ -410,7 +413,7 @@ func TestPanickingJobFailsAlone(t *testing.T) {
 		panic("deliberate test panic")
 	}
 	id := submitOK(t, ts, cheapSpec(64))
-	st := waitTerminal(t, ts, id)
+	st := waitTerminal(t, s, ts, id)
 	if st.State != StateFailed || !strings.Contains(st.Error, "deliberate test panic") {
 		t.Fatalf("panicking job: state %s, error %q", st.State, st.Error)
 	}
@@ -418,7 +421,7 @@ func TestPanickingJobFailsAlone(t *testing.T) {
 	// The executor survived; the next job runs.
 	s.testExec = nil
 	id2 := submitOK(t, ts, cheapSpec(64))
-	if st := waitTerminal(t, ts, id2); st.State != StateDone {
+	if st := waitTerminal(t, s, ts, id2); st.State != StateDone {
 		t.Fatalf("job after panic: %s (%s)", st.State, st.Error)
 	}
 }
@@ -508,7 +511,7 @@ func TestConcurrentClientsShareCache(t *testing.T) {
 			defer wg.Done()
 			for k := 0; k < perClient; k++ {
 				id := submitOK(t, ts, specs[(i+k)%len(specs)])
-				st := waitTerminal(t, ts, id)
+				st := waitTerminal(t, s, ts, id)
 				if st.State != StateDone {
 					mu.Lock()
 					failures = append(failures, fmt.Sprintf("%s: %s (%s)", id, st.State, st.Error))

@@ -151,8 +151,22 @@ type System struct {
 	VM     *vm.VM
 	CPU    *cpu.CPU
 
+	// OnRunEnd, when set, fires at the end of Run after the workload and
+	// process exit complete, before the result is returned — the
+	// invariant harness's final whole-machine audit point.
+	OnRunEnd func()
+
 	obs *obs.Obs // attached session, nil when unobserved
 }
+
+// OnNewSystem, when set, is invoked with every system New assembles,
+// immediately after wiring completes. The invariant harness installs
+// itself here so a single -check flag covers every entry path — direct
+// sims, runner pools, and serve jobs — without touching Config (cell
+// cache keys must not change). Runner pools assemble systems from
+// multiple goroutines, so the hook must be safe for concurrent calls;
+// set it before any simulation starts.
+var OnNewSystem func(*System)
 
 // Observe attaches an observability session to an assembled machine:
 // the timeline's clock becomes the CPU cycle count and every layer —
@@ -243,6 +257,9 @@ func New(cfg Config) *System {
 	// Explicit shootdown hook: OS translation changes drop the CPU's
 	// fast-path memo directly, on top of the generation checks.
 	s.VM.OnShootdown = s.CPU.FlushMemo
+	if OnNewSystem != nil {
+		OnNewSystem(s)
+	}
 	return s
 }
 
@@ -296,6 +313,10 @@ func (s *System) Run(w workload.Workload) Result {
 	w.Run(s.CPU)
 
 	s.CPU.Charge(s.Kernel.ExitProcess(), cpu.KernelTime)
+
+	if s.OnRunEnd != nil {
+		s.OnRunEnd()
+	}
 
 	res := Result{
 		Label:        s.Cfg.Label,

@@ -364,6 +364,20 @@ func (t *TLB) PurgeRange(base, size uint64) int {
 	return n
 }
 
+// VisitValid calls fn with a copy of every valid entry. It does not
+// touch stats, NRU state, or the generation, so external checkers (the
+// invariant harness) can audit TLB contents without perturbing the
+// simulation.
+func (t *TLB) VisitValid(fn func(Entry)) {
+	for si := range t.sets {
+		for i := range t.sets[si].entries {
+			if t.sets[si].entries[i].Valid {
+				fn(t.sets[si].entries[i])
+			}
+		}
+	}
+}
+
 // ValidCount returns the number of valid entries.
 func (t *TLB) ValidCount() int {
 	n := 0

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"shadowtlb/internal/arch"
+)
+
+// header returns a valid trace header.
+func header() []byte {
+	var hdr [6]byte
+	binary.LittleEndian.PutUint32(hdr[:4], Magic)
+	hdr[4] = Version
+	hdr[5] = arch.PageShift
+	return hdr[:]
+}
+
+// encode serializes one record the way Writer does.
+func encode(r Record) []byte {
+	var buf [recordBytes]byte
+	buf[0] = byte(r.Kind)
+	buf[1] = r.Size
+	binary.LittleEndian.PutUint64(buf[2:], r.A)
+	binary.LittleEndian.PutUint64(buf[10:], r.B)
+	return buf[:]
+}
+
+// FuzzReader feeds arbitrary bytes to the v1 parser. The contract under
+// test: the parser never panics, always terminates, and fails only with
+// the documented sentinel errors (or io.EOF at a clean record
+// boundary) — a fuzzer finding any other error or a hang has found a
+// parser bug.
+func FuzzReader(f *testing.F) {
+	// A valid empty trace, a valid one-record trace, and each header
+	// rejection class.
+	f.Add(header())
+	f.Add(append(header(), encode(Record{Kind: KindLoad, Size: 8, A: 0x10000})...))
+	f.Add(append(header(), encode(Record{Kind: KindAllocAligned, A: 1 << 22, B: 1<<22<<32 | 64})...))
+	f.Add(append(header(), 0xFF))                                          // truncated record
+	f.Add(append(header(), encode(Record{Kind: KindAllocAligned + 1})...)) // unknown kind
+	f.Add([]byte{})                                                        // truncated header
+	f.Add([]byte("MTLB"))                                                  // magic only
+	f.Add([]byte{0x42, 0x4C, 0x54, 0x4D, 2, arch.PageShift})               // bad version
+	f.Add([]byte{0x42, 0x4C, 0x54, 0x4D, 1, 13})                           // wrong page shift
+	f.Add([]byte("not a trace file at all....."))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrBadVersion) &&
+				!errors.Is(err, ErrArchMismatch) && !errors.Is(err, ErrTruncated) {
+				t.Fatalf("NewReader: non-sentinel error %v", err)
+			}
+			return
+		}
+		for i := 0; ; i++ {
+			rec, err := r.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrBadRecord) {
+					t.Fatalf("Next: non-sentinel error %v", err)
+				}
+				return
+			}
+			if rec.Kind > KindAllocAligned {
+				t.Fatalf("Next returned invalid kind %d without error", rec.Kind)
+			}
+			if i > len(data)/recordBytes {
+				t.Fatalf("more records than the stream can hold: %d from %d bytes", i, len(data))
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip drives Writer→Reader with arbitrary record fields: any
+// record the writer accepts must read back identical (kinds are clamped
+// into the valid range; the writer does not validate, the format does).
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint8(0), uint8(8), uint64(0x10000), uint64(0))
+	f.Add(uint8(6), uint8(0), uint64(1<<22), uint64(1<<54|64))
+	f.Add(uint8(2), uint8(0), uint64(120), uint64(0))
+
+	f.Fuzz(func(t *testing.T, kind, size uint8, a, b uint64) {
+		rec := Record{Kind: Kind(kind % 7), Size: size, A: a, B: b}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Write(rec)
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := ReadAll(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("ReadAll of a written trace: %v", err)
+		}
+		if len(recs) != 1 || recs[0] != rec {
+			t.Fatalf("round trip: wrote %+v, read %+v", rec, recs)
+		}
+	})
+}

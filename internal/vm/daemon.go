@@ -74,7 +74,19 @@ func (v *VM) ReclaimFrames(target uint64) (cycles stats.Cycles, err error) {
 	if freed == 0 {
 		return cycles, fmt.Errorf("vm: out of memory: nothing reclaimable (target %d frames)", target)
 	}
+	v.notifyOp("reclaim")
 	return cycles, nil
+}
+
+// Superpages returns a snapshot of every superpage across regions, in
+// region order. The fault injector uses it to pick forced page-out
+// victims; the slice is a copy, safe to hold across VM mutations.
+func (v *VM) Superpages() []Superpage {
+	var sps []Superpage
+	for _, r := range v.regions {
+		sps = append(sps, r.Superpages...)
+	}
+	return sps
 }
 
 // superpageCount returns the total superpages across regions.

@@ -99,6 +99,7 @@ func (v *VM) Remap(base arch.VAddr, size uint64) (RemapResult, error) {
 		if err != nil {
 			return res, err
 		}
+		v.notifyOp("remap.superpage")
 		addr += arch.VAddr(class.Bytes())
 	}
 	res.SkippedTail = uint64(end - addr)

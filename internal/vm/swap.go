@@ -98,6 +98,7 @@ func (v *VM) SwapOutSuperpage(sp Superpage, g SwapGranularity) (SwapResult, erro
 		v.SwapOuts++
 	}
 	v.shootdown()
+	v.notifyOp("swap.out")
 	return res, nil
 }
 
@@ -156,6 +157,7 @@ func (v *VM) HandleShadowFault(f *core.ShadowFault) (stats.Cycles, error) {
 			cycles += stats.Cycles(v.Kernel.Costs.ZeroFillPerLine * (arch.PageSize / arch.LineSize))
 		}
 	}
+	v.notifyOp("swap.in")
 	return cycles, nil
 }
 

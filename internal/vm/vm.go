@@ -81,6 +81,14 @@ type VM struct {
 	// that already make stale use impossible.
 	OnShootdown func()
 
+	// OnOp, when set, fires after each OS mutation completes with the
+	// machine in a consistent state: "remap.superpage" (one superpage
+	// built), "swap.out", "swap.in" (shadow-fault recovery), and
+	// "reclaim" (page-out daemon sweep). The invariant harness audits at
+	// these points and the fault injector uses them to time shootdowns;
+	// hooks must not call back into VM mutators.
+	OnOp func(op string)
+
 	regions   []*Region
 	nextVA    arch.VAddr
 	heapBrk   arch.VAddr
@@ -159,6 +167,13 @@ func (v *VM) HasShadow() bool { return v.STable != nil }
 func (v *VM) shootdown() {
 	if v.OnShootdown != nil {
 		v.OnShootdown()
+	}
+}
+
+// notifyOp fires the OnOp hook at a consistent post-mutation point.
+func (v *VM) notifyOp(op string) {
+	if v.OnOp != nil {
+		v.OnOp(op)
 	}
 }
 
