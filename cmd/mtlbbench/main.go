@@ -44,6 +44,16 @@ type Result struct {
 	Speedup float64      `json:"speedup"` // fast refs/s over slow refs/s
 }
 
+// SchemesResult is the BENCH_schemes.json schema: one throughput
+// measurement per registered translation backend, all on the same cell
+// in the same process so host speed cancels out of cross-scheme
+// comparisons.
+type SchemesResult struct {
+	Cell    string                  `json:"cell"`
+	Scale   string                  `json:"scale"`
+	Schemes map[string]EngineResult `json:"schemes"` // by scheme name
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -58,6 +68,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seconds   = fs.Float64("t", 2.0, "minimum seconds to run each engine")
 		baseline  = fs.String("baseline", "", "baseline JSON to compare the speedup against")
 		tolerance = fs.Float64("tolerance", 0.2, "allowed fractional speedup regression vs baseline")
+		schemes   = fs.String("schemes", "", "also measure every translation scheme and write refs/sec per scheme to this JSON `file`")
 	)
 	// Host profiling only: simulation-side observability (-metrics,
 	// -timeline) would perturb the throughput being measured.
@@ -101,10 +112,78 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "cell %s: fast %.2fM refs/s, slow %.2fM refs/s, speedup %.2fx\n",
 		res.Cell, res.Fast.RefsPerSec/1e6, res.Slow.RefsPerSec/1e6, res.Speedup)
 
+	if *schemes != "" {
+		sres := measureSchemes(scale, *seconds)
+		f, err := os.Create(*schemes)
+		if err != nil {
+			fmt.Fprintf(stderr, "mtlbbench: %v\n", err)
+			return 1
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		werr := enc.Encode(sres)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "mtlbbench: %v\n", werr)
+			return 1
+		}
+		for _, name := range core.SchemeNames() {
+			fmt.Fprintf(stdout, "scheme %-10s %.2fM refs/s\n",
+				name, sres.Schemes[name].RefsPerSec/1e6)
+		}
+	}
+
 	if *baseline != "" {
 		return compare(stdout, stderr, res, *baseline, *tolerance)
 	}
 	return 0
+}
+
+// measureSchemes runs the bench cell once per registered backend in
+// round-robin rounds until every scheme has minSeconds of wall time,
+// keeping each scheme's best round — the same noise discipline as
+// measure, extended across the scheme axis.
+func measureSchemes(scale exp.Scale, minSeconds float64) SchemesResult {
+	res := SchemesResult{
+		Cell:    "fig3/em3d/tlb64+mtlb128",
+		Scale:   scale.String(),
+		Schemes: make(map[string]EngineResult),
+	}
+	runCell := func(scheme string) (uint64, float64) {
+		cfg := sim.Default().WithTLB(64).WithMTLB(core.DefaultMTLBConfig()).WithScheme(scheme)
+		w, err := exp.MakeWorkload("em3d", scale)
+		if err != nil {
+			panic(err) // em3d is always registered
+		}
+		s := sim.New(cfg)
+		start := time.Now()
+		s.Run(w)
+		return s.CPU.Loads + s.CPU.Stores, time.Since(start).Seconds()
+	}
+	names := core.SchemeNames()
+	for {
+		done := true
+		for _, name := range names {
+			r := res.Schemes[name]
+			if r.Seconds >= minSeconds {
+				continue
+			}
+			done = false
+			refs, secs := runCell(name)
+			r.Refs = refs
+			r.Runs++
+			r.Seconds += secs
+			if rps := float64(refs) / secs; rps > r.RefsPerSec {
+				r.RefsPerSec = rps
+			}
+			res.Schemes[name] = r
+		}
+		if done {
+			return res
+		}
+	}
 }
 
 // measure runs the cell with the two engines in alternating rounds

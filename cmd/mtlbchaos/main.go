@@ -24,6 +24,7 @@ import (
 	"os"
 
 	"shadowtlb/internal/arch"
+	"shadowtlb/internal/core"
 	"shadowtlb/internal/exp"
 	"shadowtlb/internal/faultinject"
 	"shadowtlb/internal/invariant"
@@ -56,6 +57,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cells := registeredCells(sc)
 	if *cellsN > 0 && len(cells) > *cellsN {
 		cells = cells[:*cellsN]
+	}
+	if !*plant {
+		cells = ensureSchemeCoverage(cells, sc)
 	}
 	if len(cells) == 0 {
 		fmt.Fprintln(stderr, "mtlbchaos: no cells registered")
@@ -158,6 +162,28 @@ func registeredCells(sc exp.Scale) []exp.Cell {
 			seen[k] = struct{}{}
 			cells = append(cells, c)
 		}
+	}
+	return cells
+}
+
+// ensureSchemeCoverage guarantees the sweep audits every registered
+// translation backend (the translator.coherent invariant in
+// particular), even when -cells bounds the run below the point in
+// registration order where the schemes family's cells appear: one
+// canonical MTLB-fitted cell per still-uncovered scheme is appended.
+func ensureSchemeCoverage(cells []exp.Cell, sc exp.Scale) []exp.Cell {
+	covered := make(map[string]bool)
+	for _, c := range cells {
+		if c.Cfg.MTLB != nil {
+			covered[core.NormalizeScheme(c.Cfg.Scheme)] = true
+		}
+	}
+	for _, scheme := range core.SchemeNames() {
+		if covered[scheme] {
+			continue
+		}
+		cfg := sim.Default().WithTLB(64).WithMTLB(core.DefaultMTLBConfig()).WithScheme(scheme)
+		cells = append(cells, exp.NewCell(cfg, "em3d", sc))
 	}
 	return cells
 }

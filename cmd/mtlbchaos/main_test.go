@@ -3,6 +3,9 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"shadowtlb/internal/core"
+	"shadowtlb/internal/exp"
 )
 
 // TestChaosCleanRun runs a bounded chaos sweep: a handful of cells,
@@ -25,6 +28,51 @@ func TestChaosCleanRun(t *testing.T) {
 	}
 	if strings.Contains(sum, "shootdowns=0 ") {
 		t.Fatalf("no shootdowns injected — plans did not fire:\n%s", sum)
+	}
+}
+
+// TestSchemeCoverageGuaranteed pins the sweep's backend coverage: even
+// a -cells bound small enough to exclude the schemes family must still
+// audit every registered translation backend, so translator.coherent
+// runs against all of them under fault plans.
+func TestSchemeCoverageGuaranteed(t *testing.T) {
+	cells := registeredCells(exp.Small)[:2]
+	cells = ensureSchemeCoverage(cells, exp.Small)
+	covered := make(map[string]bool)
+	for _, c := range cells {
+		if c.Cfg.MTLB != nil {
+			covered[core.NormalizeScheme(c.Cfg.Scheme)] = true
+		}
+	}
+	for _, scheme := range core.SchemeNames() {
+		if !covered[scheme] {
+			t.Errorf("scheme %q not covered by the bounded sweep", scheme)
+		}
+	}
+	// A full registry walk already contains every backend (the schemes
+	// family registers last): nothing may be appended then.
+	full := registeredCells(exp.Small)
+	if got := ensureSchemeCoverage(full, exp.Small); len(got) != len(full) {
+		t.Errorf("full sweep grew from %d to %d cells", len(full), len(got))
+	}
+}
+
+// TestChaosSchemeSweepClean runs each non-default backend's canonical
+// cell under fault plans and expects zero invariant violations — the
+// chaos-side proof that the new backends survive shootdown storms,
+// forced page-outs and mid-remap purges.
+func TestChaosSchemeSweepClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep is seconds-long; skipped under -short")
+	}
+	// -cells 1 keeps only one registry cell; coverage appending then
+	// adds one cell per backend, so every scheme runs all plans.
+	var out, errOut strings.Builder
+	if code := run([]string{"-cells", "1", "-plans", "2", "-seed", "11"}, &out, &errOut); code != 0 {
+		t.Fatalf("scheme chaos sweep exited %d:\n%s%s", code, out.String(), errOut.String())
+	}
+	if errOut.Len() > 0 {
+		t.Fatalf("scheme chaos sweep produced failures:\n%s", errOut.String())
 	}
 }
 

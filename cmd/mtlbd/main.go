@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"shadowtlb/internal/core"
 	"shadowtlb/internal/invariant"
 	"shadowtlb/internal/serve"
 )
@@ -58,8 +59,14 @@ func run(args []string, sig <-chan os.Signal, ready chan<- string, stdout, stder
 		timeout = fs.Duration("timeout", 5*time.Minute, "default per-job deadline")
 		drain   = fs.Duration("drain", 10*time.Minute, "max time to wait for in-flight jobs on shutdown")
 		chk     = fs.Bool("check", false, "audit machine invariants during every simulation (panics on violation; slower)")
+		scheme  = fs.String("scheme", "", "default translation backend for cell specs that leave scheme unset (empty = "+core.DefaultScheme+")")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if !core.HasScheme(*scheme) {
+		_, err := core.NewTranslator(*scheme, core.MTLBConfig{}, core.TranslatorDeps{})
+		fmt.Fprintf(stderr, "mtlbd: %v\n", err)
 		return 2
 	}
 	if *chk {
@@ -72,6 +79,7 @@ func run(args []string, sig <-chan os.Signal, ready chan<- string, stdout, stder
 		QueueCap:       *queue,
 		CacheEntries:   *cache,
 		DefaultTimeout: *timeout,
+		DefaultScheme:  *scheme,
 	})
 	srv.Start()
 

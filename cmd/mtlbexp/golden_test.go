@@ -50,3 +50,46 @@ func TestGoldenTables(t *testing.T) {
 		})
 	}
 }
+
+// TestGoldenAllSmallDefaultScheme is the Translator-refactor
+// differential guard: testdata/all_small.golden is the full
+// `mtlbexp -exp all -scale small` output captured BEFORE the MMC
+// translation path moved behind the core.Translator interface. The
+// refactored simulator — with the default scheme, whether selected
+// implicitly or via -scheme mtlb — must reproduce every pre-refactor
+// experiment byte-for-byte: the baseline must be an exact byte prefix
+// of today's output, and the only permitted addition is the schemes
+// head-to-head family registered after the capture (it appends at the
+// end because "-exp all" emits in registration order). Unlike fig3/fig4
+// above, this golden is deliberately not -update-able: it is a frozen
+// baseline, so a diff here means the refactor changed simulated
+// behavior.
+func TestGoldenAllSmallDefaultScheme(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment runs; skipped under -short")
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "all_small.golden"))
+	if err != nil {
+		t.Fatalf("missing pre-refactor baseline: %v", err)
+	}
+	for _, args := range [][]string{
+		{"-exp", "all", "-scale", "small"},
+		{"-exp", "all", "-scale", "small", "-scheme", "mtlb"},
+	} {
+		var out, errb strings.Builder
+		if code := run(args, &out, &errb); code != 0 {
+			t.Fatalf("%v: exit %d, stderr: %s", args, code, errb.String())
+		}
+		got := out.String()
+		if !strings.HasPrefix(got, string(want)) {
+			t.Errorf("%v diverged from the pre-refactor baseline\n--- got ---\n%s--- want (prefix) ---\n%s",
+				args, got, want)
+			continue
+		}
+		rest := got[len(want):]
+		if !strings.HasPrefix(rest, "==== schemes ====\n") {
+			t.Errorf("%v: unexpected output after the baseline (only the schemes family may follow):\n%s",
+				args, rest)
+		}
+	}
+}

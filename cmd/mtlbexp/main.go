@@ -21,8 +21,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"shadowtlb/internal/cmdutil"
+	"shadowtlb/internal/core"
 	"shadowtlb/internal/exp"
 	"shadowtlb/internal/exp/runner"
 	"shadowtlb/internal/stats"
@@ -42,7 +44,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		csv      = fs.Bool("csv", false, "emit CSV instead of text tables")
 		jsonOut  = fs.Bool("json", false, "emit the run manifest as JSON instead of tables")
 		parallel = fs.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
-		list     = fs.Bool("list", false, "list registered experiment ids and exit")
+		list     = fs.Bool("list", false, "list registered experiment ids and translation schemes, then exit")
+		scheme   = fs.String("scheme", "", "MMC translation scheme for MTLB-fitted systems (empty = "+core.DefaultScheme+"; -list to enumerate)")
 		pstats   = fs.Bool("stats", false, "report cell-cache effectiveness on stderr")
 		server   = fs.String("server", "", "offload the run to an mtlbd daemon at `URL` (output is byte-identical to local)")
 	)
@@ -52,10 +55,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *list {
+		fmt.Fprintln(stdout, "experiments:")
 		for _, d := range exp.Descriptors() {
-			fmt.Fprintf(stdout, "%-20s %s\n", d.ID, d.Title)
+			fmt.Fprintf(stdout, "  %-20s %s\n", d.ID, d.Title)
 		}
+		fmt.Fprintf(stdout, "schemes: %s\n", strings.Join(core.SchemeNames(), ", "))
 		return 0
+	}
+
+	if err := exp.SetScheme(*scheme); err != nil {
+		fmt.Fprintf(stderr, "mtlbexp: %v\n", err)
+		return 2
 	}
 
 	s, err := exp.ParseScale(*scale)

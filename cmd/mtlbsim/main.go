@@ -52,6 +52,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		promote = fs.Bool("promote", false, "enable online superpage promotion")
 		frames  = fs.Uint64("frames", 0, "cap user frames (0 = all; small values force paging)")
 		banks   = fs.Int("banks", 0, "DRAM banks for open-row timing (0 = flat latency)")
+		scheme  = fs.String("scheme", "", "MMC translation scheme (empty = "+core.DefaultScheme+")")
 		jsonOut = fs.Bool("json", false, "emit the result as JSON instead of text")
 	)
 	obsF := cmdutil.RegisterCommonFlags(fs)
@@ -65,6 +66,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if !core.HasScheme(*scheme) {
+		_, err := core.NewTranslator(*scheme, core.MTLBConfig{}, core.TranslatorDeps{})
+		fmt.Fprintf(stderr, "mtlbsim: %v\n", err)
+		return 2
+	}
+
 	cfg := sim.Default()
 	cfg.DRAMBytes = *dram * arch.MB
 	cfg = cfg.WithTLB(*tlbSize)
@@ -73,6 +80,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// so no clamping is needed here.
 		cfg = cfg.WithMTLB(core.MTLBConfig{Entries: *mtlbN, Ways: *ways})
 	}
+	cfg = cfg.WithScheme(*scheme)
 	cfg.UseBuddy = *buddy
 	cfg.NoCheckCycle = *nocheck
 	cfg.StreamBuffers = *streams

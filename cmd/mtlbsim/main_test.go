@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"shadowtlb/internal/core"
 )
 
 func TestUnknownWorkloadListsValidNames(t *testing.T) {
@@ -30,6 +32,37 @@ func TestUnknownSizeListsValidNames(t *testing.T) {
 	}
 	if msg := errb.String(); !strings.Contains(msg, "paper") || !strings.Contains(msg, "small") {
 		t.Errorf("error %q does not list valid sizes", msg)
+	}
+}
+
+// TestUnknownSchemeListsRegistered pins the exit-2 contract: a scheme
+// the registry does not know fails fast, before any simulation, with a
+// message enumerating the valid set.
+func TestUnknownSchemeListsRegistered(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-workload", "radix", "-size", "small", "-mtlb", "128", "-scheme", "nope"}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	msg := errb.String()
+	for _, name := range append([]string{"nope"}, core.SchemeNames()...) {
+		if !strings.Contains(msg, name) {
+			t.Errorf("error %q does not mention %q", msg, name)
+		}
+	}
+}
+
+// TestSchemeSelectsBackend runs a non-default backend end to end and
+// checks the config label and result name it.
+func TestSchemeSelectsBackend(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-workload", "stride", "-size", "small", "-tlb", "64",
+		"-mtlb", "128", "-scheme", core.SchemeSpill}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "+"+core.SchemeSpill) {
+		t.Errorf("config label does not name the scheme:\n%s", out.String())
 	}
 }
 

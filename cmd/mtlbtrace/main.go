@@ -46,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tlbSize  = fs.Int("tlb", 96, "CPU TLB entries for record/replay")
 		mtlbN    = fs.Int("mtlb", 0, "MTLB entries (0 = no MTLB)")
 		ways     = fs.Int("ways", 2, "MTLB associativity")
+		scheme   = fs.String("scheme", "", "translation backend for MTLB systems (empty = "+core.DefaultScheme+")")
 		sbrkSup  = fs.Bool("sbrksp", false, "replay with superpage sbrk semantics")
 		maxPrint = fs.Int("n", 20, "records to print with -dump")
 		jsonOut  = fs.Bool("json", false, "emit the simulation result as JSON")
@@ -55,11 +56,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if !core.HasScheme(*scheme) {
+		_, err := core.NewTranslator(*scheme, core.MTLBConfig{}, core.TranslatorDeps{})
+		fmt.Fprintf(stderr, "mtlbtrace: %v\n", err)
+		return 2
+	}
+
 	// sim.New normalizes the MTLB geometry (core.MTLBConfig.Normalize),
 	// so -ways needs no clamping here.
 	cfg := sim.Default().WithTLB(*tlbSize)
 	if *mtlbN > 0 {
-		cfg = cfg.WithMTLB(core.MTLBConfig{Entries: *mtlbN, Ways: *ways})
+		cfg = cfg.WithMTLB(core.MTLBConfig{Entries: *mtlbN, Ways: *ways}).WithScheme(*scheme)
 	}
 	cfg.NoFastPath = obsF.NoFastPath()
 

@@ -91,10 +91,10 @@ func rebuild(s *sim.System, r *vm.Region) {
 	sp := r.Superpages[0]
 	for p := 0; p < sp.Class.BasePages(); p++ {
 		spa := sp.Shadow + arch.PAddr(p*arch.PageSize)
-		if s.MTLB.Table().Get(spa).Valid {
+		if s.Translator.Table().Get(spa).Valid {
 			continue
 		}
-		if _, err := s.MTLB.Translate(spa, false); err != nil {
+		if _, err := s.Translator.Translate(spa, false); err != nil {
 			if sf, ok := err.(*core.ShadowFault); ok {
 				if _, ferr := s.VM.HandleShadowFault(sf); ferr != nil {
 					panic(ferr)

@@ -48,6 +48,7 @@ type MTLB struct {
 	cfg   MTLBConfig
 	cache *tlb.TLB
 	table *ShadowTable
+	costs TranslatorCosts
 
 	// Stats counts translation lookups in the MTLB cache.
 	Stats stats.HitMiss
@@ -57,7 +58,17 @@ type MTLB struct {
 	Faults uint64
 }
 
-// NewMTLB builds an MTLB over the given shadow table.
+func init() {
+	RegisterScheme(DefaultScheme, func(cfg MTLBConfig, deps TranslatorDeps) Translator {
+		m := NewMTLB(cfg, deps.Table)
+		m.costs = deps.Costs
+		return m
+	})
+}
+
+// NewMTLB builds an MTLB over the given shadow table with default fill
+// pricing (sim assembly prices from the configured MMC timing instead,
+// via the scheme factory).
 func NewMTLB(cfg MTLBConfig, table *ShadowTable) *MTLB {
 	if cfg.Entries <= 0 || cfg.Ways <= 0 {
 		panic(fmt.Sprintf("core: bad MTLB config %+v", cfg))
@@ -66,6 +77,25 @@ func NewMTLB(cfg MTLBConfig, table *ShadowTable) *MTLB {
 		cfg:   cfg,
 		cache: tlb.New(tlb.SetAssociative(cfg.Entries, cfg.Ways)),
 		table: table,
+		costs: DefaultTranslatorCosts(),
+	}
+}
+
+// Scheme identifies the reference backend.
+func (m *MTLB) Scheme() string { return DefaultScheme }
+
+// Gen returns the shadow table's translation generation: the MTLB cache
+// is pure timing state, so the table is the only invalidation source a
+// memoized translation needs to watch.
+func (m *MTLB) Gen() uint64 { return m.table.Gen() }
+
+// Counters reports the backend counter set.
+func (m *MTLB) Counters() TranslatorStats {
+	return TranslatorStats{
+		Hits:   m.Stats.Hits,
+		Misses: m.Stats.Misses,
+		Fills:  m.Fills,
+		Faults: m.Faults,
 	}
 }
 
@@ -80,12 +110,23 @@ func (m *MTLB) Space() ShadowSpace { return m.table.Space() }
 
 // Translation reports how a shadow address was translated, with the
 // information the MMC timing model needs.
+//
+// Cost accounting rules (DESIGN.md §13): FillMMC is every MMC cycle the
+// lookup cost beyond the per-operation shadow-check cycle the MMC
+// already charges — zero on a hit (the translate folds into the check
+// cycle), the table-read price on a fill, the probe price on a
+// cache-spill hit. The MMC adds FillMMC to the operation verbatim, so a
+// backend's reported cost IS its timing model.
 type Translation struct {
 	Real arch.PAddr // real physical address
-	Hit  bool       // true if the MTLB cache had the mapping
+	Hit  bool       // true if the backend's cache had the mapping
 	// FillAddr is the table entry address the hardware fill engine read
-	// on a miss (a DRAM access the MMC charges); zero on a hit.
+	// on a miss (a DRAM access that displaces the open row in banked
+	// timing); zero when no table read happened.
 	FillAddr arch.PAddr
+	// FillMMC is the MMC cycles this translation cost beyond the check
+	// cycle (see the accounting rules above).
+	FillMMC int
 }
 
 // Translate maps the shadow address pa to a real physical address,
@@ -113,6 +154,7 @@ func (m *MTLB) Translate(pa arch.PAddr, setDirty bool) (Translation, error) {
 		m.Stats.Miss()
 		m.Fills++
 		tr.FillAddr = m.table.EntryAddr(pa)
+		tr.FillMMC = m.costs.TableFill
 		ent := m.table.Get(pa)
 		if !ent.Valid {
 			m.Faults++
@@ -131,12 +173,7 @@ func (m *MTLB) Translate(pa arch.PAddr, setDirty bool) (Translation, error) {
 	// MTLB defers writing these back and reports the timing effect as
 	// negligible (§3.4); we keep the architectural state current and
 	// charge no cycles, matching that assumption.
-	m.table.Update(pa, func(t *TableEntry) {
-		t.Ref = true
-		if setDirty {
-			t.Dirty = true
-		}
-	})
+	markRefDirty(m.table, pa, setDirty)
 	return tr, nil
 }
 

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/cache"
+	"shadowtlb/internal/obs"
+	"shadowtlb/internal/stats"
+	"shadowtlb/internal/tlb"
+)
+
+// SchemeSpill names the cache-spill backend.
+const SchemeSpill = "spill"
+
+func init() {
+	RegisterScheme(SchemeSpill, func(cfg MTLBConfig, deps TranslatorDeps) Translator {
+		return NewSpillMTLB(cfg, deps.Table, deps.Cache, deps.Costs)
+	})
+}
+
+// SpillMTLB is the cache-spill translation backend, after Victima
+// (Kanellopoulos et al.; arXiv:2310.04158): a small set-associative
+// front array backed by victim translations parked in the simulated
+// data cache. When the front array evicts an entry, the backend fills
+// the victim's shadow-table line into the data cache — a real line in a
+// real set, competing for space with the workload's data and evictable
+// by it — and records the victim in a spill directory. A later front
+// miss whose directory entry is still cache-resident resolves with one
+// cache probe (SpillProbe MMC cycles) instead of a full table read
+// (TableFill).
+//
+// Occupancy honesty: spilled lines are inserted through the cache's
+// normal Access path, so they consume ways, evict data lines (dirty
+// victims count as write-backs) and are themselves silently displaced
+// by data traffic — a directory entry whose line was displaced is
+// discovered stale at probe time and the lookup pays the probe plus the
+// full table read. Two simplifications are documented in DESIGN.md §13:
+// the spill insertion itself happens off the critical path (like the
+// write-back victim buffer, no CPU stall), and a data line it displaces
+// drains without re-translating — safe because the displaced line's
+// dirty bit was already set in the shadow table when the line was first
+// dirtied.
+//
+// Spilled table lines are always clean (inserted as read fills; nothing
+// in the machine writes the table region through the cache — the OS
+// writes entries via uncached control-register writes), so their own
+// eviction is silent and never generates a write-back.
+type SpillMTLB struct {
+	cfg   MTLBConfig
+	front *tlb.TLB
+	table *ShadowTable
+	dc    *cache.Cache // simulated data cache; nil degrades to no spilling
+	costs TranslatorCosts
+
+	// spilled is the spill directory: shadow page base → real page base
+	// for victims whose table line was pushed into the data cache.
+	// Entries are dropped lazily when the line is found displaced.
+	spilled map[uint64]uint64
+
+	// Stats counts lookups; a spill-directory hit counts as a hit.
+	Stats stats.HitMiss
+	// Fills counts full table reads; Faults counts invalid entries.
+	Fills  uint64
+	Faults uint64
+	// SpillHits counts lookups served from the data cache; Spills
+	// counts victims parked there; StaleProbes counts directory entries
+	// found displaced by data traffic.
+	SpillHits   uint64
+	Spills      uint64
+	StaleProbes uint64
+}
+
+// NewSpillMTLB builds the backend. dc may be nil (unit tests), in which
+// case every front miss is a full table read.
+func NewSpillMTLB(cfg MTLBConfig, table *ShadowTable, dc *cache.Cache, costs TranslatorCosts) *SpillMTLB {
+	cfg.Normalize()
+	return &SpillMTLB{
+		cfg:     cfg,
+		front:   tlb.New(tlb.SetAssociative(cfg.Entries, cfg.Ways)),
+		table:   table,
+		dc:      dc,
+		costs:   costs,
+		spilled: make(map[uint64]uint64),
+	}
+}
+
+// Scheme identifies the backend.
+func (m *SpillMTLB) Scheme() string { return SchemeSpill }
+
+// Config returns the configured geometry.
+func (m *SpillMTLB) Config() MTLBConfig { return m.cfg }
+
+// Table returns the backing shadow table.
+func (m *SpillMTLB) Table() *ShadowTable { return m.table }
+
+// Space returns the shadow address space.
+func (m *SpillMTLB) Space() ShadowSpace { return m.table.Space() }
+
+// Gen returns the shadow table's translation generation.
+func (m *SpillMTLB) Gen() uint64 { return m.table.Gen() }
+
+// Counters reports the backend counter set.
+func (m *SpillMTLB) Counters() TranslatorStats {
+	return TranslatorStats{
+		Hits:   m.Stats.Hits,
+		Misses: m.Stats.Misses,
+		Fills:  m.Fills,
+		Faults: m.Faults,
+	}
+}
+
+// lineAddrOf returns the cache line a spilled page's table entry lives
+// in, addressed identically in both cache index spaces (the kernel
+// convention: table lines are accessed through an identity mapping).
+func (m *SpillMTLB) lineAddrOf(spa arch.PAddr) (arch.VAddr, arch.PAddr) {
+	entry := m.table.EntryAddr(spa)
+	return arch.VAddr(entry), entry
+}
+
+// resident reports whether spa's table line is still in the data cache.
+func (m *SpillMTLB) resident(spa arch.PAddr) bool {
+	if m.dc == nil {
+		return false
+	}
+	va, pa := m.lineAddrOf(spa)
+	return m.dc.Present(va, pa)
+}
+
+// Translate implements the Translator lookup path: front array, then
+// the spill directory (one cache probe), then a full table read.
+func (m *SpillMTLB) Translate(pa arch.PAddr, setDirty bool) (Translation, error) {
+	pageBase := uint64(pa.PageBase())
+	var tr Translation
+
+	switch {
+	case m.lookupFront(pageBase, pa, &tr):
+		// Front hit: folded into the MMC check cycle.
+	case m.lookupSpilled(pageBase, pa, &tr):
+		// Spill hit: one data-cache probe.
+	default:
+		// Full miss: the hardware fill engine reads the table entry. A
+		// stale directory probe (line displaced by data traffic) has
+		// already been charged into FillMMC by lookupSpilled.
+		m.Stats.Miss()
+		m.Fills++
+		tr.FillAddr = m.table.EntryAddr(pa)
+		tr.FillMMC += m.costs.TableFill
+		ent := m.table.Get(pa)
+		if !ent.Valid {
+			m.Faults++
+			m.table.Update(pa, func(t *TableEntry) { t.Fault = true })
+			return tr, &ShadowFault{Shadow: pa}
+		}
+		m.insertFront(pageBase, uint64(arch.FrameToPAddr(ent.PFN)))
+		tr.Real = arch.FrameToPAddr(ent.PFN) | arch.PAddr(pa.PageOff())
+	}
+
+	markRefDirty(m.table, pa, setDirty)
+	return tr, nil
+}
+
+// lookupFront resolves pa against the front array.
+func (m *SpillMTLB) lookupFront(pageBase uint64, pa arch.PAddr, tr *Translation) bool {
+	e := m.front.Lookup(pageBase)
+	if e == nil {
+		return false
+	}
+	m.Stats.Hit()
+	tr.Hit = true
+	tr.Real = arch.PAddr(e.Translate(uint64(pa)))
+	return true
+}
+
+// lookupSpilled resolves pa against the spill directory. On a live hit
+// it charges one probe, promotes the translation back into the front
+// array (possibly spilling a new victim) and drops the directory entry;
+// the parked line itself stays resident until data traffic displaces
+// it. A stale entry (line displaced) is removed, the wasted probe is
+// charged into tr.FillMMC, and the lookup falls through to a full miss.
+func (m *SpillMTLB) lookupSpilled(pageBase uint64, pa arch.PAddr, tr *Translation) bool {
+	target, ok := m.spilled[pageBase]
+	if !ok {
+		return false
+	}
+	tr.FillMMC += m.costs.SpillProbe
+	if !m.resident(arch.PAddr(pageBase)) {
+		m.StaleProbes++
+		delete(m.spilled, pageBase)
+		return false
+	}
+	m.Stats.Hit()
+	m.SpillHits++
+	delete(m.spilled, pageBase)
+	m.insertFront(pageBase, target)
+	tr.Real = arch.PAddr(target) | arch.PAddr(pa.PageOff())
+	return true
+}
+
+// insertFront installs a mapping in the front array and parks any
+// displaced victim in the data cache.
+func (m *SpillMTLB) insertFront(pageBase, target uint64) {
+	victim := m.front.Insert(tlb.Entry{
+		Class:  arch.Page4K,
+		Tag:    pageBase,
+		Target: target,
+	})
+	if !victim.Valid || victim.Tag == pageBase || m.dc == nil {
+		return
+	}
+	// Park the victim: fill its table line into the data cache through
+	// the normal access path (read ⇒ clean line), claiming a real way
+	// and evicting whatever held it.
+	va, lpa := m.lineAddrOf(arch.PAddr(victim.Tag))
+	m.dc.Access(va, lpa, arch.Read)
+	m.spilled[victim.Tag] = victim.Target
+	m.Spills++
+}
+
+// Purge drops any translation for pa's page from the front array and
+// the spill directory. The parked cache line, if any, is left to age
+// out: it is clean, and nothing translates through it once the
+// directory entry is gone.
+func (m *SpillMTLB) Purge(pa arch.PAddr) bool {
+	pageBase := uint64(pa.PageBase())
+	found := m.front.Purge(pageBase)
+	if _, ok := m.spilled[pageBase]; ok {
+		delete(m.spilled, pageBase)
+		found = true
+	}
+	return found
+}
+
+// PurgeAll drops every cached translation.
+func (m *SpillMTLB) PurgeAll() {
+	m.front.PurgeAll()
+	clear(m.spilled)
+}
+
+// CachedEntries returns front entries plus live (still-resident)
+// directory entries.
+func (m *SpillMTLB) CachedEntries() int {
+	n := m.front.ValidCount()
+	for spa := range m.spilled {
+		if m.resident(arch.PAddr(spa)) {
+			n++
+		}
+	}
+	return n
+}
+
+// VisitCached enumerates the front array and the live portion of the
+// spill directory (entries whose parked line was displaced cannot serve
+// a translation and are skipped, matching lookup behaviour).
+func (m *SpillMTLB) VisitCached(fn func(shadowBase, realBase arch.PAddr)) {
+	m.front.VisitValid(func(e tlb.Entry) {
+		fn(arch.PAddr(e.Tag), arch.PAddr(e.Target))
+	})
+	for spa, target := range m.spilled {
+		if m.resident(arch.PAddr(spa)) {
+			fn(arch.PAddr(spa), arch.PAddr(target))
+		}
+	}
+}
+
+// RegisterMetrics publishes the backend's counters under the shared
+// translator metric names, plus the spill-specific counters.
+func (m *SpillMTLB) RegisterMetrics(r *obs.Registry) {
+	r.CounterFunc("mtlb.hits", func() uint64 { return m.Stats.Hits })
+	r.CounterFunc("mtlb.misses", func() uint64 { return m.Stats.Misses })
+	r.CounterFunc("mtlb.fills", func() uint64 { return m.Fills })
+	r.CounterFunc("mtlb.faults", func() uint64 { return m.Faults })
+	r.GaugeFunc("mtlb.hit_rate", func() float64 { return m.Stats.Rate() })
+	r.GaugeFunc("mtlb.cached_entries", func() float64 { return float64(m.CachedEntries()) })
+	r.CounterFunc("mtlb.spill_hits", func() uint64 { return m.SpillHits })
+	r.CounterFunc("mtlb.spills", func() uint64 { return m.Spills })
+	r.CounterFunc("mtlb.stale_probes", func() uint64 { return m.StaleProbes })
+}

@@ -23,7 +23,9 @@ func testCPU(t *testing.T, withMTLB bool, tlbEntries int) *CPU {
 	hpt := ptable.New(0x180000, 4096)
 	b := bus.New(bus.DefaultConfig())
 
-	var mt *core.MTLB
+	// mt must stay a true nil interface on baseline systems — a wrapped
+	// nil *core.MTLB would read as present to the MMC.
+	var mt core.Translator
 	var stable *core.ShadowTable
 	var alloc core.ShadowAllocator
 	if withMTLB {

@@ -65,11 +65,14 @@ func (c *CPU) FlushMemo() {
 	}
 }
 
-// shadowGen returns the current shadow-table generation, or zero on
-// conventional systems with no shadow memory.
+// shadowGen returns the current translation generation of the MMC's
+// backend, or zero on conventional systems with no shadow memory. The
+// memo validates against the Translator interface's generation, so any
+// backend's invalidation semantics (all current ones delegate to the
+// shadow table) are honoured without the CPU knowing the scheme.
 func (c *CPU) shadowGen() uint64 {
-	if c.VM.STable != nil {
-		return c.VM.STable.Gen()
+	if tr := c.VM.MMC.Translator(); tr != nil {
+		return tr.Gen()
 	}
 	return 0
 }

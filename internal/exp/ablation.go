@@ -254,7 +254,7 @@ func AblationRefBits() AblationRefBitsResult {
 func countRef(s *sim.System, sp vm.Superpage) int {
 	n := 0
 	for i := 0; i < sp.Class.BasePages(); i++ {
-		if s.MTLB.Table().Get(sp.Shadow + arch.PAddr(i*arch.PageSize)).Ref {
+		if s.Translator.Table().Get(sp.Shadow + arch.PAddr(i*arch.PageSize)).Ref {
 			n++
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 
+	"shadowtlb/internal/core"
 	"shadowtlb/internal/obs"
 	"shadowtlb/internal/sim"
 )
@@ -40,7 +41,12 @@ func (c Cell) Key() string {
 	fmt.Fprintf(&b, "|tlb=%d,text=%d,ifetch=%d,nofast=%t",
 		cfg.CPUTLBEntries, cfg.TextPages, cfg.IFetchPeriod, cfg.NoFastPath)
 	if cfg.MTLB != nil {
-		fmt.Fprintf(&b, "|mtlb=%d/%dw", cfg.MTLB.Entries, cfg.MTLB.Ways)
+		// The scheme participates normalized, so "" and the default
+		// scheme name denote the same simulation and share one result;
+		// on conventional systems the scheme is ignored by sim.New and
+		// must not split keys.
+		fmt.Fprintf(&b, "|mtlb=%d/%dw,scheme=%s",
+			cfg.MTLB.Entries, cfg.MTLB.Ways, core.NormalizeScheme(cfg.Scheme))
 	} else {
 		b.WriteString("|mtlb=none")
 	}

@@ -28,6 +28,12 @@ func TestCellKeyCoversConfig(t *testing.T) {
 		"IFetchPeriod":  func(c *sim.Config) { c.IFetchPeriod++ },
 		"NoFastPath":    func(c *sim.Config) { c.NoFastPath = true },
 		"MTLB":          func(c *sim.Config) { c.MTLB = &core.MTLBConfig{Entries: 64, Ways: 1} },
+		"Scheme": func(c *sim.Config) {
+			// Scheme only matters on MTLB-fitted systems; see also
+			// TestCellKeySchemeNormalized for the "" == default identity.
+			c.MTLB = &core.MTLBConfig{Entries: 128, Ways: 2}
+			c.Scheme = core.SchemeCoalesced
+		},
 		"ShadowSpace":   func(c *sim.Config) { c.ShadowSpace.Size *= 2 },
 		"Partition":     func(c *sim.Config) { c.Partition = []core.BucketSpec{{Class: arch.Page64K, Count: 3}} },
 		"UseBuddy":      func(c *sim.Config) { c.UseBuddy = true },
@@ -64,6 +70,38 @@ func TestCellKeyCoversConfig(t *testing.T) {
 		if _, ok := cfgType.FieldByName(name); !ok {
 			t.Errorf("mutation for unknown Config field %s", name)
 		}
+	}
+}
+
+// TestCellKeySchemeNormalized pins the scheme's key semantics: on an
+// MTLB-fitted system the empty scheme and the default scheme name are
+// the same simulation (one shared result), every other registered
+// scheme splits the key, and on conventional systems the scheme is
+// ignored entirely.
+func TestCellKeySchemeNormalized(t *testing.T) {
+	fitted := func(scheme string) Cell {
+		cfg := baseConfig().WithMTLB(core.DefaultMTLBConfig())
+		cfg.Scheme = scheme
+		return NewCell(cfg, "em3d", Small)
+	}
+	if fitted("").Key() != fitted(core.DefaultScheme).Key() {
+		t.Error("empty scheme and the default scheme must share one cell key")
+	}
+	for _, name := range core.SchemeNames() {
+		if name == core.DefaultScheme {
+			continue
+		}
+		if fitted("").Key() == fitted(name).Key() {
+			t.Errorf("scheme %q does not split the cell key", name)
+		}
+	}
+	conventional := func(scheme string) Cell {
+		cfg := baseConfig()
+		cfg.Scheme = scheme
+		return NewCell(cfg, "em3d", Small)
+	}
+	if conventional("").Key() != conventional(core.SchemeCoalesced).Key() {
+		t.Error("scheme must be ignored on systems without an MTLB")
 	}
 }
 

@@ -185,10 +185,32 @@ var noFastPath bool
 // subsequently built by this package.
 func SetNoFastPath(v bool) { noFastPath = v }
 
+// scheme, when set via SetScheme, selects the MMC translation backend
+// for every MTLB-fitted configuration this package builds — the -scheme
+// command flag. The empty default is the paper's MTLB.
+var scheme string
+
+// SetScheme applies the -scheme command flag to every config
+// subsequently built by this package. It returns an error naming the
+// registered schemes for an unknown name, so commands can exit-2 with
+// the valid set before any simulation starts.
+func SetScheme(name string) error {
+	if !core.HasScheme(name) {
+		_, err := core.NewTranslator(name, core.MTLBConfig{}, core.TranslatorDeps{})
+		return err
+	}
+	scheme = name
+	return nil
+}
+
+// Scheme returns the currently selected translation scheme, normalized.
+func Scheme() string { return core.NormalizeScheme(scheme) }
+
 // baseConfig is the machine every experiment starts from.
 func baseConfig() sim.Config {
 	c := sim.Default()
 	c.NoFastPath = noFastPath
+	c.Scheme = scheme
 	return c
 }
 

@@ -202,7 +202,7 @@ func recolorSpread(s *sim.System, r *vm.Region, pages int) stats.Cycles {
 		va := (r.Base + arch.VAddr(p*arch.PageSize)).PageBase()
 		pte := s.VM.HPT.LookupFast(va)
 		old := pte.Target // current shadow page
-		ent := s.MTLB.Table().Get(old)
+		ent := s.Translator.Table().Get(old)
 
 		// Revert to the conventional mapping: flush the shadow-tagged
 		// lines, invalidate the shadow entry, restore a real-frame PTE.
@@ -213,8 +213,8 @@ func recolorSpread(s *sim.System, r *vm.Region, pages int) stats.Cycles {
 				panic(err)
 			}
 		}
-		s.MTLB.Table().Set(old, core.TableEntry{})
-		s.MTLB.Purge(old)
+		s.Translator.Table().Set(old, core.TableEntry{})
+		s.Translator.Purge(old)
 		s.VM.HPT.Remove(va, arch.Page4K)
 		err := s.VM.HPT.Insert(ptable.PTE{
 			VBase: va, Class: arch.Page4K, Target: arch.FrameToPAddr(ent.PFN),

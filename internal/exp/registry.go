@@ -153,4 +153,15 @@ func init() {
 		ID: "ext-multiprog", Title: "Extension: multiprogramming, two time-sliced processes",
 		Tables: func(Runner, Scale) []*stats.Table { return one(Multiprog().Table) },
 	})
+	// The schemes family must register last: the pre-refactor golden in
+	// cmd/mtlbexp requires "-exp all" output to remain a byte-identical
+	// prefix, with this family as the only appended section.
+	register(Descriptor{
+		ID: "schemes", Title: "Translation-scheme head-to-head: every backend on identical machines",
+		Scaled: true, Cells: schemesCells,
+		Tables: func(r Runner, s Scale) []*stats.Table {
+			res := SchemesOn(r, s)
+			return []*stats.Table{res.TableA, res.TableB}
+		},
+	})
 }

@@ -180,8 +180,8 @@ func (inj *Injector) onQuantum() {
 // re-derivable from the page and shadow tables.
 func (inj *Injector) purgeAll() {
 	s := inj.sys
-	if s.MTLB != nil {
-		s.MTLB.PurgeAll()
+	if s.Translator != nil {
+		s.Translator.PurgeAll()
 	}
 	s.CPUTLB.PurgeAll()
 	s.ITLB.Purge()

@@ -7,8 +7,9 @@
 // §12): shadow regions stay class-aligned and disjoint inside the
 // shadow space (Figure 2); shadow-table ref/dirty/fault bits stay
 // consistent with validity; every valid shadow page is backed by a
-// live, unaliased DRAM frame; the MTLB cache never disagrees with the
-// in-DRAM table; every processor-TLB entry is backed by a live hashed-
+// live, unaliased DRAM frame; the translation backend's cached state
+// (whatever the scheme caches) never disagrees with the in-DRAM table;
+// every processor-TLB entry is backed by a live hashed-
 // page-table entry; the hashed page table's internal bookkeeping stays
 // sound; and the CPU's fast-path memo re-derives to the same
 // translations the authoritative structures give.
@@ -48,7 +49,7 @@ func Check(s *sim.System) []Violation {
 	var vs []Violation
 	vs = append(vs, checkShadowPartition(s)...)
 	vs = append(vs, checkShadowTable(s)...)
-	vs = append(vs, checkMTLBCoherent(s)...)
+	vs = append(vs, checkTranslatorCoherent(s)...)
 	vs = append(vs, checkTLBBacked(s)...)
 	vs = append(vs, checkPTableInternal(s)...)
 	vs = append(vs, checkMemo(s)...)
@@ -131,26 +132,33 @@ func checkShadowTable(s *sim.System) []Violation {
 	return vs
 }
 
-// checkMTLBCoherent audits the MTLB cache against the in-DRAM table:
-// every cached translation must agree with the current table entry —
-// the OS purges the MTLB through the control interface whenever it
-// changes a mapping, so a stale cached entry is a missed shootdown.
-func checkMTLBCoherent(s *sim.System) []Violation {
-	if s.MTLB == nil {
+// checkTranslatorCoherent audits the translation backend's cached state
+// against the in-DRAM table: every page the backend would translate
+// without reading the table must agree with the current table entry —
+// the OS purges the backend through the control interface whenever it
+// changes a mapping, so a stale cached translation is a missed
+// shootdown. The check is scheme-agnostic: VisitCached enumerates
+// whatever the backend caches (set-associative entries, coalesced
+// ranges page by page, cache-resident spill-directory entries) as
+// (shadow page, real page) pairs, and each pair is audited the same
+// way.
+func checkTranslatorCoherent(s *sim.System) []Violation {
+	if s.Translator == nil {
 		return nil
 	}
 	var vs []Violation
-	st := s.MTLB.Table()
-	s.MTLB.VisitCached(func(shadowBase, realBase arch.PAddr) {
+	scheme := s.Translator.Scheme()
+	st := s.Translator.Table()
+	s.Translator.VisitCached(func(shadowBase, realBase arch.PAddr) {
 		ent := st.Get(shadowBase)
 		if !ent.Valid {
-			vs = append(vs, Violation{"mtlb.coherent",
-				fmt.Sprintf("MTLB caches %v but the table entry is invalid", shadowBase)})
+			vs = append(vs, Violation{"translator.coherent",
+				fmt.Sprintf("%s backend caches %v but the table entry is invalid", scheme, shadowBase)})
 			return
 		}
 		if want := arch.FrameToPAddr(ent.PFN); want != realBase {
-			vs = append(vs, Violation{"mtlb.coherent",
-				fmt.Sprintf("MTLB caches %v -> %v, table says %v", shadowBase, realBase, want)})
+			vs = append(vs, Violation{"translator.coherent",
+				fmt.Sprintf("%s backend caches %v -> %v, table says %v", scheme, shadowBase, realBase, want)})
 		}
 	})
 	return vs

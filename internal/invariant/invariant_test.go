@@ -83,19 +83,19 @@ func TestCorruptionsDetected(t *testing.T) {
 		s.VM.STable.Set(b, core.TableEntry{PFN: s.VM.STable.Get(a).PFN, Valid: true})
 		expectRule(t, s, "shadow.backing")
 	})
-	t.Run("mtlb.coherent", func(t *testing.T) {
+	t.Run("translator.coherent", func(t *testing.T) {
 		s := fresh()
-		// Invalidate a table entry behind the MTLB's back: a cached
+		// Invalidate a table entry behind the translator's back: a cached
 		// translation for it becomes a missed shootdown. Force the page
-		// into the MTLB first.
+		// into the backend first.
 		spa := findShadowPage(s, true)
-		if _, err := s.MTLB.Translate(spa, false); err != nil {
-			t.Fatalf("priming MTLB: %v", err)
+		if _, err := s.Translator.Translate(spa, false); err != nil {
+			t.Fatalf("priming translator: %v", err)
 		}
 		ent := s.VM.STable.Get(spa)
 		ent.Valid = false
 		s.VM.STable.Set(spa, ent)
-		expectRule(t, s, "mtlb.coherent")
+		expectRule(t, s, "translator.coherent")
 	})
 }
 

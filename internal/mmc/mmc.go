@@ -45,6 +45,10 @@ type Timing struct {
 	StreamHitDRAM int // line delivery from a stream buffer instead of DRAM
 	RowHitDRAM    int // banked model: fill from an open DRAM row
 	RowMissDRAM   int // banked model: fill that must open a row
+	// SpillProbe is one probe of the data cache for a spilled
+	// translation (the scheme=spill backend; unused by the default
+	// MTLB scheme).
+	SpillProbe int
 }
 
 // DefaultTiming returns the calibrated defaults. FillDRAM+Overhead=14 MMC
@@ -63,7 +67,14 @@ func DefaultTiming() Timing {
 		StreamHitDRAM: 2,
 		RowHitDRAM:    7,
 		RowMissDRAM:   16,
+		SpillProbe:    2,
 	}
+}
+
+// TranslatorCosts derives the cost set a translation backend charges
+// through core.Translation.FillMMC from this timing model.
+func (t Timing) TranslatorCosts() core.TranslatorCosts {
+	return core.TranslatorCosts{TableFill: t.MTLBFillDRAM, SpillProbe: t.SpillProbe}
 }
 
 // Config assembles an MMC.
@@ -85,7 +96,7 @@ type Config struct {
 type MMC struct {
 	cfg     Config
 	bus     *bus.Bus
-	mtlb    *core.MTLB // nil when no MTLB is fitted
+	tr      core.Translator // nil when no translation engine is fitted
 	streams *streamSet
 	banks   *dramBanks
 
@@ -110,56 +121,58 @@ type MMC struct {
 	BusyMMC      uint64 // total MMC occupancy including off-path work
 }
 
-// New builds an MMC. mtlb may be nil for the conventional baseline.
-func New(cfg Config, b *bus.Bus, mtlb *core.MTLB) *MMC {
+// New builds an MMC. tr may be nil for the conventional baseline.
+func New(cfg Config, b *bus.Bus, tr core.Translator) *MMC {
 	if b == nil {
 		panic("mmc: nil bus")
 	}
 	return &MMC{
-		cfg: cfg, bus: b, mtlb: mtlb,
+		cfg: cfg, bus: b, tr: tr,
 		streams: newStreamSet(cfg.StreamBuffers),
 		banks:   newDRAMBanks(cfg.DRAMBanks),
 	}
 }
 
-// HasMTLB reports whether an MTLB is fitted.
-func (m *MMC) HasMTLB() bool { return m.mtlb != nil }
+// HasTranslator reports whether a translation engine is fitted.
+func (m *MMC) HasTranslator() bool { return m.tr != nil }
 
-// MTLB returns the fitted MTLB, or nil.
-func (m *MMC) MTLB() *core.MTLB { return m.mtlb }
+// Translator returns the fitted translation backend, or nil.
+func (m *MMC) Translator() core.Translator { return m.tr }
 
 // Timing returns the timing parameters in use.
 func (m *MMC) Timing() Timing { return m.cfg.Timing }
 
 // checkCycles returns the per-operation shadow-check cost.
 func (m *MMC) checkCycles() int {
-	if m.mtlb == nil || m.cfg.NoCheckCycle {
+	if m.tr == nil || m.cfg.NoCheckCycle {
 		return 0
 	}
 	return m.cfg.Timing.ShadowCheck
 }
 
-// translate runs the MTLB path for a (possibly shadow) address. It
-// returns the MMC cycles spent on MTLB work and the real address.
+// translate runs the translation path for a (possibly shadow) address.
+// It returns the MMC cycles spent on translation work and the real
+// address. The cost is whatever the backend reported (zero on a hit
+// folded into the check cycle; see core.Translation's accounting
+// rules); the MMC adds the timeline/bank side effects of any table
+// read the backend performed.
 func (m *MMC) translate(pa arch.PAddr, dirty bool) (int, arch.PAddr, error) {
-	if m.mtlb == nil || !m.mtlb.Space().Contains(pa) {
+	if m.tr == nil || !m.tr.Space().Contains(pa) {
 		return 0, pa, nil
 	}
-	tr, err := m.mtlb.Translate(pa, dirty)
+	tr, err := m.tr.Translate(pa, dirty)
 	if err != nil {
 		return 0, 0, err
 	}
-	if tr.Hit {
-		// Single-cycle translate, folded into the check cycle.
-		return 0, tr.Real, nil
+	if tr.FillAddr != 0 {
+		m.tl.Instant("mtlb", "fill")
+		if m.banks.enabled() {
+			// The table read opens the table's row, displacing whatever
+			// the bank held.
+			m.banks.access(tr.FillAddr)
+		}
 	}
-	m.tl.Instant("mtlb", "fill")
-	if m.banks.enabled() {
-		// The table read opens the table's row, displacing whatever
-		// the bank held.
-		m.banks.access(tr.FillAddr)
-	}
-	return m.cfg.Timing.MTLBFillDRAM, tr.Real, nil
+	return tr.FillMMC, tr.Real, nil
 }
 
 // Result reports the outcome of one cache event at the MMC.

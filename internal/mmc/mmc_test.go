@@ -15,12 +15,16 @@ func testSetup(t *testing.T, withMTLB bool) (*MMC, *core.MTLB) {
 	t.Helper()
 	b := bus.New(bus.DefaultConfig())
 	var mt *core.MTLB
+	// tr stays a true nil interface on baseline systems; wrapping a nil
+	// *core.MTLB would make the MMC think a translator is present.
+	var tr core.Translator
 	if withMTLB {
 		dram := mem.NewDRAM(16 * arch.MB)
 		space := core.ShadowSpace{Base: 0x80000000, Size: 8 * arch.MB}
 		mt = core.NewMTLB(core.DefaultMTLBConfig(), core.NewShadowTable(space, 0x100000, dram))
+		tr = mt
 	}
-	return New(Config{Timing: DefaultTiming()}, b, mt), mt
+	return New(Config{Timing: DefaultTiming()}, b, tr), mt
 }
 
 func TestFillNoMTLB(t *testing.T) {
@@ -202,13 +206,16 @@ func TestNilBusPanics(t *testing.T) {
 	New(Config{Timing: DefaultTiming()}, nil, nil)
 }
 
-func TestHasMTLB(t *testing.T) {
+func TestHasTranslator(t *testing.T) {
 	m, mt := testSetup(t, true)
-	if !m.HasMTLB() || m.MTLB() != mt {
-		t.Error("HasMTLB/MTLB accessors wrong")
+	if !m.HasTranslator() || m.Translator() != core.Translator(mt) {
+		t.Error("HasTranslator/Translator accessors wrong")
 	}
 	m2, _ := testSetup(t, false)
-	if m2.HasMTLB() {
-		t.Error("baseline should have no MTLB")
+	if m2.HasTranslator() {
+		t.Error("baseline should have no translator")
+	}
+	if m2.Translator() != nil {
+		t.Error("baseline Translator() must be a nil interface")
 	}
 }

@@ -16,6 +16,8 @@ func FuzzDecodeJobSpec(f *testing.F) {
 	f.Add([]byte(`{"experiments":["fig3"],"scale":"small"}`))
 	f.Add([]byte(`{"experiments":["all"]}`))
 	f.Add([]byte(`{"cells":[{"workload":"compress","tlb":64,"mtlb":1024,"ways":2}],"scale":"small","timeout_ms":1000}`))
+	f.Add([]byte(`{"cells":[{"workload":"compress","tlb":64,"mtlb":128,"scheme":"coalesced"}],"scale":"small"}`))
+	f.Add([]byte(`{"cells":[{"workload":"em3d","mtlb":128,"scheme":"no-such-scheme"}]}`))
 	f.Add([]byte(`{"cells":[{"workload":"radix","config":{"Label":"x","DRAMBytes":1048576}}]}`))
 	f.Add([]byte(`{"unknown_field":1}`))
 	f.Add([]byte(`{"cells":[{"workload":1}]}`))
@@ -54,5 +56,34 @@ func TestDecodeJobSpecRejectsUnknownFields(t *testing.T) {
 	_, err := DecodeJobSpec(strings.NewReader(`{"experimets":["fig3"]}`))
 	if err == nil {
 		t.Fatal("unknown field accepted")
+	}
+}
+
+// TestDecodeJobSpecSchemeRoundTrips pins the scheme field through the
+// strict decoder: it decodes, survives a re-encode round trip, and a
+// misspelled "schema" key is rejected rather than silently dropped.
+func TestDecodeJobSpecSchemeRoundTrips(t *testing.T) {
+	spec, err := DecodeJobSpec(strings.NewReader(
+		`{"cells":[{"workload":"em3d","mtlb":128,"scheme":"spill"}],"scale":"small"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Cells) != 1 || spec.Cells[0].Scheme != "spill" {
+		t.Fatalf("decoded spec = %+v", spec)
+	}
+	enc, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2, err := DecodeJobSpec(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatalf("re-encoded spec rejected: %v\n%s", err, enc)
+	}
+	if spec2.Cells[0].Scheme != "spill" {
+		t.Fatalf("scheme lost in round trip: %+v", spec2)
+	}
+	if _, err := DecodeJobSpec(strings.NewReader(
+		`{"cells":[{"workload":"em3d","schema":"spill"}]}`)); err == nil {
+		t.Fatal("misspelled scheme key accepted")
 	}
 }

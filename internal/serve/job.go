@@ -37,13 +37,18 @@ type CellSpec struct {
 	MTLB int `json:"mtlb,omitempty"`
 	// Ways is the MTLB associativity (0 = the default 2).
 	Ways int `json:"ways,omitempty"`
+	// Scheme selects the MMC translation backend for MTLB-fitted cells
+	// ("" = the paper's MTLB); unknown names are rejected at admission.
+	Scheme string `json:"scheme,omitempty"`
 	// Config, when non-nil, is the complete machine configuration and
 	// the shortcuts above are ignored.
 	Config *sim.Config `json:"config,omitempty"`
 }
 
-// cell resolves the spec into an executable cell.
-func (cs CellSpec) cell(def exp.Scale) (exp.Cell, error) {
+// cell resolves the spec into an executable cell. defScheme is the
+// server's default translation backend, applied when a shortcut spec
+// leaves Scheme unset; a full Config is taken verbatim.
+func (cs CellSpec) cell(def exp.Scale, defScheme string) (exp.Cell, error) {
 	s := def
 	if cs.Scale != "" {
 		var err error
@@ -60,6 +65,9 @@ func (cs CellSpec) cell(def exp.Scale) (exp.Cell, error) {
 		if cfg.DRAMBytes == 0 {
 			return exp.Cell{}, fmt.Errorf("cell config for %q has zero DRAM", cs.Workload)
 		}
+		if !core.HasScheme(cfg.Scheme) {
+			return exp.Cell{}, fmt.Errorf("cell config for %q: %w", cs.Workload, schemeError(cfg.Scheme))
+		}
 	} else {
 		cfg = sim.Default()
 		if cs.TLB > 0 {
@@ -72,8 +80,23 @@ func (cs CellSpec) cell(def exp.Scale) (exp.Cell, error) {
 			}
 			cfg = cfg.WithMTLB(core.MTLBConfig{Entries: cs.MTLB, Ways: ways})
 		}
+		scheme := cs.Scheme
+		if scheme == "" {
+			scheme = defScheme
+		}
+		if !core.HasScheme(scheme) {
+			return exp.Cell{}, schemeError(scheme)
+		}
+		cfg = cfg.WithScheme(scheme)
 	}
 	return exp.NewCell(cfg, cs.Workload, s), nil
+}
+
+// schemeError builds the admission error for an unregistered scheme,
+// reusing the registry's canonical message so flags and the API agree.
+func schemeError(scheme string) error {
+	_, err := core.NewTranslator(scheme, core.MTLBConfig{}, core.TranslatorDeps{})
+	return err
 }
 
 // JobState is a job's lifecycle position.

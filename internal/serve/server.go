@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"shadowtlb/internal/core"
 	"shadowtlb/internal/exp"
 	"shadowtlb/internal/exp/runner"
 	"shadowtlb/internal/obs"
@@ -46,6 +47,11 @@ type Config struct {
 	// RetainJobs caps terminal job records kept for status queries
 	// (0 = 1024). Live jobs are never evicted.
 	RetainJobs int
+	// DefaultScheme is the translation backend applied to shortcut cell
+	// specs that leave scheme unset ("" = the paper's MTLB). It must be
+	// a registered scheme; New panics otherwise (a deployment error
+	// callers like mtlbd surface before binding a listener).
+	DefaultScheme string
 }
 
 // withDefaults fills zero fields.
@@ -107,6 +113,9 @@ type Server struct {
 // New assembles a server. Call Start to launch its executors.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	if !core.HasScheme(cfg.DefaultScheme) {
+		panic(fmt.Sprintf("serve: %v", schemeError(cfg.DefaultScheme)))
+	}
 	s := &Server{
 		cfg:   cfg,
 		sem:   make(chan struct{}, poolWorkers(cfg.Workers)),
@@ -273,7 +282,7 @@ func (s *Server) validate(spec JobSpec) error {
 		return err
 	}
 	for i, cs := range spec.Cells {
-		if _, err := cs.cell(scale); err != nil {
+		if _, err := cs.cell(scale, s.cfg.DefaultScheme); err != nil {
 			return fmt.Errorf("cells[%d]: %w", i, err)
 		}
 	}
@@ -391,7 +400,7 @@ func (s *Server) runCells(ctx context.Context, pool *runner.Pool, j *Job, scale 
 	cells := make([]exp.Cell, len(j.spec.Cells))
 	distinct := make(map[string]struct{})
 	for i, cs := range j.spec.Cells {
-		c, err := cs.cell(scale)
+		c, err := cs.cell(scale, s.cfg.DefaultScheme)
 		if err != nil {
 			return nil, err // unreachable after validate; defensive
 		}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -12,6 +13,9 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"shadowtlb/internal/core"
+	"shadowtlb/internal/sim"
 )
 
 // startServer builds a started server plus its httptest front end.
@@ -214,6 +218,45 @@ func TestValidationRejects(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("body %q: HTTP %d, want 400", body, resp.StatusCode)
 		}
+	}
+}
+
+// TestSchemeAdmission covers the translation-scheme field end to end:
+// unknown schemes are 400s whose body names the registered set (both in
+// the shortcut spec and inside a full Config), and a job using a
+// registered non-default backend runs to completion and reports that
+// scheme in its result.
+func TestSchemeAdmission(t *testing.T) {
+	s, ts := startServer(t, Config{})
+
+	fullCfg := sim.Default().WithMTLB(core.DefaultMTLBConfig()).WithScheme("bogus")
+	for i, spec := range []JobSpec{
+		{Cells: []CellSpec{{Workload: "stride", MTLB: 128, Scheme: "bogus"}}, Scale: "small"},
+		{Cells: []CellSpec{{Workload: "stride", Config: &fullCfg}}, Scale: "small"},
+	} {
+		resp := postJob(t, ts, spec)
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("spec %d: HTTP %d, want 400", i, resp.StatusCode)
+		}
+		for _, want := range append([]string{"bogus"}, core.SchemeNames()...) {
+			if !strings.Contains(string(body), want) {
+				t.Errorf("spec %d: 400 body %q does not name %q", i, body, want)
+			}
+		}
+	}
+
+	id := submitOK(t, ts, JobSpec{
+		Cells: []CellSpec{{Workload: "stride", TLB: 64, MTLB: 128, Scheme: core.SchemeCoalesced}},
+		Scale: "small",
+	})
+	st := waitTerminal(t, s, ts, id)
+	if st.State != StateDone {
+		t.Fatalf("job state = %s (%s)", st.State, st.Error)
+	}
+	if got := st.Result.Cells[0].Result.Scheme; got != core.SchemeCoalesced {
+		t.Errorf("result scheme = %q, want %q", got, core.SchemeCoalesced)
 	}
 }
 

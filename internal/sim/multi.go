@@ -97,8 +97,8 @@ func NewMulti(cfg Config, workloads []workload.Workload, quantum stats.Cycles) *
 		}
 		var stable *core.ShadowTable
 		var shadowAlloc core.ShadowAllocator
-		if base.MTLB != nil {
-			stable = base.MTLB.Table()
+		if base.Translator != nil {
+			stable = base.Translator.Table()
 			shadowAlloc = base.VM.ShadowAlloc
 		}
 		v := vm.New(vm.Deps{

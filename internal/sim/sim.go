@@ -72,8 +72,14 @@ type Config struct {
 	// exists so they can be compared and regressions bisected.
 	NoFastPath bool
 
-	// MTLB enables the memory-controller TLB when non-nil.
+	// MTLB enables the memory-controller translation engine when
+	// non-nil.
 	MTLB *core.MTLBConfig
+	// Scheme selects the translation backend fitted behind the MMC
+	// when MTLB is non-nil: "" or "mtlb" is the paper's set-associative
+	// MTLB; core.SchemeNames() lists the alternatives ("coalesced",
+	// "spill"). Ignored on conventional (no-MTLB) systems.
+	Scheme string
 	// ShadowSpace is the shadow region (default: 512 MB at 0x80000000).
 	ShadowSpace core.ShadowSpace
 	// Partition is the bucket partition (default: the paper's Figure 2).
@@ -122,6 +128,7 @@ func (c Config) WithTLB(entries int) Config {
 	c.Label = fmt.Sprintf("tlb%d", entries)
 	if c.MTLB != nil {
 		c.Label += fmt.Sprintf("+mtlb%d/%dw", c.MTLB.Entries, c.MTLB.Ways)
+		c.Label += schemeSuffix(c.Scheme)
 	}
 	return c
 }
@@ -132,7 +139,30 @@ func (c Config) WithMTLB(m core.MTLBConfig) Config {
 	m.Normalize()
 	c.MTLB = &m
 	c.Label = fmt.Sprintf("tlb%d+mtlb%d/%dw", c.CPUTLBEntries, m.Entries, m.Ways)
+	c.Label += schemeSuffix(c.Scheme)
 	return c
+}
+
+// WithScheme returns the config with a translation scheme selected.
+// Non-default schemes are appended to the label; the default scheme
+// leaves labels (and therefore rendered tables) untouched.
+func (c Config) WithScheme(scheme string) Config {
+	c.Scheme = scheme
+	if c.MTLB != nil {
+		c.Label = fmt.Sprintf("tlb%d+mtlb%d/%dw", c.CPUTLBEntries, c.MTLB.Entries, c.MTLB.Ways)
+		c.Label += schemeSuffix(scheme)
+	}
+	return c
+}
+
+// schemeSuffix names a non-default scheme in labels; the default scheme
+// contributes nothing, keeping pre-interface labels (and every rendered
+// table built from them) byte-identical.
+func schemeSuffix(scheme string) string {
+	if s := core.NormalizeScheme(scheme); s != core.DefaultScheme {
+		return "+" + s
+	}
+	return ""
 }
 
 // System is an assembled machine.
@@ -145,11 +175,15 @@ type System struct {
 	CPUTLB *tlb.TLB
 	ITLB   *tlb.MicroITLB
 	HPT    *ptable.Table
-	MTLB   *core.MTLB
-	MMC    *mmc.MMC
-	Kernel *kernel.Kernel
-	VM     *vm.VM
-	CPU    *cpu.CPU
+	// Translator is the MMC's translation backend (nil on conventional
+	// systems): the scheme the config selected, seen through the
+	// interface every consumer — MMC fill path, invariant audits, fast
+	// path memo validation — works against.
+	Translator core.Translator
+	MMC        *mmc.MMC
+	Kernel     *kernel.Kernel
+	VM         *vm.VM
+	CPU        *cpu.CPU
 
 	// OnRunEnd, when set, fires at the end of Run after the workload and
 	// process exit complete, before the result is returned — the
@@ -186,8 +220,8 @@ func (s *System) Observe(o *obs.Obs) {
 	s.CPUTLB.RegisterMetrics(r, "tlb")
 	s.Cache.RegisterMetrics(r)
 	s.Kernel.RegisterMetrics(r)
-	if s.MTLB != nil {
-		s.MTLB.RegisterMetrics(r)
+	if s.Translator != nil {
+		s.Translator.RegisterMetrics(r)
 	}
 	s.MMC.Observe(o)
 	s.VM.Observe(o)
@@ -226,7 +260,15 @@ func New(cfg Config) *System {
 		// -mtlb) mean the same thing in every command.
 		mcfg := *cfg.MTLB
 		mcfg.Normalize()
-		s.MTLB = core.NewMTLB(mcfg, stable)
+		tr, err := core.NewTranslator(cfg.Scheme, mcfg, core.TranslatorDeps{
+			Table: stable,
+			Cache: s.Cache,
+			Costs: cfg.MMCTiming.TranslatorCosts(),
+		})
+		if err != nil {
+			panic("sim: " + err.Error())
+		}
+		s.Translator = tr
 		if cfg.UseBuddy {
 			shadowAlloc = core.NewBuddyAlloc(cfg.ShadowSpace)
 		} else {
@@ -242,7 +284,7 @@ func New(cfg Config) *System {
 		NoCheckCycle:  cfg.NoCheckCycle,
 		StreamBuffers: cfg.StreamBuffers,
 		DRAMBanks:     cfg.DRAMBanks,
-	}, s.Bus, s.MTLB)
+	}, s.Bus, s.Translator)
 	s.VM = vm.New(vm.Deps{
 		Dram: s.Dram, Frames: s.Frames, HPT: s.HPT, MMC: s.MMC,
 		Cache: s.Cache, CPUTLB: s.CPUTLB, ITLB: s.ITLB, Kernel: s.Kernel,
@@ -276,8 +318,10 @@ type Result struct {
 	CacheHitRate float64
 	PageFaults   uint64
 
-	// MTLB-side measurements (zero without an MTLB).
+	// MTLB-side measurements (zero without an MTLB). Scheme names the
+	// translation backend that produced them ("" without one).
 	HasMTLB         bool
+	Scheme          string
 	MTLBHitRate     float64
 	MTLBFills       uint64
 	SuperpagesMade  uint64
@@ -332,10 +376,12 @@ func (s *System) Run(w workload.Workload) Result {
 		AvgFillMMC:   s.MMC.AvgFillMMCCycles(),
 		RowHitRate:   s.MMC.RowHitRate(),
 	}
-	if s.MTLB != nil {
+	if s.Translator != nil {
+		c := s.Translator.Counters()
 		res.HasMTLB = true
-		res.MTLBHitRate = s.MTLB.Stats.Rate()
-		res.MTLBFills = s.MTLB.Fills
+		res.Scheme = s.Translator.Scheme()
+		res.MTLBHitRate = c.HitRate()
+		res.MTLBFills = c.Fills
 		res.SuperpagesMade = s.VM.SuperpagesMade
 		res.PagesRemapped = s.VM.PagesRemapped
 	}

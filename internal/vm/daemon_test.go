@@ -43,7 +43,7 @@ func tightVM(t *testing.T, userFrames uint64) *VM {
 // fault pages a shadow page in via the fault path, as the MMC would.
 func fault(t *testing.T, v *VM, spa arch.PAddr) {
 	t.Helper()
-	_, err := v.MMC.MTLB().Translate(spa, false)
+	_, err := v.MMC.Translator().Translate(spa, false)
 	sf, ok := err.(*core.ShadowFault)
 	if !ok {
 		t.Fatalf("expected fault at %v, got %v", spa, err)

@@ -97,7 +97,7 @@ func (v *VM) RecolorPage(va arch.VAddr, color uint64) (stats.Cycles, error) {
 	// never moves.
 	v.STable.Set(spa, core.TableEntry{PFN: pte.Target.FrameNum(), Valid: true})
 	cycles += stats.Cycles(v.MMC.ControlWrite())
-	if v.MMC.MTLB().Purge(spa) {
+	if v.MMC.Translator().Purge(spa) {
 		cycles += stats.Cycles(v.MMC.ControlWrite())
 	}
 

@@ -170,7 +170,7 @@ func (v *VM) makeSuperpage(vbase arch.VAddr, class arch.PageSizeClass, res *Rema
 		// One uncached control write per entry (§2.4), plus one to
 		// purge any stale MTLB entry for the recycled shadow page.
 		other += stats.Cycles(v.MMC.ControlWrite())
-		if v.MMC.MTLB().Purge(spa) {
+		if v.MMC.Translator().Purge(spa) {
 			other += stats.Cycles(v.MMC.ControlWrite())
 		}
 

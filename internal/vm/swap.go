@@ -90,7 +90,7 @@ func (v *VM) SwapOutSuperpage(sp Superpage, g SwapGranularity) (SwapResult, erro
 
 		// Invalidate the shadow mapping and free the frame.
 		v.STable.Set(spa, core.TableEntry{})
-		if v.MMC.MTLB().Purge(spa) {
+		if v.MMC.Translator().Purge(spa) {
 			res.Cycles += stats.Cycles(v.MMC.ControlWrite())
 		}
 		res.Cycles += stats.Cycles(v.MMC.ControlWrite())

@@ -108,7 +108,7 @@ func TestSwapRoundTripPreservesData(t *testing.T) {
 	}
 
 	// Simulate the MMC fault path to set the Fault bit, then page in.
-	_, terr := v.MMC.MTLB().Translate(spa, false)
+	_, terr := v.MMC.Translator().Translate(spa, false)
 	var sf *core.ShadowFault
 	if !errors.As(terr, &sf) {
 		t.Fatalf("expected ShadowFault, got %v", terr)
@@ -276,7 +276,7 @@ func TestLazyZeroFillWarmsCacheUnderShadowTag(t *testing.T) {
 		t.Fatal(err)
 	}
 	sp := r.Superpages[0]
-	_, terr := v.MMC.MTLB().Translate(sp.Shadow, false)
+	_, terr := v.MMC.Translator().Translate(sp.Shadow, false)
 	sf, ok := terr.(*core.ShadowFault)
 	if !ok {
 		t.Fatalf("expected fault, got %v", terr)

@@ -24,7 +24,9 @@ func testVM(t *testing.T, withMTLB bool) *VM {
 	hpt := ptable.New(0x180000, 4096)
 	b := bus.New(bus.DefaultConfig())
 
-	var mt *core.MTLB
+	// mt must stay a true nil interface on baseline systems — a wrapped
+	// nil *core.MTLB would read as present to the MMC.
+	var mt core.Translator
 	var stable *core.ShadowTable
 	var alloc core.ShadowAllocator
 	if withMTLB {
@@ -220,7 +222,7 @@ func TestRemapAbsentPagesAreLazy(t *testing.T) {
 	}
 	// First touch takes a shadow fault and zero-fills the page.
 	sp := r.Superpages[0]
-	_, terr := v.MMC.MTLB().Translate(sp.Shadow, false)
+	_, terr := v.MMC.Translator().Translate(sp.Shadow, false)
 	sf, ok := terr.(*core.ShadowFault)
 	if !ok {
 		t.Fatalf("expected ShadowFault, got %v", terr)

@@ -17,19 +17,26 @@
 #     traffic (see cmd/mtlbload): jobs/s, latency percentiles and the
 #     shared result cache's hit rate against an in-process mtlbd.
 #
-# Usage: scripts/bench.sh [runner-output] [hotpath-output] [serve-output]
+#   BENCH_schemes.json — simulated references per host second for every
+#     registered translation backend on one fig3 cell (mtlbbench
+#     -schemes), so cross-scheme simulator overhead is tracked alongside
+#     the hot-path ratio.
+#
+# Usage: scripts/bench.sh [runner-output] [hotpath-output] [serve-output] [schemes-output]
 set -eu
 
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_runner.json}"
 hot="${2:-BENCH_hotpath.json}"
 srv="${3:-BENCH_serve.json}"
+sch="${4:-BENCH_schemes.json}"
 
 go run ./cmd/mtlbexp -exp fig3 -scale small -json > "$out"
 echo "wrote $out ($(wc -c < "$out") bytes)" >&2
 
-go run ./cmd/mtlbbench -o "$hot"
+go run ./cmd/mtlbbench -o "$hot" -schemes "$sch"
 echo "wrote $hot ($(wc -c < "$hot") bytes)" >&2
+echo "wrote $sch ($(wc -c < "$sch") bytes)" >&2
 
 go run ./cmd/mtlbload -clients 32 -n 3 -scale small -o "$srv"
 echo "wrote $srv ($(wc -c < "$srv") bytes)" >&2
