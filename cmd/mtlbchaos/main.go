@@ -28,6 +28,7 @@ import (
 	"shadowtlb/internal/exp"
 	"shadowtlb/internal/faultinject"
 	"shadowtlb/internal/invariant"
+	"shadowtlb/internal/obs"
 	"shadowtlb/internal/sim"
 	"shadowtlb/internal/tlb"
 )
@@ -44,6 +45,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		scale   = fs.String("scale", "small", "workload scale (small, medium, full)")
 		verbose = fs.Bool("v", false, "log every run, not just failures")
 		plant   = fs.Bool("plant", false, "plant a deliberate violation (self-test: the run must FAIL)")
+		trace   = fs.String("trace", "", "write one span per run to this JSON-lines file, with every injected fault as a span event")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -52,6 +54,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintf(stderr, "mtlbchaos: %v\n", err)
 		return 2
+	}
+	var tracer *obs.Tracer
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintf(stderr, "mtlbchaos: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		tracer = obs.NewTracer("mtlbchaos", f, 0)
 	}
 
 	cells := registeredCells(sc)
@@ -76,7 +88,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for pi := 0; pi < *plans; pi++ {
 			plan := faultinject.New(mixSeed(*seed, ci, pi))
 			runs++
-			vs, inj, err := runOne(c, plan, *plant)
+			vs, inj, err := runOne(c, plan, tracer, *plant)
 			if inj != nil {
 				tot.add(inj)
 			}
@@ -116,14 +128,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 // is reported as the error. With plant set, a TLB entry no page table
 // backs is inserted after the run and the catalogue is re-audited: the
 // violations returned then must be non-empty or the harness is blind.
-func runOne(c exp.Cell, plan faultinject.Plan, plant bool) (vs []invariant.Violation, inj *faultinject.Injector, err error) {
+// With a tracer, the run is one span and each injected fault lands on
+// it as a timestamped "fault" event, so a chaos trace shows exactly
+// where plans fired.
+func runOne(c exp.Cell, plan faultinject.Plan, tracer *obs.Tracer, plant bool) (vs []invariant.Violation, inj *faultinject.Injector, err error) {
+	span := tracer.StartSpan("chaos.run", obs.SpanContext{})
+	span.SetAttr("workload", c.Workload)
+	span.SetAttr("label", c.Cfg.Label)
+	span.SetAttr("plan", plan.String())
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("panicked: %v", r)
 		}
+		if err != nil {
+			span.SetAttr("error", err.Error())
+		}
+		span.SetAttr("violations", fmt.Sprint(len(vs)))
+		span.End()
 	}()
 	s := sim.New(c.Cfg)
 	inj = faultinject.Attach(s, plan)
+	if tracer != nil {
+		inj.OnFault = func(kind string) { span.Event("fault", "kind", kind) }
+	}
 	chk := invariant.Attach(s, invariant.Options{}) // record, don't panic
 	w, err := exp.MakeWorkload(c.Workload, c.Scale)
 	if err != nil {

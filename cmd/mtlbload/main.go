@@ -1,8 +1,9 @@
 // Command mtlbload is the load generator for the mtlbd daemon. It
 // drives concurrent clients issuing a deterministic mix of overlapping
 // single-cell jobs and experiment jobs, then reports throughput,
-// latency percentiles and the daemon's cache hit rate as JSON
-// (scripts/bench.sh captures it as BENCH_serve.json).
+// end-to-end job latency percentiles, per-request HTTP latency
+// percentiles (p50/p95/p99/max) and the daemon's cache hit rate as
+// JSON (scripts/bench.sh captures it as BENCH_serve.json).
 //
 //	mtlbload -clients 64 -n 4 -scale small -o BENCH_serve.json
 //	mtlbload -server http://localhost:8047 -clients 16 -n 8
@@ -68,12 +69,23 @@ type report struct {
 	WallS     float64 `json:"wall_s"`
 	JobsPerS  float64 `json:"jobs_per_s"`
 
+	// LatencyMS is end-to-end job latency (submit through terminal
+	// state); RequestMS is per-HTTP-request latency across every API
+	// call the run issued (submits, status polls, stream setup).
 	LatencyMS struct {
 		P50 float64 `json:"p50"`
 		P90 float64 `json:"p90"`
 		P99 float64 `json:"p99"`
 		Max float64 `json:"max"`
 	} `json:"latency_ms"`
+
+	RequestMS struct {
+		Count int     `json:"count"`
+		P50   float64 `json:"p50"`
+		P95   float64 `json:"p95"`
+		P99   float64 `json:"p99"`
+		Max   float64 `json:"max"`
+	} `json:"request_ms"`
 
 	Cache struct {
 		Hits    uint64  `json:"hits"`
@@ -120,9 +132,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	mix := jobMix(*scale)
 	c := client.New(base, nil)
+	var (
+		reqMu   sync.Mutex
+		reqDurs []time.Duration
+	)
+	c.OnRequest(func(ri client.RequestInfo) {
+		reqMu.Lock()
+		reqDurs = append(reqDurs, ri.Dur)
+		reqMu.Unlock()
+	})
 	ctx := context.Background()
-	if err := c.Healthz(ctx); err != nil {
-		fmt.Fprintf(stderr, "mtlbload: daemon not healthy: %v\n", err)
+	// Readiness, not liveness: a draining daemon is alive but would 503
+	// every submission this run is about to issue.
+	if err := c.Readyz(ctx); err != nil {
+		fmt.Fprintf(stderr, "mtlbload: daemon not ready: %v\n", err)
 		return 1
 	}
 
@@ -171,18 +194,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		JobsPerS:  float64(len(durations)) / wall.Seconds(),
 		CellsDone: cells, CellHits: cellHits,
 	}
-	sort.Slice(durations, func(a, b int) bool { return durations[a] < durations[b] })
-	pct := func(p float64) float64 {
-		if len(durations) == 0 {
-			return 0
-		}
-		i := int(p * float64(len(durations)-1))
-		return float64(durations[i]) / float64(time.Millisecond)
-	}
+	pct := percentiles(durations)
 	rep.LatencyMS.P50 = pct(0.50)
 	rep.LatencyMS.P90 = pct(0.90)
 	rep.LatencyMS.P99 = pct(0.99)
 	rep.LatencyMS.Max = pct(1.0)
+	rpct := percentiles(reqDurs)
+	rep.RequestMS.Count = len(reqDurs)
+	rep.RequestMS.P50 = rpct(0.50)
+	rep.RequestMS.P95 = rpct(0.95)
+	rep.RequestMS.P99 = rpct(0.99)
+	rep.RequestMS.Max = rpct(1.0)
 	if err := fillCacheStats(ctx, c, inproc, &rep); err != nil {
 		fmt.Fprintf(stderr, "mtlbload: reading cache stats: %v\n", err)
 	}
@@ -209,6 +231,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// percentiles sorts ds in place and returns a nearest-rank percentile
+// reader in milliseconds (p = 1.0 is the max).
+func percentiles(ds []time.Duration) func(p float64) float64 {
+	sort.Slice(ds, func(a, b int) bool { return ds[a] < ds[b] })
+	return func(p float64) float64 {
+		if len(ds) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(ds)-1))
+		return float64(ds[i]) / float64(time.Millisecond)
+	}
 }
 
 // submitWithRetry submits, backing off briefly on 429 per Retry-After

@@ -59,6 +59,16 @@ func (c Cell) Key() string {
 	return b.String()
 }
 
+// SchemeLabel returns the cell's effective translation backend for
+// telemetry labels: the normalized scheme name on MTLB-fitted systems,
+// "none" on conventional ones (where the scheme field is ignored).
+func (c Cell) SchemeLabel() string {
+	if c.Cfg.MTLB == nil {
+		return "none"
+	}
+	return core.NormalizeScheme(c.Cfg.Scheme)
+}
+
 // Simulate assembles a fresh system and runs the cell's workload on it.
 // Simulations are deterministic: workloads draw from seeded RNGs and the
 // system has no global state, so equal keys always yield equal results.

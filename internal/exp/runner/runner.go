@@ -50,8 +50,9 @@ type CellEvent struct {
 	Label    string // configuration label
 	Workload string
 	Scale    string
-	Cached   bool  // served by the external cache, not simulated here
-	WallNS   int64 // host time from slot acquisition to completion
+	Scheme   string // translation backend ("none" on conventional systems)
+	Cached   bool   // served by the external cache, not simulated here
+	WallNS   int64  // host time from slot acquisition to completion
 }
 
 // Pool is a concurrent, memoizing exp.Runner.
@@ -208,6 +209,7 @@ func (p *Pool) runCell(ctx context.Context, key string, e *entry) (sim.Result, e
 			Label:    res.Label,
 			Workload: res.Workload,
 			Scale:    e.cell.Scale.String(),
+			Scheme:   e.cell.SchemeLabel(),
 			Cached:   cached,
 			WallNS:   e.wall.Nanoseconds(),
 		})

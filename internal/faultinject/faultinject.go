@@ -123,6 +123,21 @@ type Injector struct {
 	Shootdowns     uint64 // full translation-cache purges
 	FillDelays     uint64 // delayed MMC line fills
 	MidRemapPurges uint64 // purges inside a remap loop
+
+	// OnFault, when set, observes every delivered fault by kind
+	// ("swap_out", "shootdown", "fill_delay", "mid_remap_purge") the
+	// moment it is injected — the chaos harness annotates each as a
+	// span event so a trace shows exactly where plans fired. Set before
+	// the run; called from the simulation goroutine.
+	OnFault func(kind string)
+}
+
+// fault counts one delivered fault and notifies the observer.
+func (inj *Injector) fault(counter *uint64, kind string) {
+	*counter++
+	if inj.OnFault != nil {
+		inj.OnFault(kind)
+	}
 }
 
 // Attach wires the plan into a freshly assembled system. It must run
@@ -147,7 +162,7 @@ func Attach(s *sim.System, p Plan) *Injector {
 				prev(op)
 			}
 			if op == "remap.superpage" {
-				inj.MidRemapPurges++
+				inj.fault(&inj.MidRemapPurges, "mid_remap_purge")
 				inj.purgeAll()
 			}
 		}
@@ -167,7 +182,7 @@ func (inj *Injector) onQuantum() {
 	inj.quanta++
 	p := inj.Plan
 	if p.ShootdownEvery > 0 && inj.quanta%uint64(p.ShootdownEvery) == 0 {
-		inj.Shootdowns++
+		inj.fault(&inj.Shootdowns, "shootdown")
 		inj.purgeAll()
 	}
 	if p.SwapOutEvery > 0 && inj.quanta%uint64(p.SwapOutEvery) == 0 {
@@ -205,7 +220,7 @@ func (inj *Injector) forceSwapOut() {
 	sp := sps[inj.rng.intn(len(sps))]
 	res, err := s.VM.SwapOutSuperpage(sp, vm.PageGrain)
 	if err == nil && res.PagesExamined > 0 {
-		inj.SwapOuts++
+		inj.fault(&inj.SwapOuts, "swap_out")
 	}
 }
 
@@ -215,6 +230,6 @@ func (inj *Injector) fillDelay() int {
 	if inj.rng.intn(100) >= inj.Plan.FillDelayPct {
 		return 0
 	}
-	inj.FillDelays++
+	inj.fault(&inj.FillDelays, "fill_delay")
 	return inj.Plan.FillDelayCycles
 }

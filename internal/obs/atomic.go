@@ -93,6 +93,17 @@ func (r *Registry) AtomicCounter(name string) *AtomicCounter {
 	return c
 }
 
+// AtomicCounterL registers and returns one labeled series of a
+// concurrency-safe counter family. Returns nil on a nil registry.
+func (r *Registry) AtomicCounterL(name string, labels ...Label) *AtomicCounter {
+	if r == nil {
+		return nil
+	}
+	c := &AtomicCounter{}
+	r.add(metric{name: name, labels: labels, kind: kindCounter, counterFn: c.Value})
+	return c
+}
+
 // AtomicHistogram registers and returns a concurrency-safe histogram.
 // Returns nil (a valid no-op histogram) on a nil registry.
 func (r *Registry) AtomicHistogram(name string) *AtomicHistogram {
@@ -101,5 +112,17 @@ func (r *Registry) AtomicHistogram(name string) *AtomicHistogram {
 	}
 	h := &AtomicHistogram{}
 	r.add(metric{name: name, kind: kindHist, ahist: h})
+	return h
+}
+
+// AtomicHistogramL registers and returns one labeled series of a
+// concurrency-safe histogram family — e.g. per-scheme cell wall time.
+// Returns nil on a nil registry.
+func (r *Registry) AtomicHistogramL(name string, labels ...Label) *AtomicHistogram {
+	if r == nil {
+		return nil
+	}
+	h := &AtomicHistogram{}
+	r.add(metric{name: name, labels: labels, kind: kindHist, ahist: h})
 	return h
 }

@@ -1,0 +1,479 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file renders a Registry in the Prometheus text exposition
+// format (version 0.0.4), so the daemon's /metrics endpoint can be
+// scraped directly. The JSON dump remains the default encoding; the
+// HTTP layer content-negotiates between the two.
+//
+// Mapping notes:
+//   - metric names are sanitized to the [a-zA-Z_:][a-zA-Z0-9_:]*
+//     grammar (every other rune becomes '_');
+//   - counters and gauges render as single samples, with labels when
+//     the series is labeled;
+//   - the package's fixed log2-bucket histograms render as native
+//     Prometheus histograms with exact upper bounds: bucket i holds
+//     values in [2^(i-1), 2^i), so the cumulative le bounds are
+//     2^i - 1 ("0", "1", "3", "7", ...), then +Inf, _sum and _count.
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format, in registration order, grouping labeled
+// series of one family under a single # HELP / # TYPE header. Help
+// text comes from SetHelp, defaulting to the family name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+
+	// Group series into families in first-registration order: one
+	// HELP/TYPE header per family, however many labeled series it has.
+	type family struct {
+		name    string // original registry name
+		kind    metricKind
+		members []*metric
+	}
+	var fams []*family
+	byName := make(map[string]*family)
+	for i := range r.metrics {
+		m := &r.metrics[i]
+		f, ok := byName[m.name]
+		if !ok {
+			f = &family{name: m.name, kind: m.kind}
+			byName[m.name] = f
+			fams = append(fams, f)
+		}
+		f.members = append(f.members, m)
+	}
+
+	for _, f := range fams {
+		name := promName(f.name)
+		help := r.help[f.name]
+		if help == "" {
+			help = f.name
+		}
+		fmt.Fprintf(bw, "# HELP %s %s\n", name, escapeHelp(help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, promType(f.kind))
+		for _, m := range f.members {
+			if f.kind == kindHist {
+				writePromHistogram(bw, name, m)
+				continue
+			}
+			fmt.Fprintf(bw, "%s%s %s\n", name, promLabels(m.labels, "", ""), promFloat(m.value()))
+		}
+	}
+	return bw.Flush()
+}
+
+// promType maps the registry's kinds onto exposition types.
+func promType(k metricKind) string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// writePromHistogram renders one histogram series: cumulative buckets
+// with exact log2 upper bounds, then +Inf, _sum and _count.
+func writePromHistogram(w io.Writer, name string, m *metric) {
+	counts, sum, n := histSnapshot(m)
+	hi := 0
+	for i, c := range counts {
+		if c != 0 {
+			hi = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= hi; i++ {
+		cum += counts[i]
+		// Bucket i holds integer values in [2^(i-1), 2^i), so every
+		// value in buckets 0..i is <= 2^i - 1: the bound is exact.
+		le := strconv.FormatUint(1<<uint(i)-1, 10)
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(m.labels, "le", le), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(m.labels, "le", "+Inf"), n)
+	fmt.Fprintf(w, "%s_sum%s %d\n", name, promLabels(m.labels, "", ""), sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, promLabels(m.labels, "", ""), n)
+}
+
+// histSnapshot reads a histogram metric's buckets, sum and count,
+// whichever variant backs it.
+func histSnapshot(m *metric) (counts [histBuckets]uint64, sum, n uint64) {
+	switch {
+	case m.ahist != nil:
+		for i := range counts {
+			counts[i] = m.ahist.counts[i].Load()
+		}
+		return counts, m.ahist.sum.Load(), m.ahist.n.Load()
+	case m.hist != nil:
+		return m.hist.counts, m.hist.sum, m.hist.n
+	}
+	return counts, 0, 0
+}
+
+// promLabels renders a label set, optionally with one extra label
+// (the histogram le bound) appended. Empty sets render as nothing.
+func promLabels(labels []Label, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(promName(l.Key))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraVal))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promFloat renders a sample value; integral values print without an
+// exponent or decimal point.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promName sanitizes a registry name ("serve.cell_wall_us") into the
+// exposition grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeHelp escapes help text per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// LintPrometheus validates a Prometheus text exposition document:
+// every sample line parses, every family has HELP and TYPE lines
+// before its first sample, label values are properly quoted, and
+// histogram families have monotonically non-decreasing cumulative
+// buckets ending in +Inf with a consistent _count. It returns every
+// problem found (nil means the document is clean). The format-lint
+// test and the CI smoke job both run scrapes through it.
+func LintPrometheus(r io.Reader) []error {
+	var errs []error
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<22)
+
+	typeOf := make(map[string]string) // family → TYPE
+	helped := make(map[string]bool)
+	hists := make(map[string]*histState)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "# HELP ") {
+			parts := strings.SplitN(text[len("# HELP "):], " ", 2)
+			if parts[0] == "" {
+				errs = append(errs, fmt.Errorf("line %d: HELP without a metric name", line))
+				continue
+			}
+			helped[parts[0]] = true
+			continue
+		}
+		if strings.HasPrefix(text, "# TYPE ") {
+			parts := strings.Fields(text[len("# TYPE "):])
+			if len(parts) != 2 {
+				errs = append(errs, fmt.Errorf("line %d: malformed TYPE line %q", line, text))
+				continue
+			}
+			name, typ := parts[0], parts[1]
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				errs = append(errs, fmt.Errorf("line %d: unknown TYPE %q", line, typ))
+			}
+			if !helped[name] {
+				errs = append(errs, fmt.Errorf("line %d: TYPE %s before its HELP line", line, name))
+			}
+			if _, dup := typeOf[name]; dup {
+				errs = append(errs, fmt.Errorf("line %d: duplicate TYPE for %s", line, name))
+			}
+			typeOf[name] = typ
+			if typ == "histogram" {
+				hists[name] = &histState{
+					lastCum:  make(map[string]uint64),
+					lastLe:   make(map[string]float64),
+					infCount: make(map[string]uint64),
+					count:    make(map[string]uint64),
+					hasInf:   make(map[string]bool),
+				}
+			}
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			continue // comment
+		}
+		name, labels, value, err := parsePromSample(text)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("line %d: %w", line, err))
+			continue
+		}
+		fam := histFamily(name)
+		if typeOf[fam] == "histogram" {
+			lintHistSample(hists[fam], name, fam, labels, value, line, &errs)
+			continue
+		}
+		if _, ok := typeOf[name]; !ok {
+			errs = append(errs, fmt.Errorf("line %d: sample %s before its TYPE line", line, name))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, err)
+	}
+	for fam, h := range hists {
+		for series, has := range h.hasInf {
+			if !has {
+				errs = append(errs, fmt.Errorf("histogram %s%s: no +Inf bucket", fam, series))
+			}
+		}
+		for series, n := range h.count {
+			if inf := h.infCount[series]; inf != n {
+				errs = append(errs, fmt.Errorf("histogram %s%s: +Inf bucket %d != _count %d", fam, series, inf, n))
+			}
+		}
+	}
+	return errs
+}
+
+// histState is one histogram family's lint bookkeeping, keyed by the
+// series label set (minus le).
+type histState struct {
+	lastCum  map[string]uint64 // last cumulative bucket count
+	lastLe   map[string]float64
+	infCount map[string]uint64
+	count    map[string]uint64
+	hasInf   map[string]bool
+}
+
+// histFamily strips histogram sample suffixes back to the family name.
+func histFamily(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+// lintHistSample folds one histogram sample line into the family's
+// monotonicity bookkeeping.
+func lintHistSample(h *histState, name, fam string, labels map[string]string, value float64, line int, errs *[]error) {
+	le, hasLe := labels["le"]
+	delete(labels, "le")
+	series := labelKey(labels)
+	switch {
+	case strings.HasSuffix(name, "_bucket"):
+		if !hasLe {
+			*errs = append(*errs, fmt.Errorf("line %d: %s without an le label", line, name))
+			return
+		}
+		if le == "+Inf" {
+			h.hasInf[series] = true
+			h.infCount[series] = uint64(value)
+			if value < float64(h.lastCum[series]) {
+				*errs = append(*errs, fmt.Errorf("line %d: %s +Inf bucket below prior cumulative", line, name))
+			}
+			return
+		}
+		bound, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			*errs = append(*errs, fmt.Errorf("line %d: unparsable le %q", line, le))
+			return
+		}
+		if prev, ok := h.lastLe[series]; ok && bound <= prev {
+			*errs = append(*errs, fmt.Errorf("line %d: %s le %g not above prior %g", line, name, bound, prev))
+		}
+		if value < float64(h.lastCum[series]) {
+			*errs = append(*errs, fmt.Errorf("line %d: %s cumulative count decreased", line, name))
+		}
+		h.lastLe[series] = bound
+		h.lastCum[series] = uint64(value)
+	case strings.HasSuffix(name, "_count"):
+		h.count[series] = uint64(value)
+	}
+}
+
+// labelKey canonicalizes a label map for series identity.
+func labelKey(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	// insertion sort; label sets are tiny
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// parsePromSample parses one sample line: name{labels} value.
+func parsePromSample(text string) (name string, labels map[string]string, value float64, err error) {
+	labels = make(map[string]string)
+	i := 0
+	for i < len(text) {
+		c := text[i]
+		if c == '{' || c == ' ' {
+			break
+		}
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return "", nil, 0, fmt.Errorf("invalid metric name rune %q in %q", c, text)
+		}
+		i++
+	}
+	if i == 0 {
+		return "", nil, 0, fmt.Errorf("missing metric name in %q", text)
+	}
+	name = text[:i]
+	rest := text[i:]
+	if strings.HasPrefix(rest, "{") {
+		end := -1
+		inQuote := false
+		for k := 1; k < len(rest); k++ {
+			switch {
+			case inQuote && rest[k] == '\\':
+				k++
+			case rest[k] == '"':
+				inQuote = !inQuote
+			case !inQuote && rest[k] == '}':
+				end = k
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return "", nil, 0, fmt.Errorf("unterminated label set in %q", text)
+		}
+		if err := parsePromLabels(rest[1:end], labels); err != nil {
+			return "", nil, 0, fmt.Errorf("%w in %q", err, text)
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional timestamp
+		return "", nil, 0, fmt.Errorf("malformed sample %q", text)
+	}
+	if fields[0] == "+Inf" || fields[0] == "-Inf" || fields[0] == "NaN" {
+		return name, labels, 0, nil
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("unparsable value %q", fields[0])
+	}
+	return name, labels, value, nil
+}
+
+// parsePromLabels parses the inside of a {label="value",...} set.
+func parsePromLabels(s string, out map[string]string) error {
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return fmt.Errorf("label without '='")
+		}
+		key := strings.TrimSpace(s[:eq])
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return fmt.Errorf("unquoted label value for %s", key)
+		}
+		var val strings.Builder
+		k := 1
+		for ; k < len(s); k++ {
+			if s[k] == '\\' && k+1 < len(s) {
+				switch s[k+1] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				default:
+					return fmt.Errorf("bad escape \\%c in label %s", s[k+1], key)
+				}
+				k++
+				continue
+			}
+			if s[k] == '"' {
+				break
+			}
+			val.WriteByte(s[k])
+		}
+		if k >= len(s) {
+			return fmt.Errorf("unterminated label value for %s", key)
+		}
+		out[key] = val.String()
+		s = s[k+1:]
+		s = strings.TrimPrefix(strings.TrimSpace(s), ",")
+		s = strings.TrimSpace(s)
+	}
+	return nil
+}

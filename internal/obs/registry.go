@@ -133,15 +133,40 @@ func (k metricKind) String() string {
 	}
 }
 
-// metric is one registered metric.
+// Label is one metric dimension, e.g. {scheme, coalesced}. Labeled
+// metrics form a family: several series share one name and type and
+// differ only in label values, exactly the Prometheus data model.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// metric is one registered metric (one series: a name plus, for
+// labeled series, its label values).
 type metric struct {
 	name      string
+	labels    []Label
 	kind      metricKind
 	counter   *Counter
 	counterFn func() uint64
 	gaugeFn   func() float64
 	hist      *Histogram
 	ahist     *AtomicHistogram
+}
+
+// id renders the series identity used for duplicate detection.
+func (m *metric) id() string {
+	if len(m.labels) == 0 {
+		return m.name
+	}
+	id := m.name + "{"
+	for i, l := range m.labels {
+		if i > 0 {
+			id += ","
+		}
+		id += l.Key + "=" + l.Value
+	}
+	return id + "}"
 }
 
 // value reads the metric's current scalar value (counters and gauges).
@@ -164,6 +189,7 @@ func (m *metric) value() float64 {
 type Registry struct {
 	metrics []metric
 	byName  map[string]int
+	help    map[string]string
 }
 
 // NewRegistry returns an empty registry.
@@ -171,13 +197,28 @@ func NewRegistry() *Registry {
 	return &Registry{byName: make(map[string]int)}
 }
 
-// add registers a metric; duplicate names are a wiring bug.
+// add registers a metric; duplicate series (name + labels) are a
+// wiring bug.
 func (r *Registry) add(m metric) {
-	if _, dup := r.byName[m.name]; dup {
-		panic(fmt.Sprintf("obs: duplicate metric %q", m.name))
+	id := m.id()
+	if _, dup := r.byName[id]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %q", id))
 	}
-	r.byName[m.name] = len(r.metrics)
+	r.byName[id] = len(r.metrics)
 	r.metrics = append(r.metrics, m)
+}
+
+// SetHelp attaches exposition help text to a metric family name; the
+// Prometheus encoder emits it as the family's # HELP line. No-op on a
+// nil registry.
+func (r *Registry) SetHelp(name, help string) {
+	if r == nil {
+		return
+	}
+	if r.help == nil {
+		r.help = make(map[string]string)
+	}
+	r.help[name] = help
 }
 
 // Counter registers and returns a live counter. Returns nil (a valid
@@ -199,6 +240,15 @@ func (r *Registry) CounterFunc(name string, fn func() uint64) {
 		return
 	}
 	r.add(metric{name: name, kind: kindCounter, counterFn: fn})
+}
+
+// CounterFuncL registers a labeled series of a cumulative counter
+// family. No-op on a nil registry.
+func (r *Registry) CounterFuncL(name string, fn func() uint64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.add(metric{name: name, labels: labels, kind: kindCounter, counterFn: fn})
 }
 
 // GaugeFunc registers a point-in-time value read from fn at sample time.
@@ -232,6 +282,7 @@ func (r *Registry) Len() int {
 // DumpMetric is one metric's final state, for the end-of-run JSON dump.
 type DumpMetric struct {
 	Name    string       `json:"name"`
+	Labels  []Label      `json:"labels,omitempty"`
 	Kind    string       `json:"kind"`
 	Value   float64      `json:"value"`
 	Count   uint64       `json:"count,omitempty"`   // histograms
@@ -247,7 +298,7 @@ func (r *Registry) Dump() []DumpMetric {
 	out := make([]DumpMetric, 0, len(r.metrics))
 	for i := range r.metrics {
 		m := &r.metrics[i]
-		d := DumpMetric{Name: m.name, Kind: m.kind.String()}
+		d := DumpMetric{Name: m.name, Labels: m.labels, Kind: m.kind.String()}
 		if m.kind == kindHist {
 			if m.ahist != nil {
 				d.Count = m.ahist.Count()

@@ -70,7 +70,9 @@ func (s *Sampler) sample(cycle uint64) {
 			if m.kind == kindHist {
 				continue
 			}
-			s.cols = append(s.cols, m.name)
+			// Labeled series render as name{k=v,...} so columns stay
+			// unique; unlabeled metrics keep their bare name.
+			s.cols = append(s.cols, m.id())
 			s.kinds = append(s.kinds, m.kind)
 		}
 	}

@@ -4,7 +4,9 @@ import (
 	"container/list"
 	"context"
 	"sync"
+	"time"
 
+	"shadowtlb/internal/obs"
 	"shadowtlb/internal/sim"
 )
 
@@ -20,8 +22,9 @@ type ResultCache struct {
 	items   map[string]*list.Element // key → list element
 	flights map[string]*cacheFlight  // key → in-flight simulation
 
-	hits   uint64 // served without simulating (stored or coalesced)
-	misses uint64 // led a simulation
+	hits      uint64 // served without simulating (stored or coalesced)
+	misses    uint64 // led a simulation
+	coalesced uint64 // hits served by waiting on another caller's flight
 }
 
 // cacheEntry is one stored result.
@@ -56,7 +59,13 @@ func NewResultCache(capacity int) *ResultCache {
 // stores its result. The bool reports whether the result was served
 // without running simulate here. Waiting honors ctx; the simulation
 // itself, once started, always completes (on behalf of every waiter).
+//
+// When ctx carries an active span (the daemon's run span), the outcome
+// is annotated onto it: a cache.hit or cache.miss event, or a
+// retroactive cache.wait span covering a coalesced wait — so a job
+// trace shows exactly which cells were free and which paid.
 func (c *ResultCache) Do(ctx context.Context, key string, simulate func() sim.Result) (sim.Result, bool, error) {
+	sp := obs.SpanFromContext(ctx)
 	for {
 		c.mu.Lock()
 		if el, ok := c.items[key]; ok {
@@ -64,10 +73,12 @@ func (c *ResultCache) Do(ctx context.Context, key string, simulate func() sim.Re
 			c.hits++
 			res := el.Value.(*cacheEntry).res
 			c.mu.Unlock()
+			sp.Event("cache.hit")
 			return res, true, nil
 		}
 		if f, ok := c.flights[key]; ok {
 			c.mu.Unlock()
+			waitStart := time.Now()
 			select {
 			case <-f.done:
 			case <-ctx.Done():
@@ -76,7 +87,12 @@ func (c *ResultCache) Do(ctx context.Context, key string, simulate func() sim.Re
 			if f.ok {
 				c.mu.Lock()
 				c.hits++
+				c.coalesced++
 				c.mu.Unlock()
+				if sp != nil {
+					sp.Tracer().RecordSpan("cache.wait", sp.Context(),
+						waitStart, time.Since(waitStart))
+				}
 				return f.res, true, nil
 			}
 			continue // the leader failed; retry, possibly as the new leader
@@ -85,6 +101,7 @@ func (c *ResultCache) Do(ctx context.Context, key string, simulate func() sim.Re
 		c.flights[key] = f
 		c.misses++
 		c.mu.Unlock()
+		sp.Event("cache.miss")
 		return c.lead(key, f, simulate)
 	}
 }
@@ -153,4 +170,14 @@ func (c *ResultCache) Stats() (hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// Counters splits the lookup outcomes three ways for labeled
+// exposition: stored hits, waits coalesced onto another caller's
+// in-flight simulation, and misses that led a simulation.
+// stored + coalesced equals Stats' hits.
+func (c *ResultCache) Counters() (stored, coalesced, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits - c.coalesced, c.coalesced, c.misses
 }

@@ -14,13 +14,20 @@ import (
 	"strings"
 	"time"
 
+	"shadowtlb/internal/obs"
 	"shadowtlb/internal/serve"
 )
 
 // Client talks to one mtlbd daemon.
 type Client struct {
-	base string
-	http *http.Client
+	base   string
+	http   *http.Client
+	tracer *obs.Tracer // nil = tracing off
+	// root, when valid, is the parent for submit spans and the context
+	// propagated to the daemon as a traceparent header.
+	root obs.SpanContext
+	// onRequest, when set, observes every completed API request.
+	onRequest func(RequestInfo)
 }
 
 // New returns a client for the daemon at base (e.g.
@@ -33,6 +40,38 @@ func New(base string, httpClient *http.Client) *Client {
 	}
 	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}
 }
+
+// SetTracer attaches a tracer: each Submit gets a client-side span and
+// every submission carries a traceparent header, so the daemon's spans
+// land in the same trace. parent, when valid, roots the client's spans
+// (a CLI mints one root span for its whole invocation); a zero parent
+// puts each submission in its own fresh trace.
+func (c *Client) SetTracer(t *obs.Tracer, parent obs.SpanContext) {
+	c.tracer = t
+	c.root = parent
+}
+
+// SetTraceParent sets the trace context propagated on submissions from
+// a W3C traceparent string, without attaching a client-side tracer —
+// for callers that only relay an upstream trace. Malformed input clears
+// the context.
+func (c *Client) SetTraceParent(h string) {
+	c.root, _ = obs.ParseTraceParent(h)
+}
+
+// RequestInfo describes one completed daemon API request, for latency
+// accounting by load generators.
+type RequestInfo struct {
+	Method string
+	Path   string // route shape, ids elided (e.g. "/v1/jobs/{id}")
+	Status int    // HTTP status, 0 on transport error
+	Dur    time.Duration
+}
+
+// OnRequest installs an observer invoked after every API request
+// (streams excluded — they are long-lived by design). mtlbload uses it
+// to build request-latency percentiles.
+func (c *Client) OnRequest(fn func(RequestInfo)) { c.onRequest = fn }
 
 // StatusError is a non-2xx daemon response.
 type StatusError struct {
@@ -47,8 +86,10 @@ func (e *StatusError) Error() string {
 	return fmt.Sprintf("mtlbd: HTTP %d: %s", e.Code, e.Message)
 }
 
-// do issues a request and decodes a 2xx JSON body into out.
-func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+// do issues a request and decodes a 2xx JSON body into out. route is
+// the path's shape with ids elided, reported to the OnRequest observer;
+// hdr, when non-nil, adds headers (the submit path's traceparent).
+func (c *Client) do(ctx context.Context, method, path, route string, hdr http.Header, in, out any) error {
 	var body io.Reader
 	if in != nil {
 		buf, err := json.Marshal(in)
@@ -64,7 +105,18 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	for k, vs := range hdr {
+		req.Header[k] = vs
+	}
+	start := time.Now()
 	resp, err := c.http.Do(req)
+	if c.onRequest != nil {
+		info := RequestInfo{Method: method, Path: route, Dur: time.Since(start)}
+		if err == nil {
+			info.Status = resp.StatusCode
+		}
+		c.onRequest(info)
+	}
 	if err != nil {
 		return err
 	}
@@ -101,45 +153,66 @@ func statusError(resp *http.Response) error {
 	return e
 }
 
-// Submit enqueues a job and returns its id.
+// Submit enqueues a job and returns its id. With a tracer attached the
+// submission is wrapped in a client-side span and carries its context
+// as a traceparent header, so the daemon parents the job's spans under
+// this call.
 func (c *Client) Submit(ctx context.Context, spec serve.JobSpec) (string, error) {
-	var out struct {
-		ID string `json:"id"`
+	span := c.tracer.StartSpan("submit", c.root)
+	defer span.End()
+	var hdr http.Header
+	if sc := span.Context(); sc.Valid() {
+		hdr = http.Header{"Traceparent": []string{sc.TraceParent()}}
+	} else if c.root.Valid() {
+		// Relay-only mode: no client tracer, but an upstream context to
+		// propagate.
+		hdr = http.Header{"Traceparent": []string{c.root.TraceParent()}}
 	}
-	if err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &out); err != nil {
+	var out struct {
+		ID    string `json:"id"`
+		Trace string `json:"trace"`
+	}
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", "/v1/jobs", hdr, spec, &out); err != nil {
 		return "", err
 	}
+	span.SetAttr("job", out.ID)
 	return out.ID, nil
 }
 
 // Status fetches a job's status document.
 func (c *Client) Status(ctx context.Context, id string) (serve.JobStatus, error) {
 	var st serve.JobStatus
-	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, "/v1/jobs/{id}", nil, nil, &st)
 	return st, err
 }
 
 // Cancel requests cancellation of a job.
 func (c *Client) Cancel(ctx context.Context, id string) error {
-	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil)
+	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, "/v1/jobs/{id}", nil, nil, nil)
 }
 
 // Experiments lists the daemon's experiment registry.
 func (c *Client) Experiments(ctx context.Context) ([]serve.ExperimentInfo, error) {
 	var out []serve.ExperimentInfo
-	err := c.do(ctx, http.MethodGet, "/v1/experiments", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/v1/experiments", "/v1/experiments", nil, nil, &out)
 	return out, err
 }
 
-// Healthz reports whether the daemon is accepting jobs.
+// Healthz reports process liveness (200 even while draining).
 func (c *Client) Healthz(ctx context.Context) error {
-	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+	return c.do(ctx, http.MethodGet, "/healthz", "/healthz", nil, nil, nil)
+}
+
+// Readyz reports whether the daemon is accepting new jobs; a draining
+// daemon is alive but not ready.
+func (c *Client) Readyz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/readyz", "/readyz", nil, nil, nil)
 }
 
 // Metrics fetches the daemon's metrics dump as raw JSON.
 func (c *Client) Metrics(ctx context.Context) (json.RawMessage, error) {
 	var out json.RawMessage
-	err := c.do(ctx, http.MethodGet, "/metrics", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/metrics", "/metrics", nil, nil, &out)
 	return out, err
 }
 
@@ -147,6 +220,9 @@ func (c *Client) Metrics(ctx context.Context) (json.RawMessage, error) {
 // state, invoking onEvent (when non-nil) for each event, then returns
 // the final status. It degrades to polling if the stream breaks.
 func (c *Client) Wait(ctx context.Context, id string, onEvent func(serve.Event)) (serve.JobStatus, error) {
+	span := c.tracer.StartSpan("wait", c.root)
+	span.SetAttr("job", id)
+	defer span.End()
 	if err := c.stream(ctx, id, onEvent); err != nil {
 		if ctx.Err() != nil {
 			return serve.JobStatus{}, ctx.Err()

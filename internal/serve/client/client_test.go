@@ -1,0 +1,179 @@
+package client
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"shadowtlb/internal/obs"
+	"shadowtlb/internal/serve"
+)
+
+// startDaemon stands up a real traced serve.Server behind httptest.
+func startDaemon(t *testing.T) (*serve.Server, *obs.Tracer, *httptest.Server) {
+	t.Helper()
+	s := serve.New(serve.Config{Workers: 2})
+	tr := obs.NewTracer("mtlbd", nil, 0)
+	s.SetTracer(tr)
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Drain(ctx) //nolint:errcheck // best-effort teardown
+	})
+	return s, tr, ts
+}
+
+// TestTraceContextRoundTrip is the cross-process propagation check: a
+// traced client Run produces client-side submit/wait spans and
+// daemon-side job spans in ONE trace, with the daemon's job span
+// parented under the client's root.
+func TestTraceContextRoundTrip(t *testing.T) {
+	_, daemonTr, ts := startDaemon(t)
+
+	clientTr := obs.NewTracer("mtlbexp", nil, 0)
+	root := clientTr.StartSpan("invocation", obs.SpanContext{})
+	c := New(ts.URL, nil)
+	c.SetTracer(clientTr, root.Context())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	spec := serve.JobSpec{Cells: []serve.CellSpec{{Workload: "stride", TLB: 64}}, Scale: "small"}
+	st, err := c.Run(ctx, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != serve.StateDone {
+		t.Fatalf("job state %s: %s", st.State, st.Error)
+	}
+	root.End()
+
+	traceID := root.Context().Trace.String()
+	if st.Trace != traceID {
+		t.Errorf("daemon reported trace %q, want the client's %q", st.Trace, traceID)
+	}
+
+	// Client side: invocation, submit, wait — all one trace.
+	clientNames := map[string]obs.SpanRecord{}
+	for _, s := range clientTr.Spans() {
+		if s.Trace != traceID {
+			t.Errorf("client span %q in trace %s, want %s", s.Name, s.Trace, traceID)
+		}
+		clientNames[s.Name] = s
+	}
+	for _, name := range []string{"invocation", "submit", "wait"} {
+		if _, ok := clientNames[name]; !ok {
+			t.Errorf("client recorded no %q span", name)
+		}
+	}
+
+	// Daemon side: the job span joined the same trace, parented under
+	// the client's submit span, with the full tree beneath it.
+	daemonNames := map[string]obs.SpanRecord{}
+	for _, s := range daemonTr.Spans() {
+		daemonNames[s.Name] = s
+	}
+	job, ok := daemonNames["job"]
+	if !ok {
+		t.Fatal("daemon recorded no job span")
+	}
+	if job.Trace != traceID {
+		t.Errorf("daemon job span in trace %s, want %s", job.Trace, traceID)
+	}
+	if job.Parent != clientNames["submit"].Span {
+		t.Errorf("job span parent %s, want client submit span %s",
+			job.Parent, clientNames["submit"].Span)
+	}
+	for _, name := range []string{"admission", "run", "cell"} {
+		s, ok := daemonNames[name]
+		if !ok {
+			t.Errorf("daemon recorded no %q span", name)
+			continue
+		}
+		if s.Trace != traceID {
+			t.Errorf("daemon %s span in trace %s, want %s", name, s.Trace, traceID)
+		}
+	}
+}
+
+// TestRelayOnlyTraceParent: SetTraceParent propagates an upstream
+// context without a client-side tracer, and the untraced client sends
+// no header at all.
+func TestRelayOnlyTraceParent(t *testing.T) {
+	_, daemonTr, ts := startDaemon(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	spec := serve.JobSpec{Cells: []serve.CellSpec{{Workload: "stride", TLB: 96}}, Scale: "small"}
+
+	upstream := obs.SpanContext{Trace: obs.NewTraceID(), Span: obs.NewSpanID()}
+	c := New(ts.URL, nil)
+	c.SetTraceParent(upstream.TraceParent())
+	st, err := c.Run(ctx, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Trace != upstream.Trace.String() {
+		t.Errorf("relayed trace %q, want %q", st.Trace, upstream.Trace)
+	}
+
+	// Garbage input clears the context; the daemon mints a fresh trace.
+	c2 := New(ts.URL, nil)
+	c2.SetTraceParent("not-a-traceparent")
+	st2, err := c2.Run(ctx, serve.JobSpec{Cells: []serve.CellSpec{{Workload: "stride", TLB: 128}}, Scale: "small"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Trace == "" || st2.Trace == upstream.Trace.String() {
+		t.Errorf("fresh trace %q, want a new non-empty id", st2.Trace)
+	}
+	if len(daemonTr.Spans()) == 0 {
+		t.Error("daemon recorded no spans")
+	}
+}
+
+// TestRequestObserver: OnRequest sees every non-stream API call with
+// route shapes, statuses and durations — the hook mtlbload's latency
+// percentiles hang off.
+func TestRequestObserver(t *testing.T) {
+	_, _, ts := startDaemon(t)
+	c := New(ts.URL, nil)
+	var infos []RequestInfo
+	c.OnRequest(func(ri RequestInfo) { infos = append(infos, ri) })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := c.Readyz(ctx); err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.Submit(ctx, serve.JobSpec{Cells: []serve.CellSpec{{Workload: "stride", TLB: 64}}, Scale: "small"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Status(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []struct{ method, path string }{
+		{"GET", "/readyz"},
+		{"POST", "/v1/jobs"},
+		{"GET", "/v1/jobs/{id}"},
+	}
+	if len(infos) != len(want) {
+		t.Fatalf("observer saw %d requests, want %d: %+v", len(infos), len(want), infos)
+	}
+	for i, w := range want {
+		ri := infos[i]
+		if ri.Method != w.method || ri.Path != w.path {
+			t.Errorf("request %d: %s %s, want %s %s", i, ri.Method, ri.Path, w.method, w.path)
+		}
+		if ri.Status < 200 || ri.Status > 299 {
+			t.Errorf("request %d: status %d", i, ri.Status)
+		}
+		if ri.Dur <= 0 {
+			t.Errorf("request %d: non-positive duration", i)
+		}
+	}
+}

@@ -6,6 +6,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"shadowtlb/internal/obs"
 )
 
 // Admission errors. Handlers map them onto status codes; embedding
@@ -32,13 +37,16 @@ type errorBody struct {
 
 // Handler returns the daemon's HTTP API:
 //
-//	POST   /v1/jobs             submit a JobSpec, get {"id": ...} (202)
+//	POST   /v1/jobs             submit a JobSpec, get {"id": ...} (202);
+//	                            a traceparent header joins the caller's trace
 //	GET    /v1/jobs/{id}        job status, result inline when done
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/jobs/{id}/events NDJSON event stream until terminal
 //	GET    /v1/experiments      registered experiment ids
-//	GET    /healthz             200 serving / 503 draining
-//	GET    /metrics             server metrics registry dump
+//	GET    /healthz             liveness: 200 while the process serves
+//	GET    /readyz              readiness: 200 accepting / 503 draining
+//	GET    /metrics             JSON dump, or Prometheus text exposition
+//	                            via ?format=prometheus or Accept
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -47,6 +55,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -87,7 +96,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
 		return
 	}
-	j, err := s.Submit(spec)
+	// A caller-supplied traceparent joins the job to the client's trace;
+	// a malformed header never fails the request — the daemon just mints
+	// a fresh trace. Parsed only with tracing on, so the disabled path
+	// does not touch headers.
+	var parent obs.SpanContext
+	if s.tracer != nil {
+		if sc, ok := obs.ParseTraceParent(r.Header.Get("traceparent")); ok {
+			parent = sc
+		}
+	}
+	j, err := s.SubmitTraced(spec, parent)
 	if err != nil {
 		var bad *BadRequestError
 		switch {
@@ -104,8 +123,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, struct {
-		ID string `json:"id"`
-	}{ID: j.ID()})
+		ID    string `json:"id"`
+		Trace string `json:"trace,omitempty"`
+	}{ID: j.ID(), Trace: j.TraceID()})
 }
 
 // handleStatus returns a job's status document; the result rides along
@@ -142,9 +162,13 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
+	start := time.Now()
+	span := s.tracer.StartSpan("stream", j.SpanContext())
+	defer span.End()
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	next := 0
+	sent := 0
 	for {
 		evs, wake, terminal := j.eventsSince(next)
 		for _, ev := range evs {
@@ -156,9 +180,17 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		if flusher != nil {
 			flusher.Flush()
 		}
+		if sent == 0 && next > 0 {
+			// First flushed line: the stream's time to first byte.
+			ttfb := time.Since(start)
+			s.mStreamTTFB.Observe(uint64(ttfb.Microseconds()))
+			span.SetAttr("ttfb_us", strconv.FormatInt(ttfb.Microseconds(), 10))
+		}
+		sent = next
 		if terminal {
 			// finish appends the final event and the terminal state in
 			// one critical section, so this snapshot is complete.
+			span.SetAttr("events", strconv.Itoa(sent))
 			return
 		}
 		select {
@@ -174,9 +206,21 @@ func (s *Server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, Experiments())
 }
 
-// handleHealthz reports liveness: 200 while accepting jobs, 503 once
-// draining.
+// handleHealthz reports liveness: 200 whenever the process is serving
+// at all — including while draining, when in-flight jobs are still
+// finishing and status queries must keep working. Orchestrators that
+// restart on failed liveness must not kill a draining daemon; gate
+// traffic with /readyz instead.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{Status: "ok"})
+}
+
+// handleReadyz reports readiness for new work: 200 while admission is
+// open, 503 once drain begins — the signal load balancers use to stop
+// routing submissions at a daemon that will 503 them anyway.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.Draining() {
 		writeJSON(w, http.StatusServiceUnavailable, struct {
 			Status string `json:"status"`
@@ -185,11 +229,36 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, struct {
 		Status string `json:"status"`
-	}{Status: "ok"})
+	}{Status: "ready"})
 }
 
-// handleMetrics dumps the server metrics registry.
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handleMetrics serves the registry in the caller's preferred encoding:
+// the JSON dump by default (what mtlbload and mtlbtop parse), or the
+// Prometheus text exposition when ?format=prometheus is given or the
+// Accept header asks for text/plain or OpenMetrics. The explicit query
+// parameter wins over Accept.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.reg.WritePrometheus(w) //nolint:errcheck // client gone; nothing to do
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	s.reg.WriteDump(w) //nolint:errcheck // client gone; nothing to do
+}
+
+// wantsPrometheus decides the /metrics encoding. Browsers and curl send
+// Accept: */* which stays JSON, so existing tooling is unchanged;
+// Prometheus scrapers send an explicit text/plain (or OpenMetrics)
+// preference.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus", "text":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "application/openmetrics-text")
 }

@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"shadowtlb/internal/core"
 	"shadowtlb/internal/exp"
 	"shadowtlb/internal/exp/runner"
+	"shadowtlb/internal/obs"
 	"shadowtlb/internal/sim"
 )
 
@@ -127,8 +129,12 @@ type Progress struct {
 
 // JobStatus is the GET /v1/jobs/{id} document.
 type JobStatus struct {
-	ID       string     `json:"id"`
-	State    JobState   `json:"state"`
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	// Trace is the job's trace ID (32 hex digits) when the daemon runs
+	// with tracing on; empty otherwise. Clients log it to correlate a
+	// submission with the daemon's trace file.
+	Trace    string     `json:"trace,omitempty"`
 	Error    string     `json:"error,omitempty"`
 	Spec     JobSpec    `json:"spec"`
 	Progress Progress   `json:"progress"`
@@ -185,8 +191,10 @@ type Event struct {
 
 // Job is one admitted request moving through the queue and worker pool.
 type Job struct {
-	id   string
-	spec JobSpec
+	id        string
+	spec      JobSpec
+	submitted time.Time // admission instant, for queue-wait telemetry
+	span      *obs.Span // root span; nil when tracing is off
 
 	mu       sync.Mutex
 	state    JobState
@@ -202,11 +210,12 @@ type Job struct {
 // newJob returns a queued job with its admission event recorded.
 func newJob(id string, spec JobSpec) *Job {
 	j := &Job{
-		id:    id,
-		spec:  spec,
-		state: StateQueued,
-		wake:  make(chan struct{}),
-		done:  make(chan struct{}),
+		id:        id,
+		spec:      spec,
+		submitted: time.Now(),
+		state:     StateQueued,
+		wake:      make(chan struct{}),
+		done:      make(chan struct{}),
 	}
 	j.append(Event{Type: "queued", JobID: id})
 	return j
@@ -214,6 +223,18 @@ func newJob(id string, spec JobSpec) *Job {
 
 // ID returns the job's identifier.
 func (j *Job) ID() string { return j.id }
+
+// SpanContext returns the job's root span identity, zero when the
+// daemon runs without tracing. Stream handlers parent their spans here.
+func (j *Job) SpanContext() obs.SpanContext { return j.span.Context() }
+
+// TraceID returns the job's trace ID string, "" without tracing.
+func (j *Job) TraceID() string {
+	if sc := j.span.Context(); sc.Valid() {
+		return sc.Trace.String()
+	}
+	return ""
+}
 
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
@@ -246,6 +267,7 @@ func (j *Job) Status() JobStatus {
 	st := JobStatus{
 		ID:       j.id,
 		State:    j.state,
+		Trace:    j.TraceID(),
 		Spec:     j.spec,
 		Progress: j.progress,
 		Result:   j.result,
@@ -344,10 +366,13 @@ func (j *Job) finish(res *JobResult, err error) {
 	}
 	ev.CellsDone = j.progress.CellsDone
 	ev.CellsTotal = j.progress.CellsTotal
+	state := j.state
 	j.events = append(j.events, ev)
 	close(j.wake)
 	j.wake = make(chan struct{})
 	j.mu.Unlock()
+	j.span.SetAttr("state", string(state))
+	j.span.End()
 	close(j.done)
 }
 

@@ -82,15 +82,22 @@ type Server struct {
 	cache *ResultCache
 	queue chan *Job
 
-	reg       *obs.Registry
-	mSubmit   *obs.AtomicCounter
-	mRejected *obs.AtomicCounter
-	mDone     *obs.AtomicCounter
-	mFailed   *obs.AtomicCounter
-	mCanceled *obs.AtomicCounter
-	mCellWall *obs.AtomicHistogram
-	mJobWall  *obs.AtomicHistogram
-	inflight  atomic.Int64
+	reg         *obs.Registry
+	tracer      *obs.Tracer // nil = tracing off; every span path is free
+	mSubmit     *obs.AtomicCounter
+	mRejected   *obs.AtomicCounter
+	mDone       *obs.AtomicCounter
+	mFailed     *obs.AtomicCounter
+	mCanceled   *obs.AtomicCounter
+	mCellWall   *obs.AtomicHistogram
+	mJobWall    *obs.AtomicHistogram
+	mAdmitWait  *obs.AtomicHistogram
+	mStreamTTFB *obs.AtomicHistogram
+	// mCellScheme holds one wall-time histogram per translation backend
+	// ("none" included), pre-registered so the Prometheus family is
+	// complete from the first scrape.
+	mCellScheme map[string]*obs.AtomicHistogram
+	inflight    atomic.Int64
 
 	wg       sync.WaitGroup // job executors
 	admitMu  sync.RWMutex
@@ -137,8 +144,44 @@ func New(cfg Config) *Server {
 	s.reg.GaugeFunc("serve.workers", func() float64 { return float64(cap(s.sem)) })
 	s.mCellWall = s.reg.AtomicHistogram("serve.cell_wall_us")
 	s.mJobWall = s.reg.AtomicHistogram("serve.job_wall_us")
+	s.mAdmitWait = s.reg.AtomicHistogram("serve.admission_wait_us")
+	s.mStreamTTFB = s.reg.AtomicHistogram("serve.stream_ttfb_us")
+	s.mCellScheme = make(map[string]*obs.AtomicHistogram)
+	for _, scheme := range append(core.SchemeNames(), "none") {
+		s.mCellScheme[scheme] = s.reg.AtomicHistogramL("serve.cell_wall_by_scheme_us",
+			obs.Label{Key: "scheme", Value: scheme})
+	}
+	s.reg.CounterFuncL("serve.cache_outcome",
+		func() uint64 { st, _, _ := s.cache.Counters(); return st },
+		obs.Label{Key: "outcome", Value: "hit"})
+	s.reg.CounterFuncL("serve.cache_outcome",
+		func() uint64 { _, co, _ := s.cache.Counters(); return co },
+		obs.Label{Key: "outcome", Value: "coalesced"})
+	s.reg.CounterFuncL("serve.cache_outcome",
+		func() uint64 { _, _, led := s.cache.Counters(); return led },
+		obs.Label{Key: "outcome", Value: "miss"})
+	s.reg.SetHelp("serve.jobs_submitted", "jobs accepted by admission")
+	s.reg.SetHelp("serve.jobs_rejected", "jobs rejected by the full admission queue")
+	s.reg.SetHelp("serve.cache_hits", "cell results served without simulating (stored or coalesced)")
+	s.reg.SetHelp("serve.cache_misses", "cell results that led a simulation")
+	s.reg.SetHelp("serve.cache_outcome", "cache lookups by outcome: stored hit, coalesced onto an in-flight simulation, or miss")
+	s.reg.SetHelp("serve.queue_depth", "jobs admitted but not yet picked up by an executor")
+	s.reg.SetHelp("serve.cell_wall_us", "per-cell wall time across all schemes (µs)")
+	s.reg.SetHelp("serve.cell_wall_by_scheme_us", "per-cell wall time by translation backend (µs)")
+	s.reg.SetHelp("serve.job_wall_us", "per-job wall time, pickup to terminal state (µs)")
+	s.reg.SetHelp("serve.admission_wait_us", "queue wait, admission to executor pickup (µs)")
+	s.reg.SetHelp("serve.stream_ttfb_us", "event-stream time to first byte (µs)")
 	return s
 }
+
+// SetTracer attaches a span tracer; every subsequent job gets a span
+// tree (submit → admission → run → per-cell, plus stream spans). A nil
+// tracer — the default — keeps every instrumented path allocation-free.
+// Call before Start.
+func (s *Server) SetTracer(t *obs.Tracer) { s.tracer = t }
+
+// Tracer returns the attached tracer, nil when tracing is off.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // poolWorkers mirrors runner.New's GOMAXPROCS default without exporting
 // it.
@@ -211,6 +254,15 @@ func (s *Server) Drain(ctx context.Context) error {
 // ErrDraining when admission is closed, or ErrQueueFull when the
 // bounded queue is at capacity.
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	return s.SubmitTraced(spec, obs.SpanContext{})
+}
+
+// SubmitTraced is Submit carrying a caller's trace context — the parent
+// parsed from a traceparent header, or zero to mint a fresh trace. The
+// admitted job's root span adopts the caller's trace, so a client-side
+// tracer and the daemon's agree on one tree. With no tracer attached
+// this is exactly Submit.
+func (s *Server) SubmitTraced(spec JobSpec, parent obs.SpanContext) (*Job, error) {
 	if err := s.validate(spec); err != nil {
 		return nil, &BadRequestError{Err: err}
 	}
@@ -220,6 +272,8 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		return nil, ErrDraining
 	}
 	j := newJob(s.newID(), spec)
+	j.span = s.tracer.StartSpan("job", parent)
+	j.span.SetAttr("id", j.id)
 	select {
 	case s.queue <- j:
 		s.admitMu.RUnlock()
@@ -229,6 +283,8 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	default:
 		s.admitMu.RUnlock()
 		s.mRejected.Inc()
+		j.span.SetAttr("rejected", "queue_full")
+		j.span.End()
 		return nil, ErrQueueFull
 	}
 }
@@ -330,6 +386,9 @@ func (s *Server) executor() {
 func (s *Server) runJob(j *Job) {
 	s.inflight.Add(1)
 	start := time.Now()
+	wait := start.Sub(j.submitted)
+	s.mAdmitWait.Observe(uint64(wait.Microseconds()))
+	s.tracer.RecordSpan("admission", j.span.Context(), j.submitted, wait)
 	defer func() {
 		s.mJobWall.Observe(uint64(time.Since(start).Microseconds()))
 		s.inflight.Add(-1)
@@ -348,7 +407,9 @@ func (s *Server) runJob(j *Job) {
 	j.setCancel(cancel)
 	defer cancel()
 
-	res, err := s.execute(ctx, j)
+	run := s.tracer.StartSpan("run", j.span.Context())
+	res, err := s.execute(obs.ContextWithSpan(ctx, run), j)
+	run.End()
 	j.finish(res, err)
 	switch j.State() {
 	case StateDone:
@@ -384,8 +445,22 @@ func (s *Server) execute(ctx context.Context, j *Job) (res *JobResult, err error
 	} else {
 		pool.UseCache(s.cache)
 	}
+	run := obs.SpanFromContext(ctx)
 	pool.SetCellHook(func(ev runner.CellEvent) {
-		s.mCellWall.Observe(uint64(ev.WallNS) / 1000)
+		wallUS := uint64(ev.WallNS) / 1000
+		s.mCellWall.Observe(wallUS)
+		if h := s.mCellScheme[ev.Scheme]; h != nil {
+			h.Observe(wallUS)
+		}
+		if run != nil {
+			cached := "false"
+			if ev.Cached {
+				cached = "true"
+			}
+			wall := time.Duration(ev.WallNS)
+			run.Tracer().RecordSpan("cell", run.Context(), time.Now().Add(-wall), wall,
+				"workload", ev.Workload, "scheme", ev.Scheme, "cached", cached)
+		}
 		j.cellDone(ev)
 	})
 	if len(j.spec.Cells) > 0 {

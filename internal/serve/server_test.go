@@ -335,7 +335,8 @@ func TestDrainFinishesInFlightAndRejectsNew(t *testing.T) {
 	}()
 
 	// Draining must become observable, then new submissions bounce with
-	// 503 and healthz degrades.
+	// 503 and readiness degrades — while liveness stays green so an
+	// orchestrator does not kill the daemon mid-drain.
 	for !s.Draining() {
 		time.Sleep(time.Millisecond)
 	}
@@ -344,13 +345,21 @@ func TestDrainFinishesInFlightAndRejectsNew(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("submit while draining: HTTP %d, want 503", resp.StatusCode)
 	}
+	rz, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rz.Body.Close()
+	if rz.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz while draining: HTTP %d, want 503", rz.StatusCode)
+	}
 	hz, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	hz.Body.Close()
-	if hz.StatusCode != http.StatusServiceUnavailable {
-		t.Errorf("healthz while draining: HTTP %d, want 503", hz.StatusCode)
+	if hz.StatusCode != http.StatusOK {
+		t.Errorf("healthz while draining: HTTP %d, want 200", hz.StatusCode)
 	}
 
 	// The in-flight job holds the drain open until released.

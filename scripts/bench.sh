@@ -14,8 +14,11 @@
 #     committed reference CI compares against.
 #
 #   BENCH_serve.json   — daemon throughput under concurrent mixed
-#     traffic (see cmd/mtlbload): jobs/s, latency percentiles and the
-#     shared result cache's hit rate against an in-process mtlbd.
+#     traffic (see cmd/mtlbload): jobs/s, end-to-end job latency
+#     percentiles, per-HTTP-request latency percentiles (request_ms:
+#     p50/p95/p99/max over every submit, poll and stream call the run
+#     issued) and the shared result cache's hit rate against an
+#     in-process mtlbd.
 #
 #   BENCH_schemes.json — simulated references per host second for every
 #     registered translation backend on one fig3 cell (mtlbbench
