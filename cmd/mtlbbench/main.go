@@ -24,6 +24,7 @@ import (
 	"shadowtlb/internal/cmdutil"
 	"shadowtlb/internal/core"
 	"shadowtlb/internal/exp"
+	rep "shadowtlb/internal/replay"
 	"shadowtlb/internal/sim"
 )
 
@@ -54,6 +55,29 @@ type SchemesResult struct {
 	Schemes map[string]EngineResult `json:"schemes"` // by scheme name
 }
 
+// ReplayWorkload is one workload's live-vs-compiled-replay measurement.
+type ReplayWorkload struct {
+	Refs      uint64       `json:"refs"`      // references per run
+	Identical bool         `json:"identical"` // replay result == live result
+	Live      EngineResult `json:"live"`
+	Replay    EngineResult `json:"replay"`
+	Speedup   float64      `json:"speedup"` // replay refs/s over live refs/s
+}
+
+// ReplayBenchResult is the BENCH_replay.json schema: the compiled trace
+// replay engine (internal/replay) against live execution on every paper
+// workload, plus the aggregate ratio CI gates on. Identical must hold
+// for every workload — replay is only a speedup if it is bit-exact.
+type ReplayBenchResult struct {
+	Scale     string                    `json:"scale"`
+	Workloads map[string]ReplayWorkload `json:"workloads"`
+	// Aggregate rates are total refs over total best-round time.
+	AggregateLive   float64 `json:"aggregate_live_refs_per_sec"`
+	AggregateReplay float64 `json:"aggregate_replay_refs_per_sec"`
+	Speedup         float64 `json:"speedup"`
+	AllIdentical    bool    `json:"all_identical"`
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -69,6 +93,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		baseline  = fs.String("baseline", "", "baseline JSON to compare the speedup against")
 		tolerance = fs.Float64("tolerance", 0.2, "allowed fractional speedup regression vs baseline")
 		schemes   = fs.String("schemes", "", "also measure every translation scheme and write refs/sec per scheme to this JSON `file`")
+		replay    = fs.String("replay", "", "measure the compiled trace replay engine instead: write per-workload live-vs-replay refs/sec to this JSON `file`")
+		replayBl  = fs.String("replay-baseline", "", "baseline BENCH_replay.json to gate the replay speedup against (with -tolerance)")
 	)
 	// Host profiling only: simulation-side observability (-metrics,
 	// -timeline) would perturb the throughput being measured.
@@ -88,6 +114,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	defer stopProfiles()
+
+	// -replay selects the replay benchmark alone; the hotpath and scheme
+	// measurements keep their own invocations (and CI jobs).
+	if *replay != "" {
+		return runReplayBench(stdout, stderr, scale, *seconds, *replay, *replayBl, *tolerance)
+	}
 
 	res := Result{Cell: "fig3/em3d/tlb64+mtlb128", Scale: scale.String()}
 	res.Fast, res.Slow = measure(scale, *seconds)
@@ -138,6 +170,124 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *baseline != "" {
 		return compare(stdout, stderr, res, *baseline, *tolerance)
 	}
+	return 0
+}
+
+// replayWorkloads are the paper's five programs — the set the replay
+// engine's differential suite proves bit-identical.
+var replayWorkloads = []string{"compress", "vortex", "radix", "em3d", "gcc"}
+
+// runReplayBench measures compiled trace replay against live execution
+// on every paper workload, writes BENCH_replay.json, and optionally
+// gates the aggregate speedup against a committed baseline. A replay
+// that is not bit-identical to its live run fails outright.
+func runReplayBench(stdout, stderr io.Writer, scale exp.Scale, minSeconds float64, out, baseline string, tolerance float64) int {
+	res := ReplayBenchResult{
+		Scale:        scale.String(),
+		Workloads:    make(map[string]ReplayWorkload),
+		AllIdentical: true,
+	}
+	cfg := sim.Default().WithTLB(64).WithMTLB(core.DefaultMTLBConfig())
+	var liveRefs, repRefs float64 // aggregate: sum refs / sum best-round secs
+	var liveSecs, repSecs float64
+	for _, name := range replayWorkloads {
+		w, err := exp.MakeWorkload(name, scale)
+		if err != nil {
+			fmt.Fprintf(stderr, "mtlbbench: %v\n", err)
+			return 1
+		}
+		liveRes, p := rep.Record(cfg, w)
+		eng := rep.NewEngine(p)
+		repRes := sim.RunOn(cfg, eng)
+		wl := ReplayWorkload{Refs: uint64(p.Refs()), Identical: repRes == liveRes}
+		if !wl.Identical {
+			res.AllIdentical = false
+			fmt.Fprintf(stderr, "mtlbbench: FAIL: %s replay diverged from live run\n", name)
+		}
+
+		// Interleaved rounds, best-of — the same noise discipline as the
+		// hotpath measurement. Each live round gets a fresh workload (a
+		// workload's RNG state is consumed by running it).
+		round := func(r *EngineResult, run func()) {
+			start := time.Now()
+			run()
+			secs := time.Since(start).Seconds()
+			r.Refs = wl.Refs
+			r.Runs++
+			r.Seconds += secs
+			if rps := float64(wl.Refs) / secs; rps > r.RefsPerSec {
+				r.RefsPerSec = rps
+			}
+		}
+		for wl.Live.Seconds < minSeconds || wl.Replay.Seconds < minSeconds {
+			lw, err := exp.MakeWorkload(name, scale)
+			if err != nil {
+				fmt.Fprintf(stderr, "mtlbbench: %v\n", err)
+				return 1
+			}
+			round(&wl.Live, func() { sim.RunOn(cfg, lw) })
+			round(&wl.Replay, func() { sim.RunOn(cfg, eng) })
+		}
+		wl.Speedup = wl.Replay.RefsPerSec / wl.Live.RefsPerSec
+		res.Workloads[name] = wl
+		liveRefs += float64(wl.Refs)
+		repRefs += float64(wl.Refs)
+		liveSecs += float64(wl.Refs) / wl.Live.RefsPerSec
+		repSecs += float64(wl.Refs) / wl.Replay.RefsPerSec
+		fmt.Fprintf(stdout, "replay %-10s %7.2fM live, %7.2fM replay refs/s (%.2fx, identical=%t)\n",
+			name, wl.Live.RefsPerSec/1e6, wl.Replay.RefsPerSec/1e6, wl.Speedup, wl.Identical)
+	}
+	res.AggregateLive = liveRefs / liveSecs
+	res.AggregateReplay = repRefs / repSecs
+	res.Speedup = res.AggregateReplay / res.AggregateLive
+	fmt.Fprintf(stdout, "replay aggregate: %.2fM live, %.2fM replay refs/s (%.2fx)\n",
+		res.AggregateLive/1e6, res.AggregateReplay/1e6, res.Speedup)
+
+	f, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintf(stderr, "mtlbbench: %v\n", err)
+		return 1
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	werr := enc.Encode(res)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		fmt.Fprintf(stderr, "mtlbbench: %v\n", werr)
+		return 1
+	}
+	if !res.AllIdentical {
+		return 1
+	}
+	if baseline != "" {
+		return compareReplay(stdout, stderr, res, baseline, tolerance)
+	}
+	return 0
+}
+
+// compareReplay gates the replay aggregate speedup against a committed
+// baseline, mirroring compare for the hotpath ratio.
+func compareReplay(stdout, stderr io.Writer, res ReplayBenchResult, path string, tolerance float64) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "mtlbbench: reading baseline: %v\n", err)
+		return 1
+	}
+	var base ReplayBenchResult
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(stderr, "mtlbbench: parsing baseline: %v\n", err)
+		return 1
+	}
+	floor := base.Speedup * (1 - tolerance)
+	if res.Speedup < floor {
+		fmt.Fprintf(stderr, "mtlbbench: FAIL: replay speedup %.2fx is below %.2fx (baseline %.2fx - %.0f%% tolerance)\n",
+			res.Speedup, floor, base.Speedup, 100*tolerance)
+		return 1
+	}
+	fmt.Fprintf(stdout, "replay baseline ok: speedup %.2fx >= %.2fx (baseline %.2fx - %.0f%% tolerance)\n",
+		res.Speedup, floor, base.Speedup, 100*tolerance)
 	return 0
 }
 

@@ -42,6 +42,7 @@ import (
 	"shadowtlb/internal/core"
 	"shadowtlb/internal/invariant"
 	"shadowtlb/internal/obs"
+	"shadowtlb/internal/resultstore"
 	"shadowtlb/internal/serve"
 )
 
@@ -69,6 +70,8 @@ func run(args []string, sig <-chan os.Signal, ready chan<- string, stdout, stder
 		scheme   = fs.String("scheme", "", "default translation backend for cell specs that leave scheme unset (empty = "+core.DefaultScheme+")")
 		trace    = fs.String("trace", "", "stream job spans to this JSON-lines file as they complete")
 		perfetto = fs.String("trace-perfetto", "", "write retained job spans as a Perfetto trace at shutdown")
+		store    = fs.String("store", "", "persistent result store directory; repeat configurations survive restarts (empty = memory only)")
+		storeMB  = fs.Int64("store-max-mb", 0, "persistent store size bound in MiB (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -82,6 +85,14 @@ func run(args []string, sig <-chan os.Signal, ready chan<- string, stdout, stder
 		invariant.EnableGlobalChecks()
 	}
 
+	// Probe the store directory before serve.New, which panics on a bad
+	// deployment; a CLI should print the error instead.
+	if *store != "" {
+		if _, err := resultstore.Open(*store, resultstore.Options{}); err != nil {
+			fmt.Fprintf(stderr, "mtlbd: %v\n", err)
+			return 1
+		}
+	}
 	srv := serve.New(serve.Config{
 		Workers:        *workers,
 		JobWorkers:     *jobs,
@@ -89,6 +100,8 @@ func run(args []string, sig <-chan os.Signal, ready chan<- string, stdout, stder
 		CacheEntries:   *cache,
 		DefaultTimeout: *timeout,
 		DefaultScheme:  *scheme,
+		StoreDir:       *store,
+		StoreMaxBytes:  *storeMB << 20,
 	})
 
 	// Tracing is opt-in: without either flag the daemon runs with a nil

@@ -27,6 +27,7 @@ import (
 	"shadowtlb/internal/core"
 	"shadowtlb/internal/exp"
 	"shadowtlb/internal/exp/runner"
+	"shadowtlb/internal/resultstore"
 	"shadowtlb/internal/stats"
 )
 
@@ -49,6 +50,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		pstats   = fs.Bool("stats", false, "report cell-cache effectiveness on stderr")
 		server   = fs.String("server", "", "offload the run to an mtlbd daemon at `URL` (output is byte-identical to local)")
 		trace    = fs.String("trace", "", "with -server: write client-side spans to this JSON-lines file and propagate the trace to the daemon")
+		store    = fs.String("store", "", "persistent result store directory; cells simulated by past runs are read back instead of re-simulated")
 	)
 	obsFlags := cmdutil.RegisterCommonFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -95,6 +97,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	defer stopProfiles()
 
 	if *server != "" {
+		if *store != "" {
+			fmt.Fprintln(stderr, "mtlbexp: -store is local-only; with -server the daemon owns the store (mtlbd -store)")
+			return 2
+		}
 		if obsFlags.Enabled() {
 			fmt.Fprintln(stderr, "mtlbexp: -metrics and -timeline are not supported with -server (per-cell sessions live in the daemon)")
 			return 2
@@ -109,6 +115,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	pool := runner.New(*parallel)
 	if obsFlags.Enabled() {
 		pool.EnableObs(obsFlags.Options())
+	}
+	var rstore *resultstore.Store
+	if *store != "" {
+		rstore, err = resultstore.Open(*store, resultstore.Options{})
+		if err != nil {
+			fmt.Fprintf(stderr, "mtlbexp: %v\n", err)
+			return 1
+		}
+		pool.UseCache(rstore)
 	}
 	outs := pool.RunExperiments(descs, s)
 
@@ -150,6 +165,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		st := pool.Stats()
 		fmt.Fprintf(stderr, "mtlbexp: %d cell results served from %d simulations (%d workers)\n",
 			st.Requested, st.Simulated, pool.Workers())
+		if rstore != nil {
+			ss := rstore.Stats()
+			fmt.Fprintf(stderr, "mtlbexp: store %s: %d disk hits, %d writes, %d corrupt\n",
+				rstore.Dir(), ss.Hits, ss.Puts, ss.Corrupt)
+		}
 	}
 	return 0
 }

@@ -95,6 +95,22 @@ type report struct {
 
 	CellsDone int `json:"cells_done"`
 	CellHits  int `json:"cell_cache_hits"`
+
+	// Restart reports the persistent-store restart phase (-store): a
+	// fresh daemon over the same store directory replays the job mix,
+	// and every cold lookup should come back from disk, not a
+	// simulation.
+	Restart *restartReport `json:"restart,omitempty"`
+}
+
+// restartReport is the restart phase's section of the JSON report.
+type restartReport struct {
+	Jobs        int     `json:"jobs"`
+	WallS       float64 `json:"wall_s"`
+	MemoryHits  uint64  `json:"memory_hits"`
+	DiskHits    uint64  `json:"disk_hits"`
+	Misses      uint64  `json:"misses"`
+	DiskHitRate float64 `json:"disk_hit_rate"` // of cold lookups (disk + miss)
 }
 
 // run executes the load test and returns its exit status.
@@ -108,16 +124,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		scale   = fs.String("scale", "small", "workload scale for generated jobs")
 		workers = fs.Int("workers", 0, "in-process daemon simulation workers (0 = GOMAXPROCS)")
 		queue   = fs.Int("queue", 0, "in-process daemon queue capacity (0 = default)")
+		store   = fs.String("store", "", "persistent store directory for the in-process daemon; adds a restart phase measuring disk hits")
 		out     = fs.String("o", "", "write the JSON report to this file (default stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *store != "" && *server != "" {
+		fmt.Fprintln(stderr, "mtlbload: -store only applies to the in-process daemon; ignoring")
+		*store = ""
+	}
 
 	base := *server
 	var inproc *serve.Server
 	if base == "" {
-		inproc = serve.New(serve.Config{Workers: *workers, QueueCap: *queue})
+		inproc = serve.New(serve.Config{Workers: *workers, QueueCap: *queue, StoreDir: *store})
 		inproc.Start()
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -209,6 +230,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "mtlbload: reading cache stats: %v\n", err)
 	}
 
+	// Restart phase: a fresh daemon over the same store directory
+	// replays the distinct job mix. Cold lookups should be disk hits.
+	if *store != "" {
+		rr, err := restartPhase(ctx, *store, *scale, *workers)
+		if err != nil {
+			fmt.Fprintf(stderr, "mtlbload: restart phase: %v\n", err)
+			return 1
+		}
+		rep.Restart = rr
+		fmt.Fprintf(stderr, "mtlbload: restart phase: %d jobs, %d disk hits, %d misses (disk rate %.0f%%)\n",
+			rr.Jobs, rr.DiskHits, rr.Misses, 100*rr.DiskHitRate)
+	}
+
 	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -283,6 +317,44 @@ func waitDone(ctx context.Context, c *client.Client, st serve.JobStatus) (serve.
 		return fin, fmt.Errorf("job %s %s: %s", fin.ID, fin.State, fin.Error)
 	}
 	return fin, nil
+}
+
+// restartPhase hosts a brand-new in-process daemon over the same
+// persistent store directory — an empty in-memory cache, as after a
+// real restart — and runs every job in the mix once, sequentially.
+// Lookups that miss memory should be served from disk without
+// simulating; the report says how many were.
+func restartPhase(ctx context.Context, storeDir, scale string, workers int) (*restartReport, error) {
+	srv := serve.New(serve.Config{Workers: workers, StoreDir: storeDir})
+	srv.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln) //nolint:errcheck // torn down below
+	defer hs.Close()
+
+	c := client.New("http://"+ln.Addr().String(), nil)
+	mix := jobMix(scale)
+	start := time.Now()
+	for _, spec := range mix {
+		id, err := c.Submit(ctx, spec)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := waitDone(ctx, c, serve.JobStatus{ID: id}); err != nil {
+			return nil, err
+		}
+	}
+	rr := &restartReport{Jobs: len(mix), WallS: time.Since(start).Seconds()}
+	var coalesced uint64
+	rr.MemoryHits, coalesced, rr.DiskHits, rr.Misses = srv.Cache().Counters()
+	rr.MemoryHits += coalesced
+	if cold := rr.DiskHits + rr.Misses; cold > 0 {
+		rr.DiskHitRate = float64(rr.DiskHits) / float64(cold)
+	}
+	return rr, nil
 }
 
 // fillCacheStats reads hit/miss counts — directly for an in-process

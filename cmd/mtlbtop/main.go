@@ -49,6 +49,9 @@ type snapshot struct {
 	// Schemes maps scheme label -> cell-wall histogram for the labeled
 	// serve.cell_wall_by_scheme_us family.
 	Schemes map[string][]obs.HistBucket
+	// Outcomes maps outcome label -> count for the labeled
+	// serve.cache_outcome family (hit, coalesced, disk, miss).
+	Outcomes map[string]float64
 }
 
 // run polls and renders until the context is canceled.
@@ -102,9 +105,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 // collect polls one daemon.
 func collect(ctx context.Context, hc *http.Client, base string) snapshot {
 	s := snapshot{Base: base, At: time.Now(),
-		Scalars: make(map[string]float64),
-		Hists:   make(map[string][]obs.HistBucket),
-		Schemes: make(map[string][]obs.HistBucket),
+		Scalars:  make(map[string]float64),
+		Hists:    make(map[string][]obs.HistBucket),
+		Schemes:  make(map[string][]obs.HistBucket),
+		Outcomes: make(map[string]float64),
 	}
 	ready, err := probe(ctx, hc, base+"/readyz")
 	if err != nil {
@@ -137,9 +141,14 @@ func collect(ctx context.Context, hc *http.Client, base string) snapshot {
 					s.Schemes[l.Value] = m.Buckets
 				}
 			}
+		case m.Name == "serve.cache_outcome":
+			for _, l := range m.Labels {
+				if l.Key == "outcome" {
+					s.Outcomes[l.Value] = m.Value
+				}
+			}
 		case len(m.Labels) > 0:
-			// Other labeled families (cache outcomes) are not rendered
-			// individually yet.
+			// Other labeled families are not rendered individually yet.
 		case m.Kind == "histogram":
 			s.Hists[m.Name] = m.Buckets
 		default:
@@ -214,6 +223,21 @@ func render(w io.Writer, cur, prev []snapshot) {
 			fmtUS(quantile(s.Hists["serve.admission_wait_us"], 0.95)),
 			fmtUS(quantile(s.Hists["serve.stream_ttfb_us"], 0.95)),
 			fmtUS(quantile(s.Hists["serve.cell_wall_us"], 0.95)))
+	}
+
+	// Cache outcomes: memory hits, coalesced waits, persistent-store
+	// (disk) hits, and misses that led a simulation.
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-28s %9s %10s %9s %9s\n",
+		"", "CACHE-HIT", "COALESCED", "DISK-HIT", "MISS")
+	for _, s := range cur {
+		if s.Err != nil {
+			continue
+		}
+		fmt.Fprintf(w, "%-28s %9.0f %10.0f %9.0f %9.0f\n",
+			trimBase(s.Base),
+			s.Outcomes["hit"], s.Outcomes["coalesced"],
+			s.Outcomes["disk"], s.Outcomes["miss"])
 	}
 
 	// Per-scheme cell wall time, aggregated across the fleet.

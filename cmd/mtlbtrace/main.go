@@ -2,14 +2,16 @@
 // traces, enabling trace-driven simulation alongside the execution-
 // driven mode.
 //
-//	mtlbtrace -record -workload radix -size small -o radix.trc
+//	mtlbtrace -record -workload radix -scale small -o radix.trc
 //	mtlbtrace -dump radix.trc | head
 //	mtlbtrace -replay radix.trc -tlb 64 -mtlb 128
 //	mtlbtrace -replay radix.trc -mtlb 128 -json -timeline replay.trace.json
 //
 // A trace captured once replays bit-identically on any machine
 // configuration, so configuration comparisons see exactly the same
-// reference stream.
+// reference stream. Replay compiles the trace into the batch engine
+// (internal/replay) by default — same counters, several times the
+// throughput; -interp selects the record-at-a-time interpreter.
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"shadowtlb/internal/core"
 	"shadowtlb/internal/exp"
 	"shadowtlb/internal/obs"
+	rep "shadowtlb/internal/replay"
 	"shadowtlb/internal/sim"
 	"shadowtlb/internal/trace"
 	"shadowtlb/internal/workload"
@@ -41,7 +44,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		dump     = fs.String("dump", "", "print a trace file's records")
 		replay   = fs.String("replay", "", "replay a trace file")
 		wname    = fs.String("workload", "radix", "workload to record")
-		size     = fs.String("size", "small", "workload size: paper or small")
+		scaleF   = fs.String("scale", "", "workload scale: paper or small (default small)")
+		size     = fs.String("size", "", "deprecated alias for -scale")
+		interp   = fs.Bool("interp", false, "replay record-at-a-time instead of through the compiled batch engine")
 		out      = fs.String("o", "out.trc", "output trace file")
 		tlbSize  = fs.Int("tlb", 96, "CPU TLB entries for record/replay")
 		mtlbN    = fs.Int("mtlb", 0, "MTLB entries (0 = no MTLB)")
@@ -106,9 +111,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	switch {
 	case *record:
-		scale := exp.Small
-		if *size == "paper" {
-			scale = exp.Paper
+		scaleName := *scaleF
+		if scaleName == "" {
+			scaleName = *size // honor the deprecated spelling
+		}
+		if scaleName == "" {
+			scaleName = "small"
+		}
+		scale, err := exp.ParseScale(scaleName)
+		if err != nil {
+			fmt.Fprintf(stderr, "mtlbtrace: unknown scale %q (valid: paper, small)\n", scaleName)
+			return 2
 		}
 		w, err := exp.MakeWorkload(*wname, scale)
 		if err != nil {
@@ -166,12 +179,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(stderr, err)
 		}
-		recs, err := trace.ReadAll(f)
-		f.Close()
-		if err != nil {
-			return fail(stderr, err)
+		var w workload.Workload
+		var refs int
+		if *interp {
+			recs, err := trace.ReadAll(f)
+			f.Close()
+			if err != nil {
+				return fail(stderr, err)
+			}
+			// Count memory references only, matching Program.Refs, so
+			// both replay modes report the same number.
+			for _, rec := range recs {
+				if rec.Kind == trace.KindLoad || rec.Kind == trace.KindStore {
+					refs++
+				}
+			}
+			w = &trace.Replay{Records: recs, UseSbrkSuperpages: *sbrkSup}
+		} else {
+			p, err := rep.Load(f)
+			f.Close()
+			if err != nil {
+				return fail(stderr, err)
+			}
+			p.SbrkSuper = *sbrkSup
+			refs = p.Refs()
+			// Label matches the interpreter's workload.Name so both
+			// replay paths emit byte-identical results.
+			eng := rep.NewEngine(p)
+			eng.SetName((&trace.Replay{}).Name())
+			w = eng
 		}
-		res, err := observed("replay", &trace.Replay{Records: recs, UseSbrkSuperpages: *sbrkSup})
+		res, err := observed("replay", w)
 		if err != nil {
 			return fail(stderr, err)
 		}
@@ -180,8 +218,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return fail(stderr, err)
 			}
 		} else {
-			fmt.Fprintf(stdout, "replayed %d records on %s: %d cycles, tlb-miss time %.1f%%\n",
-				len(recs), res.Label, res.TotalCycles(), 100*res.TLBFraction())
+			fmt.Fprintf(stdout, "replayed %d refs on %s: %d cycles, tlb-miss time %.1f%%\n",
+				refs, res.Label, res.TotalCycles(), 100*res.TLBFraction())
 		}
 
 	default:

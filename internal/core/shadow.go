@@ -186,6 +186,25 @@ func (t *ShadowTable) Update(pa arch.PAddr, fn func(*TableEntry)) TableEntry {
 	return e
 }
 
+// MarkRefDirty sets the referenced (and, when setDirty, dirty) bit of
+// the entry for pa. Equivalent to an Update that sets those bits, but
+// on the path the MMC takes for every translation: it works on the
+// packed word directly and skips the table write when the bits are
+// already set (the steady state), which also never changes PFN/Valid
+// and so never advances the generation.
+func (t *ShadowTable) MarkRefDirty(pa arch.PAddr, setDirty bool) {
+	addr := t.EntryAddr(pa)
+	v := t.dram.ReadU32(addr)
+	want := uint32(refBit)
+	if setDirty {
+		want |= dirtyBit
+	}
+	if v&want == want {
+		return
+	}
+	t.dram.WriteU32(addr, v|want)
+}
+
 // Translate functionally maps a shadow address to its real physical
 // address, with no timing or bit side effects. The simulator uses this on
 // the functional data path; the timed path goes through the MTLB.

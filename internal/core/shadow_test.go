@@ -151,3 +151,29 @@ func TestShadowTablePlacementChecks(t *testing.T) {
 		NewShadowTable(space, 0x80000000, big)
 	}()
 }
+
+func TestMarkRefDirty(t *testing.T) {
+	tbl := testTable(t)
+	spa := arch.PAddr(0x80002000)
+	tbl.Set(spa, TableEntry{PFN: 7, Valid: true})
+
+	tbl.MarkRefDirty(spa, false)
+	if e := tbl.Get(spa); !e.Ref || e.Dirty {
+		t.Fatalf("after ref-only mark: %+v", e)
+	}
+	tbl.MarkRefDirty(spa, true)
+	if e := tbl.Get(spa); !e.Ref || !e.Dirty {
+		t.Fatalf("after dirty mark: %+v", e)
+	}
+	// Idempotent: bits already set leave the entry untouched.
+	before := tbl.Get(spa)
+	tbl.MarkRefDirty(spa, true)
+	tbl.MarkRefDirty(spa, false)
+	if after := tbl.Get(spa); after != before {
+		t.Fatalf("idempotent mark changed entry: %+v -> %+v", before, after)
+	}
+	// Marking must not disturb the mapping.
+	if e := tbl.Get(spa); e.PFN != 7 || !e.Valid {
+		t.Fatalf("mark corrupted mapping: %+v", e)
+	}
+}

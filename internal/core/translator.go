@@ -187,10 +187,5 @@ func NewTranslator(scheme string, cfg MTLBConfig, deps TranslatorDeps) (Translat
 // on every successful translation (§2.5). The paper reports the cost of
 // deferred write-back of these bits as negligible; no cycles charged.
 func markRefDirty(t *ShadowTable, pa arch.PAddr, setDirty bool) {
-	t.Update(pa, func(e *TableEntry) {
-		e.Ref = true
-		if setDirty {
-			e.Dirty = true
-		}
-	})
+	t.MarkRefDirty(pa, setDirty)
 }

@@ -105,6 +105,15 @@ type CPU struct {
 	// memo is the fast-path translation memo (fastpath.go).
 	memo [memoSlots]memoEntry
 
+	// rmemo is the batched replay loop's page memo (replay.go),
+	// allocated on first use. rDrained is the cache eviction generation
+	// the memo's line bitmaps are synchronized to; rEpoch counts the
+	// wholesale invalidations forced when the eviction log overflowed
+	// between drains (slots prove bitmap freshness by matching it).
+	rmemo    []replaySlot
+	rDrained uint64
+	rEpoch   uint64
+
 	// Observability instruments (see observe.go); nil means disabled.
 	smp      *obs.Sampler
 	tl       *obs.Timeline
@@ -234,6 +243,12 @@ func (c *CPU) translate(va arch.VAddr, kind arch.AccessKind) (arch.PAddr, *tlb.E
 	if e := c.TLB.Lookup(uint64(va)); e != nil {
 		return arch.PAddr(e.Translate(uint64(va))), e
 	}
+	return c.translateMissed(va, kind)
+}
+
+// translateMissed runs the software miss handler for va, whose TLB
+// lookup — already performed and counted by the caller — came up empty.
+func (c *CPU) translateMissed(va arch.VAddr, kind arch.AccessKind) (arch.PAddr, *tlb.Entry) {
 	res, err := c.VM.HandleTLBMiss(va, kind)
 	if err != nil {
 		panic(fmt.Sprintf("cpu: TLB miss at %v: %v", va, err))
@@ -269,8 +284,19 @@ func (c *CPU) access(va arch.VAddr, size int, kind arch.AccessKind) arch.PAddr {
 		}
 	}
 
+	return c.accessSlow(va, kind, 0, nil, false)
+}
+
+// accessSlow is the full timed path after the fast path has declined.
+// When havePA is set, the caller has already translated va (with the
+// lookup or miss handling counted) and the first attempt reuses (pa, e);
+// shadow-fault retries always re-translate, as a retried instruction
+// would.
+func (c *CPU) accessSlow(va arch.VAddr, kind arch.AccessKind, pa arch.PAddr, e *tlb.Entry, havePA bool) arch.PAddr {
 	for attempt := 0; ; attempt++ {
-		pa, e := c.translate(va, kind)
+		if !havePA || attempt > 0 {
+			pa, e = c.translate(va, kind)
+		}
 		res := c.Cache.Access(va, pa, kind)
 		faulted := false
 		for _, ev := range res.Events[:res.NEvents] {

@@ -141,6 +141,16 @@ func (d *DRAM) WriteU64(p arch.PAddr, v uint64) {
 	d.Write(p, b[:])
 }
 
+// ZeroFrame zeroes the whole frame containing p, equivalent to writing
+// a page of zero bytes at the frame base but without a source buffer:
+// the kernel's zero-fill path calls this once per fault.
+func (d *DRAM) ZeroFrame(p arch.PAddr) {
+	f := d.frame(p.PageBase())
+	for i := range f {
+		f[i] = 0
+	}
+}
+
 // TouchedFrames returns how many distinct frames have been written or read
 // (i.e. materialized); useful for memory-footprint assertions in tests.
 func (d *DRAM) TouchedFrames() int { return d.touched }

@@ -1,0 +1,258 @@
+package replay
+
+import (
+	"bytes"
+	"testing"
+
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/core"
+	"shadowtlb/internal/exp"
+	"shadowtlb/internal/sim"
+	"shadowtlb/internal/trace"
+	"shadowtlb/internal/workload"
+)
+
+// paperWorkloads are the five paper workloads the differential suite
+// proves bit-identical replay for.
+var paperWorkloads = []string{"compress", "vortex", "radix", "em3d", "gcc"}
+
+func testConfigs() map[string]sim.Config {
+	return map[string]sim.Config{
+		"base": sim.Default().WithTLB(64),
+		"mtlb": sim.Default().WithTLB(64).WithMTLB(core.DefaultMTLBConfig()),
+		"no-fast": func() sim.Config {
+			c := sim.Default().WithTLB(64).WithMTLB(core.DefaultMTLBConfig())
+			c.NoFastPath = true
+			return c
+		}(),
+	}
+}
+
+// TestReplayMatchesLive is the differential suite: for every paper
+// workload and configuration, a live run, a live-captured replay, and a
+// trace-file round-trip replay must produce bit-identical results —
+// every counter, rate and cycle breakdown in sim.Result.
+func TestReplayMatchesLive(t *testing.T) {
+	for cfgName, cfg := range testConfigs() {
+		for _, name := range paperWorkloads {
+			w, err := exp.MakeWorkload(name, exp.Small)
+			if err != nil {
+				t.Fatal(err)
+			}
+			liveRes, p := Record(cfg, w)
+
+			// Path 1: live capture -> compiled program -> replay.
+			eng := NewEngine(p)
+			repRes := sim.RunOn(cfg, eng)
+			if repRes != liveRes {
+				t.Errorf("%s/%s: captured replay diverged:\nlive:   %+v\nreplay: %+v",
+					cfgName, name, liveRes, repRes)
+			}
+
+			// Path 2: trace v1 file round-trip -> compiled program.
+			w2, err := exp.MakeWorkload(name, exp.Small)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			tw, err := trace.NewWriter(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fileRes := RecordTrace(cfg, w2, tw)
+			if err := tw.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if fileRes != liveRes {
+				t.Errorf("%s/%s: recording perturbed the live run:\nplain:    %+v\nrecorded: %+v",
+					cfgName, name, liveRes, fileRes)
+			}
+			p2, err := Load(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("%s/%s: Load: %v", cfgName, name, err)
+			}
+			p2.SbrkSuper = w.SbrkSuperpages()
+			eng2 := NewEngine(p2)
+			eng2.SetName(name)
+			fileRep := sim.RunOn(cfg, eng2)
+			if fileRep != liveRes {
+				t.Errorf("%s/%s: trace-file replay diverged:\nlive:   %+v\nreplay: %+v",
+					cfgName, name, liveRes, fileRep)
+			}
+		}
+	}
+}
+
+// TestReplayBatchedVsExact pins the batched StreamCols loop against the
+// exact per-reference fallback (NoFastPath forces it): identical
+// programs replayed both ways must agree on every counter. This is the
+// direct check that batching is an optimization, not a semantic change.
+func TestReplayBatchedVsExact(t *testing.T) {
+	fast := sim.Default().WithTLB(64).WithMTLB(core.DefaultMTLBConfig())
+	slow := fast
+	slow.NoFastPath = true
+	for _, name := range paperWorkloads {
+		w, err := exp.MakeWorkload(name, exp.Small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, p := Record(fast, w)
+		batched := sim.RunOn(fast, NewEngine(p))
+		exact := sim.RunOn(slow, NewEngine(p))
+		// NoFastPath also disables the live fast path, so compare the
+		// counters that the fast-path contract pins, not the whole
+		// Result (cycle accounting is identical by the fastpath tests).
+		if batched != exact {
+			t.Errorf("%s: batched vs exact diverged:\nbatched: %+v\nexact:   %+v", name, batched, exact)
+		}
+	}
+}
+
+// TestEngineFallbackPaths drives the engine through every delivery path
+// — ColStreamer, Streamer, and plain per-ref Env — against the
+// functional memory environment and checks the functional outcome
+// (reference count) matches.
+func TestEngineFallbackPaths(t *testing.T) {
+	cfg := sim.Default().WithTLB(64)
+	w, err := exp.MakeWorkload("radix", exp.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, p := Record(cfg, w)
+
+	refs := func(env interface {
+		workload.Env
+		seen() uint64
+	}) uint64 {
+		NewEngine(p).Run(env)
+		return env.seen()
+	}
+	perRef := refs(&countEnv{})
+	if perRef != uint64(p.Refs()) {
+		t.Fatalf("per-ref delivery saw %d refs, program has %d", perRef, p.Refs())
+	}
+	if n := refs(&streamEnv{countEnv{}}); n != perRef {
+		t.Errorf("Streamer delivery saw %d refs, per-ref saw %d", n, perRef)
+	}
+	if n := refs(&colsEnv{countEnv{}}); n != perRef {
+		t.Errorf("ColStreamer delivery saw %d refs, per-ref saw %d", n, perRef)
+	}
+}
+
+// countEnv counts references delivered through the plain Env interface.
+type countEnv struct {
+	refs uint64
+	next arch.VAddr
+}
+
+func (e *countEnv) Load(arch.VAddr, int) uint64   { e.refs++; return 0 }
+func (e *countEnv) Store(arch.VAddr, int, uint64) { e.refs++ }
+func (e *countEnv) Step(int)                      {}
+func (e *countEnv) Sbrk(n uint64) arch.VAddr      { v := e.next; e.next += arch.VAddr(n); return v }
+func (e *countEnv) Remap(arch.VAddr, uint64) bool { return false }
+func (e *countEnv) AllocRegion(_ string, n uint64) arch.VAddr {
+	return e.Sbrk(n)
+}
+func (e *countEnv) AllocAligned(_ string, n, _, _ uint64) arch.VAddr {
+	return e.Sbrk(n)
+}
+func (e *countEnv) seen() uint64 { return e.refs }
+
+// streamEnv adds the Streamer batch path.
+type streamEnv struct{ countEnv }
+
+func (e *streamEnv) Stream(refs []workload.Ref) { e.refs += uint64(len(refs)) }
+
+// colsEnv adds the ColStreamer column path.
+type colsEnv struct{ countEnv }
+
+func (e *colsEnv) StreamCols(cols workload.RefCols) { e.refs += uint64(cols.Len()) }
+
+// TestRunPartition checks the compiled run summaries are a partition of
+// every chunk's refs: contiguous, ordered, within the page and cycle
+// bounds, and indexed consistently by runIdx.
+func TestRunPartition(t *testing.T) {
+	cfg := sim.Default().WithTLB(64).WithMTLB(core.DefaultMTLBConfig())
+	for _, name := range paperWorkloads {
+		w, err := exp.MakeWorkload(name, exp.Small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, p := Record(cfg, w)
+		for ci, c := range p.chunks {
+			if len(c.runIdx) != len(c.vpn) {
+				t.Fatalf("%s chunk %d: runIdx covers %d of %d refs", name, ci, len(c.runIdx), len(c.vpn))
+			}
+			next := uint32(0)
+			for ri, r := range c.runs {
+				if r.Start != next {
+					t.Fatalf("%s chunk %d run %d: starts at %d, want %d", name, ci, ri, r.Start, next)
+				}
+				if r.Count == 0 {
+					t.Fatalf("%s chunk %d run %d: empty", name, ci, ri)
+				}
+				if int(r.NPages) > workload.RunPages {
+					t.Fatalf("%s chunk %d run %d: %d pages", name, ci, ri, r.NPages)
+				}
+				var loads, stores uint32
+				for j := r.Start; j < r.Start+r.Count; j++ {
+					if c.runIdx[j] != uint32(ri) {
+						t.Fatalf("%s chunk %d ref %d: runIdx %d, want %d", name, ci, j, c.runIdx[j], ri)
+					}
+					found := false
+					for k := 0; k < int(r.NPages); k++ {
+						if r.Pages[k].VPN == c.vpn[j] {
+							found = true
+							li := uint64(c.off[j]) >> arch.LineShift
+							if r.Pages[k].Lines[li>>6]&(1<<(li&63)) == 0 {
+								t.Fatalf("%s chunk %d run %d: ref %d line not in bitmap", name, ci, ri, j)
+							}
+						}
+					}
+					if !found {
+						t.Fatalf("%s chunk %d run %d: ref %d page %#x not in run pages", name, ci, ri, j, c.vpn[j])
+					}
+					if c.store[j>>6]&(1<<(j&63)) != 0 {
+						stores++
+					} else {
+						loads++
+					}
+				}
+				if loads != r.Loads || stores != r.Stores {
+					t.Fatalf("%s chunk %d run %d: loads/stores %d/%d, want %d/%d",
+						name, ci, ri, r.Loads, r.Stores, loads, stores)
+				}
+				next += r.Count
+			}
+			if int(next) != len(c.vpn) {
+				t.Fatalf("%s chunk %d: runs cover %d of %d refs", name, ci, next, len(c.vpn))
+			}
+		}
+	}
+}
+
+// TestEngineSteadyStateAllocs proves replay allocates nothing per run
+// in steady state: after the first Run (which warms nothing engine-side
+// — the quantum buffer is preallocated), repeated replays against a
+// reusable environment do not allocate.
+func TestEngineSteadyStateAllocs(t *testing.T) {
+	cfg := sim.Default().WithTLB(64)
+	w, err := exp.MakeWorkload("em3d", exp.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, p := Record(cfg, w)
+	eng := NewEngine(p)
+	env := &streamEnv{}
+	eng.Run(env) // warm
+	if avg := testing.AllocsPerRun(3, func() { eng.Run(env) }); avg != 0 {
+		t.Errorf("steady-state replay allocates %.1f objects per run, want 0", avg)
+	}
+}
+
+// TestCompileRejectsBadRecord pins Compile's error path.
+func TestCompileRejectsBadRecord(t *testing.T) {
+	if _, err := Compile([]trace.Record{{Kind: 99}}); err == nil {
+		t.Fatal("Compile accepted an unknown record kind")
+	}
+}

@@ -1,0 +1,26 @@
+package resultstore
+
+import (
+	"context"
+
+	"shadowtlb/internal/sim"
+)
+
+// Do makes Store a runner.ExternalCache: a verified entry is served
+// without simulating; otherwise simulate runs and its result is
+// persisted. Write failures are not fatal to the caller — the result
+// is still returned, the store just missed a chance to remember it.
+//
+// Unlike the daemon's in-memory cache there is no single-flight
+// coalescing here: two concurrent misses on one key both simulate and
+// the second rename wins, which is idempotent because equal keys yield
+// equal results. Layer the in-memory cache in front when coalescing
+// matters.
+func (s *Store) Do(_ context.Context, key string, simulate func() sim.Result) (sim.Result, bool, error) {
+	if res, ok := s.Get(key); ok {
+		return res, true, nil
+	}
+	res := simulate()
+	_ = s.Put(key, res)
+	return res, false, nil
+}

@@ -1,0 +1,296 @@
+// Package resultstore persists simulation results on disk so they
+// outlive a process. The store is content-addressed: each entry's
+// filename is the SHA-256 of the store's version stamp plus the cell's
+// canonical key (exp.Cell.Key already folds in the workload, scale and
+// the full machine configuration including the translation scheme), so
+// a stamp or key change can never be served a stale result — it simply
+// hashes somewhere else.
+//
+// Entries are written atomically (temp file + rename in the same
+// directory), self-verifying (an envelope carries the key and a
+// checksum over the result payload; anything that fails verification
+// is treated as a miss and deleted), and bounded (a size budget is
+// enforced by evicting the oldest entries after writes). The Store
+// implements runner.ExternalCache directly, and the daemon's in-memory
+// ResultCache consults it as a second tier on LRU misses.
+package resultstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"shadowtlb/internal/sim"
+)
+
+// Stamp is the store's version stamp. It participates in every entry's
+// address and is embedded in every envelope, so bumping it when the
+// simulator's counters change meaning orphans old entries instead of
+// serving them.
+const Stamp = "shadowtlb-results-v1"
+
+// entExt marks finished entries; temp files use a different suffix so
+// a crash mid-write never leaves a file the reader would consider.
+const entExt = ".res"
+
+// DefaultMaxBytes bounds a store that was opened without an explicit
+// budget. Entries are a few hundred bytes each, so this comfortably
+// holds every cell of every experiment at paper scale.
+const DefaultMaxBytes = 64 << 20
+
+// Options configures Open.
+type Options struct {
+	// MaxBytes bounds the store's on-disk size; <= 0 selects
+	// DefaultMaxBytes. The bound is enforced after each write by
+	// evicting oldest-modified entries (never the one just written).
+	MaxBytes int64
+}
+
+// Stats are the store's lifetime counters (since Open).
+type Stats struct {
+	Hits    uint64 // Get served a verified entry
+	Misses  uint64 // Get found nothing usable
+	Puts    uint64 // entries written
+	Corrupt uint64 // entries that failed verification and were deleted
+	Evicted uint64 // entries removed by the size bound
+}
+
+// Store is a persistent, content-addressed result store rooted at one
+// directory. It is safe for concurrent use by multiple goroutines in
+// one process; concurrent processes sharing a directory are safe too
+// (writes are atomic renames), though each enforces the size bound
+// independently.
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	mu    sync.Mutex
+	size  int64 // bytes of finished entries currently on disk
+	stats Stats
+}
+
+// Open opens (creating if needed) a store rooted at dir and scans it
+// once to learn its current size.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.MaxBytes <= 0 {
+		opts.MaxBytes = DefaultMaxBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	s := &Store{dir: dir, maxBytes: opts.MaxBytes}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) != entExt {
+			continue
+		}
+		if info, err := e.Info(); err == nil {
+			s.size += info.Size()
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns the counters so far.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Len returns the number of finished entries on disk.
+func (s *Store) Len() int {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == entExt {
+			n++
+		}
+	}
+	return n
+}
+
+// count applies a counter update under the store lock.
+func (s *Store) count(fn func(*Stats)) {
+	s.mu.Lock()
+	fn(&s.stats)
+	s.mu.Unlock()
+}
+
+// path returns the entry file for key: hex(SHA-256(stamp ‖ 0 ‖ key)).
+func (s *Store) path(key string) string {
+	h := sha256.New()
+	h.Write([]byte(Stamp))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return filepath.Join(s.dir, hex.EncodeToString(h.Sum(nil))+entExt)
+}
+
+// envelope is the on-disk entry format. Result is kept raw so Sum can
+// be verified over the exact bytes that were written, independent of
+// JSON field ordering.
+type envelope struct {
+	Stamp  string          `json:"stamp"`
+	Key    string          `json:"key"`
+	Sum    string          `json:"sum"` // hex SHA-256 of Result bytes
+	Result json.RawMessage `json:"result"`
+}
+
+// Get returns the stored result for key when a verified entry exists.
+// Entries that exist but fail verification — truncated writes from a
+// crashed process, flipped bits, a foreign file under our name — are
+// deleted and reported as misses, never served.
+func (s *Store) Get(key string) (sim.Result, bool) {
+	p := s.path(key)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		s.count(func(st *Stats) { st.Misses++ })
+		return sim.Result{}, false
+	}
+	res, err := decode(data, key)
+	if err != nil {
+		os.Remove(p)
+		s.count(func(st *Stats) { st.Corrupt++; st.Misses++ })
+		s.mu.Lock()
+		s.size -= int64(len(data))
+		if s.size < 0 {
+			s.size = 0
+		}
+		s.mu.Unlock()
+		return sim.Result{}, false
+	}
+	s.count(func(st *Stats) { st.Hits++ })
+	return res, true
+}
+
+// decode verifies and unpacks one entry.
+func decode(data []byte, key string) (sim.Result, error) {
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return sim.Result{}, err
+	}
+	if env.Stamp != Stamp {
+		return sim.Result{}, fmt.Errorf("stamp %q, want %q", env.Stamp, Stamp)
+	}
+	if env.Key != key {
+		return sim.Result{}, fmt.Errorf("entry holds key %q", env.Key)
+	}
+	sum := sha256.Sum256(env.Result)
+	if hex.EncodeToString(sum[:]) != env.Sum {
+		return sim.Result{}, fmt.Errorf("checksum mismatch")
+	}
+	var res sim.Result
+	if err := json.Unmarshal(env.Result, &res); err != nil {
+		return sim.Result{}, err
+	}
+	return res, nil
+}
+
+// Put stores the result for key atomically: the entry is written to a
+// temp file in the store directory and renamed into place, so readers
+// only ever see complete entries. The size bound is enforced after.
+func (s *Store) Put(key string, res sim.Result) error {
+	raw, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	sum := sha256.Sum256(raw)
+	data, err := json.Marshal(envelope{
+		Stamp:  Stamp,
+		Key:    key,
+		Sum:    hex.EncodeToString(sum[:]),
+		Result: raw,
+	})
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	p := s.path(key)
+	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	s.mu.Lock()
+	s.size += int64(len(data))
+	s.stats.Puts++
+	over := s.size > s.maxBytes
+	s.mu.Unlock()
+	if over {
+		s.gc(p)
+	}
+	return nil
+}
+
+// gc brings the store back under its size bound by deleting the
+// oldest-modified entries, sparing the just-written one so a budget
+// smaller than a single entry still makes forward progress.
+func (s *Store) gc(spare string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	type fileInfo struct {
+		path  string
+		size  int64
+		mtime int64
+	}
+	var files []fileInfo
+	var total int64
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) != entExt {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, fileInfo{
+			path:  filepath.Join(s.dir, e.Name()),
+			size:  info.Size(),
+			mtime: info.ModTime().UnixNano(),
+		})
+		total += info.Size()
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime < files[j].mtime })
+	for _, f := range files {
+		if total <= s.maxBytes {
+			break
+		}
+		if f.path == spare {
+			continue
+		}
+		if os.Remove(f.path) == nil {
+			total -= f.size
+			s.stats.Evicted++
+		}
+	}
+	s.size = total
+}

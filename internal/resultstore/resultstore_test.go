@@ -1,0 +1,292 @@
+package resultstore
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"shadowtlb/internal/sim"
+)
+
+func testResult(i int) sim.Result {
+	return sim.Result{
+		Label:        fmt.Sprintf("cfg-%d", i),
+		Workload:     "em3d",
+		Instructions: uint64(1000 + i),
+		TLBMisses:    uint64(i),
+		TLBHitRate:   0.75,
+		CacheHitRate: 0.9,
+	}
+}
+
+func open(t *testing.T, opts Options) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := open(t, Options{})
+	key := "em3d@small|tlb=64"
+	if _, ok := s.Get(key); ok {
+		t.Fatal("empty store served a result")
+	}
+	want := testResult(1)
+	if err := s.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || got != want {
+		t.Fatalf("Get = %+v %v, want %+v", got, ok, want)
+	}
+	// A different key misses even though an entry exists.
+	if _, ok := s.Get(key + "x"); ok {
+		t.Fatal("wrong key served a result")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Puts != 1 || st.Corrupt != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestPersistence is the point of the package: a fresh Store over the
+// same directory serves entries a previous one wrote.
+func TestPersistence(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testResult(7)
+	if err := s1.Put("k", want); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s2.Get("k"); !ok || got != want {
+		t.Fatalf("restarted store Get = %+v %v", got, ok)
+	}
+}
+
+// TestCorruptionInjection flips, truncates and replaces entries on
+// disk; every mutation must read back as a miss and delete the file,
+// never as a wrong result.
+func TestCorruptionInjection(t *testing.T) {
+	corruptions := map[string]func([]byte) []byte{
+		"truncated": func(b []byte) []byte { return b[:len(b)/2] },
+		"bit-flip":  func(b []byte) []byte { b[len(b)-10] ^= 0x40; return b },
+		"not-json":  func([]byte) []byte { return []byte("junk\x00junk") },
+		"empty":     func([]byte) []byte { return nil },
+		"wrong-key": swapField("key", "some-other-key"),
+		"bad-stamp": swapField("stamp", "shadowtlb-results-v0"),
+		"bad-sum":   swapField("sum", "0000000000000000000000000000000000000000000000000000000000000000"),
+		"payload-edit": func(b []byte) []byte {
+			var env map[string]json.RawMessage
+			if err := json.Unmarshal(b, &env); err != nil {
+				panic(err)
+			}
+			var res sim.Result
+			if err := json.Unmarshal(env["result"], &res); err != nil {
+				panic(err)
+			}
+			res.Instructions++ // tampered result, checksum left stale
+			raw, _ := json.Marshal(res)
+			env["result"] = raw
+			out, _ := json.Marshal(env)
+			return out
+		},
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			s := open(t, Options{})
+			if err := s.Put("k", testResult(3)); err != nil {
+				t.Fatal(err)
+			}
+			p := s.path("k")
+			data, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(p, corrupt(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get("k"); ok {
+				t.Fatalf("corrupt entry served: %+v", got)
+			}
+			if _, err := os.Stat(p); !os.IsNotExist(err) {
+				t.Error("corrupt entry not deleted")
+			}
+			if st := s.Stats(); st.Corrupt != 1 {
+				t.Errorf("stats = %+v, want Corrupt=1", st)
+			}
+			// The slot is usable again after deletion.
+			if err := s.Put("k", testResult(4)); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get("k"); !ok || got != testResult(4) {
+				t.Fatalf("rewrite after corruption: %+v %v", got, ok)
+			}
+		})
+	}
+}
+
+func swapField(field, val string) func([]byte) []byte {
+	return func(b []byte) []byte {
+		var env map[string]json.RawMessage
+		if err := json.Unmarshal(b, &env); err != nil {
+			panic(err)
+		}
+		raw, _ := json.Marshal(val)
+		env[field] = raw
+		out, _ := json.Marshal(env)
+		return out
+	}
+}
+
+// TestSizeBoundGC holds the store under its byte budget: after many
+// writes the directory's entry bytes stay bounded, the newest entry
+// survives, and the evictions are counted.
+func TestSizeBoundGC(t *testing.T) {
+	dir := t.TempDir()
+	// Learn one entry's size, then budget for about 4 of them.
+	probe, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := probe.Put("probe", testResult(0)); err != nil {
+		t.Fatal(err)
+	}
+	entSize := dirBytes(t, dir)
+	os.Remove(probe.path("probe"))
+
+	s, err := Open(dir, Options{MaxBytes: 4 * entSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), testResult(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := dirBytes(t, dir); got > 4*entSize {
+		t.Errorf("store holds %d bytes, budget %d", got, 4*entSize)
+	}
+	if _, ok := s.Get("k31"); !ok {
+		t.Error("newest entry was evicted")
+	}
+	if _, ok := s.Get("k0"); ok {
+		t.Error("oldest entry survived a full GC cycle")
+	}
+	if st := s.Stats(); st.Evicted == 0 {
+		t.Errorf("stats = %+v, want evictions", st)
+	}
+}
+
+// TestTinyBudgetStillProgresses pins the spare rule: a budget smaller
+// than one entry keeps the most recent write.
+func TestTinyBudgetStillProgresses(t *testing.T) {
+	s := open(t, Options{MaxBytes: 1})
+	for i := 0; i < 4; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), testResult(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, ok := s.Get("k3"); !ok || got != testResult(3) {
+		t.Fatalf("latest write lost: %+v %v", got, ok)
+	}
+	if n := s.Len(); n != 1 {
+		t.Errorf("store holds %d entries, want 1", n)
+	}
+}
+
+// TestConcurrentAccess hammers one store from many goroutines mixing
+// keys, rewrites and reads; run under -race this is the concurrency
+// safety check.
+func TestConcurrentAccess(t *testing.T) {
+	s := open(t, Options{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("k%d", i%10)
+				if i%3 == 0 {
+					if err := s.Put(key, testResult(i%10)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				if res, ok := s.Get(key); ok && res != testResult(i%10) {
+					t.Errorf("key %s served foreign result %+v", key, res)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestDoExternalCache checks the runner.ExternalCache surface: first
+// call simulates and persists, the second is served from disk.
+func TestDoExternalCache(t *testing.T) {
+	s := open(t, Options{})
+	sims := 0
+	simulate := func() sim.Result { sims++; return testResult(9) }
+	res, cached, err := s.Do(context.Background(), "k", simulate)
+	if err != nil || cached || res != testResult(9) || sims != 1 {
+		t.Fatalf("first Do = %+v %v %v (sims %d)", res, cached, err, sims)
+	}
+	res, cached, err = s.Do(context.Background(), "k", simulate)
+	if err != nil || !cached || res != testResult(9) || sims != 1 {
+		t.Fatalf("second Do = %+v %v %v (sims %d)", res, cached, err, sims)
+	}
+}
+
+// TestTempFilesIgnored checks stray temp files (a crashed writer) are
+// neither served nor counted as entries.
+func TestTempFilesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "put-dead.tmp"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Len(); n != 0 {
+		t.Errorf("Len = %d with only a temp file present", n)
+	}
+	if _, ok := s.Get("anything"); ok {
+		t.Error("temp file served")
+	}
+}
+
+func dirBytes(t *testing.T, dir string) int64 {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) != entExt {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += info.Size()
+	}
+	return total
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"shadowtlb/internal/obs"
+	"shadowtlb/internal/resultstore"
 	"shadowtlb/internal/sim"
 )
 
@@ -21,10 +22,12 @@ type ResultCache struct {
 	ll      *list.List               // MRU at the front; values are *cacheEntry
 	items   map[string]*list.Element // key → list element
 	flights map[string]*cacheFlight  // key → in-flight simulation
+	store   *resultstore.Store       // persistent second tier; nil = memory only
 
-	hits      uint64 // served without simulating (stored or coalesced)
+	hits      uint64 // served without simulating (stored, disk or coalesced)
 	misses    uint64 // led a simulation
 	coalesced uint64 // hits served by waiting on another caller's flight
+	disk      uint64 // hits served by the persistent store
 }
 
 // cacheEntry is one stored result.
@@ -61,9 +64,10 @@ func NewResultCache(capacity int) *ResultCache {
 // itself, once started, always completes (on behalf of every waiter).
 //
 // When ctx carries an active span (the daemon's run span), the outcome
-// is annotated onto it: a cache.hit or cache.miss event, or a
-// retroactive cache.wait span covering a coalesced wait — so a job
-// trace shows exactly which cells were free and which paid.
+// is annotated onto it: a cache.hit, cache.disk or cache.miss event,
+// or a retroactive cache.wait span covering a coalesced wait — so a
+// job trace shows exactly which cells were free, which were read back
+// from the persistent store, and which paid.
 func (c *ResultCache) Do(ctx context.Context, key string, simulate func() sim.Result) (sim.Result, bool, error) {
 	sp := obs.SpanFromContext(ctx)
 	for {
@@ -99,6 +103,26 @@ func (c *ResultCache) Do(ctx context.Context, key string, simulate func() sim.Re
 		}
 		f := &cacheFlight{done: make(chan struct{})}
 		c.flights[key] = f
+		c.mu.Unlock()
+		// Memory missed and no flight is up: consult the persistent
+		// store before paying for a simulation. The flight entry above
+		// makes this lookup single-flight too — concurrent requesters
+		// wait on done rather than each hitting the disk.
+		if c.store != nil {
+			if res, ok := c.store.Get(key); ok {
+				f.res, f.ok = res, true
+				c.mu.Lock()
+				delete(c.flights, key)
+				c.insert(key, res)
+				c.hits++
+				c.disk++
+				c.mu.Unlock()
+				close(f.done)
+				sp.Event("cache.disk")
+				return res, true, nil
+			}
+		}
+		c.mu.Lock()
 		c.misses++
 		c.mu.Unlock()
 		sp.Event("cache.miss")
@@ -122,7 +146,28 @@ func (c *ResultCache) lead(key string, f *cacheFlight, simulate func() sim.Resul
 	}()
 	f.res = simulate()
 	f.ok = true
+	if c.store != nil {
+		// Best-effort persistence: a failed write only costs a future
+		// re-simulation.
+		_ = c.store.Put(key, f.res)
+	}
 	return f.res, false, nil
+}
+
+// SetStore attaches a persistent second tier: memory misses consult it
+// before simulating, and every simulated result is written through to
+// it. Call before serving traffic.
+func (c *ResultCache) SetStore(st *resultstore.Store) {
+	c.mu.Lock()
+	c.store = st
+	c.mu.Unlock()
+}
+
+// Store returns the attached persistent tier, nil when memory-only.
+func (c *ResultCache) Store() *resultstore.Store {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.store
 }
 
 // insert stores a result at the MRU position, evicting from the LRU end
@@ -172,12 +217,13 @@ func (c *ResultCache) Stats() (hits, misses uint64) {
 	return c.hits, c.misses
 }
 
-// Counters splits the lookup outcomes three ways for labeled
-// exposition: stored hits, waits coalesced onto another caller's
-// in-flight simulation, and misses that led a simulation.
-// stored + coalesced equals Stats' hits.
-func (c *ResultCache) Counters() (stored, coalesced, misses uint64) {
+// Counters splits the lookup outcomes four ways for labeled
+// exposition: stored (in-memory) hits, waits coalesced onto another
+// caller's in-flight simulation, hits served from the persistent disk
+// store, and misses that led a simulation.
+// stored + coalesced + disk equals Stats' hits.
+func (c *ResultCache) Counters() (stored, coalesced, disk, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits - c.coalesced, c.coalesced, c.misses
+	return c.hits - c.coalesced - c.disk, c.coalesced, c.disk, c.misses
 }

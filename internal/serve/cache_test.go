@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"shadowtlb/internal/resultstore"
 	"shadowtlb/internal/sim"
 )
 
@@ -204,5 +205,72 @@ func TestCacheConcurrentMixedKeys(t *testing.T) {
 	wg.Wait()
 	if c.Len() != 8 {
 		t.Errorf("Len = %d, want 8", c.Len())
+	}
+}
+
+// TestCacheDiskTier exercises the persistent second tier across a
+// simulated daemon restart: results written through the store are
+// served from disk by a fresh cache without re-simulating, counted
+// under the disk outcome, and promoted into memory.
+func TestCacheDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	st, err := resultstore.Open(dir, resultstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := NewResultCache(8)
+	c1.SetStore(st)
+	sims := 0
+	simulate := func() sim.Result { sims++; return res(7) }
+	if _, cached, _ := c1.Do(context.Background(), "a", simulate); cached {
+		t.Fatal("first Do served without simulating")
+	}
+	// Same process, same cache: memory hit, not disk.
+	if _, cached, _ := c1.Do(context.Background(), "a", simulate); !cached {
+		t.Fatal("memory hit missed")
+	}
+	if _, _, disk, _ := c1.Counters(); disk != 0 {
+		t.Fatalf("disk outcomes before restart = %d", disk)
+	}
+
+	// "Restart": fresh in-memory cache over the same store directory.
+	st2, err := resultstore.Open(dir, resultstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewResultCache(8)
+	c2.SetStore(st2)
+	r, cached, err := c2.Do(context.Background(), "a", simulate)
+	if err != nil || !cached || r != res(7) {
+		t.Fatalf("post-restart Do = %+v %v %v", r, cached, err)
+	}
+	if sims != 1 {
+		t.Fatalf("restart re-simulated (%d sims)", sims)
+	}
+	stored, coalesced, disk, misses := c2.Counters()
+	if disk != 1 || misses != 0 {
+		t.Fatalf("counters = %d/%d/%d/%d, want disk=1 miss=0", stored, coalesced, disk, misses)
+	}
+	// The disk hit was promoted: the next lookup is a memory hit.
+	if _, cached, _ := c2.Do(context.Background(), "a", simulate); !cached {
+		t.Fatal("promoted entry missed in memory")
+	}
+	if stored, _, _, _ := c2.Counters(); stored != 1 {
+		t.Fatalf("stored outcomes after promotion = %d", stored)
+	}
+}
+
+// TestCacheWithoutStoreUnchanged pins the memory-only default: no
+// store attached, no disk outcomes, behavior as before.
+func TestCacheWithoutStoreUnchanged(t *testing.T) {
+	c := NewResultCache(8)
+	c.Do(context.Background(), "a", func() sim.Result { return res(1) }) //nolint:errcheck
+	c.Do(context.Background(), "a", func() sim.Result { return res(1) }) //nolint:errcheck
+	stored, coalesced, disk, misses := c.Counters()
+	if disk != 0 || stored != 1 || coalesced != 0 || misses != 1 {
+		t.Fatalf("counters = %d/%d/%d/%d", stored, coalesced, disk, misses)
+	}
+	if c.Store() != nil {
+		t.Fatal("store attached by default")
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"shadowtlb/internal/exp"
 	"shadowtlb/internal/exp/runner"
 	"shadowtlb/internal/obs"
+	"shadowtlb/internal/resultstore"
 )
 
 // Config sizes the daemon.
@@ -52,6 +53,16 @@ type Config struct {
 	// a registered scheme; New panics otherwise (a deployment error
 	// callers like mtlbd surface before binding a listener).
 	DefaultScheme string
+	// StoreDir, when set, attaches a persistent result store rooted
+	// there as a second cache tier: memory misses consult it before
+	// simulating, simulated results are written through, and a daemon
+	// restart serves repeat configurations from disk. New panics when
+	// the directory cannot be opened (a deployment error, like a bad
+	// scheme). Empty keeps the daemon memory-only.
+	StoreDir string
+	// StoreMaxBytes bounds the persistent store's on-disk size
+	// (0 = resultstore.DefaultMaxBytes). Ignored without StoreDir.
+	StoreMaxBytes int64
 }
 
 // withDefaults fills zero fields.
@@ -131,6 +142,13 @@ func New(cfg Config) *Server {
 		reg:   obs.NewRegistry(),
 		jobs:  make(map[string]*Job),
 	}
+	if cfg.StoreDir != "" {
+		st, err := resultstore.Open(cfg.StoreDir, resultstore.Options{MaxBytes: cfg.StoreMaxBytes})
+		if err != nil {
+			panic(fmt.Sprintf("serve: %v", err))
+		}
+		s.cache.SetStore(st)
+	}
 	s.mSubmit = s.reg.AtomicCounter("serve.jobs_submitted")
 	s.mRejected = s.reg.AtomicCounter("serve.jobs_rejected")
 	s.mDone = s.reg.AtomicCounter("serve.jobs_done")
@@ -152,19 +170,22 @@ func New(cfg Config) *Server {
 			obs.Label{Key: "scheme", Value: scheme})
 	}
 	s.reg.CounterFuncL("serve.cache_outcome",
-		func() uint64 { st, _, _ := s.cache.Counters(); return st },
+		func() uint64 { st, _, _, _ := s.cache.Counters(); return st },
 		obs.Label{Key: "outcome", Value: "hit"})
 	s.reg.CounterFuncL("serve.cache_outcome",
-		func() uint64 { _, co, _ := s.cache.Counters(); return co },
+		func() uint64 { _, co, _, _ := s.cache.Counters(); return co },
 		obs.Label{Key: "outcome", Value: "coalesced"})
 	s.reg.CounterFuncL("serve.cache_outcome",
-		func() uint64 { _, _, led := s.cache.Counters(); return led },
+		func() uint64 { _, _, dk, _ := s.cache.Counters(); return dk },
+		obs.Label{Key: "outcome", Value: "disk"})
+	s.reg.CounterFuncL("serve.cache_outcome",
+		func() uint64 { _, _, _, led := s.cache.Counters(); return led },
 		obs.Label{Key: "outcome", Value: "miss"})
 	s.reg.SetHelp("serve.jobs_submitted", "jobs accepted by admission")
 	s.reg.SetHelp("serve.jobs_rejected", "jobs rejected by the full admission queue")
 	s.reg.SetHelp("serve.cache_hits", "cell results served without simulating (stored or coalesced)")
 	s.reg.SetHelp("serve.cache_misses", "cell results that led a simulation")
-	s.reg.SetHelp("serve.cache_outcome", "cache lookups by outcome: stored hit, coalesced onto an in-flight simulation, or miss")
+	s.reg.SetHelp("serve.cache_outcome", "cache lookups by outcome: stored hit, coalesced onto an in-flight simulation, served from the persistent disk store, or miss")
 	s.reg.SetHelp("serve.queue_depth", "jobs admitted but not yet picked up by an executor")
 	s.reg.SetHelp("serve.cell_wall_us", "per-cell wall time across all schemes (µs)")
 	s.reg.SetHelp("serve.cell_wall_by_scheme_us", "per-cell wall time by translation backend (µs)")

@@ -181,6 +181,7 @@ func TestMetricsContentNegotiation(t *testing.T) {
 			`serve_cell_wall_by_scheme_us_count{scheme="mtlb"} 1`,
 			"serve_jobs_submitted 1",
 			`serve_cache_outcome{outcome="miss"} 1`,
+			`serve_cache_outcome{outcome="disk"} 0`,
 		} {
 			if !strings.Contains(body, want) {
 				t.Errorf("%s missing %q", req.path, want)

@@ -49,6 +49,12 @@ func (e *Entry) Translate(addr uint64) uint64 {
 	return e.Target | (addr & e.Class.Mask())
 }
 
+// Referenced reports the entry's NRU referenced bit. While it is set,
+// touching the entry is a provable no-op (touch early-returns before
+// any state change), so a batched consumer holding a generation-checked
+// pointer may defer the touch as a pure hit count.
+func (e *Entry) Referenced() bool { return e.nru }
+
 // covers reports whether addr falls in this entry's mapped range. It
 // relies on the precomputed offset mask, so it must only be called on
 // entries that went through Insert or Refill (every stored entry does);

@@ -29,15 +29,40 @@ func encode(r Record) []byte {
 	return buf[:]
 }
 
+// recorderSeed produces a trace through the real Recorder — one record
+// of every kind in a plausible workload order — so the fuzzer starts
+// from the byte stream the production writer actually emits.
+func recorderSeed() []byte {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		panic(err)
+	}
+	r := &Recorder{Env: &fakeEnv{}, W: w}
+	base := r.AllocRegion("heap", 1<<16)
+	r.AllocAligned("table", 1<<14, 1<<12, 64)
+	r.Step(120)
+	r.Load(base, 8)
+	r.Store(base+8, 4, 1)
+	r.Sbrk(4096)
+	r.Remap(base, 1<<16)
+	if err := w.Flush(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
 // FuzzReader feeds arbitrary bytes to the v1 parser. The contract under
 // test: the parser never panics, always terminates, and fails only with
 // the documented sentinel errors (or io.EOF at a clean record
 // boundary) — a fuzzer finding any other error or a hang has found a
 // parser bug.
 func FuzzReader(f *testing.F) {
-	// A valid empty trace, a valid one-record trace, and each header
-	// rejection class.
+	// A valid empty trace, a valid one-record trace, a full
+	// recorder-produced trace, and each header rejection class.
 	f.Add(header())
+	f.Add(recorderSeed())
+	f.Add(recorderSeed()[:len(recorderSeed())-5]) // recorder trace cut mid-record
 	f.Add(append(header(), encode(Record{Kind: KindLoad, Size: 8, A: 0x10000})...))
 	f.Add(append(header(), encode(Record{Kind: KindAllocAligned, A: 1 << 22, B: 1<<22<<32 | 64})...))
 	f.Add(append(header(), 0xFF))                                          // truncated record

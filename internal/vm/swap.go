@@ -138,7 +138,7 @@ func (v *VM) HandleShadowFault(f *core.ShadowFault) (stats.Cycles, error) {
 		v.SwapIns++
 	} else {
 		// Never-touched page of a lazily backed superpage: zero-fill.
-		v.Dram.Write(arch.FrameToPAddr(frame), make([]byte, arch.PageSize))
+		v.Dram.ZeroFrame(arch.FrameToPAddr(frame))
 	}
 
 	v.STable.Set(spa, core.TableEntry{PFN: frame, Valid: true})

@@ -50,6 +50,105 @@ func Deliver(env Env, refs []Ref) {
 	}
 }
 
+// PageLineWords sizes a per-page cache-line bitmap: one bit per line of
+// a base page.
+const PageLineWords = arch.PageSize / arch.LineSize / 64
+
+// RunPages is the maximum number of distinct pages a compiled run may
+// span. Four covers the common alternation patterns (source/destination
+// buffers, key/count arrays) that make single-page runs degenerate.
+const RunPages = 4
+
+// RunPage is one page's footprint within a compiled run: which cache
+// lines of the page the run touches and which it stores to.
+type RunPage struct {
+	VPN     uint32
+	Lines   [PageLineWords]uint64
+	Written [PageLineWords]uint64
+}
+
+// RefRun summarizes a compile-time stretch of consecutive references
+// spanning at most RunPages distinct pages: how many refs and folded
+// instruction cycles it covers, its load/store split, and per-page
+// bitmaps of the lines it touches and stores to. A consuming CPU that
+// can prove every page's Lines are cache-resident (and its Written
+// lines silently writable) with all the pages' TLB entries already
+// referenced retires the whole stretch as pure counter arithmetic
+// instead of walking it reference by reference.
+type RefRun struct {
+	Start  uint32 // index of the first ref, in the same space as Bit0
+	Count  uint32 // references in the run
+	Cycles uint32 // Count + folded steps; ^0 marks an unretirable run
+	Loads  uint32
+	Stores uint32
+	NPages uint8
+	Pages  [RunPages]RunPage
+}
+
+// RefCols is a run of references in column form, the layout the compiled
+// replay engine stores: virtual page numbers and page offsets pre-split
+// at the page shift, access sizes, folded post-reference instruction
+// steps, and a store-op bitmap. Ref i is a load (or store, when bit
+// Bit0+i of Store is set) of Size[i] bytes at VPN[i]<<PageShift|Off[i],
+// followed by Step[i] non-memory instructions. Stores write StoreVal.
+type RefCols struct {
+	VPN      []uint32
+	Off      []uint16
+	Size     []uint8
+	Step     []uint32
+	Store    []uint64 // bitmap indexed from Bit0
+	Bit0     int
+	StoreVal uint64
+	// Runs optionally carries the precompiled same-page run summaries
+	// covering exactly these columns, ordered by Start (indexed in
+	// Bit0's space, like the Store bitmap). Purely an accelerator:
+	// consumers ignoring it are exact, just slower.
+	Runs []RefRun
+}
+
+// Len returns the number of references in the run.
+func (c *RefCols) Len() int { return len(c.VPN) }
+
+// Ref materializes reference i.
+func (c *RefCols) Ref(i int) Ref {
+	bit := c.Bit0 + i
+	return Ref{
+		VA:    arch.VAddr(uint64(c.VPN[i])<<arch.PageShift | uint64(c.Off[i])),
+		Val:   c.StoreVal,
+		Size:  c.Size[i],
+		Store: c.Store[bit>>6]&(1<<(bit&63)) != 0,
+		Step:  c.Step[i],
+	}
+}
+
+// ColStreamer is an optional Env extension for column-form delivery.
+// Semantics are the Streamer contract applied to the materialized refs;
+// environments implement it to consume the columns without an
+// intermediate []Ref.
+type ColStreamer interface {
+	StreamCols(cols RefCols)
+}
+
+// DeliverCols issues a column run through env.StreamCols when supported,
+// falling back to per-reference materialization otherwise.
+func DeliverCols(env Env, cols RefCols) {
+	if s, ok := env.(ColStreamer); ok {
+		s.StreamCols(cols)
+		return
+	}
+	for i := 0; i < cols.Len(); i++ {
+		r := cols.Ref(i)
+		if r.Store {
+			env.Store(r.VA, int(r.Size), r.Val)
+		} else {
+			env.Load(r.VA, int(r.Size))
+		}
+		if r.Step > 0 {
+			env.Step(int(r.Step))
+		}
+	}
+}
+
 var _ Streamer = (*MemEnv)(nil)
 
 // Stream issues the batch against the functional memory.

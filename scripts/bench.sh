@@ -25,7 +25,16 @@
 #     -schemes), so cross-scheme simulator overhead is tracked alongside
 #     the hot-path ratio.
 #
-# Usage: scripts/bench.sh [runner-output] [hotpath-output] [serve-output] [schemes-output]
+#   BENCH_replay.json  — compiled trace replay engine vs live execution
+#     on every paper workload (mtlbbench -replay): per-workload and
+#     aggregate refs/s, the replay/live speedup CI gates against
+#     scripts/BENCH_replay_baseline.json, and a bit-identical check.
+#
+# BENCH_serve.json additionally carries a restart section: the load run
+# persists results to a scratch store, then a fresh daemon over the
+# same directory replays the job mix and reports its disk-hit rate.
+#
+# Usage: scripts/bench.sh [runner-output] [hotpath-output] [serve-output] [schemes-output] [replay-output]
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -33,6 +42,7 @@ out="${1:-BENCH_runner.json}"
 hot="${2:-BENCH_hotpath.json}"
 srv="${3:-BENCH_serve.json}"
 sch="${4:-BENCH_schemes.json}"
+rpl="${5:-BENCH_replay.json}"
 
 go run ./cmd/mtlbexp -exp fig3 -scale small -json > "$out"
 echo "wrote $out ($(wc -c < "$out") bytes)" >&2
@@ -41,5 +51,10 @@ go run ./cmd/mtlbbench -o "$hot" -schemes "$sch"
 echo "wrote $hot ($(wc -c < "$hot") bytes)" >&2
 echo "wrote $sch ($(wc -c < "$sch") bytes)" >&2
 
-go run ./cmd/mtlbload -clients 32 -n 3 -scale small -o "$srv"
+storedir="$(mktemp -d)"
+trap 'rm -rf "$storedir"' EXIT
+go run ./cmd/mtlbload -clients 32 -n 3 -scale small -store "$storedir" -o "$srv"
 echo "wrote $srv ($(wc -c < "$srv") bytes)" >&2
+
+go run ./cmd/mtlbbench -replay "$rpl" -replay-baseline scripts/BENCH_replay_baseline.json -tolerance 0.25
+echo "wrote $rpl ($(wc -c < "$rpl") bytes)" >&2
