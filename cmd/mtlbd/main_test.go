@@ -3,12 +3,15 @@ package main
 import (
 	"context"
 	"net"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"strings"
 	"syscall"
 	"testing"
 	"time"
 
+	"shadowtlb/internal/cluster"
 	"shadowtlb/internal/serve"
 	"shadowtlb/internal/serve/client"
 )
@@ -116,5 +119,51 @@ func TestDaemonBadFlags(t *testing.T) {
 	var out, errb strings.Builder
 	if code := run([]string{"-no-such-flag"}, sig, nil, &out, &errb); code != 2 {
 		t.Fatalf("bad flag exit %d", code)
+	}
+	// -register without -advertise is a misconfiguration, not a warning.
+	if code := run([]string{"-register", "http://gate:1"}, sig, nil, &out, &errb); code != 2 {
+		t.Fatalf("-register without -advertise exit %d", code)
+	}
+}
+
+func TestDaemonHeartbeatsRegistration(t *testing.T) {
+	beats := make(chan cluster.RegisterRequest, 16)
+	coord := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		req, err := cluster.DecodeRegisterRequest(r.Body)
+		if err != nil {
+			t.Errorf("malformed heartbeat: %v", err)
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		beats <- req
+		w.Header().Set("Content-Type", "application/json")
+		// A short TTL asks the daemon to beat every ~1s (TTL/3 floor).
+		w.Write([]byte(`{"status":"ok","ttl_ms":3000}`)) //nolint:errcheck // test stub
+	}))
+	defer coord.Close()
+
+	_, sig, code := startDaemon(t,
+		"-node-id", "hb1", "-register", coord.URL, "-advertise", "http://127.0.0.1:9999")
+
+	// First beat arrives immediately; a second proves the loop re-arms.
+	for i := 0; i < 2; i++ {
+		select {
+		case b := <-beats:
+			if b.NodeID != "hb1" || b.URL != "http://127.0.0.1:9999" {
+				t.Fatalf("heartbeat %+v", b)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("heartbeat %d never arrived", i+1)
+		}
+	}
+
+	sig <- syscall.SIGTERM
+	select {
+	case exit := <-code:
+		if exit != 0 {
+			t.Fatalf("daemon exited %d", exit)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon did not exit")
 	}
 }

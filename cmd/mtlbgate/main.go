@@ -1,0 +1,200 @@
+// Command mtlbgate is the cluster coordinator: an HTTP service that
+// speaks the exact mtlbd /v1/jobs API, shards every job's cells across
+// a fleet of mtlbd workers over a consistent-hash ring, and merges the
+// results into the job's usual NDJSON stream. A client cannot tell a
+// gate from a daemon — mtlbexp -server pointed at either prints
+// byte-identical output — but a gate's cache hits come from anywhere in
+// the cluster, and a dead or stalled worker's cells fail over to its
+// ring successors mid-job.
+//
+//	mtlbgate -listen :8046 -worker http://10.0.0.7:8047 -worker http://10.0.0.8:8047
+//
+// Workers can also join dynamically: start them with
+//
+//	mtlbd -listen :8047 -register http://gate:8046 -advertise http://10.0.0.9:8047
+//
+// and they heartbeat their registration; a worker that stops beating
+// expires off the ring. Inspect the fleet with
+//
+//	curl localhost:8046/v1/cluster/nodes
+//
+// On SIGINT/SIGTERM the gate drains exactly like a daemon: admission
+// closes, admitted jobs run to completion, then the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"shadowtlb/internal/cluster"
+	"shadowtlb/internal/core"
+	"shadowtlb/internal/obs"
+	"shadowtlb/internal/resultstore"
+	"shadowtlb/internal/serve"
+)
+
+// workerList collects repeated -worker flags. Each value is either a
+// bare base URL or "id=url" when the ring identity should not follow
+// the address (stable ids keep placement fixed across re-IPs).
+type workerList []cluster.WorkerSpec
+
+func (wl *workerList) String() string {
+	parts := make([]string, len(*wl))
+	for i, w := range *wl {
+		parts[i] = w.NodeID + "=" + w.URL
+	}
+	return strings.Join(parts, ",")
+}
+
+func (wl *workerList) Set(v string) error {
+	id, rest := "", v
+	if before, after, ok := strings.Cut(v, "="); ok && !strings.Contains(before, ":") {
+		id, rest = before, after
+	}
+	u, err := url.Parse(rest)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return fmt.Errorf("worker %q is not an absolute URL", rest)
+	}
+	*wl = append(*wl, cluster.WorkerSpec{NodeID: id, URL: rest})
+	return nil
+}
+
+func main() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	os.Exit(run(os.Args[1:], sig, nil, os.Stdout, os.Stderr))
+}
+
+// run starts the coordinator and blocks until a shutdown signal has
+// been handled. ready, when non-nil, receives the bound listen address
+// once the server is accepting (used by tests to avoid port races).
+func run(args []string, sig <-chan os.Signal, ready chan<- string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mtlbgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var workers workerList
+	fs.Var(&workers, "worker", "static worker base URL, or id=url (repeatable); more workers join via -register")
+	var (
+		listen   = fs.String("listen", ":8046", "listen address")
+		fanout   = fs.Int("fanout", 0, "cells in flight across the fleet (0 = GOMAXPROCS)")
+		jobs     = fs.Int("jobs", 4, "concurrently executing jobs")
+		queue    = fs.Int("queue", 64, "admission queue capacity (full queue = 429)")
+		cache    = fs.Int("cache", 8192, "cluster-wide result cache entries")
+		timeout  = fs.Duration("timeout", 5*time.Minute, "default per-job deadline")
+		drain    = fs.Duration("drain", 10*time.Minute, "max time to wait for in-flight jobs on shutdown")
+		scheme   = fs.String("scheme", "", "default translation backend for cell specs that leave scheme unset (empty = "+core.DefaultScheme+")")
+		hedge    = fs.Duration("hedge-after", 0, "duplicate a slow cell to the next ring candidate after this long (0 = default 10s, negative disables)")
+		local    = fs.Bool("local-fallback", true, "simulate on the gate itself when every worker is unreachable")
+		nodeID   = fs.String("node-id", "gate", "the gate's own identity in metrics and traces")
+		trace    = fs.String("trace", "", "stream job spans to this JSON-lines file as they complete")
+		store    = fs.String("store", "", "persistent result store directory; repeat configurations survive restarts (empty = memory only)")
+		storeMB  = fs.Int64("store-max-mb", 0, "persistent store size bound in MiB (0 = default)")
+		loadFact = fs.Float64("load-factor", 0, "bounded-load spill factor over the fleet mean (0 = default 1.25)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if !core.HasScheme(*scheme) {
+		_, err := core.NewTranslator(*scheme, core.MTLBConfig{}, core.TranslatorDeps{})
+		fmt.Fprintf(stderr, "mtlbgate: %v\n", err)
+		return 2
+	}
+	if *store != "" {
+		if _, err := resultstore.Open(*store, resultstore.Options{}); err != nil {
+			fmt.Fprintf(stderr, "mtlbgate: %v\n", err)
+			return 1
+		}
+	}
+
+	co, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		Serve: serve.Config{
+			Workers:        *fanout,
+			JobWorkers:     *jobs,
+			QueueCap:       *queue,
+			CacheEntries:   *cache,
+			DefaultTimeout: *timeout,
+			DefaultScheme:  *scheme,
+			StoreDir:       *store,
+			StoreMaxBytes:  *storeMB << 20,
+			NodeID:         *nodeID,
+		},
+		Router: cluster.RouterConfig{
+			HedgeAfter: *hedge,
+			AllowLocal: *local,
+			LoadFactor: *loadFact,
+		},
+		Workers: workers,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "mtlbgate: %v\n", err)
+		return 2
+	}
+
+	var tracer *obs.Tracer
+	var traceFile *os.File
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintf(stderr, "mtlbgate: %v\n", err)
+			return 1
+		}
+		traceFile = f
+		tracer = obs.NewTracer("mtlbgate", f, 0)
+		co.Server().SetTracer(tracer)
+	}
+	co.Start()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(stderr, "mtlbgate: %v\n", err)
+		return 1
+	}
+	hs := &http.Server{Handler: co.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	fmt.Fprintf(stdout, "mtlbgate: listening on %s (%d static workers, fan-out %d)\n",
+		ln.Addr(), len(workers), co.Server().Workers())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "mtlbgate: %v\n", err)
+		return 1
+	case s := <-sig:
+		fmt.Fprintf(stdout, "mtlbgate: %v: draining (in-flight jobs run to completion)\n", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	code := 0
+	if err := co.Drain(ctx); err != nil {
+		fmt.Fprintf(stderr, "mtlbgate: %v\n", err)
+		code = 1
+	}
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(stderr, "mtlbgate: shutdown: %v\n", err)
+		code = 1
+	}
+	<-serveErr
+
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintf(stderr, "mtlbgate: closing trace: %v\n", err)
+			code = 1
+		}
+	}
+	fmt.Fprintln(stdout, "mtlbgate: drained, bye")
+	return code
+}

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"shadowtlb/internal/cluster"
+	"shadowtlb/internal/serve"
+	"shadowtlb/internal/serve/client"
+)
+
+// startWorker runs a real in-process daemon and returns its base URL.
+func startWorker(t *testing.T, nodeID string) string {
+	t.Helper()
+	srv := serve.New(serve.Config{Workers: 2, NodeID: nodeID})
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Drain(ctx) //nolint:errcheck // test teardown
+	})
+	return ts.URL
+}
+
+// startGate runs the gate main loop with an injected signal channel.
+func startGate(t *testing.T, args ...string) (string, chan os.Signal, chan int) {
+	t.Helper()
+	sig := make(chan os.Signal, 1)
+	ready := make(chan string, 1)
+	code := make(chan int, 1)
+	var out, errb strings.Builder
+	go func() {
+		code <- run(append([]string{"-listen", "127.0.0.1:0"}, args...), sig, ready, &out, &errb)
+	}()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, sig, code
+	case c := <-code:
+		t.Fatalf("gate exited %d before ready; stderr: %s", c, errb.String())
+		return "", nil, nil
+	}
+}
+
+func TestGateDispatchesToStaticWorkersAndDrains(t *testing.T) {
+	w1 := startWorker(t, "w1")
+	w2 := startWorker(t, "w2")
+	base, sig, code := startGate(t,
+		"-worker", "w1="+w1, "-worker", "w2="+w2, "-local-fallback=false")
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	c := client.New(base, nil)
+	if err := c.Healthz(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+
+	// The gate speaks the daemon API: a job runs and its cells execute
+	// on the fleet (no local fallback configured, so a result proves
+	// remote dispatch).
+	st, err := c.Run(ctx, serve.JobSpec{
+		Cells: []serve.CellSpec{{Workload: "stride", TLB: 64}, {Workload: "random", TLB: 32}},
+		Scale: "small",
+	}, nil)
+	if err != nil {
+		t.Fatalf("job: %v", err)
+	}
+	if st.State != serve.StateDone || len(st.Result.Cells) != 2 {
+		t.Fatalf("job status %+v", st)
+	}
+
+	// The fleet snapshot lists both workers.
+	resp, err := http.Get(base + "/v1/cluster/nodes")
+	if err != nil {
+		t.Fatalf("nodes: %v", err)
+	}
+	rows, err := cluster.DecodeNodeStatuses(resp.Body)
+	resp.Body.Close()
+	if err != nil || len(rows) != 2 {
+		t.Fatalf("nodes decode: %v (%d rows)", err, len(rows))
+	}
+	var dispatched uint64
+	for _, r := range rows {
+		if !r.Static {
+			t.Errorf("worker %s not marked static", r.NodeID)
+		}
+		dispatched += r.Dispatched
+	}
+	if dispatched == 0 {
+		t.Error("no cells were dispatched to the fleet")
+	}
+
+	sig <- syscall.SIGTERM
+	select {
+	case exit := <-code:
+		if exit != 0 {
+			t.Fatalf("gate exited %d after SIGTERM", exit)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("gate did not exit after SIGTERM")
+	}
+	addr := strings.TrimPrefix(base, "http://")
+	if conn, err := net.DialTimeout("tcp", addr, time.Second); err == nil {
+		conn.Close()
+		t.Fatal("listener still accepting after drain")
+	}
+}
+
+func TestGateAcceptsDynamicRegistration(t *testing.T) {
+	w := startWorker(t, "joiner")
+	base, sig, code := startGate(t, "-local-fallback=false")
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	body, _ := json.Marshal(cluster.RegisterRequest{NodeID: "joiner", URL: w})
+	resp, err := http.Post(base+"/v1/cluster/register", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	ack, err := cluster.DecodeRegisterResponse(resp.Body)
+	resp.Body.Close()
+	if err != nil || ack.Status != "ok" || ack.TTLMS <= 0 {
+		t.Fatalf("register ack %+v (%v)", ack, err)
+	}
+
+	c := client.New(base, nil)
+	st, err := c.Run(ctx, serve.JobSpec{
+		Cells: []serve.CellSpec{{Workload: "stride", TLB: 48}},
+		Scale: "small",
+	}, nil)
+	if err != nil || st.State != serve.StateDone {
+		t.Fatalf("job via registered worker: %v %+v", err, st)
+	}
+
+	sig <- syscall.SIGTERM
+	select {
+	case exit := <-code:
+		if exit != 0 {
+			t.Fatalf("gate exited %d", exit)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("gate did not exit")
+	}
+}
+
+func TestGateBadWorkerFlag(t *testing.T) {
+	sig := make(chan os.Signal, 1)
+	var out, errb strings.Builder
+	if code := run([]string{"-worker", "not a url"}, sig, nil, &out, &errb); code != 2 {
+		t.Fatalf("bad -worker exit %d", code)
+	}
+}

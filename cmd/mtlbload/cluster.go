@@ -1,0 +1,192 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"shadowtlb/internal/cluster"
+	"shadowtlb/internal/serve"
+	"shadowtlb/internal/serve/client"
+)
+
+// clusterReport is the JSON document the -cluster mode emits
+// (scripts capture it as BENCH_cluster.json). Scaling numbers only
+// mean something relative to the hardware they ran on, so the host's
+// core count travels with them: a 1-core host cannot show wall-clock
+// speedup no matter how well the cluster shards.
+type clusterReport struct {
+	Mode       string         `json:"mode"`
+	Scale      string         `json:"scale"`
+	Cells      int            `json:"cells"`
+	HostCores  int            `json:"host_cores"`
+	GoMaxProcs int            `json:"gomaxprocs"`
+	Widths     []clusterWidth `json:"widths"`
+}
+
+// clusterWidth is one fleet size's cold-batch measurement.
+type clusterWidth struct {
+	Workers    int     `json:"workers"`
+	Cells      int     `json:"cells"`
+	WallS      float64 `json:"wall_s"`
+	CellsPerS  float64 `json:"cells_per_s"`
+	Speedup    float64 `json:"speedup"`    // vs the 1-worker width (1.0 if absent)
+	Efficiency float64 `json:"efficiency"` // speedup / workers
+}
+
+// clusterBatch is the cold benchmark job: ~24 distinct cells, so no
+// cache tier can answer any of them and every width simulates the same
+// work from scratch.
+func clusterBatch(scale string) []serve.CellSpec {
+	var cells []serve.CellSpec
+	for _, w := range []string{"stride", "radix", "em3d", "random"} {
+		for _, tlb := range []int{8, 16, 32, 48, 64, 96} {
+			cells = append(cells, serve.CellSpec{Workload: w, TLB: tlb})
+		}
+	}
+	_ = scale // scale rides on the JobSpec, not the cells
+	return cells
+}
+
+// runClusterBench measures cold-batch throughput at each fleet width.
+// Every width gets a brand-new gate and brand-new workers (cold caches
+// everywhere); each worker simulates one cell at a time, so fleet
+// capacity scales with worker count and the measurement isolates the
+// sharding layer, not worker-internal parallelism.
+func runClusterBench(widths, scale, out string, stdout, stderr io.Writer) int {
+	var ws []int
+	for _, f := range strings.Split(widths, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			fmt.Fprintf(stderr, "mtlbload: -cluster %q: widths are positive integers\n", widths)
+			return 2
+		}
+		ws = append(ws, n)
+	}
+	sort.Ints(ws)
+
+	rep := clusterReport{
+		Mode: "cluster", Scale: scale,
+		Cells:      len(clusterBatch(scale)),
+		HostCores:  runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	ctx := context.Background()
+	var base float64
+	for _, w := range ws {
+		wall, cells, err := clusterRun(ctx, w, scale)
+		if err != nil {
+			fmt.Fprintf(stderr, "mtlbload: cluster width %d: %v\n", w, err)
+			return 1
+		}
+		cw := clusterWidth{
+			Workers: w, Cells: cells,
+			WallS:     wall.Seconds(),
+			CellsPerS: float64(cells) / wall.Seconds(),
+		}
+		if base == 0 {
+			base = cw.WallS
+		}
+		cw.Speedup = base / cw.WallS
+		cw.Efficiency = cw.Speedup / float64(w)
+		rep.Widths = append(rep.Widths, cw)
+		fmt.Fprintf(stderr, "mtlbload: cluster %d workers: %d cells in %.2fs (%.1f cells/s, %.2fx)\n",
+			w, cells, cw.WallS, cw.CellsPerS, cw.Speedup)
+	}
+
+	wtr := stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintf(stderr, "mtlbload: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		wtr = f
+	}
+	enc := json.NewEncoder(wtr)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(stderr, "mtlbload: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// clusterRun stands up a gate with w single-simulation workers, runs
+// the cold batch as one job, and tears everything down.
+func clusterRun(ctx context.Context, w int, scale string) (time.Duration, int, error) {
+	type fleet struct {
+		srv *serve.Server
+		hs  *http.Server
+	}
+	var workers []fleet
+	defer func() {
+		for _, f := range workers {
+			dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			f.srv.Drain(dctx) //nolint:errcheck // benchmark teardown
+			cancel()
+			f.hs.Close()
+		}
+	}()
+	specs := make([]cluster.WorkerSpec, 0, w)
+	for i := 0; i < w; i++ {
+		srv := serve.New(serve.Config{Workers: 1, NodeID: fmt.Sprintf("w%d", i+1)})
+		srv.Start()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return 0, 0, err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln) //nolint:errcheck // torn down above
+		workers = append(workers, fleet{srv: srv, hs: hs})
+		specs = append(specs, cluster.WorkerSpec{
+			NodeID: fmt.Sprintf("w%d", i+1),
+			URL:    "http://" + ln.Addr().String(),
+		})
+	}
+
+	co, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		Serve:   serve.Config{Workers: w, NodeID: "gate"},
+		Router:  cluster.RouterConfig{AllowLocal: false, HedgeAfter: -1},
+		Workers: specs,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	co.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, 0, err
+	}
+	hs := &http.Server{Handler: co.Handler()}
+	go hs.Serve(ln) //nolint:errcheck // torn down below
+	defer func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		co.Drain(dctx) //nolint:errcheck // benchmark teardown
+		cancel()
+		hs.Close()
+	}()
+
+	c := client.New("http://"+ln.Addr().String(), nil)
+	batch := clusterBatch(scale)
+	start := time.Now()
+	st, err := c.Run(ctx, serve.JobSpec{Cells: batch, Scale: scale}, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	wall := time.Since(start)
+	if st.State != serve.StateDone {
+		return 0, 0, fmt.Errorf("batch job %s: %s", st.State, st.Error)
+	}
+	return wall, len(st.Result.Cells), nil
+}

@@ -16,7 +16,6 @@ package main
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -125,10 +124,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers = fs.Int("workers", 0, "in-process daemon simulation workers (0 = GOMAXPROCS)")
 		queue   = fs.Int("queue", 0, "in-process daemon queue capacity (0 = default)")
 		store   = fs.String("store", "", "persistent store directory for the in-process daemon; adds a restart phase measuring disk hits")
+		clstr   = fs.String("cluster", "", "cluster scaling benchmark: comma-separated worker counts, e.g. 1,2,4 (hosts a gate + fleet in-process; ignores -server)")
 		out     = fs.String("o", "", "write the JSON report to this file (default stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *clstr != "" {
+		return runClusterBench(*clstr, *scale, *out, stdout, stderr)
 	}
 	if *store != "" && *server != "" {
 		fmt.Fprintln(stderr, "mtlbload: -store only applies to the in-process daemon; ignoring")
@@ -156,12 +159,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		reqMu   sync.Mutex
 		reqDurs []time.Duration
+		retries int
 	)
 	c.OnRequest(func(ri client.RequestInfo) {
 		reqMu.Lock()
 		reqDurs = append(reqDurs, ri.Dur)
 		reqMu.Unlock()
 	})
+	// The client owns 429 backoff (Retry-After, capped exponential,
+	// jitter); the load generator just counts the waits.
+	rp := client.DefaultRetry()
+	rp.OnRetry = func(int, time.Duration) {
+		reqMu.Lock()
+		retries++
+		reqMu.Unlock()
+	}
+	c.SetRetry(rp)
 	ctx := context.Background()
 	// Readiness, not liveness: a draining daemon is alive but would 503
 	// every submission this run is about to issue.
@@ -174,7 +187,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 		mu        sync.Mutex
 		durations []time.Duration
 		failed    int
-		retries   int
 		cells     int
 		cellHits  int
 	)
@@ -187,9 +199,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			for k := 0; k < *perC; k++ {
 				spec := mix[(i*7+k)%len(mix)]
 				t0 := time.Now()
-				st, err := submitWithRetry(ctx, c, spec, &mu, &retries)
+				var st serve.JobStatus
+				id, err := c.Submit(ctx, spec)
 				if err == nil {
-					st, err = waitDone(ctx, c, st)
+					st, err = waitDone(ctx, c, serve.JobStatus{ID: id})
 				}
 				d := time.Since(t0)
 				mu.Lock()
@@ -277,33 +290,6 @@ func percentiles(ds []time.Duration) func(p float64) float64 {
 		}
 		i := int(p * float64(len(ds)-1))
 		return float64(ds[i]) / float64(time.Millisecond)
-	}
-}
-
-// submitWithRetry submits, backing off briefly on 429 per Retry-After
-// (capped so a saturated queue still makes progress).
-func submitWithRetry(ctx context.Context, c *client.Client, spec serve.JobSpec, mu *sync.Mutex, retries *int) (serve.JobStatus, error) {
-	for {
-		id, err := c.Submit(ctx, spec)
-		if err == nil {
-			return serve.JobStatus{ID: id}, nil
-		}
-		var se *client.StatusError
-		if !errors.As(err, &se) || se.Code != http.StatusTooManyRequests {
-			return serve.JobStatus{}, err
-		}
-		mu.Lock()
-		*retries++
-		mu.Unlock()
-		delay := se.RetryAfter
-		if delay <= 0 || delay > time.Second {
-			delay = 100 * time.Millisecond
-		}
-		select {
-		case <-time.After(delay):
-		case <-ctx.Done():
-			return serve.JobStatus{}, ctx.Err()
-		}
 	}
 }
 

@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"shadowtlb/internal/exp/runner"
+	"shadowtlb/internal/serve"
+)
+
+// WorkerSpec names one statically configured worker (mtlbgate -worker).
+type WorkerSpec struct {
+	// NodeID is the worker's ring identity; empty derives it from URL.
+	NodeID string
+	URL    string
+}
+
+// CoordinatorConfig assembles a coordinator.
+type CoordinatorConfig struct {
+	// Serve sizes the embedded daemon: its Workers bound is the
+	// coordinator's dispatch fan-out (cells in flight across the
+	// fleet), its queue is the job admission queue, its cache is the
+	// cluster-wide result tier.
+	Serve serve.Config
+	// Router tunes placement, health and failover.
+	Router RouterConfig
+	// Workers is the static fleet; more join via /v1/cluster/register.
+	Workers []WorkerSpec
+}
+
+// Coordinator is a serve.Server whose cells execute on a worker fleet:
+// the unchanged /v1/jobs machinery — admission control, queueing,
+// per-job pools, NDJSON event streams, tracing, /metrics — runs
+// locally, and the Router intercepts each cell at the moment a pool
+// would simulate it. Experiment jobs therefore render their tables on
+// the coordinator from remotely computed results, which is what makes
+// cluster output byte-identical to a single daemon's.
+type Coordinator struct {
+	srv *serve.Server
+	rt  *Router
+}
+
+// NewCoordinator builds the composed server. Call Start, serve
+// Handler, and Drain like a plain serve.Server.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	srv := serve.New(cfg.Serve)
+	rt := NewRouter(srv.Cache(), srv.Registry(), cfg.Router)
+	for _, w := range cfg.Workers {
+		id := w.NodeID
+		if id == "" {
+			id = w.URL
+		}
+		if err := rt.AddWorker(id, w.URL, true); err != nil {
+			return nil, fmt.Errorf("cluster: static worker %q: %w", w.URL, err)
+		}
+	}
+	srv.SetCacheWrapper(func(runner.ExternalCache) runner.ExternalCache { return rt })
+	return &Coordinator{srv: srv, rt: rt}, nil
+}
+
+// Server exposes the embedded daemon (registry, tracer, drain hooks).
+func (co *Coordinator) Server() *serve.Server { return co.srv }
+
+// Router exposes the dispatch layer (membership, fleet snapshots).
+func (co *Coordinator) Router() *Router { return co.rt }
+
+// Start launches the job executors and the health monitor.
+func (co *Coordinator) Start() {
+	co.rt.Start()
+	co.srv.Start()
+}
+
+// Drain closes admission, waits for in-flight jobs (bounded by ctx),
+// then stops the health monitor.
+func (co *Coordinator) Drain(ctx context.Context) error {
+	err := co.srv.Drain(ctx)
+	co.rt.Stop()
+	return err
+}
+
+// Handler returns the coordinator's HTTP API: the full daemon API at
+// its usual paths — a coordinator is protocol-identical to a worker —
+// plus the membership endpoints:
+//
+//	POST /v1/cluster/register  worker announce/heartbeat (RegisterRequest)
+//	GET  /v1/cluster/nodes     fleet snapshot ([]NodeStatus)
+func (co *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", co.srv.Handler())
+	mux.HandleFunc("POST /v1/cluster/register", co.handleRegister)
+	mux.HandleFunc("GET /v1/cluster/nodes", co.handleNodes)
+	return mux
+}
+
+// handleRegister admits or refreshes a worker registration.
+func (co *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	req, err := DecodeRegisterRequest(r.Body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, struct {
+			Error string `json:"error"`
+		}{Error: err.Error()})
+		return
+	}
+	if err := co.rt.AddWorker(req.NodeID, req.URL, false); err != nil {
+		writeJSON(w, http.StatusBadRequest, struct {
+			Error string `json:"error"`
+		}{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, RegisterResponse{
+		Status: "ok",
+		TTLMS:  co.rt.cfg.heartbeatTTL().Milliseconds(),
+	})
+}
+
+// handleNodes snapshots the fleet.
+func (co *Coordinator) handleNodes(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, co.rt.Workers())
+}
+
+// writeJSON emits a JSON response body (the serve package's helper,
+// mirrored here to keep the API's encoding uniform).
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}

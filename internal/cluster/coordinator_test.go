@@ -1,0 +1,231 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"shadowtlb/internal/serve"
+	"shadowtlb/internal/serve/client"
+)
+
+// testFleet is a coordinator over n real in-process workers.
+type testFleet struct {
+	co      *Coordinator
+	gate    *httptest.Server
+	workers []*httptest.Server
+}
+
+// startFleet builds and starts a gate plus n workers.
+func startFleet(t *testing.T, n int, rcfg RouterConfig) *testFleet {
+	t.Helper()
+	fl := &testFleet{}
+	var specs []WorkerSpec
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("w%d", i+1)
+		srv := serve.New(serve.Config{Workers: 2, NodeID: id})
+		srv.Start()
+		ts := httptest.NewServer(srv.Handler())
+		fl.workers = append(fl.workers, ts)
+		t.Cleanup(func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			srv.Drain(ctx) //nolint:errcheck // test teardown
+		})
+		specs = append(specs, WorkerSpec{NodeID: id, URL: ts.URL})
+	}
+	co, err := NewCoordinator(CoordinatorConfig{
+		Serve:   serve.Config{Workers: 8, NodeID: "gate"},
+		Router:  rcfg,
+		Workers: specs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	co.Start()
+	fl.co = co
+	fl.gate = httptest.NewServer(co.Handler())
+	t.Cleanup(func() {
+		fl.gate.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		co.Drain(ctx) //nolint:errcheck // test teardown
+	})
+	return fl
+}
+
+// TestClusterExperimentsByteIdentical is the tentpole acceptance check
+// at unit scale: an experiments job through the coordinator — every
+// cell computed on a worker — must produce exactly the rendered tables
+// a standalone daemon produces, byte for byte.
+func TestClusterExperimentsByteIdentical(t *testing.T) {
+	local := serve.New(serve.Config{Workers: 2})
+	local.Start()
+	lts := httptest.NewServer(local.Handler())
+	t.Cleanup(func() {
+		lts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		local.Drain(ctx) //nolint:errcheck // test teardown
+	})
+	fl := startFleet(t, 2, RouterConfig{HedgeAfter: -1})
+
+	spec := serve.JobSpec{Experiments: []string{"tlbtime", "reach"}, Scale: "small"}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	stLocal, err := client.New(lts.URL, nil).Run(ctx, spec, nil)
+	if err != nil || stLocal.State != serve.StateDone {
+		t.Fatalf("local run: %v / %+v", err, stLocal.Error)
+	}
+	stCluster, err := client.New(fl.gate.URL, nil).Run(ctx, spec, nil)
+	if err != nil || stCluster.State != serve.StateDone {
+		t.Fatalf("cluster run: %v / %+v", err, stCluster.Error)
+	}
+	if !reflect.DeepEqual(stLocal.Result.Experiments, stCluster.Result.Experiments) {
+		t.Fatal("cluster experiment output differs from standalone daemon output")
+	}
+	if n := fl.co.Router().mLocalSims.Value(); n != 0 {
+		t.Errorf("%d cells simulated on the coordinator; all should have dispatched", n)
+	}
+	if n := fl.co.Router().mDispatched.Value(); n == 0 {
+		t.Error("no cells dispatched to workers")
+	}
+	// Both workers took a share of the ring.
+	rows := fl.co.Router().Workers()
+	for _, row := range rows {
+		if row.Dispatched == 0 {
+			t.Errorf("worker %s received no cells; sharding is degenerate", row.NodeID)
+		}
+	}
+}
+
+// TestClusterSurvivesWorkerKillMidJob kills one of two workers while a
+// batch job is in flight; every cell must still complete via failover.
+func TestClusterSurvivesWorkerKillMidJob(t *testing.T) {
+	fl := startFleet(t, 2, RouterConfig{
+		HedgeAfter:    -1,
+		ProbeInterval: 50 * time.Millisecond,
+	})
+
+	const cells = 12
+	spec := serve.JobSpec{Scale: "small"}
+	for i := 0; i < cells; i++ {
+		spec.Cells = append(spec.Cells, serve.CellSpec{Workload: "stride", TLB: 8 * (i + 1)})
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	cl := client.New(fl.gate.URL, nil)
+	id, err := cl.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	killed := false
+	st, err := cl.Wait(ctx, id, func(ev serve.Event) {
+		if ev.Type == "cell" && !killed {
+			killed = true
+			fl.workers[0].Close() // SIGKILL stand-in: connections drop mid-job
+		}
+	})
+	if err != nil {
+		t.Fatalf("waiting out the kill: %v", err)
+	}
+	if st.State != serve.StateDone {
+		t.Fatalf("job ended %s (%s); a worker death must not fail the job", st.State, st.Error)
+	}
+	if st.Progress.CellsDone != cells {
+		t.Errorf("cells done = %d, want %d", st.Progress.CellsDone, cells)
+	}
+	if st.Result == nil || len(st.Result.Cells) != cells {
+		t.Fatalf("result carries %d cells, want %d", len(st.Result.Cells), cells)
+	}
+	if n := fl.co.Router().mLocalSims.Value(); n != 0 {
+		t.Errorf("%d cells fell back to local simulation; they should have failed over", n)
+	}
+}
+
+// TestClusterRegistrationAndCacheReuse drives the dynamic-membership
+// path end to end: a worker joins via POST /v1/cluster/register, serves
+// a job, and a repeat job is answered from the coordinator's cluster
+// tier without re-dispatching.
+func TestClusterRegistrationAndCacheReuse(t *testing.T) {
+	fl := startFleet(t, 0, RouterConfig{HedgeAfter: -1})
+	wsrv := serve.New(serve.Config{Workers: 2, NodeID: "joiner"})
+	wsrv.Start()
+	wts := httptest.NewServer(wsrv.Handler())
+	t.Cleanup(func() {
+		wts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		wsrv.Drain(ctx) //nolint:errcheck // test teardown
+	})
+
+	body := fmt.Sprintf(`{"node_id":"joiner","url":%q}`, wts.URL)
+	resp, err := http.Post(fl.gate.URL+"/v1/cluster/register", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, err := DecodeRegisterResponse(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: HTTP %d, %v", resp.StatusCode, err)
+	}
+	if ack.Status != "ok" || ack.TTLMS <= 0 {
+		t.Fatalf("register ack %+v", ack)
+	}
+	// Bad registrations are 400s, not silent drops.
+	resp, err = http.Post(fl.gate.URL+"/v1/cluster/register", "application/json",
+		strings.NewReader(`{"node_id":"","url":"http://x:1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid registration got HTTP %d, want 400", resp.StatusCode)
+	}
+
+	nresp, err := http.Get(fl.gate.URL + "/v1/cluster/nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := DecodeNodeStatuses(nresp.Body)
+	nresp.Body.Close()
+	if err != nil || len(rows) != 1 || rows[0].NodeID != "joiner" || rows[0].Static {
+		t.Fatalf("fleet snapshot %+v (%v)", rows, err)
+	}
+
+	spec := serve.JobSpec{Scale: "small", Cells: []serve.CellSpec{{Workload: "stride", TLB: 64}}}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	cl := client.New(fl.gate.URL, nil)
+	st, err := cl.Run(ctx, spec, nil)
+	if err != nil || st.State != serve.StateDone {
+		t.Fatalf("job via registered worker: %v / %+v", err, st.Error)
+	}
+	if n := fl.co.Router().mDispatched.Value(); n != 1 {
+		t.Fatalf("dispatched = %d, want 1", n)
+	}
+	// The repeat job is a cluster-tier hit: no new dispatch, and the
+	// job's own progress reports the cache hit.
+	st2, err := cl.Run(ctx, spec, nil)
+	if err != nil || st2.State != serve.StateDone {
+		t.Fatalf("repeat job: %v / %+v", err, st2.Error)
+	}
+	if st2.Progress.CacheHits != 1 {
+		t.Errorf("repeat job cache hits = %d, want 1", st2.Progress.CacheHits)
+	}
+	if n := fl.co.Router().mDispatched.Value(); n != 1 {
+		t.Errorf("repeat job re-dispatched (total %d)", n)
+	}
+	if res, res2 := st.Result.Cells[0], st2.Result.Cells[0]; !bytes.Equal(
+		[]byte(res.Key), []byte(res2.Key)) || res.Result != res2.Result {
+		t.Error("repeat job returned a different result")
+	}
+}

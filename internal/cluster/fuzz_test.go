@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDecodeRegisterRequest feeds arbitrary bytes to the registration
+// endpoint's decoder, with the same contract as serve's job-spec fuzz:
+// never panic, and any accepted document must survive a
+// re-encode/re-decode round trip — membership changes ring placement,
+// so a registration that decodes differently the second time would
+// route cells to the wrong worker.
+func FuzzDecodeRegisterRequest(f *testing.F) {
+	f.Add([]byte(`{"node_id":"w1","url":"http://10.0.0.7:8047"}`))
+	f.Add([]byte(`{"node_id":"worker-2","url":"https://host:443"}`))
+	f.Add([]byte(`{"node_id":"","url":"http://x:1"}`))
+	f.Add([]byte(`{"node_id":"w1","url":"not a url"}`))
+	f.Add([]byte(`{"node_id":"w1","url":"http://x:1","extra":true}`))
+	f.Add([]byte(`{"node_id":1}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeRegisterRequest(bytes.NewReader(data))
+		if err != nil {
+			return // rejected; only the no-panic contract applies
+		}
+		enc, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("accepted registration does not re-encode: %v", err)
+		}
+		req2, err := DecodeRegisterRequest(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("re-encoded registration rejected: %v\n%s", err, enc)
+		}
+		if req != req2 {
+			t.Fatalf("round trip not stable: %+v vs %+v", req, req2)
+		}
+	})
+}
+
+// FuzzDecodeNodeStatuses covers the fleet-snapshot decoder the same
+// way; mtlbtop and scripts parse coordinator output with it.
+func FuzzDecodeNodeStatuses(f *testing.F) {
+	f.Add([]byte(`[{"node_id":"w1","url":"http://x:1","alive":true,"outstanding":1,"dispatched":3,"last_seen_ms":5}]`))
+	f.Add([]byte(`[{"node_id":"w2","url":"http://y:2","static":true,"alive":false,"draining":true,"outstanding":0,"dispatched":0,"errors":9,"last_seen_ms":-1}]`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[{"bogus":1}]`))
+	f.Add([]byte(`{`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rows, err := DecodeNodeStatuses(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		enc, err := json.Marshal(rows)
+		if err != nil {
+			t.Fatalf("accepted snapshot does not re-encode: %v", err)
+		}
+		rows2, err := DecodeNodeStatuses(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("re-encoded snapshot rejected: %v\n%s", err, enc)
+		}
+		enc2, err := json.Marshal(rows2)
+		if err != nil {
+			t.Fatalf("re-decoded snapshot does not re-encode: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("round trip not stable:\n%s\n%s", enc, enc2)
+		}
+	})
+}

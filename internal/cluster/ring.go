@@ -1,0 +1,158 @@
+// Package cluster turns a fleet of mtlbd daemons into one simulation
+// service. A coordinator (cmd/mtlbgate) speaks the exact /v1/jobs API a
+// single daemon does, decomposes each job into cells, and routes every
+// cell to one of N registered workers over a consistent-hash ring with
+// bounded load — so a cell's canonical key has a stable home (cache
+// locality), hot keys spill to their ring successors instead of
+// queueing (work stealing), and a dead or stalled worker's cells fail
+// over to the next node. Results flow back into the coordinator's own
+// two-tier cache, which makes any cell computed anywhere in the
+// cluster a cluster-wide hit.
+//
+// The package splits into the Ring (pure placement), the Router (the
+// runner.ExternalCellCache that dispatches cells and owns membership,
+// health and failover), and the Coordinator (a serve.Server composed
+// with a Router plus the registration endpoints).
+package cluster
+
+import (
+	"hash/fnv"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// defaultReplicas is the virtual-node count per member: enough that a
+// small fleet (2-8 workers) gets an even key split, cheap enough that
+// ring rebuilds on membership change are trivial.
+const defaultReplicas = 64
+
+// ringPoint is one virtual node on the ring.
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// Ring is an immutable consistent-hash ring over node ids. Placement
+// depends only on the membership set (never on join order), so every
+// coordinator that sees the same members routes identically, and adding
+// or removing one node remaps only the keys that hashed near its
+// virtual points — the property that keeps worker caches warm across
+// membership changes.
+type Ring struct {
+	points []ringPoint
+	nodes  []string // distinct ids, sorted
+}
+
+// NewRing builds a ring with the given virtual-node count per member
+// (<= 0 selects the default 64). Duplicate ids collapse to one member.
+func NewRing(replicas int, nodes []string) *Ring {
+	if replicas <= 0 {
+		replicas = defaultReplicas
+	}
+	seen := make(map[string]bool, len(nodes))
+	uniq := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if n != "" && !seen[n] {
+			seen[n] = true
+			uniq = append(uniq, n)
+		}
+	}
+	sort.Strings(uniq)
+	r := &Ring{nodes: uniq, points: make([]ringPoint, 0, len(uniq)*replicas)}
+	for _, n := range uniq {
+		for i := 0; i < replicas; i++ {
+			r.points = append(r.points, ringPoint{hash: hash64(n + "#" + strconv.Itoa(i)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Colliding virtual points order by id so placement stays
+		// deterministic across coordinators.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// hash64 is FNV-1a over s with a 64-bit avalanche finalizer
+// (splitmix64's mixer): fast, dependency-free, and stable across
+// processes — ring placement must agree between restarts. Raw FNV
+// clusters badly over the short, similar strings virtual points are
+// built from ("w1#0", "w1#1", ...), which skews key ownership; the
+// finalizer spreads them uniformly.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s)) //nolint:errcheck // fnv never fails
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Len returns the number of distinct members.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Nodes returns the distinct member ids in sorted order.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Owner returns the key's primary owner, "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	c := r.Candidates(key, 1)
+	if len(c) == 0 {
+		return ""
+	}
+	return c[0]
+}
+
+// Candidates returns up to max distinct members in ring order starting
+// at the key's position: the owner first, then the failover successors.
+// This one ordering drives everything downstream — dispatch tries the
+// owner, bounded-load spills move to the next candidate, and a dead
+// owner's keys land exactly where the ring says they would had the
+// owner never joined.
+func (r *Ring) Candidates(key string, max int) []string {
+	if len(r.points) == 0 || max <= 0 {
+		return nil
+	}
+	if max > len(r.nodes) {
+		max = len(r.nodes)
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, max)
+	seen := make(map[string]bool, max)
+	for i := 0; i < len(r.points) && len(out) < max; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+// Capacity is the bounded-load ceiling for one member: with total
+// outstanding cells across alive members, no member may hold more than
+// ceil(factor·(total+1)/alive) — consistent hashing with bounded loads.
+// A dispatch that would push its target past this ceiling spills to the
+// next ring candidate instead, so one hot key range cannot queue behind
+// a single worker while the rest of the fleet idles. factor < 1 selects
+// the default 1.25.
+func Capacity(total, alive int, factor float64) int {
+	if alive <= 0 {
+		return 0
+	}
+	if factor < 1 {
+		factor = 1.25
+	}
+	c := int(math.Ceil(factor * float64(total+1) / float64(alive)))
+	if c < 1 {
+		c = 1
+	}
+	return c
+}

@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestRingPlacementIsOrderIndependent(t *testing.T) {
+	a := NewRing(64, []string{"w1", "w2", "w3"})
+	b := NewRing(64, []string{"w3", "w1", "w2", "w1"}) // shuffled + duplicate
+	if !reflect.DeepEqual(a.Nodes(), b.Nodes()) {
+		t.Fatalf("node sets differ: %v vs %v", a.Nodes(), b.Nodes())
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("cell-%d", i)
+		ca, cb := a.Candidates(key, 3), b.Candidates(key, 3)
+		if !reflect.DeepEqual(ca, cb) {
+			t.Fatalf("key %q: placement depends on join order: %v vs %v", key, ca, cb)
+		}
+	}
+}
+
+func TestRingCandidatesDistinctAndComplete(t *testing.T) {
+	r := NewRing(0, []string{"a", "b", "c", "d"})
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("k%d", i)
+		c := r.Candidates(key, 10) // more than members: clamped
+		if len(c) != 4 {
+			t.Fatalf("key %q: got %d candidates, want 4", key, len(c))
+		}
+		seen := map[string]bool{}
+		for _, n := range c {
+			if seen[n] {
+				t.Fatalf("key %q: duplicate candidate %q in %v", key, n, c)
+			}
+			seen[n] = true
+		}
+		if own := r.Owner(key); own != c[0] {
+			t.Fatalf("key %q: owner %q is not first candidate of %v", key, own, c)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing(0, []string{"w1", "w2", "w3", "w4"})
+	counts := map[string]int{}
+	const keys = 1000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("workload-%d@small|tlb=%d", i, i%7))]++
+	}
+	for _, n := range r.Nodes() {
+		if counts[n] < keys/20 {
+			t.Errorf("node %s owns only %d/%d keys; ring badly unbalanced", n, counts[n], keys)
+		}
+	}
+}
+
+func TestRingRemovalOnlyRemapsVictimKeys(t *testing.T) {
+	before := NewRing(0, []string{"w1", "w2", "w3", "w4"})
+	after := NewRing(0, []string{"w1", "w2", "w4"}) // w3 left
+	moved := 0
+	const keys = 500
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("k%d", i)
+		was, now := before.Owner(key), after.Owner(key)
+		if was != "w3" && was != now {
+			t.Fatalf("key %q moved %s→%s though its owner never left", key, was, now)
+		}
+		if was == "w3" {
+			moved++
+			// The displaced key lands exactly on its old first successor.
+			if succ := before.Candidates(key, 2)[1]; now != succ {
+				t.Fatalf("key %q: remapped to %s, want ring successor %s", key, now, succ)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("test vacuous: no keys were owned by w3")
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(0, nil)
+	if r.Owner("k") != "" || r.Candidates("k", 3) != nil || r.Len() != 0 {
+		t.Fatal("empty ring must place nothing")
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	cases := []struct {
+		total, alive int
+		factor       float64
+		want         int
+	}{
+		{0, 2, 0, 1},   // idle fleet: one cell per node
+		{3, 2, 0, 3},   // ceil(1.25*4/2)
+		{10, 1, 0, 14}, // ceil(1.25*11/1)
+		{3, 2, 2.0, 4}, // ceil(2*4/2)
+		{5, 0, 0, 0},   // no alive nodes
+		{0, 8, 0, 1},   // never below one
+	}
+	for _, c := range cases {
+		if got := Capacity(c.total, c.alive, c.factor); got != c.want {
+			t.Errorf("Capacity(%d,%d,%g) = %d, want %d", c.total, c.alive, c.factor, got, c.want)
+		}
+	}
+}

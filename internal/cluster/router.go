@@ -1,0 +1,795 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"shadowtlb/internal/exp"
+	"shadowtlb/internal/obs"
+	"shadowtlb/internal/serve"
+	"shadowtlb/internal/serve/client"
+	"shadowtlb/internal/sim"
+)
+
+// RouterConfig tunes dispatch and membership.
+type RouterConfig struct {
+	// Replicas is the ring's virtual-node count per member
+	// (0 = 64).
+	Replicas int
+	// LoadFactor is the bounded-load ceiling factor (see Capacity;
+	// 0 = 1.25).
+	LoadFactor float64
+	// StealDepth, when > 0, is an absolute per-member outstanding-cell
+	// ceiling applied on top of the bounded-load rule: a member at or
+	// past it is skipped in favor of its ring successor. 0 leaves only
+	// the relative bounded-load rule.
+	StealDepth int
+	// HedgeAfter is how long a dispatch may run before a duplicate is
+	// raced on the next ring candidate — straggler insurance, safe
+	// because simulations are deterministic (0 = 10s; < 0 disables).
+	HedgeAfter time.Duration
+	// DispatchTimeout caps one dispatch attempt end to end, submit
+	// through result (0 = 2 minutes). A worker that stalls past it is
+	// marked suspect and the cell fails over.
+	DispatchTimeout time.Duration
+	// AllowLocal lets the coordinator simulate a cell itself when no
+	// worker can serve it — graceful degradation to a single-node
+	// daemon. Off, an all-dead fleet fails the job instead.
+	AllowLocal bool
+	// ProbeInterval paces the health monitor's GET /v1/node probes
+	// (0 = 1s).
+	ProbeInterval time.Duration
+	// HeartbeatTTL expires a registered (non-static) member that
+	// neither heartbeats nor answers probes for this long (0 = 15s).
+	HeartbeatTTL time.Duration
+	// Retry is the per-worker submission retry policy; the zero value
+	// selects client.DefaultRetry. The router counts its backoffs.
+	Retry client.RetryPolicy
+}
+
+func (c RouterConfig) hedgeAfter() time.Duration {
+	if c.HedgeAfter == 0 {
+		return 10 * time.Second
+	}
+	return c.HedgeAfter
+}
+
+func (c RouterConfig) dispatchTimeout() time.Duration {
+	if c.DispatchTimeout <= 0 {
+		return 2 * time.Minute
+	}
+	return c.DispatchTimeout
+}
+
+func (c RouterConfig) probeInterval() time.Duration {
+	if c.ProbeInterval <= 0 {
+		return time.Second
+	}
+	return c.ProbeInterval
+}
+
+func (c RouterConfig) heartbeatTTL() time.Duration {
+	if c.HeartbeatTTL <= 0 {
+		return 15 * time.Second
+	}
+	return c.HeartbeatTTL
+}
+
+// member is one worker in the router's view.
+type member struct {
+	id     string
+	static bool
+
+	mu       sync.Mutex
+	url      string
+	c        *client.Client
+	alive    bool
+	draining bool
+	lastSeen time.Time // zero = never successfully contacted
+
+	outstanding atomic.Int64
+	dispatched  atomic.Uint64
+	errs        atomic.Uint64
+}
+
+func (m *member) client() *client.Client {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.c
+}
+
+func (m *member) isAlive() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.alive
+}
+
+func (m *member) isDraining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+func (m *member) setAlive(alive bool) {
+	m.mu.Lock()
+	m.alive = alive
+	m.mu.Unlock()
+}
+
+func (m *member) setDraining(d bool) {
+	m.mu.Lock()
+	m.draining = d
+	m.mu.Unlock()
+}
+
+func (m *member) touch() {
+	m.mu.Lock()
+	m.lastSeen = time.Now()
+	m.alive = true
+	m.mu.Unlock()
+}
+
+func (m *member) lastSeenAt() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastSeen
+}
+
+// jobFailedError marks a dispatch whose worker ran the job and reported
+// failure. Simulations are deterministic, so re-running the same cell
+// on another worker would fail identically — the router surfaces it
+// instead of burning the fleet on retries.
+type jobFailedError struct {
+	node string
+	msg  string
+}
+
+func (e *jobFailedError) Error() string {
+	return fmt.Sprintf("worker %s: job failed: %s", e.node, e.msg)
+}
+
+// routeFlight coalesces concurrent DoCell calls for one key onto a
+// single dispatch, mirroring serve.ResultCache's single-flight.
+type routeFlight struct {
+	done chan struct{}
+	res  sim.Result
+	err  error
+}
+
+// nodeMetrics is one member's labeled counter series. They outlive the
+// member — the obs registry forbids duplicate series, so a worker that
+// expires and re-registers reuses its original counters.
+type nodeMetrics struct {
+	dispatched *obs.AtomicCounter
+	errs       *obs.AtomicCounter
+}
+
+// Router dispatches cells across the fleet. It implements
+// runner.ExternalCellCache, so a serve.Server wraps it over its own
+// ResultCache (SetCacheWrapper) and the whole job pipeline — admission,
+// queueing, NDJSON events, tracing — is unchanged; only the moment a
+// pool would simulate a cell is intercepted and routed.
+//
+// The lookup path per cell: local two-tier cache (Peek, never
+// simulates) → single-flight → ring candidates in order, skipping dead,
+// draining and overloaded members → dispatch as a one-cell job, hedged
+// with a duplicate on the next candidate past HedgeAfter → on worker
+// failure, peek every peer's cache before re-dispatching (a cell the
+// dead worker already computed may have been observed elsewhere) → on
+// success, Add into the local cache so the cluster-wide tier grows.
+type Router struct {
+	cfg   RouterConfig
+	local *serve.ResultCache
+
+	mu      sync.Mutex
+	members map[string]*member
+	ring    *Ring
+	flights map[string]*routeFlight
+	perNode map[string]*nodeMetrics
+
+	reg           *obs.Registry
+	mDispatched   *obs.AtomicCounter
+	mDispatchErr  *obs.AtomicCounter
+	mFailovers    *obs.AtomicCounter
+	mSteals       *obs.AtomicCounter
+	mHedges       *obs.AtomicCounter
+	mHedgeWins    *obs.AtomicCounter
+	mPeerHits     *obs.AtomicCounter
+	mLocalSims    *obs.AtomicCounter
+	mBackoffs     *obs.AtomicCounter
+	mDispatchWall *obs.AtomicHistogram
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewRouter builds a router over the coordinator's own result cache
+// (the cluster-wide hit tier) and registers its metrics. reg may be a
+// serve.Server's registry, so one /metrics scrape covers daemon and
+// cluster counters alike.
+func NewRouter(local *serve.ResultCache, reg *obs.Registry, cfg RouterConfig) *Router {
+	rt := &Router{
+		cfg:     cfg,
+		local:   local,
+		members: make(map[string]*member),
+		ring:    NewRing(cfg.Replicas, nil),
+		flights: make(map[string]*routeFlight),
+		perNode: make(map[string]*nodeMetrics),
+		reg:     reg,
+		stop:    make(chan struct{}),
+	}
+	rt.mDispatched = reg.AtomicCounter("cluster.dispatched")
+	rt.mDispatchErr = reg.AtomicCounter("cluster.dispatch_errors")
+	rt.mFailovers = reg.AtomicCounter("cluster.failovers")
+	rt.mSteals = reg.AtomicCounter("cluster.steals")
+	rt.mHedges = reg.AtomicCounter("cluster.hedges")
+	rt.mHedgeWins = reg.AtomicCounter("cluster.hedge_wins")
+	rt.mPeerHits = reg.AtomicCounter("cluster.peer_hits")
+	rt.mLocalSims = reg.AtomicCounter("cluster.local_sims")
+	rt.mBackoffs = reg.AtomicCounter("cluster.backoffs")
+	rt.mDispatchWall = reg.AtomicHistogram("cluster.dispatch_wall_us")
+	reg.GaugeFunc("cluster.nodes", func() float64 { return float64(rt.memberCount()) })
+	reg.GaugeFunc("cluster.nodes_alive", func() float64 { return float64(rt.aliveCount()) })
+	reg.GaugeFunc("cluster.outstanding", func() float64 { return float64(rt.totalOutstanding()) })
+	reg.SetHelp("cluster.steals", "cells moved off an overloaded owner to its ring successor")
+	reg.SetHelp("cluster.failovers", "cells re-routed after a worker error or stall")
+	reg.SetHelp("cluster.peer_hits", "cells answered from a peer worker's cache on re-route")
+	return rt
+}
+
+// AddWorker adds or refreshes a member. Static members come from
+// coordinator flags and never expire; registered ones must heartbeat.
+// Re-adding an existing id refreshes its URL and liveness — exactly
+// what a heartbeat does.
+func (rt *Router) AddWorker(id, url string, static bool) error {
+	if id == "" {
+		return errors.New("cluster: worker id must be non-empty")
+	}
+	if url == "" {
+		return errors.New("cluster: worker url must be non-empty")
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if m, ok := rt.members[id]; ok {
+		m.mu.Lock()
+		if m.url != url {
+			m.url = url
+			m.c = rt.newClient(url)
+		}
+		m.lastSeen = time.Now()
+		m.alive = true
+		if static {
+			m.static = true
+		}
+		m.mu.Unlock()
+		return nil
+	}
+	m := &member{id: id, static: static, url: url, c: rt.newClient(url), alive: true, lastSeen: time.Now()}
+	rt.members[id] = m
+	if _, ok := rt.perNode[id]; !ok {
+		rt.perNode[id] = &nodeMetrics{
+			dispatched: rt.reg.AtomicCounterL("cluster.node_dispatched", obs.Label{Key: "node_id", Value: id}),
+			errs:       rt.reg.AtomicCounterL("cluster.node_errors", obs.Label{Key: "node_id", Value: id}),
+		}
+		rt.reg.GaugeFuncL("cluster.node_alive", func() float64 {
+			rt.mu.Lock()
+			mm, ok := rt.members[id]
+			rt.mu.Unlock()
+			if ok && mm.isAlive() {
+				return 1
+			}
+			return 0
+		}, obs.Label{Key: "node_id", Value: id})
+	}
+	rt.rebuildRingLocked()
+	return nil
+}
+
+// newClient builds a per-member API client with the router's retry
+// policy, counting every backoff.
+func (rt *Router) newClient(url string) *client.Client {
+	c := client.New(url, nil)
+	p := rt.cfg.Retry
+	if p.MaxAttempts <= 1 {
+		p = client.DefaultRetry()
+	}
+	inner := p.OnRetry
+	p.OnRetry = func(attempt int, d time.Duration) {
+		rt.mBackoffs.Inc()
+		if inner != nil {
+			inner(attempt, d)
+		}
+	}
+	c.SetRetry(p)
+	return c
+}
+
+// remove drops an expired registered member. Callers hold rt.mu.
+func (rt *Router) removeLocked(id string) {
+	delete(rt.members, id)
+	rt.rebuildRingLocked()
+}
+
+// rebuildRingLocked recomputes placement from the member set. Callers
+// hold rt.mu. The ring includes dead members on purpose: a brief blip
+// must not remap every key (and cool every cache) — dispatch just
+// skips dead candidates.
+func (rt *Router) rebuildRingLocked() {
+	ids := make([]string, 0, len(rt.members))
+	for id := range rt.members {
+		ids = append(ids, id)
+	}
+	rt.ring = NewRing(rt.cfg.Replicas, ids)
+}
+
+func (rt *Router) ringSnapshot() *Ring {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.ring
+}
+
+func (rt *Router) member(id string) *member {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.members[id]
+}
+
+func (rt *Router) memberList() []*member {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	ms := make([]*member, 0, len(rt.members))
+	for _, m := range rt.members {
+		ms = append(ms, m)
+	}
+	return ms
+}
+
+func (rt *Router) memberCount() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return len(rt.members)
+}
+
+func (rt *Router) aliveCount() int {
+	n := 0
+	for _, m := range rt.memberList() {
+		if m.isAlive() && !m.isDraining() {
+			n++
+		}
+	}
+	return n
+}
+
+func (rt *Router) totalOutstanding() int {
+	n := int64(0)
+	for _, m := range rt.memberList() {
+		n += m.outstanding.Load()
+	}
+	return int(n)
+}
+
+// nodeCounters returns the member's labeled series (always present for
+// a known id).
+func (rt *Router) nodeCounters(id string) *nodeMetrics {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.perNode[id]
+}
+
+// Workers snapshots the fleet for GET /v1/cluster/nodes.
+func (rt *Router) Workers() []NodeStatus {
+	ms := rt.memberList()
+	rows := make([]NodeStatus, 0, len(ms))
+	for _, m := range ms {
+		m.mu.Lock()
+		row := NodeStatus{
+			NodeID:   m.id,
+			URL:      m.url,
+			Static:   m.static,
+			Alive:    m.alive,
+			Draining: m.draining,
+		}
+		if m.lastSeen.IsZero() {
+			row.LastSeenMS = -1
+		} else {
+			row.LastSeenMS = time.Since(m.lastSeen).Milliseconds()
+		}
+		m.mu.Unlock()
+		row.Outstanding = int(m.outstanding.Load())
+		row.Dispatched = m.dispatched.Load()
+		row.Errors = m.errs.Load()
+		rows = append(rows, row)
+	}
+	sortNodeStatuses(rows)
+	return rows
+}
+
+func sortNodeStatuses(rows []NodeStatus) {
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && rows[j].NodeID < rows[j-1].NodeID; j-- {
+			rows[j], rows[j-1] = rows[j-1], rows[j]
+		}
+	}
+}
+
+// Start launches the health monitor.
+func (rt *Router) Start() {
+	rt.wg.Add(1)
+	go rt.monitor()
+}
+
+// Stop halts the health monitor. Idempotent.
+func (rt *Router) Stop() {
+	rt.stopOnce.Do(func() { close(rt.stop) })
+	rt.wg.Wait()
+}
+
+// monitor probes every member on a timer, marking liveness and drain
+// state and expiring registered members silent past the TTL.
+func (rt *Router) monitor() {
+	defer rt.wg.Done()
+	t := time.NewTicker(rt.cfg.probeInterval())
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+			rt.probeAll()
+		}
+	}
+}
+
+// probeAll checks each member's /v1/node once. The timeout never drops
+// below two seconds even under a fast probe interval: a saturated
+// worker can be slow to answer, and a probe that times out against a
+// merely busy fleet would mark healthy members dead.
+func (rt *Router) probeAll() {
+	timeout := 2 * time.Second
+	if pi := rt.cfg.probeInterval(); pi > timeout {
+		timeout = pi
+	}
+	for _, m := range rt.memberList() {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		info, err := m.client().NodeInfo(ctx)
+		cancel()
+		if err != nil {
+			m.setAlive(false)
+			if !m.static {
+				last := m.lastSeenAt()
+				if last.IsZero() || time.Since(last) > rt.cfg.heartbeatTTL() {
+					rt.mu.Lock()
+					rt.removeLocked(m.id)
+					rt.mu.Unlock()
+				}
+			}
+			continue
+		}
+		m.setDraining(info.Draining)
+		m.touch()
+	}
+}
+
+// Do implements runner.ExternalCache for key-only lookups. Without the
+// cell there is nothing to dispatch, so it is exactly the local
+// two-tier cache; pools that carry cells always get DoCell instead.
+func (rt *Router) Do(ctx context.Context, key string, simulate func() sim.Result) (sim.Result, bool, error) {
+	return rt.local.Do(ctx, key, simulate)
+}
+
+// DoCell implements runner.ExternalCellCache: the pool hands over each
+// cell it would simulate and receives the result from wherever in the
+// cluster it was (or now is) computed. The bool keeps ExternalCache
+// semantics — true whenever simulate did not run on this node.
+func (rt *Router) DoCell(ctx context.Context, c exp.Cell, simulate func() sim.Result) (sim.Result, bool, error) {
+	key := c.Key()
+	sp := obs.SpanFromContext(ctx)
+	for {
+		if res, ok := rt.local.Peek(key); ok {
+			sp.Event("cluster.local_hit")
+			return res, true, nil
+		}
+		rt.mu.Lock()
+		if f, ok := rt.flights[key]; ok {
+			rt.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return sim.Result{}, false, ctx.Err()
+			}
+			if f.err == nil {
+				return f.res, true, nil
+			}
+			if isCancellation(f.err) {
+				// The leader's caller went away mid-route; retry,
+				// possibly as the new leader.
+				continue
+			}
+			return sim.Result{}, false, f.err
+		}
+		f := &routeFlight{done: make(chan struct{})}
+		rt.flights[key] = f
+		rt.mu.Unlock()
+		res, cached, err := rt.route(ctx, c, key, simulate)
+		f.res, f.err = res, err
+		rt.mu.Lock()
+		delete(rt.flights, key)
+		rt.mu.Unlock()
+		close(f.done)
+		return res, cached, err
+	}
+}
+
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// route walks the key's ring candidates: skip dead, draining and
+// overloaded members; dispatch (hedged) to the first eligible one; on
+// worker failure, consult peer caches, then fail over to the next
+// candidate. Liveness marks are advisory — a probe racing a saturated
+// fleet can be stale — so before giving up, a second pass tries every
+// untried candidate regardless of its mark: against a genuinely dead
+// member that costs one fast connection refusal, and against a falsely
+// condemned one it saves the job. Falls back to simulating locally when
+// allowed.
+func (rt *Router) route(ctx context.Context, c exp.Cell, key string, simulate func() sim.Result) (sim.Result, bool, error) {
+	sp := obs.SpanFromContext(ctx)
+	ring := rt.ringSnapshot()
+	cands := ring.Candidates(key, ring.Len())
+	var lastErr error
+	attempt := 0
+	tried := make(map[string]bool, len(cands))
+	for pass := 0; pass < 2; pass++ {
+		for i, id := range cands {
+			m := rt.member(id)
+			if m == nil || tried[id] || m.isDraining() {
+				continue
+			}
+			if pass == 0 {
+				if !m.isAlive() {
+					continue
+				}
+				if rt.overloaded(m) && rt.eligibleAfter(cands, i) {
+					rt.mSteals.Inc()
+					sp.Event("cluster.steal", "from", id)
+					continue
+				}
+			}
+			tried[id] = true
+			attempt++
+			if attempt > 1 {
+				rt.mFailovers.Inc()
+				sp.Event("cluster.failover", "to", id)
+				// Before re-simulating elsewhere, ask the surviving
+				// fleet whether anyone already holds this result — the
+				// failed owner may have computed and persisted it, or a
+				// hedge may have landed it on a peer.
+				if res, ok := rt.peekPeers(ctx, key); ok {
+					rt.local.Add(key, res)
+					return res, true, nil
+				}
+			}
+			var next *member
+			if pass == 0 {
+				next = rt.nextEligible(cands, i)
+			}
+			res, workerCached, err := rt.dispatchHedged(ctx, m, next, c, key)
+			if err != nil {
+				if ctx.Err() != nil {
+					return sim.Result{}, false, ctx.Err()
+				}
+				var jf *jobFailedError
+				if errors.As(err, &jf) {
+					// Deterministic simulation failure; no worker will
+					// do better.
+					return sim.Result{}, false, err
+				}
+				lastErr = err
+				continue
+			}
+			rt.local.Add(key, res)
+			return res, workerCached, nil
+		}
+	}
+	if rt.cfg.AllowLocal {
+		rt.mLocalSims.Inc()
+		sp.Event("cluster.local_sim")
+		res := simulate()
+		rt.local.Add(key, res)
+		return res, false, nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no alive workers")
+	}
+	return sim.Result{}, false, fmt.Errorf("cluster: dispatching cell: %w", lastErr)
+}
+
+// overloaded applies the steal rules to one member.
+func (rt *Router) overloaded(m *member) bool {
+	out := int(m.outstanding.Load())
+	if rt.cfg.StealDepth > 0 && out >= rt.cfg.StealDepth {
+		return true
+	}
+	alive := rt.aliveCount()
+	if alive <= 1 {
+		return false // nowhere better to go
+	}
+	return out >= Capacity(rt.totalOutstanding(), alive, rt.cfg.LoadFactor)
+}
+
+// eligibleAfter reports whether any candidate past index i could take a
+// dispatch — a spill must have somewhere to land.
+func (rt *Router) eligibleAfter(cands []string, i int) bool {
+	return rt.nextEligible(cands, i) != nil
+}
+
+// nextEligible returns the first alive, non-draining member after index
+// i in the candidate list, nil when none — the spill target and the
+// hedge target.
+func (rt *Router) nextEligible(cands []string, i int) *member {
+	for _, id := range cands[i+1:] {
+		if m := rt.member(id); m != nil && m.isAlive() && !m.isDraining() {
+			return m
+		}
+	}
+	return nil
+}
+
+// peekPeers asks every alive member's cache for the key: the
+// cluster-wide read path used on failover before paying for a
+// re-simulation.
+func (rt *Router) peekPeers(ctx context.Context, key string) (sim.Result, bool) {
+	for _, m := range rt.memberList() {
+		if !m.isAlive() {
+			continue
+		}
+		pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		lk, ok, err := m.client().PeekCell(pctx, key)
+		cancel()
+		if err == nil && ok {
+			rt.mPeerHits.Inc()
+			return lk.Result, true
+		}
+	}
+	return sim.Result{}, false
+}
+
+// dispatchHedged runs one dispatch, racing a duplicate on next once the
+// primary has been in flight for HedgeAfter. Simulations are
+// deterministic and cells content-addressed, so duplicated work is
+// merely wasted, never wrong — and the duplicate usually lands in a
+// warm cache. The first success wins; a deterministic job failure wins
+// immediately too (racing it cannot help).
+func (rt *Router) dispatchHedged(ctx context.Context, m, next *member, c exp.Cell, key string) (sim.Result, bool, error) {
+	hedge := rt.cfg.hedgeAfter()
+	if hedge <= 0 || next == nil || next == m {
+		return rt.dispatch(ctx, m, c, key)
+	}
+	type outcome struct {
+		res    sim.Result
+		cached bool
+		err    error
+		m      *member
+	}
+	dctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan outcome, 2)
+	launch := func(t *member) {
+		res, cached, err := rt.dispatch(dctx, t, c, key)
+		ch <- outcome{res: res, cached: cached, err: err, m: t}
+	}
+	go launch(m)
+	timer := time.NewTimer(hedge)
+	defer timer.Stop()
+	pending := 1
+	hedged := false
+	var lastErr error
+	for {
+		select {
+		case out := <-ch:
+			pending--
+			if out.err == nil {
+				if hedged && out.m == next {
+					rt.mHedgeWins.Inc()
+				}
+				return out.res, out.cached, nil
+			}
+			var jf *jobFailedError
+			if errors.As(out.err, &jf) {
+				return sim.Result{}, false, out.err
+			}
+			lastErr = out.err
+			if pending == 0 {
+				return sim.Result{}, false, lastErr
+			}
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				pending++
+				rt.mHedges.Inc()
+				go launch(next)
+			}
+		}
+	}
+}
+
+// dispatch sends one cell to one worker as a single-cell job carrying
+// the full machine configuration verbatim (a key cannot be decompiled
+// back into a config) and waits for the terminal status. Transport
+// errors and stalls mark the member suspect until the next successful
+// probe; a job the worker ran and failed comes back as jobFailedError.
+func (rt *Router) dispatch(ctx context.Context, m *member, c exp.Cell, key string) (sim.Result, bool, error) {
+	dctx, cancel := context.WithTimeout(ctx, rt.cfg.dispatchTimeout())
+	defer cancel()
+	m.outstanding.Add(1)
+	defer m.outstanding.Add(-1)
+	rt.mDispatched.Inc()
+	m.dispatched.Add(1)
+	if nm := rt.nodeCounters(m.id); nm != nil {
+		nm.dispatched.Inc()
+	}
+	cfg := c.Cfg
+	spec := serve.JobSpec{
+		Scale: c.Scale.String(),
+		Cells: []serve.CellSpec{{
+			Workload: c.Workload,
+			Scale:    c.Scale.String(),
+			Config:   &cfg,
+		}},
+	}
+	start := time.Now()
+	st, err := m.client().Run(dctx, spec, nil)
+	wall := time.Since(start)
+	rt.mDispatchWall.Observe(uint64(wall.Microseconds()))
+	sp := obs.SpanFromContext(ctx)
+	if sp != nil {
+		outcome := "ok"
+		if err != nil || st.State != serve.StateDone {
+			outcome = "error"
+		}
+		sp.Tracer().RecordSpan("cluster.dispatch", sp.Context(), start, wall,
+			"node", m.id, "outcome", outcome)
+	}
+	fail := func(suspect bool, err error) (sim.Result, bool, error) {
+		rt.mDispatchErr.Inc()
+		m.errs.Add(1)
+		if nm := rt.nodeCounters(m.id); nm != nil {
+			nm.errs.Inc()
+		}
+		if suspect {
+			m.setAlive(false)
+		}
+		return sim.Result{}, false, err
+	}
+	if err != nil {
+		// A drain rejection means the worker is alive but closing; every
+		// other transport failure (refused, reset, stalled past the
+		// dispatch timeout) marks it suspect until a probe revives it.
+		var se *client.StatusError
+		draining := errors.As(err, &se) && se.Code == http.StatusServiceUnavailable
+		if draining {
+			m.setDraining(true)
+		}
+		return fail(!draining, fmt.Errorf("worker %s: %w", m.id, err))
+	}
+	if st.State == serve.StateFailed {
+		return fail(false, &jobFailedError{node: m.id, msg: st.Error})
+	}
+	if st.State != serve.StateDone {
+		return fail(false, fmt.Errorf("worker %s: job ended %s: %s", m.id, st.State, st.Error))
+	}
+	if st.Result == nil || len(st.Result.Cells) != 1 || st.Result.Cells[0].Key != key {
+		// Version skew: the worker resolved the spec to a different
+		// cell. Caching it would poison the cluster tier.
+		return fail(false, fmt.Errorf("worker %s: returned wrong cell for key", m.id))
+	}
+	m.touch()
+	return st.Result.Cells[0].Result, st.Progress.CacheHits > 0, nil
+}

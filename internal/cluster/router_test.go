@@ -1,0 +1,376 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"shadowtlb/internal/exp"
+	"shadowtlb/internal/obs"
+	"shadowtlb/internal/serve"
+	"shadowtlb/internal/serve/client"
+	"shadowtlb/internal/sim"
+)
+
+// startWorker runs a real daemon over HTTP for dispatch tests.
+func startWorker(t *testing.T, nodeID string) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	srv := serve.New(serve.Config{Workers: 2, NodeID: nodeID})
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Drain(ctx) //nolint:errcheck // test teardown
+	})
+	return srv, ts
+}
+
+// startStallWorker runs a fake daemon that accepts every job and never
+// finishes it — the straggler the hedge and steal paths exist for.
+func startStallWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body) //nolint:errcheck // draining
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprint(w, `{"id":"job-stall"}`)
+	})
+	mux.HandleFunc("GET /v1/jobs/job-stall/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		<-r.Context().Done()
+	})
+	mux.HandleFunc("GET /v1/node", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, `{"node_id":"stall","workers":1,"queue_depth":0,"inflight":1,"draining":false,"cache_entries":0}`)
+	})
+	mux.HandleFunc("GET /v1/cache", func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, `{"error":"no cached result"}`, http.StatusNotFound)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// newTestRouter builds a router with its own cache and registry.
+func newTestRouter(cfg RouterConfig) (*Router, *serve.ResultCache) {
+	cache := serve.NewResultCache(0)
+	return NewRouter(cache, obs.NewRegistry(), cfg), cache
+}
+
+// testCell is a cheap stride cell distinguished by TLB size.
+func testCell(tlb int) exp.Cell {
+	return exp.NewCell(sim.Default().WithTLB(tlb), "stride", exp.Small)
+}
+
+// cellOwnedBy searches TLB sizes for a cell whose ring owner is id.
+func cellOwnedBy(t *testing.T, rt *Router, id string, after int) exp.Cell {
+	t.Helper()
+	ring := rt.ringSnapshot()
+	for tlb := after + 1; tlb < after+4096; tlb++ {
+		c := testCell(tlb)
+		if ring.Owner(c.Key()) == id {
+			return c
+		}
+	}
+	t.Fatalf("no test cell owned by %s", id)
+	return exp.Cell{}
+}
+
+func TestRouterDispatchAndClusterTier(t *testing.T) {
+	_, ts := startWorker(t, "w1")
+	rt, _ := newTestRouter(RouterConfig{HedgeAfter: -1})
+	if err := rt.AddWorker("w1", ts.URL, true); err != nil {
+		t.Fatal(err)
+	}
+	c := testCell(64)
+	fatalSim := func() sim.Result { t.Error("cell simulated on the coordinator"); return sim.Result{} }
+
+	res, cached, err := rt.DoCell(context.Background(), c, fatalSim)
+	if err != nil {
+		t.Fatalf("DoCell: %v", err)
+	}
+	if cached {
+		t.Error("first dispatch reported cached; worker had to simulate")
+	}
+	if want := c.Simulate(); res != want {
+		t.Fatalf("dispatched result differs from local simulation:\n%+v\n%+v", res, want)
+	}
+	// Second request: the router's local tier answers without another
+	// dispatch — the cluster-wide hit path.
+	res2, cached2, err := rt.DoCell(context.Background(), c, fatalSim)
+	if err != nil || !cached2 || res2 != res {
+		t.Fatalf("second DoCell = (%v, %v, %v), want cached hit", res2, cached2, err)
+	}
+	if n := rt.mDispatched.Value(); n != 1 {
+		t.Errorf("dispatched %d cells, want 1", n)
+	}
+}
+
+func TestRouterCoalescesConcurrentRequests(t *testing.T) {
+	_, ts := startWorker(t, "w1")
+	rt, _ := newTestRouter(RouterConfig{HedgeAfter: -1})
+	if err := rt.AddWorker("w1", ts.URL, true); err != nil {
+		t.Fatal(err)
+	}
+	c := testCell(72)
+	const callers = 8
+	var wg sync.WaitGroup
+	results := make([]sim.Result, callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], _, errs[i] = rt.DoCell(context.Background(), c,
+				func() sim.Result { panic("local simulation") })
+		}(i)
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if results[i] != results[0] {
+			t.Fatalf("caller %d saw a different result", i)
+		}
+	}
+	if n := rt.mDispatched.Value(); n != 1 {
+		t.Errorf("%d concurrent requests led %d dispatches, want 1", callers, n)
+	}
+}
+
+func TestRouterFailoverOnDeadWorker(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // keep the URL, refuse the connections
+	_, live := startWorker(t, "b")
+
+	rt, _ := newTestRouter(RouterConfig{HedgeAfter: -1})
+	if err := rt.AddWorker("a", dead.URL, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.AddWorker("b", live.URL, true); err != nil {
+		t.Fatal(err)
+	}
+	c := cellOwnedBy(t, rt, "a", 0)
+	res, _, err := rt.DoCell(context.Background(), c,
+		func() sim.Result { t.Error("simulated locally"); return sim.Result{} })
+	if err != nil {
+		t.Fatalf("DoCell with dead owner: %v", err)
+	}
+	if want := c.Simulate(); res != want {
+		t.Fatal("failover returned a wrong result")
+	}
+	if n := rt.mFailovers.Value(); n != 1 {
+		t.Errorf("failovers = %d, want 1", n)
+	}
+	if m := rt.member("a"); m.isAlive() {
+		t.Error("dead worker not marked suspect after dispatch error")
+	}
+}
+
+func TestRouterPeerCacheHitOnFailover(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	_, live := startWorker(t, "b")
+
+	rt, _ := newTestRouter(RouterConfig{HedgeAfter: -1})
+	if err := rt.AddWorker("a", dead.URL, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.AddWorker("b", live.URL, true); err != nil {
+		t.Fatal(err)
+	}
+	c := cellOwnedBy(t, rt, "a", 0)
+	// Warm the survivor's cache out of band, as an earlier job would
+	// have.
+	cl := client.New(live.URL, nil)
+	spec := serve.JobSpec{Scale: "small", Cells: []serve.CellSpec{{
+		Workload: c.Workload, Scale: c.Scale.String(), Config: &c.Cfg,
+	}}}
+	if st, err := cl.Run(context.Background(), spec, nil); err != nil || st.State != serve.StateDone {
+		t.Fatalf("warming peer: %v / %+v", err, st)
+	}
+
+	res, cached, err := rt.DoCell(context.Background(), c,
+		func() sim.Result { t.Error("simulated locally"); return sim.Result{} })
+	if err != nil {
+		t.Fatalf("DoCell: %v", err)
+	}
+	if !cached {
+		t.Error("peer cache hit not reported as cached")
+	}
+	if want := c.Simulate(); res != want {
+		t.Fatal("peer cache returned a wrong result")
+	}
+	if n := rt.mPeerHits.Value(); n != 1 {
+		t.Errorf("peer_hits = %d, want 1", n)
+	}
+	// The only dispatch was the failed one to the dead owner.
+	if n := rt.mDispatched.Value(); n != 1 {
+		t.Errorf("dispatched = %d, want 1 (peek must not re-dispatch)", n)
+	}
+}
+
+func TestRouterHedgesStragglers(t *testing.T) {
+	stall := startStallWorker(t)
+	_, live := startWorker(t, "b")
+
+	rt, _ := newTestRouter(RouterConfig{
+		HedgeAfter:      50 * time.Millisecond,
+		DispatchTimeout: 20 * time.Second,
+	})
+	if err := rt.AddWorker("a", stall.URL, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.AddWorker("b", live.URL, true); err != nil {
+		t.Fatal(err)
+	}
+	c := cellOwnedBy(t, rt, "a", 0)
+	start := time.Now()
+	res, _, err := rt.DoCell(context.Background(), c,
+		func() sim.Result { t.Error("simulated locally"); return sim.Result{} })
+	if err != nil {
+		t.Fatalf("DoCell against straggler: %v", err)
+	}
+	if want := c.Simulate(); res != want {
+		t.Fatal("hedged dispatch returned a wrong result")
+	}
+	if d := time.Since(start); d > 15*time.Second {
+		t.Errorf("hedge took %v; straggler insurance did not fire", d)
+	}
+	if n := rt.mHedges.Value(); n != 1 {
+		t.Errorf("hedges = %d, want 1", n)
+	}
+	if n := rt.mHedgeWins.Value(); n != 1 {
+		t.Errorf("hedge_wins = %d, want 1", n)
+	}
+}
+
+func TestRouterStealsFromOverloadedOwner(t *testing.T) {
+	stall := startStallWorker(t)
+	_, live := startWorker(t, "b")
+
+	rt, _ := newTestRouter(RouterConfig{
+		HedgeAfter:      -1,
+		StealDepth:      1,
+		DispatchTimeout: time.Minute,
+	})
+	if err := rt.AddWorker("a", stall.URL, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.AddWorker("b", live.URL, true); err != nil {
+		t.Fatal(err)
+	}
+	first := cellOwnedBy(t, rt, "a", 0)
+	second := cellOwnedBy(t, rt, "a", first.Cfg.CPUTLBEntries)
+
+	// Park one cell on the stalled owner to saturate its StealDepth.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rt.DoCell(ctx, first, func() sim.Result { return sim.Result{} }) //nolint:errcheck // canceled below
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.member("a").outstanding.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("parked cell never reached the owner")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The next cell owned by the same member must spill to its ring
+	// successor instead of queueing behind the straggler.
+	res, _, err := rt.DoCell(context.Background(), second,
+		func() sim.Result { t.Error("simulated locally"); return sim.Result{} })
+	if err != nil {
+		t.Fatalf("DoCell: %v", err)
+	}
+	if want := second.Simulate(); res != want {
+		t.Fatal("stolen cell returned a wrong result")
+	}
+	if n := rt.mSteals.Value(); n == 0 {
+		t.Error("no steal recorded for an overloaded owner")
+	}
+	cancel()
+	<-done
+}
+
+func TestRouterLocalFallback(t *testing.T) {
+	rt, _ := newTestRouter(RouterConfig{AllowLocal: true, HedgeAfter: -1})
+	c := testCell(64)
+	want := c.Simulate()
+	res, cached, err := rt.DoCell(context.Background(), c, func() sim.Result { return want })
+	if err != nil || cached || res != want {
+		t.Fatalf("local fallback = (%v, %v, %v)", res, cached, err)
+	}
+	if n := rt.mLocalSims.Value(); n != 1 {
+		t.Errorf("local_sims = %d, want 1", n)
+	}
+	// The fallback result still lands in the cluster tier.
+	if _, cached, _ := rt.DoCell(context.Background(), c,
+		func() sim.Result { t.Error("re-simulated"); return sim.Result{} }); !cached {
+		t.Error("fallback result not cached")
+	}
+}
+
+func TestRouterFailsWithoutWorkersOrFallback(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	rt, _ := newTestRouter(RouterConfig{HedgeAfter: -1})
+	if err := rt.AddWorker("a", dead.URL, true); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := rt.DoCell(context.Background(), testCell(64),
+		func() sim.Result { t.Error("simulated locally"); return sim.Result{} })
+	if err == nil {
+		t.Fatal("dispatch with a dead fleet and no fallback must fail")
+	}
+}
+
+func TestRouterExpiresSilentRegisteredMembers(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	rt, _ := newTestRouter(RouterConfig{
+		ProbeInterval: 20 * time.Millisecond,
+		HeartbeatTTL:  40 * time.Millisecond,
+	})
+	if err := rt.AddWorker("ephemeral", dead.URL, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.AddWorker("pinned", dead.URL, true); err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	defer rt.Stop()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.memberCount() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("registered member never expired; fleet = %+v", rt.Workers())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	rows := rt.Workers()
+	if len(rows) != 1 || rows[0].NodeID != "pinned" || !rows[0].Static {
+		t.Fatalf("static member lost: %+v", rows)
+	}
+	if rows[0].Alive {
+		t.Error("unreachable static member still marked alive")
+	}
+	// Re-registration after expiry must reuse the metric series rather
+	// than panic on a duplicate.
+	if err := rt.AddWorker("ephemeral", dead.URL, false); err != nil {
+		t.Fatal(err)
+	}
+}

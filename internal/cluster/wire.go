@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/url"
+)
+
+// RegisterRequest is the body of POST /v1/cluster/register: a worker
+// announcing itself to the coordinator. Re-posting the same document is
+// the heartbeat — a registered worker that stays silent past the
+// coordinator's TTL is expired from the ring, so membership needs no
+// separate liveness protocol.
+type RegisterRequest struct {
+	// NodeID is the worker's stable identity (mtlbd -node-id). Ring
+	// placement hashes this, so a worker that restarts under the same
+	// id keeps its key range — and its warm cache.
+	NodeID string `json:"node_id"`
+	// URL is the base URL the coordinator dispatches to, e.g.
+	// "http://10.0.0.7:8047" (mtlbd -advertise).
+	URL string `json:"url"`
+}
+
+// RegisterResponse is the coordinator's acknowledgment. TTLMS tells the
+// worker how often to heartbeat: silence longer than this expires the
+// registration.
+type RegisterResponse struct {
+	Status string `json:"status"`
+	TTLMS  int64  `json:"ttl_ms"`
+}
+
+// NodeStatus is one row of GET /v1/cluster/nodes: the coordinator's
+// live view of a member.
+type NodeStatus struct {
+	NodeID string `json:"node_id"`
+	URL    string `json:"url"`
+	// Static members come from the coordinator's -worker flags and
+	// never expire; registered members heartbeat or die.
+	Static bool `json:"static,omitempty"`
+	// Alive is the health monitor's current verdict; dispatch skips
+	// dead members.
+	Alive    bool `json:"alive"`
+	Draining bool `json:"draining,omitempty"`
+	// Outstanding is the coordinator-view in-flight cell count on this
+	// member — the bounded-load balance input.
+	Outstanding int    `json:"outstanding"`
+	Dispatched  uint64 `json:"dispatched"`
+	Errors      uint64 `json:"errors,omitempty"`
+	// LastSeenMS is milliseconds since the last successful contact
+	// (probe, heartbeat or dispatch); -1 when never reached.
+	LastSeenMS int64 `json:"last_seen_ms"`
+}
+
+// DecodeRegisterRequest parses and validates one registration document,
+// rejecting unknown fields — exactly the decoder the registration
+// endpoint runs, factored out for the fuzz harness, like
+// serve.DecodeJobSpec.
+func DecodeRegisterRequest(r io.Reader) (RegisterRequest, error) {
+	var req RegisterRequest
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return RegisterRequest{}, err
+	}
+	if req.NodeID == "" {
+		return RegisterRequest{}, errors.New("register: missing node_id")
+	}
+	if req.URL == "" {
+		return RegisterRequest{}, errors.New("register: missing url")
+	}
+	u, err := url.Parse(req.URL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return RegisterRequest{}, fmt.Errorf("register: invalid url %q", req.URL)
+	}
+	return req, nil
+}
+
+// DecodeRegisterResponse parses the coordinator's acknowledgment,
+// rejecting unknown fields. The worker-side heartbeat loop runs it.
+func DecodeRegisterResponse(r io.Reader) (RegisterResponse, error) {
+	var resp RegisterResponse
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&resp); err != nil {
+		return RegisterResponse{}, err
+	}
+	return resp, nil
+}
+
+// DecodeNodeStatuses parses the GET /v1/cluster/nodes document,
+// rejecting unknown fields. mtlbtop and scripts consume it.
+func DecodeNodeStatuses(r io.Reader) ([]NodeStatus, error) {
+	var rows []NodeStatus
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rows); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

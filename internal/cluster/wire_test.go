@@ -1,0 +1,59 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDecodeRegisterRequest(t *testing.T) {
+	req, err := DecodeRegisterRequest(strings.NewReader(
+		`{"node_id":"w1","url":"http://10.0.0.7:8047"}`))
+	if err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+	if req.NodeID != "w1" || req.URL != "http://10.0.0.7:8047" {
+		t.Fatalf("decoded %+v", req)
+	}
+
+	bad := []string{
+		`{"url":"http://x:1"}`,                      // missing node_id
+		`{"node_id":"w1"}`,                          // missing url
+		`{"node_id":"w1","url":"not a url"}`,        // unparseable target
+		`{"node_id":"w1","url":"/relative"}`,        // no scheme/host
+		`{"node_id":"w1","url":"http://x:1","x":1}`, // unknown field
+		`{"node_id":1,"url":"http://x:1"}`,          // wrong type
+		`{`,                                         // truncated
+	}
+	for _, in := range bad {
+		if _, err := DecodeRegisterRequest(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted invalid register request %s", in)
+		}
+	}
+}
+
+func TestDecodeRegisterResponse(t *testing.T) {
+	resp, err := DecodeRegisterResponse(strings.NewReader(`{"status":"ok","ttl_ms":15000}`))
+	if err != nil {
+		t.Fatalf("valid response rejected: %v", err)
+	}
+	if resp.Status != "ok" || resp.TTLMS != 15000 {
+		t.Fatalf("decoded %+v", resp)
+	}
+	if _, err := DecodeRegisterResponse(strings.NewReader(`{"status":"ok","surprise":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestDecodeNodeStatuses(t *testing.T) {
+	rows, err := DecodeNodeStatuses(strings.NewReader(
+		`[{"node_id":"w1","url":"http://x:1","alive":true,"outstanding":2,"dispatched":7,"last_seen_ms":12}]`))
+	if err != nil {
+		t.Fatalf("valid document rejected: %v", err)
+	}
+	if len(rows) != 1 || rows[0].NodeID != "w1" || rows[0].Dispatched != 7 {
+		t.Fatalf("decoded %+v", rows)
+	}
+	if _, err := DecodeNodeStatuses(strings.NewReader(`[{"node_id":"w1","bogus":true}]`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}

@@ -8,9 +8,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"net/url"
 	"strings"
 	"time"
 
@@ -28,6 +31,9 @@ type Client struct {
 	root obs.SpanContext
 	// onRequest, when set, observes every completed API request.
 	onRequest func(RequestInfo)
+	// retry, when MaxAttempts > 1, makes Submit back off and retry on
+	// 429 instead of surfacing the rejection to the caller.
+	retry RetryPolicy
 }
 
 // New returns a client for the daemon at base (e.g.
@@ -153,11 +159,102 @@ func statusError(resp *http.Response) error {
 	return e
 }
 
-// Submit enqueues a job and returns its id. With a tracer attached the
+// RetryPolicy makes Submit honor the daemon's admission backpressure:
+// on 429 the client waits and retries instead of handing every rejected
+// submission back to the caller. The wait is the larger of the daemon's
+// Retry-After hint and a capped exponential backoff, with jitter so a
+// fleet of rejected clients does not re-arrive in lockstep — exactly the
+// behavior every caller of Submit used to reimplement, and what a
+// cluster coordinator uses when dispatching cells to loaded workers.
+type RetryPolicy struct {
+	// MaxAttempts bounds total submission attempts (first try included);
+	// <= 1 disables retrying.
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (0 = 100ms). Attempt n
+	// waits max(Retry-After, BaseDelay·2ⁿ⁻¹), capped at MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps every wait, Retry-After included (0 = 5s) — a daemon
+	// must not be able to park a client arbitrarily long.
+	MaxDelay time.Duration
+	// Jitter widens each wait by a uniform random fraction in
+	// [0, Jitter] (0 = 0.2; negative disables). Deterministic tests set
+	// it negative.
+	Jitter float64
+	// OnRetry, when set, observes each backoff: the attempt that was
+	// rejected (1-based) and the wait before the next one. Load
+	// generators count retries with it.
+	OnRetry func(attempt int, delay time.Duration)
+}
+
+// DefaultRetry is a sensible production policy: up to 8 attempts,
+// 100ms base doubling to a 5s cap, 20% jitter.
+func DefaultRetry() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 8}
+}
+
+// SetRetry installs the submission retry policy. The zero policy
+// (MaxAttempts <= 1) restores the default: 429s surface immediately.
+func (c *Client) SetRetry(p RetryPolicy) { c.retry = p }
+
+// delay computes the wait after a rejected attempt (1-based), from the
+// daemon's Retry-After hint and the policy's capped exponential curve.
+func (p RetryPolicy) delay(attempt int, retryAfter time.Duration) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxD := p.MaxDelay
+	if maxD <= 0 {
+		maxD = 5 * time.Second
+	}
+	d := base << (attempt - 1)
+	if d < base { // shift overflow on absurd attempt counts
+		d = maxD
+	}
+	if retryAfter > d {
+		d = retryAfter
+	}
+	if d > maxD {
+		d = maxD
+	}
+	jitter := p.Jitter
+	if jitter == 0 {
+		jitter = 0.2
+	}
+	if jitter > 0 {
+		d += time.Duration(rand.Float64() * jitter * float64(d))
+	}
+	return d
+}
+
+// Submit enqueues a job and returns its id, retrying rejected (429)
+// submissions per the installed RetryPolicy. With a tracer attached the
 // submission is wrapped in a client-side span and carries its context
 // as a traceparent header, so the daemon parents the job's spans under
 // this call.
 func (c *Client) Submit(ctx context.Context, spec serve.JobSpec) (string, error) {
+	id, err := c.submitOnce(ctx, spec)
+	for attempt := 1; err != nil && attempt < c.retry.MaxAttempts; attempt++ {
+		var se *StatusError
+		if !errors.As(err, &se) || se.Code != http.StatusTooManyRequests {
+			return "", err
+		}
+		d := c.retry.delay(attempt, se.RetryAfter)
+		if c.retry.OnRetry != nil {
+			c.retry.OnRetry(attempt, d)
+		}
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return "", ctx.Err()
+		}
+		id, err = c.submitOnce(ctx, spec)
+	}
+	return id, err
+}
+
+// submitOnce is one submission attempt.
+func (c *Client) submitOnce(ctx context.Context, spec serve.JobSpec) (string, error) {
 	span := c.tracer.StartSpan("submit", c.root)
 	defer span.End()
 	var hdr http.Header
@@ -195,6 +292,29 @@ func (c *Client) Cancel(ctx context.Context, id string) error {
 func (c *Client) Experiments(ctx context.Context) ([]serve.ExperimentInfo, error) {
 	var out []serve.ExperimentInfo
 	err := c.do(ctx, http.MethodGet, "/v1/experiments", "/v1/experiments", nil, nil, &out)
+	return out, err
+}
+
+// PeekCell asks the daemon for a cached cell result by canonical key
+// without triggering a simulation — the cluster cache-peering lookup.
+// The bool reports whether the daemon had it; absence is not an error.
+func (c *Client) PeekCell(ctx context.Context, key string) (serve.CellLookup, bool, error) {
+	var out serve.CellLookup
+	err := c.do(ctx, http.MethodGet, "/v1/cache?key="+url.QueryEscape(key), "/v1/cache", nil, nil, &out)
+	if err != nil {
+		var se *StatusError
+		if errors.As(err, &se) && se.Code == http.StatusNotFound {
+			return serve.CellLookup{}, false, nil
+		}
+		return serve.CellLookup{}, false, err
+	}
+	return out, true, nil
+}
+
+// NodeInfo fetches the daemon's cluster identity and load document.
+func (c *Client) NodeInfo(ctx context.Context) (serve.NodeInfo, error) {
+	var out serve.NodeInfo
+	err := c.do(ctx, http.MethodGet, "/v1/node", "/v1/node", nil, nil, &out)
 	return out, err
 }
 

@@ -2,7 +2,10 @@ package client
 
 import (
 	"context"
+	"errors"
+	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
@@ -175,5 +178,217 @@ func TestRequestObserver(t *testing.T) {
 		if ri.Dur <= 0 {
 			t.Errorf("request %d: non-positive duration", i)
 		}
+	}
+}
+
+// stubDaemon is a scripted submit endpoint: the first rejections
+// submissions get 429 with the given Retry-After header, then accepts.
+type stubDaemon struct {
+	mu         sync.Mutex
+	attempts   int
+	rejections int
+	retryAfter string
+}
+
+func (s *stubDaemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		s.attempts++
+		n := s.attempts
+		s.mu.Unlock()
+		if n <= s.rejections {
+			if s.retryAfter != "" {
+				w.Header().Set("Retry-After", s.retryAfter)
+			}
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"serve: job queue full"}`)) //nolint:errcheck
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"id":"job-000042"}`)) //nolint:errcheck
+	})
+	return mux
+}
+
+func (s *stubDaemon) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.attempts
+}
+
+// TestSubmitRetriesOn429 pins the backoff satellite: with a RetryPolicy
+// installed, Submit absorbs 429s, waits, and eventually returns the
+// accepted id — the caller never sees the rejections.
+func TestSubmitRetriesOn429(t *testing.T) {
+	stub := &stubDaemon{rejections: 2, retryAfter: "1"}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	c := New(ts.URL, nil)
+	var retries []time.Duration
+	c.SetRetry(RetryPolicy{
+		MaxAttempts: 5,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    5 * time.Millisecond, // cap beats the 1s Retry-After; tests stay fast
+		Jitter:      -1,
+		OnRetry:     func(_ int, d time.Duration) { retries = append(retries, d) },
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	id, err := c.Submit(ctx, serve.JobSpec{Experiments: []string{"fig3"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "job-000042" {
+		t.Fatalf("id = %q", id)
+	}
+	if stub.count() != 3 {
+		t.Fatalf("daemon saw %d attempts, want 3", stub.count())
+	}
+	if len(retries) != 2 {
+		t.Fatalf("OnRetry fired %d times, want 2: %v", len(retries), retries)
+	}
+	for i, d := range retries {
+		if d > 5*time.Millisecond {
+			t.Errorf("retry %d waited %v, above the cap", i, d)
+		}
+	}
+}
+
+// TestSubmitRetryExhaustion: a persistently full queue surfaces the
+// final 429 after exactly MaxAttempts tries.
+func TestSubmitRetryExhaustion(t *testing.T) {
+	stub := &stubDaemon{rejections: 1 << 30}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	c := New(ts.URL, nil)
+	c.SetRetry(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, Jitter: -1})
+	_, err := c.Submit(context.Background(), serve.JobSpec{Experiments: []string{"fig3"}})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want a 429 StatusError", err)
+	}
+	if stub.count() != 3 {
+		t.Fatalf("daemon saw %d attempts, want 3", stub.count())
+	}
+}
+
+// TestSubmitDoesNotRetryOtherErrors: only 429 is retryable; a draining
+// daemon's 503 (or a 400) surfaces immediately.
+func TestSubmitDoesNotRetryOtherErrors(t *testing.T) {
+	var attempts int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		attempts++
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":"serve: draining, not accepting jobs"}`)) //nolint:errcheck
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, nil)
+	c.SetRetry(RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, Jitter: -1})
+	_, err := c.Submit(context.Background(), serve.JobSpec{Experiments: []string{"fig3"}})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want a 503 StatusError", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("daemon saw %d attempts, want 1", attempts)
+	}
+}
+
+// TestSubmitRetryHonorsContext: cancellation interrupts the backoff
+// wait instead of sleeping it out.
+func TestSubmitRetryHonorsContext(t *testing.T) {
+	stub := &stubDaemon{rejections: 1 << 30, retryAfter: "30"}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	c := New(ts.URL, nil)
+	c.SetRetry(RetryPolicy{MaxAttempts: 5, MaxDelay: time.Minute, Jitter: -1})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Submit(ctx, serve.JobSpec{Experiments: []string{"fig3"}})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("Submit slept through the Retry-After instead of honoring the context")
+	}
+}
+
+// TestRetryDelayCurve pins the backoff shape: exponential growth from
+// BaseDelay, floored by Retry-After, capped at MaxDelay.
+func TestRetryDelayCurve(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Jitter: -1}
+	cases := []struct {
+		attempt    int
+		retryAfter time.Duration
+		want       time.Duration
+	}{
+		{1, 0, 100 * time.Millisecond},
+		{2, 0, 200 * time.Millisecond},
+		{3, 0, 400 * time.Millisecond},
+		{5, 0, time.Second},                                 // curve capped
+		{1, 300 * time.Millisecond, 300 * time.Millisecond}, // Retry-After floor
+		{1, time.Minute, time.Second},                       // hint capped too
+		{80, 0, time.Second},                                // shift overflow clamps to cap
+	}
+	for _, tc := range cases {
+		if got := p.delay(tc.attempt, tc.retryAfter); got != tc.want {
+			t.Errorf("delay(%d, %v) = %v, want %v", tc.attempt, tc.retryAfter, got, tc.want)
+		}
+	}
+}
+
+// TestPeekCellAndNodeInfo exercises the cluster peering endpoints
+// against a real daemon: a computed cell is peekable by canonical key,
+// an unknown key is a clean not-found, and /v1/node reports identity
+// and capacity.
+func TestPeekCellAndNodeInfo(t *testing.T) {
+	s := serve.New(serve.Config{Workers: 2, NodeID: "w1"})
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Drain(ctx) //nolint:errcheck // best-effort teardown
+	})
+
+	c := New(ts.URL, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	st, err := c.Run(ctx, serve.JobSpec{Cells: []serve.CellSpec{{Workload: "stride", TLB: 64}}, Scale: "small"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != serve.StateDone || len(st.Result.Cells) != 1 {
+		t.Fatalf("job %s: %+v", st.State, st.Result)
+	}
+	key := st.Result.Cells[0].Key
+
+	look, ok, err := c.PeekCell(ctx, key)
+	if err != nil || !ok {
+		t.Fatalf("PeekCell(computed key): ok=%v err=%v", ok, err)
+	}
+	if look.Result != st.Result.Cells[0].Result {
+		t.Error("peeked result differs from the job's")
+	}
+	if _, ok, err := c.PeekCell(ctx, "no-such-cell"); err != nil || ok {
+		t.Fatalf("PeekCell(bogus): ok=%v err=%v, want a clean miss", ok, err)
+	}
+
+	ni, err := c.NodeInfo(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ni.NodeID != "w1" || ni.Workers != 2 || ni.Draining {
+		t.Fatalf("NodeInfo = %+v", ni)
+	}
+	if ni.CacheEntries < 1 {
+		t.Fatalf("NodeInfo.CacheEntries = %d after a computed cell", ni.CacheEntries)
 	}
 }

@@ -377,6 +377,83 @@ func TestDrainFinishesInFlightAndRejectsNew(t *testing.T) {
 	}
 }
 
+// TestDrainFlushesTerminalEventToOpenStream pins the graceful-shutdown
+// contract a streaming client depends on: a drain that begins while an
+// NDJSON event stream is open mid-job must let the job finish and flush
+// its terminal event down that same stream — not sever the connection —
+// so `mtlbexp -server` against a SIGTERMed daemon sees a clean "done"
+// line instead of an EOF mid-read.
+func TestDrainFlushesTerminalEventToOpenStream(t *testing.T) {
+	s, ts := startServer(t, Config{JobWorkers: 2})
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	s.testExec = func(ctx context.Context, j *Job) (*JobResult, error) {
+		j.start(0)
+		started <- struct{}{}
+		<-release
+		return &JobResult{}, nil
+	}
+
+	id := submitOK(t, ts, cheapSpec(64))
+	<-started
+
+	// Open the stream while the job is provably mid-execution.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	lines := make(chan string)
+	scanErr := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		scanErr <- sc.Err()
+		close(lines)
+	}()
+	// The stream replays at least the queued event before any terminal
+	// one; consume until the job is visibly started on the wire.
+	waitType := func(want string) {
+		t.Helper()
+		for line := range lines {
+			var ev Event
+			if err := json.Unmarshal([]byte(line), &ev); err != nil {
+				t.Fatalf("bad event line %q: %v", line, err)
+			}
+			if ev.Type == want {
+				return
+			}
+		}
+		t.Fatalf("stream closed before %q event", want)
+	}
+	waitType("started")
+
+	// Drain begins mid-stream, mid-job.
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+	for !s.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+
+	// The open stream must end with the flushed terminal event.
+	waitType("done")
+	for range lines { // drain any trailing lines until close
+	}
+	if err := <-scanErr; err != nil {
+		t.Fatalf("stream read after drain: %v", err)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
 func TestCancelAndDeadlineReleaseWorkers(t *testing.T) {
 	s, ts := startServer(t, Config{JobWorkers: 1, Workers: 2})
 	baseline := runtime.NumGoroutine()

@@ -1,0 +1,116 @@
+#!/bin/sh
+# cluster_chaos.sh — end-to-end cluster validation: byte-identity and
+# worker-kill survival.
+#
+# Phase 1 (identity): start two mtlbd workers and an mtlbgate
+# coordinator over them, run a real experiment sweep through the gate
+# with mtlbexp -server, and diff the output against a plain local run.
+# The cluster must be invisible in the bytes.
+#
+# Phase 2 (chaos): restart the fleet cold, launch the same sweep in the
+# background, SIGKILL one worker while cells are in flight, and require
+# the sweep to finish with exit 0 and byte-identical output anyway —
+# the router fails the dead worker's cells over to the survivor.
+#
+# Usage: scripts/cluster_chaos.sh [experiments] [scale]
+# experiments is a space-separated list of mtlbexp -exp ids.
+set -eu
+
+cd "$(dirname "$0")/.."
+exps="${1:-tlbtime reach}"
+scale="${2:-small}"
+
+work="$(mktemp -d)"
+pids=""
+cleanup() {
+    for p in $pids; do kill "$p" 2>/dev/null || true; done
+    wait 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$work/mtlbd" ./cmd/mtlbd
+go build -o "$work/mtlbgate" ./cmd/mtlbgate
+go build -o "$work/mtlbexp" ./cmd/mtlbexp
+
+# wait_ready URL — poll /readyz until the service accepts work.
+wait_ready() {
+    i=0
+    while ! curl -fsS -o /dev/null "$1/readyz" 2>/dev/null; do
+        i=$((i + 1))
+        [ "$i" -ge 100 ] && { echo "cluster_chaos: $1 never became ready" >&2; exit 1; }
+        sleep 0.2
+    done
+}
+
+# start_fleet — two workers + gate on fixed loopback ports; appends pids.
+W1=127.0.0.1:18147
+W2=127.0.0.1:18148
+GATE=127.0.0.1:18146
+start_fleet() {
+    "$work/mtlbd" -listen "$W1" -node-id w1 -workers 2 >"$work/w1.log" 2>&1 &
+    pids="$pids $!"
+    "$work/mtlbd" -listen "$W2" -node-id w2 -workers 2 >"$work/w2.log" 2>&1 &
+    pids="$pids $!"
+    wait_ready "http://$W1"
+    wait_ready "http://$W2"
+    "$work/mtlbgate" -listen "$GATE" -worker "w1=http://$W1" -worker "w2=http://$W2" \
+        -local-fallback=false >"$work/gate.log" 2>&1 &
+    pids="$pids $!"
+    wait_ready "http://$GATE"
+}
+stop_fleet() {
+    for p in $pids; do kill "$p" 2>/dev/null || true; done
+    for p in $pids; do wait "$p" 2>/dev/null || true; done
+    pids=""
+}
+
+# sweep OUTFILE [SERVER] — run every experiment in $exps, concatenated.
+sweep() {
+    : > "$1"
+    for e in $exps; do
+        if [ "${2:-}" != "" ]; then
+            "$work/mtlbexp" -exp "$e" -scale "$scale" -server "$2" >> "$1"
+        else
+            "$work/mtlbexp" -exp "$e" -scale "$scale" >> "$1"
+        fi
+    done
+}
+
+echo "cluster_chaos: local reference run ($exps @ $scale)" >&2
+sweep "$work/local.txt"
+
+echo "cluster_chaos: phase 1 — byte-identity through the gate" >&2
+start_fleet
+sweep "$work/cluster.txt" "http://$GATE"
+diff -u "$work/local.txt" "$work/cluster.txt" || {
+    echo "cluster_chaos: FAIL: cluster output differs from local" >&2
+    exit 1
+}
+nodes="$(curl -fsS "http://$GATE/v1/cluster/nodes")"
+echo "$nodes" | grep -q '"node_id": "w1"' || { echo "cluster_chaos: w1 missing from fleet" >&2; exit 1; }
+echo "$nodes" | grep -q '"node_id": "w2"' || { echo "cluster_chaos: w2 missing from fleet" >&2; exit 1; }
+stop_fleet
+echo "cluster_chaos: phase 1 OK" >&2
+
+echo "cluster_chaos: phase 2 — SIGKILL a worker mid-sweep" >&2
+start_fleet
+sweep "$work/chaos.txt" "http://$GATE" &
+sweeppid=$!
+# Give the sweep a moment to put cells in flight, then murder w1
+# (no drain, no goodbye).
+sleep 1
+w1pid="$(echo "$pids" | awk '{print $1}')"
+kill -9 "$w1pid" 2>/dev/null || true
+echo "cluster_chaos: killed worker w1 (pid $w1pid)" >&2
+if ! wait "$sweeppid"; then
+    echo "cluster_chaos: FAIL: sweep died after worker kill" >&2
+    exit 1
+fi
+diff -u "$work/local.txt" "$work/chaos.txt" || {
+    echo "cluster_chaos: FAIL: post-kill output differs from local" >&2
+    exit 1
+}
+stop_fleet
+echo "cluster_chaos: phase 2 OK — sweep survived the kill, output identical" >&2
+echo "cluster_chaos: PASS" >&2
