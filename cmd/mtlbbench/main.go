@@ -11,6 +11,13 @@
 //
 //	mtlbbench -o BENCH_hotpath.json
 //	mtlbbench -baseline scripts/BENCH_hotpath_baseline.json -tolerance 0.2
+//
+// With -smp it instead measures the multicore lockstep executor's
+// wall-clock scaling: the same 4-CPU simulation at GOMAXPROCS=1 and
+// GOMAXPROCS=NumCPU, whose Results must be bit-identical while the
+// host-parallel side finishes faster on a multi-core machine:
+//
+//	mtlbbench -smp BENCH_smp.json -smp-baseline scripts/BENCH_smp_baseline.json
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"shadowtlb/internal/cmdutil"
@@ -53,6 +61,25 @@ type SchemesResult struct {
 	Cell    string                  `json:"cell"`
 	Scale   string                  `json:"scale"`
 	Schemes map[string]EngineResult `json:"schemes"` // by scheme name
+}
+
+// SMPBenchResult is the BENCH_smp.json schema: the multicore lockstep
+// executor's host wall-clock at GOMAXPROCS=1 versus GOMAXPROCS=NumCPU
+// on the same cell in the same process. The lockstep design guarantees
+// the two produce bit-identical simulation Results (Identical must be
+// true); what GOMAXPROCS buys is wall-clock, because workload reference
+// generation overlaps timing commit on spare host cores. HostCores
+// qualifies the speedup: on a single-core host the parallel executor
+// has nothing to overlap onto and the gate does not apply.
+type SMPBenchResult struct {
+	Cell      string       `json:"cell"`
+	Scale     string       `json:"scale"`
+	SimCPUs   int          `json:"sim_cpus"`
+	HostCores int          `json:"host_cores"`
+	Identical bool         `json:"identical"` // serial and parallel Results bit-equal
+	Serial    EngineResult `json:"gomaxprocs_1"`
+	Parallel  EngineResult `json:"gomaxprocs_n"`
+	Speedup   float64      `json:"speedup"` // parallel refs/s over serial refs/s
 }
 
 // ReplayWorkload is one workload's live-vs-compiled-replay measurement.
@@ -95,6 +122,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		schemes   = fs.String("schemes", "", "also measure every translation scheme and write refs/sec per scheme to this JSON `file`")
 		replay    = fs.String("replay", "", "measure the compiled trace replay engine instead: write per-workload live-vs-replay refs/sec to this JSON `file`")
 		replayBl  = fs.String("replay-baseline", "", "baseline BENCH_replay.json to gate the replay speedup against (with -tolerance)")
+		smp       = fs.String("smp", "", "measure the multicore executor instead: write GOMAXPROCS 1-vs-N wall-clock to this JSON `file`")
+		smpBl     = fs.String("smp-baseline", "", "baseline BENCH_smp.json to gate the multicore speedup against (with -tolerance; skipped on single-core hosts)")
 	)
 	// Host profiling only: simulation-side observability (-metrics,
 	// -timeline) would perturb the throughput being measured.
@@ -115,10 +144,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	defer stopProfiles()
 
-	// -replay selects the replay benchmark alone; the hotpath and scheme
-	// measurements keep their own invocations (and CI jobs).
+	// -replay and -smp each select their benchmark alone; the hotpath
+	// and scheme measurements keep their own invocations (and CI jobs).
 	if *replay != "" {
 		return runReplayBench(stdout, stderr, scale, *seconds, *replay, *replayBl, *tolerance)
+	}
+	if *smp != "" {
+		return runSMPBench(stdout, stderr, scale, *seconds, *smp, *smpBl, *tolerance)
 	}
 
 	res := Result{Cell: "fig3/em3d/tlb64+mtlb128", Scale: scale.String()}
@@ -264,6 +296,132 @@ func runReplayBench(stdout, stderr io.Writer, scale exp.Scale, minSeconds float6
 	if baseline != "" {
 		return compareReplay(stdout, stderr, res, baseline, tolerance)
 	}
+	return 0
+}
+
+// smpBenchCPUs is the simulated machine size the bench measures: the
+// largest smp-family machine, where generation has the most to overlap.
+const smpBenchCPUs = 4
+
+// runSMPBench measures the multicore lockstep executor's wall-clock
+// scaling: em3dp on a 4-CPU simulated machine, run in alternating
+// rounds at GOMAXPROCS=1 and GOMAXPROCS=NumCPU, best-of per side. The
+// two sides must produce bit-identical simulation Results — that is the
+// lockstep contract, and a divergence fails the bench outright. The
+// speedup gate only applies on multi-core hosts: with one host core
+// there are no spare cores to overlap generation onto, so the result is
+// recorded (with host_cores for the reader) but never gated.
+func runSMPBench(stdout, stderr io.Writer, scale exp.Scale, minSeconds float64, out, baseline string, tolerance float64) int {
+	cfg := sim.Default().WithTLB(64).WithMTLB(core.DefaultMTLBConfig()).WithSMP(smpBenchCPUs)
+	res := SMPBenchResult{
+		Cell:      fmt.Sprintf("smp/em3dp/tlb64+mtlb128+smp%d", smpBenchCPUs),
+		Scale:     scale.String(),
+		SimCPUs:   smpBenchCPUs,
+		HostCores: runtime.NumCPU(),
+		Identical: true,
+	}
+
+	runCell := func(procs int) (sim.Result, uint64, float64) {
+		w, err := exp.MakeWorkload("em3dp", scale)
+		if err != nil {
+			panic(err) // em3dp is always registered
+		}
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		s := sim.NewSMP(cfg, w)
+		start := time.Now()
+		r := s.Run()
+		secs := time.Since(start).Seconds()
+		var refs uint64
+		for _, c := range s.CPUs {
+			refs += c.Loads + c.Stores
+		}
+		return r, refs, secs
+	}
+	var want sim.Result
+	var have bool
+	round := func(r *EngineResult, procs int) {
+		simRes, refs, secs := runCell(procs)
+		if !have {
+			want, have = simRes, true
+		} else if simRes != want {
+			res.Identical = false
+		}
+		r.Refs = refs
+		r.Runs++
+		r.Seconds += secs
+		if rps := float64(refs) / secs; rps > r.RefsPerSec {
+			r.RefsPerSec = rps
+		}
+	}
+	for res.Serial.Seconds < minSeconds || res.Parallel.Seconds < minSeconds {
+		round(&res.Serial, 1)
+		round(&res.Parallel, runtime.NumCPU())
+	}
+	res.Speedup = res.Parallel.RefsPerSec / res.Serial.RefsPerSec
+	fmt.Fprintf(stdout, "cell %s: %.2fM refs/s at GOMAXPROCS=1, %.2fM at GOMAXPROCS=%d (%.2fx, host cores=%d, identical=%t)\n",
+		res.Cell, res.Serial.RefsPerSec/1e6, res.Parallel.RefsPerSec/1e6,
+		runtime.NumCPU(), res.Speedup, res.HostCores, res.Identical)
+
+	f, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintf(stderr, "mtlbbench: %v\n", err)
+		return 1
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	werr := enc.Encode(res)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		fmt.Fprintf(stderr, "mtlbbench: %v\n", werr)
+		return 1
+	}
+	if !res.Identical {
+		fmt.Fprintln(stderr, "mtlbbench: FAIL: GOMAXPROCS changed the simulation result — the lockstep executor is broken")
+		return 1
+	}
+	if baseline != "" {
+		if res.HostCores == 1 {
+			fmt.Fprintln(stdout, "smp baseline skipped: single-core host, nothing to overlap")
+			return 0
+		}
+		return compareSMP(stdout, stderr, res, baseline, tolerance)
+	}
+	return 0
+}
+
+// compareSMP gates the multicore wall-clock speedup against a committed
+// baseline, mirroring compare for the hotpath ratio. A baseline
+// captured on a single-core host carries no real parallelism, so the
+// floor is additionally clamped to never exceed the measured host's
+// meaningful minimum of 1.0 being surpassed — i.e. the gate insists on
+// speedup > 1 on multi-core hosts even under a weak baseline.
+func compareSMP(stdout, stderr io.Writer, res SMPBenchResult, path string, tolerance float64) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "mtlbbench: reading baseline: %v\n", err)
+		return 1
+	}
+	var base SMPBenchResult
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(stderr, "mtlbbench: parsing baseline: %v\n", err)
+		return 1
+	}
+	floor := base.Speedup * (1 - tolerance)
+	if base.HostCores == 1 && floor < 1.0 {
+		// The committed baseline was measured without host parallelism;
+		// on this multi-core host the executor must still beat serial.
+		floor = 1.0
+	}
+	if res.Speedup < floor {
+		fmt.Fprintf(stderr, "mtlbbench: FAIL: smp speedup %.2fx is below %.2fx (baseline %.2fx on %d cores - %.0f%% tolerance)\n",
+			res.Speedup, floor, base.Speedup, base.HostCores, 100*tolerance)
+		return 1
+	}
+	fmt.Fprintf(stdout, "smp baseline ok: speedup %.2fx >= %.2fx (baseline %.2fx on %d cores - %.0f%% tolerance)\n",
+		res.Speedup, floor, base.Speedup, base.HostCores, 100*tolerance)
 	return 0
 }
 

@@ -2,10 +2,13 @@
 // experiment cell under randomized-but-deterministic fault plans
 // (forced page-outs, shootdown storms, mid-remap purges, DRAM fill
 // delays — see internal/faultinject) with the machine invariant
-// catalogue auditing each run (internal/invariant). Because every
-// injected fault is semantically invisible, any invariant violation is
-// a real bug; the tool prints the plan seed that provoked it, and the
-// same seed reproduces the identical schedule.
+// catalogue auditing each run (internal/invariant). Multicore cells run
+// under multicore plans — shootdown storms striking random CPU subsets
+// at lockstep round boundaries — with the per-CPU smp.memo and
+// shootdown.ipi rules auditing every processor. Because every injected
+// fault is semantically invisible, any invariant violation is a real
+// bug; the tool prints the plan seed that provoked it, and the same
+// seed reproduces the identical schedule.
 //
 //	mtlbchaos                    # every registered cell × 3 plans
 //	mtlbchaos -cells 20 -plans 3 # bounded run for CI
@@ -72,6 +75,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if !*plant {
 		cells = ensureSchemeCoverage(cells, sc)
+		cells = ensureSMPCoverage(cells, sc)
 	}
 	if len(cells) == 0 {
 		fmt.Fprintln(stderr, "mtlbchaos: no cells registered")
@@ -86,11 +90,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var tot totals
 	for ci, c := range cells {
 		for pi := 0; pi < *plans; pi++ {
-			plan := faultinject.New(mixSeed(*seed, ci, pi))
 			runs++
-			vs, inj, err := runOne(c, plan, tracer, *plant)
-			if inj != nil {
-				tot.add(inj)
+			var (
+				vs       []invariant.Violation
+				err      error
+				plan     fmt.Stringer
+				injected uint64
+			)
+			if c.Cfg.SMP != nil {
+				p := faultinject.NewSMP(mixSeed(*seed, ci, pi))
+				plan = p
+				var inj *faultinject.SMPInjector
+				vs, inj, err = runOneSMP(c, p, tracer)
+				if inj != nil {
+					tot.addSMP(inj)
+					injected = inj.Injected()
+				}
+			} else {
+				p := faultinject.New(mixSeed(*seed, ci, pi))
+				plan = p
+				var inj *faultinject.Injector
+				vs, inj, err = runOne(c, p, tracer, *plant)
+				if inj != nil {
+					tot.add(inj)
+					injected = inj.Injected()
+				}
 			}
 			if err != nil {
 				failures++
@@ -109,12 +133,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			if *verbose {
 				fmt.Fprintf(stdout, "ok   cell=%s workload=%s plan=[%s] injected=%d\n",
-					c.Cfg.Label, c.Workload, plan, inj.Injected())
+					c.Cfg.Label, c.Workload, plan, injected)
 			}
 		}
 	}
-	fmt.Fprintf(stdout, "mtlbchaos: %d cells × %d plans: %d runs, %d failed; injected swap-outs=%d shootdowns=%d fill-delays=%d mid-remap-purges=%d\n",
-		len(cells), *plans, runs, failures, tot.swapOuts, tot.shootdowns, tot.fillDelays, tot.midRemap)
+	fmt.Fprintf(stdout, "mtlbchaos: %d cells × %d plans: %d runs, %d failed; injected swap-outs=%d shootdowns=%d fill-delays=%d mid-remap-purges=%d storms=%d cpu-purges=%d\n",
+		len(cells), *plans, runs, failures, tot.swapOuts, tot.shootdowns, tot.fillDelays, tot.midRemap, tot.storms, tot.cpuPurges)
 	if failures > 0 {
 		return 1
 	}
@@ -171,6 +195,39 @@ func runOne(c exp.Cell, plan faultinject.Plan, tracer *obs.Tracer, plant bool) (
 	return chk.Violations(), inj, nil
 }
 
+// runOneSMP executes one multicore cell under one multicore plan with
+// the invariant checker in record mode — the SMP twin of runOne. The
+// injector attaches first, so the checker's quantum-boundary audits see
+// the state each storm leaves behind on every CPU.
+func runOneSMP(c exp.Cell, plan faultinject.SMPPlan, tracer *obs.Tracer) (vs []invariant.Violation, inj *faultinject.SMPInjector, err error) {
+	span := tracer.StartSpan("chaos.run", obs.SpanContext{})
+	span.SetAttr("workload", c.Workload)
+	span.SetAttr("label", c.Cfg.Label)
+	span.SetAttr("plan", plan.String())
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panicked: %v", r)
+		}
+		if err != nil {
+			span.SetAttr("error", err.Error())
+		}
+		span.SetAttr("violations", fmt.Sprint(len(vs)))
+		span.End()
+	}()
+	w, err := exp.MakeWorkload(c.Workload, c.Scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := sim.NewSMP(c.Cfg, w)
+	inj = faultinject.AttachSMP(s, plan)
+	if tracer != nil {
+		inj.OnFault = func(kind string) { span.Event("fault", "kind", kind) }
+	}
+	chk := invariant.AttachSMP(s, invariant.Options{}) // record, don't panic
+	s.Run()
+	return chk.Violations(), inj, nil
+}
+
 // registeredCells collects every declared cell across the experiment
 // registry, deduplicated by canonical key, in registration order —
 // the same population the runner pool would simulate for -exp all.
@@ -215,6 +272,23 @@ func ensureSchemeCoverage(cells []exp.Cell, sc exp.Scale) []exp.Cell {
 	return cells
 }
 
+// ensureSMPCoverage guarantees the sweep audits the multicore executor
+// — the smp.memo and shootdown.ipi invariants in particular — even when
+// -cells bounds the run below the smp family's position in registration
+// order: one shared-space and one multiprogrammed multicore cell are
+// appended if no multicore cell survived the bound.
+func ensureSMPCoverage(cells []exp.Cell, sc exp.Scale) []exp.Cell {
+	for _, c := range cells {
+		if c.Cfg.SMP != nil {
+			return cells
+		}
+	}
+	cfg := sim.Default().WithTLB(64).WithMTLB(core.DefaultMTLBConfig())
+	return append(cells,
+		exp.NewCell(cfg.WithSMP(4), "radixp", sc),
+		exp.NewCell(cfg.WithSMP(2), "mix", sc))
+}
+
 // mixSeed derives one plan seed from the base seed and the (cell, plan)
 // coordinates, splitmix-style, so every run gets an independent but
 // reproducible schedule.
@@ -232,6 +306,7 @@ func mixSeed(base uint64, ci, pi int) uint64 {
 // line proves the plans actually fired.
 type totals struct {
 	swapOuts, shootdowns, fillDelays, midRemap uint64
+	storms, cpuPurges                          uint64
 }
 
 func (t *totals) add(inj *faultinject.Injector) {
@@ -239,4 +314,11 @@ func (t *totals) add(inj *faultinject.Injector) {
 	t.shootdowns += inj.Shootdowns
 	t.fillDelays += inj.FillDelays
 	t.midRemap += inj.MidRemapPurges
+}
+
+func (t *totals) addSMP(inj *faultinject.SMPInjector) {
+	t.swapOuts += inj.SwapOuts
+	t.fillDelays += inj.FillDelays
+	t.storms += inj.Storms
+	t.cpuPurges += inj.CPUPurges
 }

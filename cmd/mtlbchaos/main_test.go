@@ -76,6 +76,56 @@ func TestChaosSchemeSweepClean(t *testing.T) {
 	}
 }
 
+// TestChaosSMPSweepClean runs the multicore coverage cells under
+// multicore fault plans — shootdown storms striking random CPU subsets
+// at lockstep round boundaries — and expects zero violations of the
+// per-CPU smp.memo and shootdown.ipi rules, with storms demonstrably
+// delivered.
+func TestChaosSMPSweepClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep is seconds-long; skipped under -short")
+	}
+	// -cells 1 keeps only one registry cell; SMP coverage appending then
+	// adds the shared-space and multiprogrammed multicore cells.
+	var out, errOut strings.Builder
+	if code := run([]string{"-cells", "1", "-plans", "2", "-seed", "23"}, &out, &errOut); code != 0 {
+		t.Fatalf("multicore chaos sweep exited %d:\n%s%s", code, out.String(), errOut.String())
+	}
+	if errOut.Len() > 0 {
+		t.Fatalf("multicore chaos sweep produced failures:\n%s", errOut.String())
+	}
+	sum := out.String()
+	if strings.Contains(sum, "storms=0 ") {
+		t.Fatalf("no storms injected — multicore plans did not fire:\n%s", sum)
+	}
+}
+
+// TestSMPCoverageGuaranteed pins the sweep's multicore coverage: a
+// -cells bound that excludes the smp family must still audit the
+// multicore executor, and a full walk (which includes it) gains nothing.
+func TestSMPCoverageGuaranteed(t *testing.T) {
+	cells := ensureSMPCoverage(registeredCells(exp.Small)[:2], exp.Small)
+	var shared, multi bool
+	for _, c := range cells {
+		if c.Cfg.SMP == nil {
+			continue
+		}
+		switch c.Workload {
+		case "radixp", "em3dp":
+			shared = true
+		case "mix":
+			multi = true
+		}
+	}
+	if !shared || !multi {
+		t.Errorf("bounded sweep lacks multicore coverage (shared=%v multi=%v)", shared, multi)
+	}
+	full := registeredCells(exp.Small)
+	if got := ensureSMPCoverage(full, exp.Small); len(got) != len(full) {
+		t.Errorf("full sweep grew from %d to %d cells", len(full), len(got))
+	}
+}
+
 // TestChaosPlantedViolationCaught is the harness self-test: a planted
 // unbacked TLB entry must fail the run, naming the rule and the
 // reproducing seed. If this passes trivially the whole harness is

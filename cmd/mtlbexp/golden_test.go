@@ -14,22 +14,28 @@ import (
 //	go test ./cmd/mtlbexp -run Golden -update
 var update = flag.Bool("update", false, "rewrite golden files with current output")
 
-// TestGoldenTables pins the paper-figure tables byte-for-byte: the
-// rendered fig3 and fig4 output at small scale must match the committed
-// goldens exactly. Simulations are deterministic, so any diff is a real
-// change to simulated behavior (or to table rendering) and must be
-// reviewed — then blessed with -update.
+// TestGoldenTables pins the paper-figure tables — and the multicore smp
+// family — byte-for-byte: the rendered output at small scale must match
+// the committed goldens exactly. Simulations are deterministic (the smp
+// tables by the lockstep executor's GOMAXPROCS-independence), so any
+// diff is a real change to simulated behavior (or to table rendering)
+// and must be reviewed — then blessed with -update.
 func TestGoldenTables(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment runs; skipped under -short")
 	}
-	for _, id := range []string{"fig3", "fig4"} {
+	for _, tc := range []struct{ id, file string }{
+		{"fig3", "fig3.golden"},
+		{"fig4", "fig4.golden"},
+		{"smp", "smp_small.golden"},
+	} {
+		id := tc.id
 		t.Run(id, func(t *testing.T) {
 			var out, errb strings.Builder
 			if code := run([]string{"-exp", id, "-scale", "small"}, &out, &errb); code != 0 {
 				t.Fatalf("exit %d, stderr: %s", code, errb.String())
 			}
-			golden := filepath.Join("testdata", id+".golden")
+			golden := filepath.Join("testdata", tc.file)
 			if *update {
 				if err := os.MkdirAll("testdata", 0o755); err != nil {
 					t.Fatal(err)

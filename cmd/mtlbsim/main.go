@@ -9,6 +9,7 @@
 //	mtlbsim -workload random -mtlb 512 -ways 512    # fully associative
 //	mtlbsim -workload radix -size small -json       # result as JSON
 //	mtlbsim -workload radix -size small -metrics out/ -timeline t.json
+//	mtlbsim -workload radixp -cpus 4 -mtlb 128      # 4-CPU lockstep machine
 package main
 
 import (
@@ -53,6 +54,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		frames  = fs.Uint64("frames", 0, "cap user frames (0 = all; small values force paging)")
 		banks   = fs.Int("banks", 0, "DRAM banks for open-row timing (0 = flat latency)")
 		scheme  = fs.String("scheme", "", "MMC translation scheme (empty = "+core.DefaultScheme+")")
+		cpus    = fs.Int("cpus", 1, "simulated CPUs (>1 runs the multicore lockstep executor)")
 		jsonOut = fs.Bool("json", false, "emit the result as JSON instead of text")
 	)
 	obsF := cmdutil.RegisterCommonFlags(fs)
@@ -90,6 +92,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *seq {
 		cfg.AllocOrder = mem.Sequential
 	}
+	if *cpus > 1 {
+		cfg = cfg.WithSMP(*cpus)
+	}
 
 	stopProfiles, err := obsF.Apply(stderr)
 	if err != nil {
@@ -98,20 +103,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	defer stopProfiles()
 
-	s := sim.New(cfg)
-	if *promote {
-		if !s.VM.HasShadow() {
-			fmt.Fprintln(stderr, "mtlbsim: -promote requires -mtlb")
-			return 2
-		}
-		s.VM.EnablePromotion(vm.DefaultPromotePolicy())
-	}
 	var o *obs.Obs
 	if obsF.Enabled() {
 		o = obs.New(obsF.Options())
-		s.Observe(o)
 	}
-	res := s.Run(w)
+	var res sim.Result
+	var uni *sim.System // nil on the multicore path
+	if cfg.SMP != nil {
+		if *promote {
+			fmt.Fprintln(stderr, "mtlbsim: -promote is not supported with -cpus > 1")
+			return 2
+		}
+		s := sim.NewSMP(cfg, w)
+		if o != nil {
+			s.Observe(o)
+		}
+		res = s.Run()
+	} else {
+		uni = sim.New(cfg)
+		if *promote {
+			if !uni.VM.HasShadow() {
+				fmt.Fprintln(stderr, "mtlbsim: -promote requires -mtlb")
+				return 2
+			}
+			uni.VM.EnablePromotion(vm.DefaultPromotePolicy())
+		}
+		if o != nil {
+			uni.Observe(o)
+		}
+		res = uni.Run(w)
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
@@ -122,12 +143,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	} else {
 		printResult(stdout, res)
-		if *promote {
-			fmt.Fprintf(stdout, "promotions   %d (online policy)\n", s.VM.PromotionsMade())
-		}
-		if s.VM.Reclaims > 0 {
-			fmt.Fprintf(stdout, "paging       %d reclaims, %d swap-outs, %d swap-ins\n",
-				s.VM.Reclaims, s.VM.SwapOuts, s.VM.SwapIns)
+		if uni != nil {
+			if *promote {
+				fmt.Fprintf(stdout, "promotions   %d (online policy)\n", uni.VM.PromotionsMade())
+			}
+			if uni.VM.Reclaims > 0 {
+				fmt.Fprintf(stdout, "paging       %d reclaims, %d swap-outs, %d swap-ins\n",
+					uni.VM.Reclaims, uni.VM.SwapOuts, uni.VM.SwapIns)
+			}
 		}
 	}
 
@@ -180,5 +203,12 @@ func printResult(w io.Writer, r sim.Result) {
 	if r.HasMTLB {
 		fmt.Fprintf(w, "mtlb         hit rate %.4f, %d fills\n", r.MTLBHitRate, r.MTLBFills)
 		fmt.Fprintf(w, "superpages   %d created, %d pages remapped\n", r.SuperpagesMade, r.PagesRemapped)
+	}
+	if r.CPUs > 1 {
+		fmt.Fprintf(w, "cpus         %d (machine clock %d cycles)\n", r.CPUs, r.MachineCycles)
+		fmt.Fprintf(w, "  ipis       %d shootdown IPIs\n", r.IPIs)
+		fmt.Fprintf(w, "  bus stall  %d cycles\n", r.BusStallCycles)
+		fmt.Fprintf(w, "  barriers   %d idle cycles\n", r.BarrierCycles)
+		fmt.Fprintf(w, "  balance    busiest %d, idlest %d charged cycles\n", r.MaxCPUCycles, r.MinCPUCycles)
 	}
 }

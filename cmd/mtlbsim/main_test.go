@@ -79,6 +79,34 @@ func TestRunSmallWorkload(t *testing.T) {
 	}
 }
 
+// TestRunMulticore drives the -cpus flag end to end: the lockstep
+// executor runs the parallel radix sort on four CPUs and the report
+// gains the multicore block.
+func TestRunMulticore(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-workload", "radixp", "-size", "small", "-cpus", "4", "-tlb", "64", "-mtlb", "128"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"smp4", "cpus         4", "ipis", "barriers"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output lacks %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestPromoteRejectedMulticore pins the flag interlock: online
+// promotion is a uniprocessor feature for now.
+func TestPromoteRejectedMulticore(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-workload", "radixp", "-size", "small", "-cpus", "2", "-mtlb", "128", "-promote"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "-promote") {
+		t.Errorf("error does not name the flag: %s", errb.String())
+	}
+}
+
 // TestOddWaysNormalized pins the satellite fix: geometry the old clamp
 // let through (ways not dividing entries) must normalize, not panic.
 func TestOddWaysNormalized(t *testing.T) {

@@ -56,6 +56,12 @@ func (c Cell) Key() string {
 		cfg.UseBuddy, cfg.NoCheckCycle, cfg.StreamBuffers, cfg.DRAMBanks)
 	fmt.Fprintf(&b, "|cache=%+v|bus=%+v|mmc=%+v|costs=%+v|hpt=%d",
 		cfg.Cache, cfg.Bus, cfg.MMCTiming, cfg.Costs, cfg.HPTEntries)
+	// The segment appears only on multicore configs so every legacy
+	// uniprocessor key — and with it every cached result and golden —
+	// stays byte-identical.
+	if cfg.SMP != nil {
+		fmt.Fprintf(&b, "|smp=%d/q%d/a%d", cfg.SMP.CPUs, cfg.SMP.Quantum, cfg.SMP.ArbSeed)
+	}
 	return b.String()
 }
 
@@ -83,6 +89,9 @@ func (c Cell) SimulateObserved(o *obs.Obs) sim.Result {
 	w, err := MakeWorkload(c.Workload, c.Scale)
 	if err != nil {
 		panic(err)
+	}
+	if c.Cfg.SMP != nil {
+		return sim.RunSMPObserved(c.Cfg, w, o)
 	}
 	return sim.RunObserved(c.Cfg, w, o)
 }

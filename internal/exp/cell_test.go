@@ -45,6 +45,7 @@ func TestCellKeyCoversConfig(t *testing.T) {
 		"MMCTiming":     func(c *sim.Config) { c.MMCTiming.Overhead++ },
 		"Costs":         func(c *sim.Config) { c.Costs.TrapEntryExit++ },
 		"HPTEntries":    func(c *sim.Config) { c.HPTEntries *= 2 },
+		"SMP":           func(c *sim.Config) { *c = c.WithSMP(2) },
 	}
 
 	cfgType := reflect.TypeOf(sim.Config{})

@@ -121,7 +121,47 @@ var workloadMakers = map[string]func(Scale) workload.Workload{
 		}
 		return &workload.PointerChase{Nodes: 100_000, Hops: h, Remapped: true}
 	},
+	// The parallel variants and the multiprogrammed mix drive the
+	// multicore simulator; on a uniprocessor config they fall back to
+	// single-threaded runs of the same reference streams.
+	"radixp": func(s Scale) workload.Workload {
+		if s == Paper {
+			return radix.NewParallel(radix.PaperConfig())
+		}
+		return radix.NewParallel(radix.SmallConfig())
+	},
+	"em3dp": func(s Scale) workload.Workload {
+		if s == Paper {
+			return em3d.NewParallel(em3d.PaperConfig())
+		}
+		return em3d.NewParallel(em3d.SmallConfig())
+	},
+	"mix": func(s Scale) workload.Workload {
+		p := 20
+		if s != Paper {
+			p = 3
+		}
+		stride := &workload.StrideAccess{
+			Bytes: 4 * arch.MB, Stride: 32, Passes: p, Remapped: true,
+		}
+		if s == Paper {
+			return workload.NewMix("mix",
+				compress.New(compress.PaperConfig()),
+				radix.New(radix.PaperConfig()),
+				em3d.New(em3d.PaperConfig()),
+				stride)
+		}
+		return workload.NewMix("mix",
+			compress.New(compress.SmallConfig()),
+			radix.New(radix.SmallConfig()),
+			em3d.New(em3d.SmallConfig()),
+			stride)
+	},
 }
+
+// SMPWorkloadNames returns the workloads of the smp experiment family in
+// reporting order: the two parallel ports and the multiprogrammed mix.
+func SMPWorkloadNames() []string { return []string{"radixp", "em3dp", "mix"} }
 
 // paperWorkloads lists the five benchmark programs in the paper's
 // reporting order.

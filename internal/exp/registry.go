@@ -153,14 +153,23 @@ func init() {
 		ID: "ext-multiprog", Title: "Extension: multiprogramming, two time-sliced processes",
 		Tables: func(Runner, Scale) []*stats.Table { return one(Multiprog().Table) },
 	})
-	// The schemes family must register last: the pre-refactor golden in
-	// cmd/mtlbexp requires "-exp all" output to remain a byte-identical
-	// prefix, with this family as the only appended section.
+	// The schemes and smp families must register after every family
+	// above, schemes first: the pre-refactor golden in cmd/mtlbexp
+	// requires "-exp all" output to keep that capture as a byte-identical
+	// prefix with the schemes section as the first appended text.
 	register(Descriptor{
 		ID: "schemes", Title: "Translation-scheme head-to-head: every backend on identical machines",
 		Scaled: true, Cells: schemesCells,
 		Tables: func(r Runner, s Scale) []*stats.Table {
 			res := SchemesOn(r, s)
+			return []*stats.Table{res.TableA, res.TableB}
+		},
+	})
+	register(Descriptor{
+		ID: "smp", Title: "Multicore: parallel workloads and shared MTLB vs CPU count",
+		Scaled: true, Cells: smpCells,
+		Tables: func(r Runner, s Scale) []*stats.Table {
+			res := SMPOn(r, s)
 			return []*stats.Table{res.TableA, res.TableB}
 		},
 	})

@@ -16,10 +16,11 @@ func TestRegistryOrder(t *testing.T) {
 		"spcount", "ablation-allocator", "ablation-check",
 		"ablation-fill", "ablation-refbits", "ablation-dram",
 		"ext-promotion", "ext-stream", "ext-recolor", "ext-multiprog",
-		// schemes must stay last: the frozen pre-refactor golden in
-		// cmd/mtlbexp requires "-exp all" output to be a byte-identical
-		// prefix, with only the schemes section appended.
-		"schemes",
+		// schemes and smp must stay after everything above, schemes
+		// first: the frozen pre-refactor golden in cmd/mtlbexp requires
+		// "-exp all" output to be a byte-identical prefix with the
+		// schemes section immediately following it.
+		"schemes", "smp",
 	}
 	if got := IDs(); !reflect.DeepEqual(got, want) {
 		t.Errorf("IDs() = %v, want %v", got, want)

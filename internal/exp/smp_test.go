@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"runtime"
+	"testing"
+
+	"shadowtlb/internal/sim"
+)
+
+// shortSMPCells is the determinism subset exercised under -short (the
+// race-detector CI job runs -short): one shared-space workload and the
+// multiprogrammed mix at 2 CPUs, with the MTLB fitted.
+func shortSMPCells(t *testing.T) []Cell {
+	t.Helper()
+	var cells []Cell
+	for _, name := range []string{"radixp", "mix"} {
+		c := smpConfig(true, 2)
+		c.Workload, c.Scale = name, Small
+		cells = append(cells, c)
+	}
+	return cells
+}
+
+// TestSMPDeterministic is the multicore executor's central guarantee:
+// for every cell of the smp family, repeated runs, runs at GOMAXPROCS
+// 1, 2 and NumCPU, and the single-goroutine sequential reference
+// executor all produce bit-identical Results — the lockstep quanta make
+// the simulation's timing independent of how the host schedules the
+// generator goroutines. The suite is meaningful under -race: the
+// detector proves the generators and the committer share no unsynchronized
+// state while the equality checks prove the schedule is pinned.
+func TestSMPDeterministic(t *testing.T) {
+	cells := smpCells(Small)
+	if testing.Short() {
+		cells = shortSMPCells(t)
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, c := range cells {
+		c := c
+		t.Run(c.Key(), func(t *testing.T) {
+			runtime.GOMAXPROCS(runtime.NumCPU())
+			want := c.Simulate()
+			if again := c.Simulate(); again != want {
+				t.Fatalf("repeated run diverged:\n%+v\n%+v", again, want)
+			}
+			for _, p := range []int{1, 2, runtime.NumCPU()} {
+				runtime.GOMAXPROCS(p)
+				if got := c.Simulate(); got != want {
+					t.Fatalf("GOMAXPROCS=%d diverged:\n%+v\n%+v", p, got, want)
+				}
+			}
+			runtime.GOMAXPROCS(runtime.NumCPU())
+			w, err := MakeWorkload(c.Workload, c.Scale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := sim.RunSMPSequential(c.Cfg, w); got != want {
+				t.Fatalf("sequential reference executor diverged:\n%+v\n%+v", got, want)
+			}
+		})
+	}
+}
+
+// TestSMPFamilyShape pins the family's structure: every cell simulates,
+// reports its CPU count, and the uniprocessor lockstep machine agrees
+// with the classic single-system simulator on instruction counts for
+// the serial fallbacks.
+func TestSMPFamilyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full smp family; skipped under -short")
+	}
+	res := SMP(Small)
+	want := len(SMPWorkloadNames()) * 2 * len(SMPCPUCounts)
+	if len(res.Cells) != want {
+		t.Fatalf("cells = %d, want %d", len(res.Cells), want)
+	}
+	for _, c := range res.Cells {
+		if c.MachineCycles == 0 {
+			t.Errorf("%s/%v/%d: zero machine cycles", c.Workload, c.MTLB, c.CPUs)
+		}
+		if c.CPUs == 1 && (c.IPIs != 0 || c.BusStallCycles != 0 || c.BarrierCycles != 0) {
+			t.Errorf("%s/%v/1: uniprocessor reports multicore overheads %+v",
+				c.Workload, c.MTLB, c)
+		}
+	}
+}

@@ -233,3 +233,175 @@ func (inj *Injector) fillDelay() int {
 	inj.fault(&inj.FillDelays, "fill_delay")
 	return inj.Plan.FillDelayCycles
 }
+
+// SMPPlan is one deterministic multicore fault schedule. Storms are the
+// multicore-specific fault: at lockstep round boundaries, a random
+// subset of CPUs has its private translation state (front TLB,
+// micro-ITLB, fast-path memo) purged at once — the worst-case
+// approximation of IPI broadcasts arriving from outside the workload,
+// and exactly the state the shootdown.ipi and smp.memo invariants
+// audit. As with Plan, every injected fault is semantically invisible.
+type SMPPlan struct {
+	Seed uint64
+
+	// StormEvery delivers a shootdown storm every Nth lockstep round.
+	StormEvery int
+	// StormMaxCPUs bounds how many CPUs one storm strikes (clamped to
+	// the machine size; at least one CPU is always struck).
+	StormMaxCPUs int
+	// StormTranslator additionally purges the shared translation
+	// backend's cached state on every storm.
+	StormTranslator bool
+	// SwapOutEvery forces a page-out of a random superpage of the first
+	// address space every Nth storm opportunity (shadow systems only) —
+	// on a shared address space this exercises the remap shootdown-IPI
+	// path under storm pressure.
+	SwapOutEvery int
+	// FillDelayPct / FillDelayCycles perturb MMC line fills as in Plan.
+	FillDelayPct    int
+	FillDelayCycles int
+}
+
+// NewSMP derives the multicore plan for a seed; the machine side is
+// always fully armed.
+func NewSMP(seed uint64) SMPPlan {
+	r := newRNG(seed ^ 0xA0761D6478BD642F) // distinct universe from New
+	return SMPPlan{
+		Seed:            seed,
+		StormEvery:      r.between(2, 8),
+		StormMaxCPUs:    r.between(1, 8),
+		StormTranslator: r.intn(2) == 0,
+		SwapOutEvery:    r.between(4, 10),
+		FillDelayPct:    r.between(10, 50),
+		FillDelayCycles: r.between(4, 32),
+	}
+}
+
+// String summarizes the schedule for reports.
+func (p SMPPlan) String() string {
+	return fmt.Sprintf("seed=%#x storm/%d×≤%dcpus(translator=%v) swap-out/%d fill-delay=%d%%×%d",
+		p.Seed, p.StormEvery, p.StormMaxCPUs, p.StormTranslator,
+		p.SwapOutEvery, p.FillDelayPct, p.FillDelayCycles)
+}
+
+// SMPInjector is a multicore plan attached to one SMPSystem.
+type SMPInjector struct {
+	Plan SMPPlan
+
+	sys    *sim.SMPSystem
+	rng    rng
+	rounds uint64
+
+	Storms     uint64 // shootdown storms delivered
+	CPUPurges  uint64 // per-CPU translation purges across all storms
+	SwapOuts   uint64 // forced page-outs that evicted ≥ 1 page
+	FillDelays uint64 // delayed MMC line fills
+
+	// OnFault observes every delivered fault by kind ("storm",
+	// "swap_out", "fill_delay"), as in Injector.OnFault.
+	OnFault func(kind string)
+}
+
+// fault counts one delivered fault and notifies the observer.
+func (inj *SMPInjector) fault(counter *uint64, kind string) {
+	*counter++
+	if inj.OnFault != nil {
+		inj.OnFault(kind)
+	}
+}
+
+// AttachSMP wires the plan into a freshly assembled multicore system.
+// It must run before invariant.AttachSMP so audits observe the state
+// each fault leaves behind. The lockstep round hook is chained; faults
+// fire on the committer goroutine at round boundaries, where no
+// reference or kernel operation is mid-flight.
+func AttachSMP(s *sim.SMPSystem, p SMPPlan) *SMPInjector {
+	inj := &SMPInjector{Plan: p, sys: s, rng: newRNG(p.Seed ^ 0xE7037ED1A0B428DB)}
+
+	prev := s.OnQuantum
+	s.OnQuantum = func(round uint64) {
+		if prev != nil {
+			prev(round)
+		}
+		inj.onRound()
+	}
+	if p.FillDelayPct > 0 {
+		s.MMC.FillDelay = inj.fillDelay
+	}
+	return inj
+}
+
+// Injected reports the total faults delivered across all channels.
+func (inj *SMPInjector) Injected() uint64 {
+	return inj.Storms + inj.SwapOuts + inj.FillDelays
+}
+
+// onRound fires after each committed lockstep round.
+func (inj *SMPInjector) onRound() {
+	inj.rounds++
+	p := inj.Plan
+	if p.StormEvery > 0 && inj.rounds%uint64(p.StormEvery) == 0 {
+		inj.storm()
+	}
+	if p.SwapOutEvery > 0 && inj.rounds%uint64(p.SwapOutEvery) == 0 {
+		inj.forceSwapOut()
+	}
+}
+
+// storm purges the private translation state of a random CPU subset —
+// every dropped entry is re-derivable from the page and shadow tables,
+// so the shootdown.ipi and smp.memo invariants must still hold on every
+// struck and unstruck CPU alike.
+func (inj *SMPInjector) storm() {
+	s := inj.sys
+	k := inj.rng.between(1, inj.Plan.StormMaxCPUs)
+	if k > s.N {
+		k = s.N
+	}
+	struck := make(map[int]bool, k)
+	for len(struck) < k {
+		struck[inj.rng.intn(s.N)] = true
+	}
+	for i := 0; i < s.N; i++ {
+		if !struck[i] {
+			continue
+		}
+		c := s.CPUs[i]
+		c.TLB.PurgeAll()
+		c.ITLB.Purge()
+		c.FlushMemo()
+		inj.CPUPurges++
+	}
+	if inj.Plan.StormTranslator && s.Translator != nil {
+		s.Translator.PurgeAll()
+	}
+	inj.fault(&inj.Storms, "storm")
+}
+
+// forceSwapOut pages out a random superpage of the first address space;
+// on a shared space the remap path broadcasts real shootdown IPIs to
+// every other CPU mid-run.
+func (inj *SMPInjector) forceSwapOut() {
+	v := inj.sys.VMs[0]
+	if !v.HasShadow() {
+		return
+	}
+	sps := v.Superpages()
+	if len(sps) == 0 {
+		return
+	}
+	sp := sps[inj.rng.intn(len(sps))]
+	res, err := v.SwapOutSuperpage(sp, vm.PageGrain)
+	if err == nil && res.PagesExamined > 0 {
+		inj.fault(&inj.SwapOuts, "swap_out")
+	}
+}
+
+// fillDelay is the MMC hook, as in Injector.fillDelay.
+func (inj *SMPInjector) fillDelay() int {
+	if inj.rng.intn(100) >= inj.Plan.FillDelayPct {
+		return 0
+	}
+	inj.fault(&inj.FillDelays, "fill_delay")
+	return inj.Plan.FillDelayCycles
+}

@@ -28,8 +28,11 @@ import (
 	"shadowtlb/internal/arch"
 	"shadowtlb/internal/check"
 	"shadowtlb/internal/core"
+	"shadowtlb/internal/cpu"
+	"shadowtlb/internal/mem"
 	"shadowtlb/internal/sim"
 	"shadowtlb/internal/tlb"
+	"shadowtlb/internal/vm"
 )
 
 // Violation is one detected invariant breach.
@@ -47,25 +50,62 @@ func (v Violation) String() string { return v.Rule + ": " + v.Detail }
 // mid-flight.
 func Check(s *sim.System) []Violation {
 	var vs []Violation
-	vs = append(vs, checkShadowPartition(s)...)
-	vs = append(vs, checkShadowTable(s)...)
-	vs = append(vs, checkTranslatorCoherent(s)...)
-	vs = append(vs, checkTLBBacked(s)...)
+	vs = append(vs, auditShadowPartition(s.VM, s.Cfg.ShadowSpace)...)
+	vs = append(vs, auditShadowTable(s.VM, s.Frames, s.Cfg.DRAMBytes)...)
+	vs = append(vs, auditTranslator(s.Translator)...)
+	vs = append(vs, auditTLBBacked("tlb.backed", s.CPUTLB, s.CPU.VM, s.Frames)...)
 	vs = append(vs, checkPTableInternal(s)...)
-	vs = append(vs, checkMemo(s)...)
+	vs = append(vs, auditMemo("cpu.memo", s.CPU)...)
 	return vs
 }
 
-// checkShadowPartition audits the shadow allocator's regions: every
+// CheckSMP runs the catalogue against a multicore system: the shared
+// substrate — shadow partition and table, translation backend, every
+// address space's hashed page table — is audited once, then each
+// processor's private state is audited under the multicore rules:
+//
+//   - "smp.memo": CPU i's fast-path memo must re-derive to the same
+//     translations its scheduled address space's authoritative
+//     structures give — after a shootdown, no CPU may keep memoized
+//     state the flush should have cleared.
+//   - "shootdown.ipi": CPU i's front TLB must hold only entries its
+//     scheduled page table can produce. A remap rewrites the PTE class
+//     and target, so an entry surviving a completed IPI turns up here
+//     as unbacked or mistargeted.
+func CheckSMP(s *sim.SMPSystem) []Violation {
+	var vs []Violation
+	vs = append(vs, auditShadowPartition(s.VMs[0], s.Cfg.ShadowSpace)...)
+	vs = append(vs, auditShadowTable(s.VMs[0], s.Frames, s.Cfg.DRAMBytes)...)
+	vs = append(vs, auditTranslator(s.Translator)...)
+	for i, v := range s.VMs {
+		if err := v.HPT.CheckConsistent(); err != nil {
+			vs = append(vs, Violation{"ptable.internal",
+				fmt.Sprintf("address space %d: %v", i, err)})
+		}
+	}
+	for i, c := range s.CPUs {
+		pre := fmt.Sprintf("cpu %d: ", i)
+		for _, v := range auditTLBBacked("shootdown.ipi", c.TLB, c.VM, s.Frames) {
+			v.Detail = pre + v.Detail
+			vs = append(vs, v)
+		}
+		for _, v := range auditMemo("smp.memo", c) {
+			v.Detail = pre + v.Detail
+			vs = append(vs, v)
+		}
+	}
+	return vs
+}
+
+// auditShadowPartition audits the shadow allocator's regions: every
 // tracked extent (free or live) must be aligned to its own class size,
 // lie inside the shadow space, and overlap no other extent — the
 // Figure 2 partition discipline.
-func checkShadowPartition(s *sim.System) []Violation {
-	lister, ok := s.VM.ShadowAlloc.(core.ExtentLister)
+func auditShadowPartition(v *vm.VM, space core.ShadowSpace) []Violation {
+	lister, ok := v.ShadowAlloc.(core.ExtentLister)
 	if !ok {
 		return nil
 	}
-	space := s.Cfg.ShadowSpace
 	var vs []Violation
 	exts := lister.Extents()
 	var prevEnd arch.PAddr
@@ -88,13 +128,13 @@ func checkShadowPartition(s *sim.System) []Violation {
 	return vs
 }
 
-// checkShadowTable audits every shadow-table entry: Fault implies
+// auditShadowTable audits every shadow-table entry: Fault implies
 // invalid; Ref or Dirty implies valid (the MTLB only maintains the bits
 // on translatable pages); and each valid entry's frame must be live in
 // the frame allocator, inside installed DRAM, and claimed by no other
 // valid shadow page ("ref/dirty ⊆ mapped" plus frame uniqueness).
-func checkShadowTable(s *sim.System) []Violation {
-	st := s.VM.STable
+func auditShadowTable(v *vm.VM, frames *mem.FrameAlloc, dramBytes uint64) []Violation {
+	st := v.STable
 	if st == nil {
 		return nil
 	}
@@ -115,11 +155,11 @@ func checkShadowTable(s *sim.System) []Violation {
 		if !ent.Valid {
 			continue
 		}
-		if !s.Frames.InUse(ent.PFN) {
+		if !frames.InUse(ent.PFN) {
 			vs = append(vs, Violation{"shadow.backing",
 				fmt.Sprintf("shadow page %v maps frame %#x which is not allocated", spa, ent.PFN)})
 		}
-		if pa := arch.FrameToPAddr(ent.PFN); uint64(pa)+arch.PageSize > s.Cfg.DRAMBytes {
+		if pa := arch.FrameToPAddr(ent.PFN); uint64(pa)+arch.PageSize > dramBytes {
 			vs = append(vs, Violation{"shadow.backing",
 				fmt.Sprintf("shadow page %v maps frame %#x beyond installed DRAM", spa, ent.PFN)})
 		}
@@ -132,7 +172,7 @@ func checkShadowTable(s *sim.System) []Violation {
 	return vs
 }
 
-// checkTranslatorCoherent audits the translation backend's cached state
+// auditTranslator audits the translation backend's cached state
 // against the in-DRAM table: every page the backend would translate
 // without reading the table must agree with the current table entry —
 // the OS purges the backend through the control interface whenever it
@@ -142,14 +182,14 @@ func checkShadowTable(s *sim.System) []Violation {
 // ranges page by page, cache-resident spill-directory entries) as
 // (shadow page, real page) pairs, and each pair is audited the same
 // way.
-func checkTranslatorCoherent(s *sim.System) []Violation {
-	if s.Translator == nil {
+func auditTranslator(tr core.Translator) []Violation {
+	if tr == nil {
 		return nil
 	}
 	var vs []Violation
-	scheme := s.Translator.Scheme()
-	st := s.Translator.Table()
-	s.Translator.VisitCached(func(shadowBase, realBase arch.PAddr) {
+	scheme := tr.Scheme()
+	st := tr.Table()
+	tr.VisitCached(func(shadowBase, realBase arch.PAddr) {
 		ent := st.Get(shadowBase)
 		if !ent.Valid {
 			vs = append(vs, Violation{"translator.coherent",
@@ -164,41 +204,42 @@ func checkTranslatorCoherent(s *sim.System) []Violation {
 	return vs
 }
 
-// checkTLBBacked audits the processor TLB against the scheduled address
+// auditTLBBacked audits a processor TLB against its scheduled address
 // space's hashed page table: every valid, non-wired entry must match a
 // live PTE of the same class and target. The HPT is the authoritative
 // mapping store; a TLB entry it cannot produce is a missed shootdown.
 // Superpage entries must additionally target shadow space, and 4 KB
-// entries a live DRAM frame.
-func checkTLBBacked(s *sim.System) []Violation {
-	hpt := s.CPU.VM.HPT
+// entries a live DRAM frame. The rule parameter names the violation:
+// "tlb.backed" on the uniprocessor, "shootdown.ipi" per multicore CPU.
+func auditTLBBacked(rule string, t *tlb.TLB, v *vm.VM, frames *mem.FrameAlloc) []Violation {
+	hpt := v.HPT
 	var vs []Violation
-	s.CPUTLB.VisitValid(func(e tlb.Entry) {
+	t.VisitValid(func(e tlb.Entry) {
 		if e.Wired {
 			return
 		}
 		pte := hpt.LookupFast(arch.VAddr(e.Tag))
 		if pte == nil || uint64(pte.VBase) != e.Tag || pte.Class != e.Class {
-			vs = append(vs, Violation{"tlb.backed",
+			vs = append(vs, Violation{rule,
 				fmt.Sprintf("TLB entry %#x (%v) has no matching page-table entry", e.Tag, e.Class)})
 			return
 		}
 		if uint64(pte.Target) != e.Target {
-			vs = append(vs, Violation{"tlb.backed",
+			vs = append(vs, Violation{rule,
 				fmt.Sprintf("TLB entry %#x (%v) targets %#x, page table says %v", e.Tag, e.Class, e.Target, pte.Target)})
 			return
 		}
 		target := arch.PAddr(e.Target)
 		if e.Class == arch.Page4K {
-			if s.VM.STable != nil && s.VM.STable.Space().Contains(target) {
-				vs = append(vs, Violation{"tlb.backed",
+			if v.STable != nil && v.STable.Space().Contains(target) {
+				vs = append(vs, Violation{rule,
 					fmt.Sprintf("4KB TLB entry %#x targets shadow address %v", e.Tag, target)})
-			} else if !s.Frames.InUse(target.FrameNum()) {
-				vs = append(vs, Violation{"tlb.backed",
+			} else if !frames.InUse(target.FrameNum()) {
+				vs = append(vs, Violation{rule,
 					fmt.Sprintf("4KB TLB entry %#x targets unallocated frame %#x", e.Tag, target.FrameNum())})
 			}
-		} else if s.VM.STable == nil || !s.VM.STable.Space().Contains(target) {
-			vs = append(vs, Violation{"tlb.backed",
+		} else if v.STable == nil || !v.STable.Space().Contains(target) {
+			vs = append(vs, Violation{rule,
 				fmt.Sprintf("superpage TLB entry %#x (%v) targets %v outside shadow space", e.Tag, e.Class, target)})
 		}
 	})
@@ -222,14 +263,16 @@ func checkPTableInternal(s *sim.System) []Violation {
 	return vs
 }
 
-// checkMemo audits the CPU's fast-path memo: every entry still valid at
+// auditMemo audits a CPU's fast-path memo: every entry still valid at
 // the current generations must re-derive to the same translation chain
 // ("cache tags consistent after FlushMemo" — a flush leaves the memo
 // empty, and anything surviving generation checks must still be true).
-func checkMemo(s *sim.System) []Violation {
+// The rule parameter names the violation: "cpu.memo" on the
+// uniprocessor, "smp.memo" per multicore CPU.
+func auditMemo(rule string, c *cpu.CPU) []Violation {
 	var vs []Violation
-	for _, d := range s.CPU.MemoDiag() {
-		vs = append(vs, Violation{"cpu.memo", d})
+	for _, d := range c.MemoDiag() {
+		vs = append(vs, Violation{rule, d})
 	}
 	return vs
 }
@@ -242,12 +285,14 @@ type Options struct {
 	Panic bool
 }
 
-// Checker audits a system at safe points during a run. Attach wires it
-// to the system's hooks; it keeps per-system state only, so one checker
-// per system is safe under the runner pool's parallelism.
+// Checker audits a system at safe points during a run. Attach (or
+// AttachSMP) wires it to the system's hooks; it keeps per-system state
+// only, so one checker per system is safe under the runner pool's
+// parallelism.
 type Checker struct {
-	sys  *sim.System
-	opts Options
+	check func() []Violation // full catalogue against the wired system
+	sys   *sim.System        // uniprocessor only (per-access probe)
+	opts  Options
 
 	// Passes counts completed clean audit passes.
 	Passes uint64
@@ -270,7 +315,8 @@ type Checker struct {
 // injector and a checker coexist on one system; the checker runs after
 // the previous hook, auditing the state the injector left behind.
 func Attach(s *sim.System, opts Options) *Checker {
-	c := &Checker{sys: s, opts: opts, nextPass: 1, stride: 1}
+	c := &Checker{check: func() []Violation { return Check(s) },
+		sys: s, opts: opts, nextPass: 1, stride: 1}
 
 	prevTick := s.Kernel.OnTick
 	s.Kernel.OnTick = func() {
@@ -305,6 +351,51 @@ func Attach(s *sim.System, opts Options) *Checker {
 	return c
 }
 
+// AttachSMP wires a checker to a multicore system's hooks: timer ticks,
+// every address space's VM operation notifications, and lockstep
+// quantum boundaries trigger CheckSMP audits with the same doubling
+// back-off as Attach, and run end always audits. Quantum boundaries are
+// the multicore-specific safe point — the committer has drained every
+// CPU's round, so no mutation (including a mid-IPI shootdown) is in
+// flight. Existing hooks are chained, so a multicore fault injector and
+// a checker coexist; the checker audits the state the injector left.
+func AttachSMP(s *sim.SMPSystem, opts Options) *Checker {
+	c := &Checker{check: func() []Violation { return CheckSMP(s) },
+		opts: opts, nextPass: 1, stride: 1}
+
+	prevTick := s.Kernel.OnTick
+	s.Kernel.OnTick = func() {
+		if prevTick != nil {
+			prevTick()
+		}
+		c.event("tick")
+	}
+	for i, v := range s.VMs {
+		i, prevOp := i, v.OnOp
+		v.OnOp = func(op string) {
+			if prevOp != nil {
+				prevOp(op)
+			}
+			c.event(fmt.Sprintf("op:%s(vm %d)", op, i))
+		}
+	}
+	prevQ := s.OnQuantum
+	s.OnQuantum = func(round uint64) {
+		if prevQ != nil {
+			prevQ(round)
+		}
+		c.event("quantum")
+	}
+	prevEnd := s.OnRunEnd
+	s.OnRunEnd = func() {
+		if prevEnd != nil {
+			prevEnd()
+		}
+		c.audit("run-end")
+	}
+	return c
+}
+
 // Violations returns the breaches recorded so far (record mode).
 func (c *Checker) Violations() []Violation { return c.violations }
 
@@ -324,7 +415,7 @@ func (c *Checker) event(origin string) {
 
 // audit runs the full catalogue once and reports the outcome.
 func (c *Checker) audit(origin string) {
-	vs := Check(c.sys)
+	vs := c.check()
 	if len(vs) == 0 {
 		c.Passes++
 		return
@@ -369,8 +460,8 @@ func (c *Checker) reportAccess(va arch.VAddr, real arch.PAddr, detail string) {
 var enableOnce sync.Once
 
 // EnableGlobalChecks attaches a panicking checker to every system
-// assembled from now on (the -check flag). It chains any hook already
-// installed and is idempotent.
+// assembled from now on (the -check flag) — uniprocessor and multicore
+// alike. It chains any hooks already installed and is idempotent.
 func EnableGlobalChecks() {
 	enableOnce.Do(func() {
 		prev := sim.OnNewSystem
@@ -379,6 +470,13 @@ func EnableGlobalChecks() {
 				prev(s)
 			}
 			Attach(s, Options{Panic: true})
+		}
+		prevSMP := sim.OnNewSMPSystem
+		sim.OnNewSMPSystem = func(s *sim.SMPSystem) {
+			if prevSMP != nil {
+				prevSMP(s)
+			}
+			AttachSMP(s, Options{Panic: true})
 		}
 	})
 }

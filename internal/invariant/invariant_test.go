@@ -9,6 +9,7 @@ import (
 	"shadowtlb/internal/core"
 	"shadowtlb/internal/exp"
 	"shadowtlb/internal/sim"
+	"shadowtlb/internal/tlb"
 )
 
 // mtlbCell returns a registered experiment cell with an MTLB fitted, so
@@ -97,6 +98,76 @@ func TestCorruptionsDetected(t *testing.T) {
 		s.VM.STable.Set(spa, ent)
 		expectRule(t, s, "translator.coherent")
 	})
+}
+
+// smpCell returns a registered multicore cell with an MTLB and more
+// than one CPU, so the multicore catalogue audits real cross-CPU state.
+func smpCell(t *testing.T) exp.Cell {
+	t.Helper()
+	for _, d := range exp.Descriptors() {
+		if d.ID != "smp" {
+			continue
+		}
+		for _, c := range d.Cells(exp.Small) {
+			if c.Cfg.MTLB != nil && c.Cfg.SMP != nil && c.Cfg.SMP.CPUs > 1 {
+				return c
+			}
+		}
+	}
+	t.Fatal("no registered multicore cell has an MTLB")
+	return exp.Cell{}
+}
+
+// TestSMPCleanRunPasses attaches the multicore checker in record mode
+// to a normal parallel run and expects audits to have happened — at
+// quantum boundaries among others — and found nothing.
+func TestSMPCleanRunPasses(t *testing.T) {
+	c := smpCell(t)
+	w, err := exp.MakeWorkload(c.Workload, c.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.NewSMP(c.Cfg, w)
+	chk := AttachSMP(s, Options{})
+	s.Run()
+	if vs := chk.Violations(); len(vs) != 0 {
+		t.Fatalf("clean run reported violations: %v", vs)
+	}
+	if chk.Passes == 0 {
+		t.Fatal("no audit passes ran — hooks are not wired")
+	}
+}
+
+// TestSMPCorruptionsDetected plants multicore corruptions into a
+// finished parallel system and expects the per-CPU rules to fire.
+func TestSMPCorruptionsDetected(t *testing.T) {
+	c := smpCell(t)
+	w, err := exp.MakeWorkload(c.Workload, c.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.NewSMP(c.Cfg, w)
+	s.Run()
+
+	// A TLB entry on CPU 1 that no page table can produce is exactly
+	// what a missed shootdown IPI leaves behind.
+	s.CPUs[1].TLB.Insert(tlb.Entry{
+		Tag: uint64(arch.VAddr(0x7f00_0000)), Class: arch.Page4K,
+		Target: uint64(arch.PAddr(0x1000)), Valid: true,
+	})
+	vs := CheckSMP(s)
+	found := false
+	for _, v := range vs {
+		if v.Rule == "shootdown.ipi" && strings.HasPrefix(v.Detail, "cpu 1: ") {
+			found = true
+		}
+		if v.Rule == "tlb.backed" {
+			t.Errorf("multicore audit reported the uniprocessor rule: %v", v)
+		}
+	}
+	if !found {
+		t.Fatalf("planted stale TLB entry on CPU 1 not detected, got: %v", vs)
+	}
 }
 
 // findShadowPage returns a shadow page whose entry validity matches

@@ -69,6 +69,16 @@ type Costs struct {
 	// DiskPageIO is the cycle cost of one 4 KB page transfer to or from
 	// the paging device, for the swap experiments.
 	DiskPageIO int
+
+	// ShootdownIPI is the initiator-side cost of dispatching one TLB
+	// shootdown IPI to a remote processor: composing the purge request
+	// and ringing the remote doorbell (multicore systems only; a
+	// uniprocessor never charges it).
+	ShootdownIPI int
+	// ShootdownAck is the remote processor's cost per received
+	// shootdown IPI: trap entry, the purge itself, acknowledge
+	// (multicore systems only).
+	ShootdownAck int
 }
 
 // DefaultCosts returns the calibrated cost model.
@@ -90,6 +100,8 @@ func DefaultCosts() Costs {
 		TimerHandler:     500,
 		ContextSwitch:    2_000,
 		DiskPageIO:       2_000_000, // ~8 ms at 240 MHz
+		ShootdownIPI:     150,
+		ShootdownAck:     250,
 	}
 }
 

@@ -1,0 +1,514 @@
+package sim
+
+import (
+	"fmt"
+
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/cpu"
+	"shadowtlb/internal/stats"
+	"shadowtlb/internal/workload"
+)
+
+// The generator/committer lockstep executor (DESIGN §17).
+//
+// Each simulated CPU's thread runs as a real goroutine — the generator
+// — executing actual workload code against a private functional page
+// mirror (zero-filled on demand, exactly like DRAM frames), and emits
+// its memory references in bounded quanta. A single committer goroutine
+// receives one quantum per running CPU per round, in a deterministic
+// arbitration order, and drains it through the full timing model:
+// per-CPU TLB and memo, the shared cache, bus, MMC/MTLB and kernel.
+//
+// Every piece of timing state is touched by the committer alone, so
+// the simulation is bit-identical for any GOMAXPROCS and any host
+// schedule; generators run up to two quanta ahead, so workload-side
+// compute overlaps commit and wall-clock scales with host cores.
+//
+// Allocation, sbrk and remap are control operations: the generator
+// flushes its quantum with the operation attached, the committer
+// executes it on the issuing CPU (in arbitration order, like any other
+// reference), and the generator blocks until the reply arrives — so
+// region bases are always the real VM's. Barriers flush and park the
+// generator until every unfinished thread has reached one; the
+// committer then aligns the waiters' clocks to the latest arrival,
+// accounting the difference as barrier idle time.
+//
+// The committer verifies every committed load against the generator's
+// mirrored value, so a workload that violates the page-ownership
+// contract (two threads touching one page between barriers) fails
+// loudly instead of silently diverging.
+
+// smpQuantum is one generator-to-committer handover.
+type smpQuantum struct {
+	refs    []workload.Ref
+	op      *ctrlOp // executed after refs commit
+	barrier bool    // thread parks at a barrier after refs
+	done    bool    // thread finished
+}
+
+type ctrlKind int
+
+const (
+	ctrlSbrk ctrlKind = iota
+	ctrlRemap
+	ctrlAllocRegion
+	ctrlAllocAligned
+	ctrlBeginProc
+	ctrlEndProc
+)
+
+// ctrlOp is a control operation needing the committer's machine state.
+type ctrlOp struct {
+	kind                ctrlKind
+	name                string
+	size, align, offset uint64
+	base                arch.VAddr // remap base
+	k                   int        // member index (begin/end proc)
+}
+
+// ctrlReply carries the committer's answer back to the generator; it
+// doubles as the barrier release and the sequential-mode pace token.
+type ctrlReply struct {
+	va arch.VAddr
+	ok bool
+}
+
+// genEnv is the generator-side workload.Env: functional state only,
+// references buffered into quanta.
+type genEnv struct {
+	pages map[uint64]*[arch.PageSize]byte
+	buf   []workload.Ref
+	q     int
+	seq   bool
+
+	out  chan smpQuantum
+	ctl  chan ctrlReply
+	free chan []workload.Ref
+}
+
+var _ workload.Env = (*genEnv)(nil)
+var _ workload.Barrierer = (*genEnv)(nil)
+
+func newGenEnv(q int, seq bool) *genEnv {
+	e := &genEnv{
+		pages: make(map[uint64]*[arch.PageSize]byte),
+		buf:   make([]workload.Ref, 0, q),
+		q:     q,
+		seq:   seq,
+		out:   make(chan smpQuantum, 1),
+		ctl:   make(chan ctrlReply),
+		free:  make(chan []workload.Ref, 2),
+	}
+	e.free <- make([]workload.Ref, 0, q) // one spare: generation runs ahead
+	return e
+}
+
+// page returns the private backing page, zero-filled on demand — the
+// same contents a fresh DRAM frame has, which is what keeps the mirror
+// exact.
+func (e *genEnv) page(va arch.VAddr) *[arch.PageSize]byte {
+	pn := va.PageNum()
+	p := e.pages[pn]
+	if p == nil {
+		p = new([arch.PageSize]byte)
+		e.pages[pn] = p
+	}
+	return p
+}
+
+func (e *genEnv) checkAccess(va arch.VAddr, size int) {
+	if size <= 0 || size > 8 {
+		panic(fmt.Sprintf("sim: smp access size %d", size))
+	}
+	if va.PageOff()+uint64(size) > arch.PageSize {
+		panic(fmt.Sprintf("sim: smp access at %v size %d crosses a page boundary", va, size))
+	}
+}
+
+// emit buffers one reference, flushing a full quantum.
+func (e *genEnv) emit(r workload.Ref) {
+	e.buf = append(e.buf, r)
+	if len(e.buf) >= e.q {
+		e.flush(smpQuantum{}, e.seq)
+	}
+}
+
+// flush hands the buffered references (plus any control payload in q)
+// to the committer and takes a fresh buffer. When wait is true the
+// generator parks until the committer answers — control operations and
+// barriers always wait; in sequential mode every flush does, which is
+// what serializes generation against commit.
+func (e *genEnv) flush(q smpQuantum, wait bool) ctrlReply {
+	q.refs = e.buf
+	e.buf = nil
+	e.out <- q
+	var rep ctrlReply
+	if wait {
+		rep = <-e.ctl
+	}
+	if !q.done {
+		e.buf = <-e.free
+	}
+	return rep
+}
+
+// Load reads the private mirror and records the reference, value
+// included so the committer can verify functional agreement.
+func (e *genEnv) Load(va arch.VAddr, size int) uint64 {
+	e.checkAccess(va, size)
+	p := e.page(va)
+	off := va.PageOff()
+	v := uint64(0)
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | uint64(p[off+uint64(i)])
+	}
+	e.emit(workload.Ref{VA: va, Val: v, Size: uint8(size)})
+	return v
+}
+
+// Store writes the private mirror and records the reference.
+func (e *genEnv) Store(va arch.VAddr, size int, val uint64) {
+	e.checkAccess(va, size)
+	p := e.page(va)
+	off := va.PageOff()
+	for i := 0; i < size; i++ {
+		p[off+uint64(i)] = byte(val >> (8 * i))
+	}
+	e.emit(workload.Ref{VA: va, Val: val, Size: uint8(size), Store: true})
+}
+
+// Step folds instruction charges into the last buffered reference.
+func (e *genEnv) Step(n int) {
+	if n <= 0 {
+		return
+	}
+	if len(e.buf) > 0 {
+		r := &e.buf[len(e.buf)-1]
+		if s := uint64(r.Step) + uint64(n); s <= 1<<31 {
+			r.Step = uint32(s)
+			return
+		}
+	}
+	e.emit(workload.Ref{Step: uint32(n)})
+}
+
+// Sbrk is a control operation: the committer moves the real break.
+func (e *genEnv) Sbrk(n uint64) arch.VAddr {
+	return e.flush(smpQuantum{op: &ctrlOp{kind: ctrlSbrk, size: n}}, true).va
+}
+
+// Remap is a control operation: superpage promotion by the OS.
+func (e *genEnv) Remap(base arch.VAddr, size uint64) bool {
+	return e.flush(smpQuantum{op: &ctrlOp{kind: ctrlRemap, base: base, size: size}}, true).ok
+}
+
+// AllocRegion is a control operation; the returned base is the VM's.
+func (e *genEnv) AllocRegion(name string, size uint64) arch.VAddr {
+	return e.flush(smpQuantum{op: &ctrlOp{kind: ctrlAllocRegion, name: name, size: size}}, true).va
+}
+
+// AllocAligned is a control operation; the returned base is the VM's.
+func (e *genEnv) AllocAligned(name string, size, align, offset uint64) arch.VAddr {
+	op := &ctrlOp{kind: ctrlAllocAligned, name: name, size: size, align: align, offset: offset}
+	return e.flush(smpQuantum{op: op}, true).va
+}
+
+// Barrier implements workload.Barrierer: park until every unfinished
+// thread arrives.
+func (e *genEnv) Barrier() {
+	e.flush(smpQuantum{barrier: true}, true)
+}
+
+// beginProc starts mix member k on this CPU: the committer switches to
+// its address space and charges process startup; the generator starts
+// a fresh mirror, because it is a fresh address space.
+func (e *genEnv) beginProc(k int) {
+	e.flush(smpQuantum{op: &ctrlOp{kind: ctrlBeginProc, k: k}}, true)
+	e.pages = make(map[uint64]*[arch.PageSize]byte)
+}
+
+// endProc retires mix member k (process exit accounting).
+func (e *genEnv) endProc(k int) {
+	e.flush(smpQuantum{op: &ctrlOp{kind: ctrlEndProc, k: k}}, true)
+}
+
+// finish flushes any tail references and announces completion.
+func (e *genEnv) finish() {
+	e.flush(smpQuantum{done: true}, false)
+}
+
+// runLockstep boots the machine, launches one generator per CPU, and
+// commits quanta until every thread completes.
+func (s *SMPSystem) runLockstep() {
+	n := s.N
+	q := s.Cfg.SMP.Quantum
+	if q <= 0 {
+		q = DefaultSMPQuantum
+	}
+
+	s.cur = 0
+	s.CPUs[0].Charge(s.Kernel.Boot(), cpu.KernelTime)
+
+	envs := make([]*genEnv, n)
+	for i := range envs {
+		envs[i] = newGenEnv(q, s.seq)
+	}
+
+	if s.Shared {
+		// One process, one thread per CPU: fork/exec once on the boot
+		// processor, then a dispatch on each further CPU.
+		s.CPUs[0].Charge(s.Kernel.StartProcess(), cpu.KernelTime)
+		if s.w.SbrkSuperpages() && s.VMs[0].HasShadow() {
+			sc := s.VMs[0].SbrkConfigNow()
+			sc.Superpages = true
+			s.VMs[0].ConfigureSbrk(sc)
+		}
+		for i := 1; i < n; i++ {
+			s.cur = i
+			s.CPUs[i].Charge(stats.Cycles(s.Kernel.Costs.ContextSwitch), cpu.KernelTime)
+		}
+		p := s.w.(workload.Parallel)
+		for i := 0; i < n; i++ {
+			i := i
+			go func() {
+				p.RunThread(envs[i], i, n)
+				envs[i].finish()
+			}()
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			i, th := i, s.threads[i]
+			go func() {
+				for k, m := range th.members {
+					envs[i].beginProc(k)
+					m.Run(envs[i])
+					envs[i].endProc(k)
+				}
+				envs[i].finish()
+			}()
+		}
+	}
+
+	s.commitLoop(envs)
+
+	if s.Shared {
+		s.cur = 0
+		s.CPUs[0].Charge(s.Kernel.ExitProcess(), cpu.KernelTime)
+	}
+}
+
+// execOp performs a control operation on CPU i's machine state.
+func (s *SMPSystem) execOp(i int, op *ctrlOp) ctrlReply {
+	c := s.CPUs[i]
+	switch op.kind {
+	case ctrlSbrk:
+		return ctrlReply{va: c.Sbrk(op.size)}
+	case ctrlRemap:
+		return ctrlReply{ok: c.Remap(op.base, op.size)}
+	case ctrlAllocRegion:
+		return ctrlReply{va: c.AllocRegion(op.name, op.size)}
+	case ctrlAllocAligned:
+		return ctrlReply{va: c.AllocAligned(op.name, op.size, op.align, op.offset)}
+	case ctrlBeginProc:
+		v := s.threads[i].vms[op.k]
+		if c.VM != v {
+			c.SwitchVM(v)
+		}
+		c.Charge(s.Kernel.StartProcess(), cpu.KernelTime)
+		m := s.threads[i].members[op.k]
+		if m.SbrkSuperpages() && v.HasShadow() {
+			sc := v.SbrkConfigNow()
+			sc.Superpages = true
+			v.ConfigureSbrk(sc)
+		}
+		return ctrlReply{}
+	case ctrlEndProc:
+		c.Charge(s.Kernel.ExitProcess(), cpu.KernelTime)
+		return ctrlReply{}
+	}
+	panic("sim: unknown control op")
+}
+
+// drainRefs commits one quantum through the timing model, verifying
+// each load against the generator's mirrored value.
+func (s *SMPSystem) drainRefs(c *cpu.CPU, refs []workload.Ref) {
+	for i := range refs {
+		r := &refs[i]
+		if r.Size > 0 {
+			if r.Store {
+				c.Store(r.VA, int(r.Size), r.Val)
+			} else if got := c.Load(r.VA, int(r.Size)); got != r.Val {
+				panic(fmt.Sprintf(
+					"sim: smp functional divergence at %v: machine %#x, generator %#x (page-ownership contract violated?)",
+					r.VA, got, r.Val))
+			}
+		}
+		if r.Step > 0 {
+			c.Step(int(r.Step))
+		}
+	}
+}
+
+// Thread states in the commit loop.
+const (
+	stRunning = iota
+	stBarrier
+	stDone
+)
+
+// commitLoop is the committer: one quantum per running CPU per round,
+// in an arbitration order rotated deterministically per round, followed
+// by bus contention charges and barrier bookkeeping.
+func (s *SMPSystem) commitLoop(envs []*genEnv) {
+	n := s.N
+	state := make([]int, n)
+	pendTok := make([]bool, n)      // sequential mode: token owed at next slot
+	pendRep := make([]ctrlReply, n) // its payload
+	busDelta := make([]uint64, n)   // shared-bus busy cycles during each drain
+	workDelta := make([]uint64, n)  // CPU cycles charged during each drain
+	live := n
+	cpb := s.Cfg.Bus.CPUCyclesPerBusCycle
+	if cpb <= 0 {
+		cpb = 1
+	}
+
+	var round uint64
+	for live > 0 {
+		// Arbitration order: plain rotation, or a seeded pseudo-random
+		// rotation when fuzzing schedules.
+		off := int(round % uint64(n))
+		if seed := s.Cfg.SMP.ArbSeed; seed != 0 {
+			off = int(splitmix64(seed^round) % uint64(n))
+		}
+
+		for i := range busDelta {
+			busDelta[i], workDelta[i] = 0, 0
+		}
+		for k := 0; k < n; k++ {
+			i := (off + k) % n
+			if state[i] != stRunning {
+				continue
+			}
+			e := envs[i]
+			if pendTok[i] {
+				// Sequential mode: wake the generator only now, at its
+				// commit slot, so exactly one goroutine runs at a time.
+				pendTok[i] = false
+				e.ctl <- pendRep[i]
+			}
+			qu := <-e.out
+			s.cur = i
+			c := s.CPUs[i]
+			b0 := s.Bus.BusyBusCycle
+			w0 := c.Breakdown.Total()
+			s.drainRefs(c, qu.refs)
+			var rep ctrlReply
+			if qu.op != nil {
+				rep = s.execOp(i, qu.op)
+			}
+			busDelta[i] = s.Bus.BusyBusCycle - b0
+			workDelta[i] = uint64(c.Breakdown.Total() - w0)
+			if qu.refs != nil {
+				e.free <- qu.refs[:0]
+			}
+			switch {
+			case qu.done:
+				state[i] = stDone
+				live--
+			case qu.barrier:
+				state[i] = stBarrier
+			case qu.op != nil || s.seq:
+				if s.seq {
+					pendTok[i], pendRep[i] = true, rep
+				} else {
+					e.ctl <- rep
+				}
+			}
+		}
+
+		// Bus contention: each CPU's wait grows with the bus demand the
+		// *other* CPUs placed in the same round — overlap probability
+		// demand_i x demand_other / capacity, capped at fully serialized
+		// (a CPU can never wait longer than everyone else's traffic).
+		// Integer arithmetic, commit-order independent, deterministic.
+		var demand, maxWork uint64
+		for i := 0; i < n; i++ {
+			demand += busDelta[i]
+			if workDelta[i] > maxWork {
+				maxWork = workDelta[i]
+			}
+		}
+		if demand > 0 && maxWork > 0 {
+			capacity := maxWork / uint64(cpb)
+			if capacity == 0 {
+				capacity = 1
+			}
+			for i := 0; i < n; i++ {
+				other := demand - busDelta[i]
+				if busDelta[i] == 0 || other == 0 {
+					continue
+				}
+				extra := busDelta[i] * other / capacity
+				if extra > other {
+					extra = other
+				}
+				if extra == 0 {
+					continue
+				}
+				stall := stats.Cycles(s.Bus.ToCPU(int(extra)))
+				s.cur = i
+				s.CPUs[i].Charge(stall, cpu.Memory)
+				s.BusStall[i] += stall
+			}
+		}
+
+		// Barrier release: when every unfinished thread has arrived,
+		// align the waiters' clocks to the latest arrival and wake them.
+		anyB, allB := false, true
+		for i := 0; i < n; i++ {
+			if state[i] == stBarrier {
+				anyB = true
+			} else if state[i] == stRunning {
+				allB = false
+			}
+		}
+		if anyB && allB {
+			var tmax uint64
+			for i := 0; i < n; i++ {
+				if state[i] == stBarrier {
+					if cl := s.clock(i); cl > tmax {
+						tmax = cl
+					}
+				}
+			}
+			for i := 0; i < n; i++ {
+				if state[i] != stBarrier {
+					continue
+				}
+				if cl := s.clock(i); cl < tmax {
+					s.Idle[i] += stats.Cycles(tmax - cl)
+				}
+				state[i] = stRunning
+				if s.seq {
+					pendTok[i], pendRep[i] = true, ctrlReply{}
+				} else {
+					envs[i].ctl <- ctrlReply{}
+				}
+			}
+		}
+
+		if s.OnQuantum != nil {
+			s.OnQuantum(round)
+		}
+		round++
+	}
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, well-mixed hash for
+// deterministic arbitration rotation.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -102,6 +102,39 @@ type Config struct {
 	Costs     kernel.Costs
 	// HPTEntries sizes the hashed page table (default 16K, §3.2).
 	HPTEntries int
+
+	// SMP, when non-nil, selects the multicore machine (see smp.go): N
+	// processors with private TLBs, micro-ITLBs and fast-path memos
+	// over one shared bus, cache, MMC/MTLB, DRAM and shadow space. Nil
+	// — the default — is the paper's uniprocessor; every existing cell
+	// key and golden is untouched.
+	SMP *SMPParams
+}
+
+// SMPParams parameterizes the multicore machine.
+type SMPParams struct {
+	// CPUs is the processor count (1 runs the multicore executor on a
+	// single CPU — useful as the speedup baseline).
+	CPUs int
+	// Quantum is the lockstep quantum in references per CPU per round
+	// (0 = DefaultSMPQuantum). Timing-visible: shorter quanta commit
+	// smaller slices per arbitration turn.
+	Quantum int
+	// ArbSeed perturbs the per-round rotation of the arbitration order
+	// (0 = plain round-robin rotation). Results for different seeds
+	// legitimately differ in timing; the schedule fuzzer proves the
+	// functional counters never move.
+	ArbSeed uint64
+}
+
+// DefaultSMPQuantum is the lockstep quantum when SMPParams.Quantum is 0.
+const DefaultSMPQuantum = 256
+
+// WithSMP returns the config with an n-CPU multicore machine selected.
+func (c Config) WithSMP(n int) Config {
+	c.SMP = &SMPParams{CPUs: n}
+	c.Label += fmt.Sprintf("+smp%d", n)
+	return c
 }
 
 // Default returns the paper's base system: 96-entry CPU TLB, no MTLB.
@@ -331,6 +364,20 @@ type Result struct {
 	StreamHits      uint64
 	RowHitRate      float64 // banked DRAM timing only (zero when flat)
 	CPUTLBReachPeak uint64
+
+	// Multicore measurements (zero on uniprocessor runs). Breakdown
+	// above is the sum over all CPUs; MachineCycles is the simulated
+	// wall clock — the slowest processor's completion time including
+	// barrier idling. All fields are scalars so Result stays comparable
+	// with == (memoization, caches and the differential suites rely on
+	// that).
+	CPUs           int
+	MachineCycles  uint64
+	IPIs           uint64 // shootdown IPIs delivered to remote CPUs
+	BusStallCycles uint64 // cycles lost to inter-CPU bus contention
+	BarrierCycles  uint64 // cycles idle at parallel-workload barriers
+	MaxCPUCycles   uint64 // busiest processor's charged (non-idle) cycles
+	MinCPUCycles   uint64 // least-loaded processor's charged cycles
 }
 
 // TotalCycles returns the run's total simulated CPU cycles.

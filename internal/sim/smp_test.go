@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+
+	"shadowtlb/internal/core"
+	"shadowtlb/internal/workload"
+	"shadowtlb/internal/workload/em3d"
+	"shadowtlb/internal/workload/radix"
+)
+
+func smpConfig(cpus int) Config {
+	cfg := Default().WithTLB(64).WithMTLB(core.MTLBConfig{Entries: 128, Ways: 2})
+	return cfg.WithSMP(cpus)
+}
+
+func TestSMPRadixSorts(t *testing.T) {
+	for _, cpus := range []int{1, 2, 4} {
+		w := radix.NewParallel(radix.SmallConfig())
+		res := RunSMP(smpConfig(cpus), w)
+		if !w.Sorted {
+			t.Fatalf("cpus=%d: not sorted", cpus)
+		}
+		if res.CPUs != cpus {
+			t.Fatalf("cpus=%d: result reports %d", cpus, res.CPUs)
+		}
+		if res.MachineCycles == 0 || res.Breakdown.Total() == 0 {
+			t.Fatalf("cpus=%d: empty result %+v", cpus, res)
+		}
+		if uint64(res.MaxCPUCycles) > res.MachineCycles {
+			t.Fatalf("cpus=%d: max CPU cycles %d beyond machine cycles %d",
+				cpus, res.MaxCPUCycles, res.MachineCycles)
+		}
+	}
+}
+
+func TestSMPEm3dChecksumStableAcrossCPUCounts(t *testing.T) {
+	// The graph depends on the thread count, so checksums differ across
+	// CPU counts — but for a fixed count they must be identical across
+	// runs and executors.
+	for _, cpus := range []int{1, 2, 4} {
+		w1 := em3d.NewParallel(em3d.SmallConfig())
+		r1 := RunSMP(smpConfig(cpus), w1)
+		w2 := em3d.NewParallel(em3d.SmallConfig())
+		r2 := RunSMP(smpConfig(cpus), w2)
+		if w1.Checksum != w2.Checksum {
+			t.Fatalf("cpus=%d: checksum %d vs %d", cpus, w1.Checksum, w2.Checksum)
+		}
+		if r1 != r2 {
+			t.Fatalf("cpus=%d: results differ:\n%+v\n%+v", cpus, r1, r2)
+		}
+	}
+}
+
+func TestSMPSequentialExecutorMatches(t *testing.T) {
+	for _, cpus := range []int{1, 2, 4} {
+		rp := RunSMP(smpConfig(cpus), radix.NewParallel(radix.SmallConfig()))
+		rs := RunSMPSequential(smpConfig(cpus), radix.NewParallel(radix.SmallConfig()))
+		if rp != rs {
+			t.Fatalf("cpus=%d: pipelined vs sequential:\n%+v\n%+v", cpus, rp, rs)
+		}
+	}
+}
+
+func TestSMPDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	want := RunSMP(smpConfig(2), radix.NewParallel(radix.SmallConfig()))
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, p := range []int{1, 2, runtime.NumCPU()} {
+		runtime.GOMAXPROCS(p)
+		got := RunSMP(smpConfig(2), radix.NewParallel(radix.SmallConfig()))
+		if got != want {
+			t.Fatalf("GOMAXPROCS=%d: results differ:\n%+v\n%+v", p, got, want)
+		}
+	}
+}
+
+func TestSMPMixRunsPerCPUProcesses(t *testing.T) {
+	mix := workload.NewMix("mix",
+		radix.New(radix.SmallConfig()),
+		em3d.New(em3d.SmallConfig()),
+	)
+	for _, cpus := range []int{1, 2} {
+		r1 := RunSMP(smpConfig(cpus), mix)
+		r2 := RunSMP(smpConfig(cpus), workload.NewMix("mix",
+			radix.New(radix.SmallConfig()),
+			em3d.New(em3d.SmallConfig()),
+		))
+		if r1 != r2 {
+			t.Fatalf("cpus=%d: mix results differ:\n%+v\n%+v", cpus, r1, r2)
+		}
+		if r1.IPIs != 0 {
+			t.Fatalf("cpus=%d: private address spaces must not IPI (got %d)", cpus, r1.IPIs)
+		}
+	}
+}
+
+func TestSMPSerialWorkloadOnCPU0(t *testing.T) {
+	w := radix.New(radix.SmallConfig())
+	res := RunSMP(smpConfig(2), w)
+	if !w.Sorted {
+		t.Fatal("not sorted")
+	}
+	if res.MinCPUCycles >= res.MaxCPUCycles {
+		t.Fatalf("expected an idle second CPU: min %d max %d", res.MinCPUCycles, res.MaxCPUCycles)
+	}
+}

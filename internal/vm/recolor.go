@@ -117,6 +117,7 @@ func (v *VM) RecolorPage(va arch.VAddr, color uint64) (stats.Cycles, error) {
 	}
 	v.CPUTLB.Purge(uint64(vbase))
 	v.ITLB.PurgeIfOverlaps(uint64(vbase), arch.PageSize)
+	v.purgePeers(uint64(vbase), arch.PageSize)
 	v.shootdown()
 	cycles += stats.Cycles(v.Kernel.Costs.RemapPerPage)
 	v.Recolored++

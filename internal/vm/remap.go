@@ -189,9 +189,11 @@ func (v *VM) makeSuperpage(vbase arch.VAddr, class arch.PageSizeClass, res *Rema
 		return other, err
 	}
 
-	// Shoot down stale processor TLB entries for the whole range.
+	// Shoot down stale processor TLB entries for the whole range, on
+	// every processor sharing this address space.
 	v.CPUTLB.PurgeRange(uint64(vbase), class.Bytes())
 	v.ITLB.PurgeIfOverlaps(uint64(vbase), class.Bytes())
+	v.purgePeers(uint64(vbase), class.Bytes())
 	v.shootdown()
 
 	sp := Superpage{VBase: vbase, Class: class, Shadow: shadow}

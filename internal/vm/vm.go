@@ -109,6 +109,13 @@ type VM struct {
 	clock    clockPos
 	Reclaims uint64
 
+	// Peer TLBs of other processors sharing this address space
+	// (multicore). Translation-changing operations purge the affected
+	// range from every peer in addition to CPUTLB/ITLB; the IPI cost of
+	// doing so is charged by the OnShootdown hook, which the multicore
+	// executor points at its shootdown broadcaster.
+	peers []peerTLB
+
 	// Observability instruments (see observe.go); nil means disabled
 	// and every use is a no-op.
 	tl        *obs.Timeline
@@ -162,6 +169,30 @@ func New(d Deps) *VM {
 
 // HasShadow reports whether shadow memory is available.
 func (v *VM) HasShadow() bool { return v.STable != nil }
+
+// peerTLB is one remote processor's translation hardware.
+type peerTLB struct {
+	t  *tlb.TLB
+	it *tlb.MicroITLB
+}
+
+// AddPeerTLB registers another processor's TLB pair as a consumer of
+// this address space. PA-RISC TLBs carry no address-space tags, so the
+// kernel must purge the mapped range from every processor that may have
+// cached it; after this call remap and recolor do exactly that.
+func (v *VM) AddPeerTLB(t *tlb.TLB, it *tlb.MicroITLB) {
+	v.peers = append(v.peers, peerTLB{t: t, it: it})
+}
+
+// purgePeers removes the virtual range from every peer processor's
+// TLB and micro-ITLB. This models the purge executed by the remote
+// shootdown handler; the cycle cost is charged by OnShootdown.
+func (v *VM) purgePeers(vbase uint64, bytes uint64) {
+	for _, p := range v.peers {
+		p.t.PurgeRange(vbase, bytes)
+		p.it.PurgeIfOverlaps(vbase, bytes)
+	}
+}
 
 // shootdown notifies the processor model that translations changed.
 func (v *VM) shootdown() {

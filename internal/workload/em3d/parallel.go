@@ -1,0 +1,264 @@
+package em3d
+
+import (
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/workload"
+)
+
+// Parallel is em3d in its true message-passing formulation for the
+// multicore simulator — the shape of the original Chandra, Larus &
+// Rogers program, which the serial port in this package collapses to
+// one processor. Nodes are partitioned into contiguous per-thread
+// ranges; each thread's records live in its own page-aligned segment
+// together with ghost records mirroring the remote neighbours it
+// reads. After each half time-step the owners' freshly computed values
+// cross threads through Go-side mirrors at a barrier and each thread
+// stores them into its own ghost records, so every simulated reference
+// stays inside the issuing thread's pages (the workload.Parallel
+// contract) while the scattered dependent-load pattern that gives em3d
+// the worst cache behaviour of the five programs is preserved.
+type Parallel struct {
+	Cfg Config
+
+	// SpaceBytes reports the dynamically allocated region size.
+	SpaceBytes uint64
+	// Checksum is a value-dependent result for regression checks.
+	Checksum uint64
+
+	base arch.VAddr
+	lo   []int    // first node index owned by each thread (both sides)
+	hi   []int    // one past the last owned node index
+	seg  []uint64 // per-thread segment base offset into the region
+
+	// Go-side mirrors: element (side, i) is written only by the owner
+	// of node i and read by ghost holders strictly after a barrier.
+	vals [2][]uint64
+	wts  [2][][]uint64
+
+	ghosts []int     // per-thread ghost record counts (layout input)
+	builds []*tbuild // per-thread adjacency, built before allocation
+	parts  []uint64  // per-thread checksum contributions
+}
+
+// tbuild is one thread's graph structure, computed Go-side before the
+// region exists so ghost counts can size the per-thread segments.
+type tbuild struct {
+	nbr   [2][][]int // neighbour node index per local node and edge
+	gslot map[[2]int]int
+	glist [][2]int // ghost (side, node) in first-use order
+}
+
+// NewParallel returns the parallel em3d workload.
+func NewParallel(cfg Config) *Parallel { return &Parallel{Cfg: cfg} }
+
+// Name identifies the workload.
+func (e *Parallel) Name() string { return "em3dp" }
+
+// SbrkSuperpages is false: the space is remapped explicitly after
+// initialization, as in the paper.
+func (e *Parallel) SbrkSuperpages() bool { return false }
+
+// Run executes the uniprocessor fallback: one thread, no ghosts.
+func (e *Parallel) Run(env workload.Env) { e.RunThread(env, 0, 1) }
+
+// RunThread implements workload.Parallel.
+func (e *Parallel) RunThread(env workload.Env, t, n int) {
+	nodes, d := e.Cfg.Nodes, e.Cfg.Degree
+	ns := 8 + 16*d // same record layout as the serial kernel
+
+	if t == 0 {
+		per := (nodes + n - 1) / n
+		e.lo = make([]int, n)
+		e.hi = make([]int, n)
+		for u := 0; u < n; u++ {
+			e.lo[u] = minInt(u*per, nodes)
+			e.hi[u] = minInt(e.lo[u]+per, nodes)
+		}
+		for s := 0; s < 2; s++ {
+			e.vals[s] = make([]uint64, nodes)
+			e.wts[s] = make([][]uint64, nodes)
+		}
+		e.ghosts = make([]int, n)
+		e.builds = make([]*tbuild, n)
+		e.seg = make([]uint64, n)
+		e.parts = make([]uint64, n)
+	}
+	workload.Sync(env) // partition published
+	lo, hi := e.lo[t], e.hi[t]
+
+	// Build the thread's subgraph Go-side: windowed-random cross-links
+	// as in the serial kernel, seeded per thread, recording which
+	// remote records need a ghost. No simulated references yet — the
+	// ghost count decides the segment layout.
+	r := workload.NewRNG(5 + uint64(t)*0x9e3779b97f4a7c15)
+	win := e.Cfg.Window
+	if win <= 0 || win > nodes/2 {
+		win = nodes / 2
+	}
+	b := &tbuild{gslot: make(map[[2]int]int)}
+	for s := 0; s < 2; s++ {
+		b.nbr[s] = make([][]int, hi-lo)
+	}
+	for s := 0; s < 2; s++ {
+		for i := lo; i < hi; i++ {
+			nb := make([]int, d)
+			wt := make([]uint64, d)
+			for j := 0; j < d; j++ {
+				off := r.Intn(2*win+1) - win
+				v := i + off
+				for v < 0 {
+					v += nodes
+				}
+				for v >= nodes {
+					v -= nodes
+				}
+				nb[j] = v
+				wt[j] = uint64(2 + r.Intn(7))
+				if v < lo || v >= hi {
+					key := [2]int{1 - s, v}
+					if _, ok := b.gslot[key]; !ok {
+						b.gslot[key] = len(b.glist)
+						b.glist = append(b.glist, key)
+					}
+				}
+			}
+			b.nbr[s][i-lo] = nb
+			e.wts[s][i] = wt
+		}
+	}
+	e.builds[t] = b
+	e.ghosts[t] = len(b.glist)
+	workload.Sync(env) // ghost counts and weights published
+
+	if t == 0 {
+		// Segment layout: each thread's local records then its ghost
+		// records, rounded to whole pages so threads own disjoint pages.
+		var off uint64
+		for u := 0; u < n; u++ {
+			e.seg[u] = off
+			sz := uint64(2*(e.hi[u]-e.lo[u])+e.ghosts[u]) * uint64(ns)
+			off += (sz + arch.PageSize - 1) / arch.PageSize * arch.PageSize
+		}
+		e.SpaceBytes = off
+		// Same 16 KB offset from a 4 MB alignment as the serial run.
+		e.base = env.AllocAligned("em3dspace", off, 4*arch.MB, 16*arch.KB)
+	}
+	workload.Sync(env) // region published
+
+	segBase := e.base + arch.VAddr(e.seg[t])
+	localAddr := func(side, i int) arch.VAddr {
+		return segBase + arch.VAddr((2*(i-lo)+side)*ns)
+	}
+	ghostAddr := func(slot int) arch.VAddr {
+		return segBase + arch.VAddr((2*(hi-lo)+slot)*ns)
+	}
+	// target resolves the record an edge dereferences: local when the
+	// neighbour is owned, the ghost mirror otherwise.
+	target := func(side, v int) arch.VAddr {
+		if v >= lo && v < hi {
+			return localAddr(side, v)
+		}
+		return ghostAddr(b.gslot[[2]int{side, v}])
+	}
+
+	// Initialization: fully write the local records (the paper remaps
+	// *initialized* memory), mirroring values Go-side for the exchange.
+	for s := 0; s < 2; s++ {
+		for i := lo; i < hi; i++ {
+			rec := localAddr(s, i)
+			env.Store(rec, 8, uint64(i)+1)
+			e.vals[s][i] = uint64(i) + 1
+			for j := 0; j < d; j++ {
+				env.Store(rec+arch.VAddr(8+16*j), 8, uint64(target(1-s, b.nbr[s][i-lo][j])))
+				env.Store(rec+arch.VAddr(16+16*j), 8, e.wts[s][i][j])
+			}
+			env.Step(3 * d)
+		}
+	}
+	workload.Sync(env) // every owner's values and weights published
+
+	// Ghost initialization: copy each mirrored record's value and
+	// weights from its owner's Go-side mirror into the thread's own
+	// ghost pages.
+	for slot, key := range b.glist {
+		g := ghostAddr(slot)
+		s, v := key[0], key[1]
+		env.Store(g, 8, e.vals[s][v])
+		for j := 0; j < d; j++ {
+			env.Store(g+arch.VAddr(16+16*j), 8, e.wts[s][v][j])
+		}
+		env.Step(1 + d)
+	}
+	workload.Sync(env) // all records initialized
+
+	// Remap after initialization, before the time-step iterations
+	// (§3.3), issued once by thread 0.
+	if t == 0 {
+		env.Remap(e.base, e.SpaceBytes)
+	}
+	workload.Sync(env)
+
+	// refresh re-stores the ghosts mirroring the given side from the
+	// owners' just-published values.
+	refresh := func(side int) {
+		for slot, key := range b.glist {
+			if key[0] != side {
+				continue
+			}
+			env.Store(ghostAddr(slot), 8, e.vals[side][key[1]])
+			env.Step(1)
+		}
+	}
+	// update recomputes the thread's records on one side from their
+	// neighbours on the other: the same two scattered dependent loads
+	// per edge as the serial kernel.
+	update := func(side int) {
+		for i := lo; i < hi; i++ {
+			rec := localAddr(side, i)
+			sum := env.Load(rec, 8)
+			for j := 0; j < d; j++ {
+				ptr := arch.VAddr(env.Load(rec+arch.VAddr(8+16*j), 8))
+				nbv := env.Load(ptr, 8)
+				w := env.Load(ptr+arch.VAddr(16+16*((i+j)%d)), 8)
+				sum -= nbv / w
+				env.Step(4)
+			}
+			env.Store(rec, 8, sum)
+			e.vals[side][i] = sum
+		}
+	}
+	for it := 0; it < e.Cfg.Iters; it++ {
+		update(0)
+		workload.Sync(env)
+		refresh(0)
+		workload.Sync(env)
+		update(1)
+		workload.Sync(env)
+		refresh(1)
+		workload.Sync(env)
+	}
+
+	// Checksum sweep over the thread's own records.
+	var sum uint64
+	for s := 0; s < 2; s++ {
+		for i := lo; i < hi; i++ {
+			sum += env.Load(localAddr(s, i), 8)
+		}
+	}
+	e.parts[t] = sum
+	workload.Sync(env)
+	if t == 0 {
+		var total uint64
+		for _, p := range e.parts {
+			total += p
+		}
+		e.Checksum = total
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

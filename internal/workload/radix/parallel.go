@@ -1,0 +1,234 @@
+package radix
+
+import (
+	"fmt"
+
+	"shadowtlb/internal/arch"
+	"shadowtlb/internal/workload"
+)
+
+// Parallel is the SPLASH-2 radix kernel in its message-passing
+// formulation, for the multicore simulator: the key arrays are split
+// into page-aligned per-thread blocks, each thread histograms and
+// permutes its own block, and writes destined for another thread's
+// block travel through Go-side outboxes that the owning thread applies
+// after a barrier. Per-thread histogram/rank pages keep every
+// simulated store inside the issuing thread's pages, as the
+// workload.Parallel contract requires.
+type Parallel struct {
+	Cfg Config
+
+	// SpaceBytes reports the size of the dynamically allocated region.
+	SpaceBytes uint64
+	// Sorted reports whether the final verification pass succeeded.
+	Sorted bool
+
+	base arch.VAddr
+	lo   []int // first key index owned by each thread
+	hi   []int // one past the last key index owned by each thread
+
+	counts [][]uint64   // per-thread local digit counts, this pass
+	out    [][][]kvPair // out[t][u]: writes from thread t into u's block
+	first  []uint64     // per-thread first key after the final pass
+	last   []uint64     // per-thread last key after the final pass
+	ok     []bool       // per-thread verification verdicts
+}
+
+type kvPair struct {
+	pos uint64
+	key uint64
+}
+
+// NewParallel returns the parallel radix workload.
+func NewParallel(cfg Config) *Parallel { return &Parallel{Cfg: cfg} }
+
+// Name identifies the workload.
+func (r *Parallel) Name() string { return "radixp" }
+
+// SbrkSuperpages is false: the space is mapped with one explicit remap.
+func (r *Parallel) SbrkSuperpages() bool { return false }
+
+// Run executes the uniprocessor fallback: one thread owning everything.
+func (r *Parallel) Run(env workload.Env) { r.RunThread(env, 0, 1) }
+
+// blockKeys returns the per-thread block size: keys are split evenly,
+// rounded up to 1024 keys (one 4 KB page of 4-byte keys) so block
+// boundaries fall on page boundaries and threads own disjoint pages.
+func (r *Parallel) blockKeys(n int) int {
+	per := (r.Cfg.Keys + n - 1) / n
+	const keysPerPage = int(arch.PageSize / 4)
+	return (per + keysPerPage - 1) / keysPerPage * keysPerPage
+}
+
+// RunThread implements workload.Parallel.
+func (r *Parallel) RunThread(env workload.Env, t, n int) {
+	keys := r.Cfg.Keys
+	radix := r.Cfg.Radix
+	if radix != 1<<radixBits {
+		panic("radix: only the default radix of 256 is supported")
+	}
+
+	keyBytes := uint64(keys) * 4
+	histBytes := uint64(radix) * 8
+	// Per-thread histogram+rank pages so counting never leaves the
+	// thread's own pages.
+	tseg := (2*histBytes + arch.PageSize - 1) / arch.PageSize * arch.PageSize
+
+	if t == 0 {
+		space := 2*keyBytes + uint64(n)*tseg
+		r.SpaceBytes = space
+		r.base = env.AllocAligned("radixspace", space, 4*arch.MB, 64*arch.KB)
+		env.Remap(r.base, space) // before initialization, as in the paper
+		per := r.blockKeys(n)
+		r.lo = make([]int, n)
+		r.hi = make([]int, n)
+		for u := 0; u < n; u++ {
+			r.lo[u] = min(u*per, keys)
+			r.hi[u] = min(r.lo[u]+per, keys)
+		}
+		r.counts = make([][]uint64, n)
+		r.out = make([][][]kvPair, n)
+		for u := 0; u < n; u++ {
+			r.out[u] = make([][]kvPair, n)
+		}
+		r.first = make([]uint64, n)
+		r.last = make([]uint64, n)
+		r.ok = make([]bool, n)
+	}
+	workload.Sync(env) // layout published
+
+	src := r.base
+	dst := r.base + arch.VAddr(keyBytes)
+	hist := dst + arch.VAddr(keyBytes) + arch.VAddr(uint64(t)*tseg)
+	rank := hist + arch.VAddr(histBytes)
+	lo, hi := r.lo[t], r.hi[t]
+
+	// Initialize this thread's block of keys, seeded per thread.
+	rng := workload.NewRNG(3 + uint64(t)*0x9e3779b97f4a7c15)
+	for i := lo; i < hi; i++ {
+		env.Store(src+arch.VAddr(i*4), 4, rng.Next()&0xFFFFFFFF)
+		env.Step(2)
+	}
+
+	passes := (32 + radixBits - 1) / radixBits
+	for p := 0; p < passes; p++ {
+		shift := uint(p * radixBits)
+
+		// Histogram phase over the thread's own block, mirrored into a
+		// Go-side count vector for the barrier exchange.
+		counts := make([]uint64, radix)
+		for d := 0; d < radix; d++ {
+			env.Store(hist+arch.VAddr(d*8), 8, 0)
+		}
+		for i := lo; i < hi; i++ {
+			k := env.Load(src+arch.VAddr(i*4), 4)
+			d := int(k>>shift) & (radix - 1)
+			hva := hist + arch.VAddr(d*8)
+			env.Store(hva, 8, env.Load(hva, 8)+1)
+			counts[d]++
+			env.Step(3)
+		}
+		r.counts[t] = counts
+		workload.Sync(env) // all local histograms published
+
+		// Global ranks: this thread's keys of digit d start after every
+		// smaller digit everywhere and after digit d on lower threads.
+		sum := uint64(0)
+		offs := make([]uint64, radix)
+		for d := 0; d < radix; d++ {
+			off := sum
+			for u := 0; u < t; u++ {
+				off += r.counts[u][d]
+			}
+			offs[d] = off
+			for u := 0; u < n; u++ {
+				sum += r.counts[u][d]
+			}
+			env.Store(rank+arch.VAddr(d*8), 8, offs[d])
+			env.Step(2)
+		}
+
+		// Permute phase: sequential reads of the thread's block,
+		// scattered writes — locally when the target position is owned,
+		// through an outbox otherwise.
+		outs := make([][]kvPair, n)
+		for i := lo; i < hi; i++ {
+			k := env.Load(src+arch.VAddr(i*4), 4)
+			d := int(k>>shift) & (radix - 1)
+			rva := rank + arch.VAddr(d*8)
+			pos := env.Load(rva, 8)
+			env.Store(rva, 8, pos+1)
+			if int(pos) >= lo && int(pos) < hi {
+				env.Store(dst+arch.VAddr(pos*4), 4, k)
+			} else {
+				u := r.owner(int(pos), n)
+				outs[u] = append(outs[u], kvPair{pos: pos, key: k})
+			}
+			env.Step(4)
+		}
+		r.out[t] = outs
+		workload.Sync(env) // all outboxes published
+
+		// Apply phase: the owner performs the cross-thread writes, in
+		// sender order so the reference stream is schedule-independent.
+		for u := 0; u < n; u++ {
+			for _, kv := range r.out[u][t] {
+				env.Store(dst+arch.VAddr(kv.pos*4), 4, kv.key)
+				env.Step(1)
+			}
+		}
+		workload.Sync(env) // blocks complete before the next pass reads
+		src, dst = dst, src
+	}
+
+	// Verification sweep over the thread's own block, with the block
+	// boundary values exchanged for the cross-thread order check.
+	ok := true
+	prev := uint64(0)
+	for i := lo; i < hi; i++ {
+		k := env.Load(src+arch.VAddr(i*4), 4)
+		if k < prev {
+			ok = false
+			panic(fmt.Sprintf("radixp: out of order at %d: %d < %d", i, k, prev))
+		}
+		if i == lo {
+			r.first[t] = k
+		}
+		prev = k
+		env.Step(2)
+	}
+	r.last[t] = prev
+	r.ok[t] = ok
+	workload.Sync(env)
+	if t > 0 && r.hi[t-1] > r.lo[t-1] && hi > lo && r.last[t-1] > r.first[t] {
+		r.ok[t] = false
+		panic(fmt.Sprintf("radixp: blocks %d/%d out of order: %d > %d",
+			t-1, t, r.last[t-1], r.first[t]))
+	}
+	workload.Sync(env)
+	if t == 0 {
+		r.Sorted = true
+		for u := 0; u < n; u++ {
+			if !r.ok[u] {
+				r.Sorted = false
+			}
+		}
+	}
+}
+
+// owner returns the thread whose block contains key position pos.
+func (r *Parallel) owner(pos, n int) int {
+	for u := 0; u < n; u++ {
+		if pos >= r.lo[u] && pos < r.hi[u] {
+			return u
+		}
+	}
+	panic(fmt.Sprintf("radixp: position %d outside every block", pos))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
